@@ -1,0 +1,117 @@
+// A2 — grace-period latency and call_rcu batching throughput.
+//
+// Measures Synchronize() latency for both flavours as a function of the
+// number of active reader threads, and the throughput of Retire() when the
+// background reclaimer amortizes grace periods over batches. Writers do all
+// the waiting — this quantifies exactly how much.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/qsbr.h"
+
+namespace {
+
+// Background readers that cycle short read sections.
+class ReaderPool {
+ public:
+  ReaderPool(int count, bool qsbr) {
+    for (int i = 0; i < count; ++i) {
+      threads_.emplace_back([this, qsbr] {
+        if (qsbr) {
+          rp::rcu::Qsbr::RegisterThread();
+          std::uint64_t n = 0;
+          while (!stop_.load(std::memory_order_relaxed)) {
+            rp::rcu::Qsbr::ReadLock();
+            benchmark::DoNotOptimize(n);
+            rp::rcu::Qsbr::ReadUnlock();
+            if (++n % 64 == 0) {
+              rp::rcu::Qsbr::QuiescentState();
+            }
+          }
+          rp::rcu::Qsbr::Offline();
+        } else {
+          while (!stop_.load(std::memory_order_relaxed)) {
+            rp::rcu::ReadGuard<rp::rcu::Epoch> guard;
+            benchmark::DoNotOptimize(this);
+          }
+        }
+      });
+    }
+  }
+  ~ReaderPool() {
+    stop_.store(true);
+    for (auto& t : threads_) {
+      t.join();
+    }
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+void BM_EpochSynchronize(benchmark::State& state) {
+  ReaderPool pool(static_cast<int>(state.range(0)), /*qsbr=*/false);
+  for (auto _ : state) {
+    rp::rcu::Epoch::Synchronize();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EpochSynchronize)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_QsbrSynchronize(benchmark::State& state) {
+  ReaderPool pool(static_cast<int>(state.range(0)), /*qsbr=*/true);
+  for (auto _ : state) {
+    rp::rcu::Qsbr::Synchronize();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QsbrSynchronize)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_EpochRetireThroughput(benchmark::State& state) {
+  ReaderPool pool(2, /*qsbr=*/false);
+  for (auto _ : state) {
+    rp::rcu::Epoch::Retire(new std::uint64_t(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  rp::rcu::Epoch::Barrier();
+}
+BENCHMARK(BM_EpochRetireThroughput);
+
+void BM_SynchronizePerUpdateVsBatched(benchmark::State& state) {
+  // Worst case for a writer: one full grace period per update (what the
+  // unzip algorithm explicitly avoids by batching swings per pass).
+  const bool batched = state.range(0) != 0;
+  ReaderPool pool(2, /*qsbr=*/false);
+  std::vector<std::uint64_t*> garbage;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      garbage.push_back(new std::uint64_t(7));
+    }
+    if (batched) {
+      rp::rcu::Epoch::Synchronize();
+      for (auto* p : garbage) {
+        delete p;
+      }
+      garbage.clear();
+    } else {
+      for (auto* p : garbage) {
+        rp::rcu::Epoch::Synchronize();
+        delete p;
+      }
+      garbage.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+  state.SetLabel(batched ? "one GP per 16 updates" : "one GP per update");
+}
+BENCHMARK(BM_SynchronizePerUpdateVsBatched)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

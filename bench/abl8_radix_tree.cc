@@ -1,0 +1,127 @@
+// A8 — relativistic radix tree reader scaling.
+//
+// The paper lists radix trees among the structures relativistic techniques
+// apply to; this bench verifies the claim transfers: tree lookups scale
+// linearly with reader threads, both idle and while one writer churns keys
+// (forcing spine builds, pruning, root growth and collapse), and the tree
+// is compared against the RP hash map on the same key set to show the
+// depth-vs-hash trade.
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/core/rp_hash_map.h"
+#include "src/rp/radix_tree.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr std::uint64_t kKeys = 8192;       // dense range: shallow tree
+constexpr std::uint64_t kSparseBits = 36;   // sparse range: 6-7 level tree
+
+template <typename Structure>
+std::uint64_t ReaderLoop(Structure& s, std::uint64_t key_space, int id,
+                         const std::atomic<bool>& stop) {
+  rp::Xoshiro256 rng(static_cast<std::uint64_t>(id) + 1);
+  std::uint64_t ops = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    (void)s.Contains(rng.NextBounded(key_space));
+    ++ops;
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> threads = rp::bench::ThreadCounts();
+  const double seconds = rp::bench::SecondsPerPoint();
+  rp::bench::SeriesTable table("A8: radix tree reader scaling", threads);
+
+  // Dense keys: 3-level tree, the radix tree's best case.
+  {
+    rp::rp::RadixTree<std::uint64_t> tree;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      tree.Insert(k, k);
+    }
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds, [&](int id, const std::atomic<bool>& stop) {
+            return ReaderLoop(tree, kKeys, id, stop);
+          });
+      table.Record("radix-dense", t, ops);
+      std::printf("  radix-dense  %2d threads: %10.2f Mlookups/s\n", t,
+                  ops / 1e6);
+      std::fflush(stdout);
+    }
+  }
+
+  // Sparse keys spread over 36 bits: deeper descent, same scaling shape.
+  {
+    rp::rp::RadixTree<std::uint64_t> tree;
+    rp::Xoshiro256 rng(7);
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      tree.InsertOrAssign(rng.Next() >> (64 - kSparseBits), k);
+    }
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds, [&](int id, const std::atomic<bool>& stop) {
+            rp::Xoshiro256 reader_rng(static_cast<std::uint64_t>(id) + 1);
+            std::uint64_t ops_done = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+              (void)tree.Contains(reader_rng.Next() >> (64 - kSparseBits));
+              ++ops_done;
+            }
+            return ops_done;
+          });
+      table.Record("radix-sparse", t, ops);
+    }
+  }
+
+  // Dense keys while one writer churns a disjoint deep range: readers must
+  // be oblivious to growth/collapse, mirroring the hash table's resize
+  // obliviousness.
+  {
+    rp::rp::RadixTree<std::uint64_t> tree;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      tree.Insert(k, k);
+    }
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds,
+          [&](int id, const std::atomic<bool>& stop) {
+            return ReaderLoop(tree, kKeys, id, stop);
+          },
+          [&](const std::atomic<bool>& stop) {
+            rp::Xoshiro256 rng(99);
+            while (!stop.load(std::memory_order_relaxed)) {
+              const std::uint64_t key =
+                  kKeys + (rng.NextBounded(256) << 24);
+              tree.InsertOrAssign(key, key);
+              tree.Erase(key);
+            }
+          });
+      table.Record("radix-churn", t, ops);
+    }
+  }
+
+  // The RP hash map on the same dense keys, for the depth-vs-hash contrast.
+  {
+    rp::core::RpHashMapOptions options;
+    options.auto_resize = false;
+    rp::core::RpHashMap<std::uint64_t, std::uint64_t> map(kKeys, options);
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      map.Insert(k, k);
+    }
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds, [&](int id, const std::atomic<bool>& stop) {
+            return ReaderLoop(map, kKeys, id, stop);
+          });
+      table.Record("rp-hash", t, ops);
+    }
+  }
+
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// A9 — relativistic structure family: reader scaling side by side.
+//
+// The paper's claim is that relativistic techniques give linearly scalable
+// readers across a family of structures (lists, hash tables, radix trees,
+// tries, balanced trees). This bench runs the same uniform point-lookup
+// workload over every keyed structure in the library, idle and under write
+// churn, so the scaling shapes can be compared directly. It also measures
+// the AVL tree's snapshot range scans against point lookups.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "bench/harness.h"
+#include "src/core/rp_hash_map.h"
+#include "src/rp/avl_tree.h"
+#include "src/rp/radix_tree.h"
+#include "src/rp/trie.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr std::uint64_t kKeys = 8192;
+
+std::string TrieKey(std::uint64_t k) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "k%08llx", static_cast<unsigned long long>(k));
+  return buf;
+}
+
+template <typename LookupFn>
+double SweepPoint(int threads, double seconds, LookupFn&& lookup) {
+  return rp::bench::MeasureThroughput(
+      threads, seconds, [&](int id, const std::atomic<bool>& stop) {
+        rp::Xoshiro256 rng(static_cast<std::uint64_t>(id) + 1);
+        std::uint64_t ops = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          lookup(rng.NextBounded(kKeys));
+          ++ops;
+        }
+        return ops;
+      });
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> threads = rp::bench::ThreadCounts();
+  const double seconds = rp::bench::SecondsPerPoint();
+  rp::bench::SeriesTable table("A9: relativistic structure reader scaling",
+                               threads);
+
+  {
+    rp::core::RpHashMapOptions options;
+    options.auto_resize = false;
+    rp::core::RpHashMap<std::uint64_t, std::uint64_t> map(kKeys, options);
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      map.Insert(k, k);
+    }
+    for (int t : threads) {
+      table.Record("hash", t,
+                   SweepPoint(t, seconds, [&](std::uint64_t k) {
+                     (void)map.Contains(k);
+                   }));
+    }
+  }
+
+  {
+    rp::rp::RadixTree<std::uint64_t> tree;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      tree.Insert(k, k);
+    }
+    for (int t : threads) {
+      table.Record("radix", t,
+                   SweepPoint(t, seconds, [&](std::uint64_t k) {
+                     (void)tree.Contains(k);
+                   }));
+    }
+  }
+
+  {
+    rp::rp::Trie<std::uint64_t> trie;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      trie.Insert(TrieKey(k), k);
+    }
+    for (int t : threads) {
+      table.Record("trie", t,
+                   SweepPoint(t, seconds, [&](std::uint64_t k) {
+                     (void)trie.Contains(TrieKey(k));
+                   }));
+      std::printf("  trie   %2d threads done\n", t);
+      std::fflush(stdout);
+    }
+  }
+
+  {
+    rp::rp::AvlTree<std::uint64_t, std::uint64_t> tree;
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      tree.Insert(k, k);
+    }
+    for (int t : threads) {
+      table.Record("avl", t,
+                   SweepPoint(t, seconds, [&](std::uint64_t k) {
+                     (void)tree.Contains(k);
+                   }));
+    }
+    // AVL under writer churn: path copying makes updates expensive but
+    // must leave reader scaling untouched.
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds,
+          [&](int id, const std::atomic<bool>& stop) {
+            rp::Xoshiro256 rng(static_cast<std::uint64_t>(id) + 1);
+            std::uint64_t ops_done = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+              (void)tree.Contains(rng.NextBounded(kKeys));
+              ++ops_done;
+            }
+            return ops_done;
+          },
+          [&](const std::atomic<bool>& stop) {
+            rp::Xoshiro256 rng(91);
+            while (!stop.load(std::memory_order_relaxed)) {
+              const std::uint64_t k = kKeys + rng.NextBounded(1024);
+              tree.InsertOrAssign(k, k);
+              tree.Erase(k);
+            }
+          });
+      table.Record("avl-churn", t, ops);
+    }
+    // Snapshot range scans (64-key windows) while the writer churns.
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds,
+          [&](int id, const std::atomic<bool>& stop) {
+            rp::Xoshiro256 rng(static_cast<std::uint64_t>(id) + 1);
+            std::uint64_t ops_done = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+              const std::uint64_t lo = rng.NextBounded(kKeys - 64);
+              std::uint64_t sum = 0;
+              tree.ForEachRange(lo, lo + 64,
+                                [&](const std::uint64_t&, const std::uint64_t& v) {
+                                  sum += v;
+                                });
+              ops_done += 1;
+            }
+            return ops_done;
+          },
+          [&](const std::atomic<bool>& stop) {
+            rp::Xoshiro256 rng(91);
+            while (!stop.load(std::memory_order_relaxed)) {
+              const std::uint64_t k = kKeys + rng.NextBounded(1024);
+              tree.InsertOrAssign(k, k);
+              tree.Erase(k);
+            }
+          });
+      table.Record("avl-scan64", t, ops);
+    }
+  }
+
+  table.Print();
+  return 0;
+}

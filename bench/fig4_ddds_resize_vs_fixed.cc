@@ -1,0 +1,82 @@
+// F4 — "Results — DDDS resize versus fixed".
+//
+// Same sweep as F3 but for the DDDS baseline: fixed 8k, fixed 16k, and
+// continuous resizing. Expected shape: the resize curve falls well below
+// both fixed curves (double-probing plus miss revalidation while resizes
+// are in flight), in contrast to F3.
+#include <cstdint>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/baselines/ddds_hash_map.h"
+#include "src/util/rng.h"
+
+namespace {
+
+constexpr std::size_t kSmall = 8192;
+constexpr std::size_t kLarge = 16384;
+constexpr std::uint64_t kKeys = 8192;
+
+using Map = rp::baselines::DddsHashMap<std::uint64_t, std::uint64_t>;
+
+std::uint64_t ReaderLoop(Map& map, int id, const std::atomic<bool>& stop) {
+  rp::Xoshiro256 rng(static_cast<std::uint64_t>(id) + 1);
+  std::uint64_t ops = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    (void)map.Contains(rng.NextBounded(kKeys));
+    ++ops;
+  }
+  return ops;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> threads = rp::bench::ThreadCounts();
+  const double seconds = rp::bench::SecondsPerPoint();
+  rp::bench::SeriesTable table("F4: DDDS resize versus fixed sizes", threads);
+
+  for (const auto& [name, buckets] :
+       {std::pair<const char*, std::size_t>{"8k", kSmall},
+        std::pair<const char*, std::size_t>{"16k", kLarge}}) {
+    Map map(buckets);
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+      map.Insert(i, i);
+    }
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds, [&](int id, const std::atomic<bool>& stop) {
+            return ReaderLoop(map, id, stop);
+          });
+      table.Record(name, t, ops);
+      std::printf("  %-6s %2d threads: %10.2f Mlookups/s\n", name, t, ops / 1e6);
+      std::fflush(stdout);
+    }
+  }
+
+  {
+    Map map(kSmall);
+    for (std::uint64_t i = 0; i < kKeys; ++i) {
+      map.Insert(i, i);
+    }
+    for (int t : threads) {
+      const double ops = rp::bench::MeasureThroughput(
+          t, seconds,
+          [&](int id, const std::atomic<bool>& stop) {
+            return ReaderLoop(map, id, stop);
+          },
+          [&](const std::atomic<bool>& stop) {
+            while (!stop.load(std::memory_order_relaxed)) {
+              map.Resize(kLarge);
+              map.Resize(kSmall);
+            }
+          });
+      table.Record("resize", t, ops);
+      std::printf("  resize %2d threads: %10.2f Mlookups/s\n", t, ops / 1e6);
+      std::fflush(stdout);
+    }
+  }
+
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// F5 — "memcached results".
+//
+// Requests/second vs number of client threads (the paper used 1..12
+// mc-benchmark processes) for four series: RP GET, default GET, default
+// SET, RP SET. "default" = LockedEngine (global cache lock, like memcached
+// 1.4); "RP" = RpEngine (relativistic GET fast path). Expected shape:
+// RP GET scales with clients while default GET saturates on the lock;
+// the SET series stay close together (both serialize writers), with RP SET
+// at or slightly below default SET (copy + deferred reclamation overhead).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/memcache/locked_engine.h"
+#include "src/memcache/rp_engine.h"
+#include "src/memcache/workload.h"
+
+namespace {
+
+std::vector<int> ClientCounts() {
+  // Paper sweeps 1..12 processes; keep every point but allow env override.
+  if (const char* env = std::getenv("RP_BENCH_THREADS")) {
+    (void)env;
+    return rp::bench::ThreadCounts();
+  }
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+}
+
+rp::memcache::WorkloadResult RunPoint(rp::memcache::CacheEngine& engine,
+                                      int clients, double get_ratio,
+                                      double seconds) {
+  rp::memcache::WorkloadConfig config;
+  config.num_clients = static_cast<std::size_t>(clients);
+  config.num_keys = 10000;
+  config.value_size = 32;
+  config.get_ratio = get_ratio;
+  config.duration_seconds = seconds;
+  config.use_protocol = true;
+  config.prepopulate = true;
+  return RunWorkload(engine, config);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> clients = ClientCounts();
+  const double seconds = rp::bench::SecondsPerPoint();
+  rp::bench::SeriesTable table(
+      "F5: mini-memcached requests/s vs client threads (text protocol)",
+      clients);
+
+  struct Series {
+    const char* name;
+    bool rp;
+    double get_ratio;
+  };
+  const Series series[] = {
+      {"RP GET", true, 1.0},
+      {"default GET", false, 1.0},
+      {"default SET", false, 0.0},
+      {"RP SET", true, 0.0},
+  };
+
+  for (const Series& s : series) {
+    for (int c : clients) {
+      // Fresh engine per point: eviction/expiry state does not leak across
+      // measurements.
+      rp::memcache::EngineConfig config;
+      config.initial_buckets = 16384;
+      std::unique_ptr<rp::memcache::CacheEngine> engine;
+      if (s.rp) {
+        engine = std::make_unique<rp::memcache::RpEngine>(config);
+      } else {
+        engine = std::make_unique<rp::memcache::LockedEngine>(config);
+      }
+      const auto result = RunPoint(*engine, c, s.get_ratio, seconds);
+      table.Record(s.name, c, result.requests_per_second);
+      std::printf("  %-12s %2d clients: %9.0f Kreq/s (hits=%llu misses=%llu)\n",
+                  s.name, c, result.requests_per_second / 1e3,
+                  static_cast<unsigned long long>(result.hits),
+                  static_cast<unsigned long long>(result.misses));
+      std::fflush(stdout);
+    }
+  }
+
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "src/util/affinity.h"
+#include "src/util/spin_barrier.h"
+#include "src/util/stopwatch.h"
+
+namespace rp::bench {
+
+double SecondsPerPoint(double default_seconds) {
+  if (const char* env = std::getenv("RP_BENCH_SECONDS")) {
+    const double v = std::atof(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return default_seconds;
+}
+
+std::vector<int> ThreadCounts() {
+  if (const char* env = std::getenv("RP_BENCH_THREADS")) {
+    std::vector<int> counts;
+    int current = 0;
+    bool have_digit = false;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        current = current * 10 + (*p - '0');
+        have_digit = true;
+      } else {
+        if (have_digit) {
+          counts.push_back(current);
+        }
+        current = 0;
+        have_digit = false;
+        if (*p == '\0') {
+          break;
+        }
+      }
+    }
+    if (!counts.empty()) {
+      return counts;
+    }
+  }
+  return {1, 2, 4, 8, 16};
+}
+
+double MeasureThroughput(
+    int threads, double seconds,
+    const std::function<std::uint64_t(int, const std::atomic<bool>&)>& reader_fn,
+    const std::function<void(const std::atomic<bool>&)>& disturber, bool pin) {
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> total_ops{0};
+  SpinBarrier barrier(static_cast<std::size_t>(threads) + 1);
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (pin) {
+        PinThisThreadToCpu(static_cast<std::size_t>(t));
+      }
+      barrier.ArriveAndWait();
+      total_ops.fetch_add(reader_fn(t, stop), std::memory_order_relaxed);
+    });
+  }
+
+  std::thread noise;
+  if (disturber) {
+    noise = std::thread([&] {
+      if (pin) {
+        // Keep the disturber off the reader cores when possible.
+        PinThisThreadToCpu(static_cast<std::size_t>(threads));
+      }
+      disturber(stop);
+    });
+  }
+
+  barrier.ArriveAndWait();
+  Stopwatch watch;
+  while (watch.ElapsedSeconds() < seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& w : workers) {
+    w.join();
+  }
+  if (noise.joinable()) {
+    noise.join();
+  }
+  return static_cast<double>(total_ops.load()) / watch.ElapsedSeconds();
+}
+
+SeriesTable::SeriesTable(std::string title, std::vector<int> thread_counts)
+    : title_(std::move(title)), thread_counts_(std::move(thread_counts)) {}
+
+void SeriesTable::Record(const std::string& series, int threads,
+                         double ops_per_sec) {
+  if (data_.find(series) == data_.end()) {
+    series_order_.push_back(series);
+  }
+  data_[series][threads] = ops_per_sec;
+}
+
+double SeriesTable::At(const std::string& series, int threads) const {
+  auto s = data_.find(series);
+  if (s == data_.end()) {
+    return 0.0;
+  }
+  auto p = s->second.find(threads);
+  return p == s->second.end() ? 0.0 : p->second;
+}
+
+void SeriesTable::Print() const {
+  std::printf("\n=== %s ===\n", title_.c_str());
+  std::printf("%-14s", "threads");
+  for (int t : thread_counts_) {
+    std::printf("%12d", t);
+  }
+  std::printf("\n");
+  for (const std::string& series : series_order_) {
+    std::printf("%-14s", series.c_str());
+    for (int t : thread_counts_) {
+      std::printf("%12.2f", At(series, t) / 1e6);
+    }
+    std::printf("   (Mops/s)\n");
+  }
+  // CSV block for plotting.
+  std::printf("CSV,series,threads,ops_per_sec\n");
+  for (const std::string& series : series_order_) {
+    for (int t : thread_counts_) {
+      std::printf("CSV,%s,%d,%.0f\n", series.c_str(), t, At(series, t));
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace rp::bench

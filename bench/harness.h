@@ -1,0 +1,65 @@
+// Fixed-duration throughput harness for the figure reproductions.
+//
+// The paper's figures plot aggregate lookups/second against reader-thread
+// count while an optional disturber (resizer / writer) runs. google-benchmark
+// is excellent for per-op latency (the ablation benches use it) but awkward
+// for "N readers + 1 background writer, report aggregate throughput", so the
+// figure benches use this small runner and print paper-style series tables
+// plus CSV lines for plotting.
+#ifndef RP_BENCH_HARNESS_H_
+#define RP_BENCH_HARNESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rp::bench {
+
+struct RunConfig {
+  std::vector<int> thread_counts{1, 2, 4, 8, 16};
+  double seconds_per_point = 0.3;
+  bool pin_threads = true;
+};
+
+// Returns per-point measurement duration from RP_BENCH_SECONDS env var (for
+// longer, lower-variance runs) or the default.
+double SecondsPerPoint(double default_seconds = 0.3);
+
+// Thread counts honoring RP_BENCH_THREADS ("1,2,4" style) if set.
+std::vector<int> ThreadCounts();
+
+// One reader-throughput measurement: spawns `threads` reader threads, each
+// running `reader_fn(thread_index, stop_flag)` which returns its operation
+// count; an optional `disturber(stop_flag)` runs concurrently on its own
+// thread. Returns aggregate ops/second.
+double MeasureThroughput(
+    int threads, double seconds,
+    const std::function<std::uint64_t(int, const std::atomic<bool>&)>& reader_fn,
+    const std::function<void(const std::atomic<bool>&)>& disturber = nullptr,
+    bool pin = true);
+
+// Collects one named series (e.g. "RP", "DDDS", "rwlock") over thread counts.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string title, std::vector<int> thread_counts);
+
+  void Record(const std::string& series, int threads, double ops_per_sec);
+
+  // Prints the paper-style aligned table plus machine-readable CSV.
+  void Print() const;
+
+  double At(const std::string& series, int threads) const;
+
+ private:
+  std::string title_;
+  std::vector<int> thread_counts_;
+  std::vector<std::string> series_order_;
+  std::map<std::string, std::map<int, double>> data_;
+};
+
+}  // namespace rp::bench
+
+#endif  // RP_BENCH_HARNESS_H_

@@ -1,0 +1,302 @@
+// DDDS-style resizable hash table baseline.
+//
+// Implements the "Dynamic Dynamic Data Structures" resize scheme the paper
+// compares against: during a resize, lookups must consult *both* the new
+// (current) table and the old one, and a lookup that misses while a resize
+// is in flight must wait for the resize to finish before it may report
+// "not found" (otherwise it could race with an entry's migration). This
+// reproduces the two costs the paper attributes to DDDS:
+//   1. even when idle, every lookup pays an extra check for an in-progress
+//      resize (secondary-table pointer + sequence validation);
+//   2. while resizing, lookups may search two tables and retries appear,
+//      roughly halving lookup throughput.
+// Readers still use RCU for existence safety, so the comparison against the
+// relativistic table isolates the *resize algorithm*, not the memory
+// reclamation scheme.
+#ifndef RP_BASELINES_DDDS_HASH_MAP_H_
+#define RP_BASELINES_DDDS_HASH_MAP_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/core/hash.h"
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+#include "src/util/compiler.h"
+
+namespace rp::baselines {
+
+template <typename Key, typename T, typename HashFn = core::MixedHash<Key>,
+          typename KeyEqual = std::equal_to<Key>, typename Domain = rcu::Epoch>
+class DddsHashMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  explicit DddsHashMap(std::size_t initial_buckets = 16) {
+    current_.store(Table::Create(core::CeilPowerOfTwo(initial_buckets)),
+                   std::memory_order_release);
+  }
+
+  DddsHashMap(const DddsHashMap&) = delete;
+  DddsHashMap& operator=(const DddsHashMap&) = delete;
+
+  ~DddsHashMap() {
+    DestroyTable(current_.load(std::memory_order_relaxed));
+    Table* old = old_.load(std::memory_order_relaxed);
+    if (old != nullptr) {
+      DestroyTable(old);
+    }
+  }
+
+  // -- Read side ------------------------------------------------------------
+
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    for (;;) {
+      rcu::ReadGuard<Domain> guard;
+      const std::uint64_t seq_before =
+          resize_seq_.load(std::memory_order_acquire);
+      const Table* cur = rcu::RcuDereference(current_);
+      if (const Node* node = FindIn(cur, hash, key)) {
+        return node->value;
+      }
+      // Miss in the current table: during a resize the entry may not have
+      // been migrated yet, so check the old table too.
+      const Table* old = rcu::RcuDereference(old_);
+      if (old != nullptr) {
+        if (const Node* node = FindIn(old, hash, key)) {
+          return node->value;
+        }
+      }
+      // A definitive miss requires that no resize overlapped the search:
+      // otherwise the entry could have moved between the two probes. This
+      // is the DDDS "readers wait until no concurrent resizes" rule.
+      const std::uint64_t seq_after =
+          resize_seq_.load(std::memory_order_acquire);
+      if (seq_before == seq_after && (seq_before & 1) == 0) {
+        return std::nullopt;
+      }
+      CpuRelax();
+    }
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const { return Get(key).has_value(); }
+
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    // Value types in the benches are small; copy-out keeps the double-table
+    // retry logic in one place.
+    std::optional<T> value = Get(key);
+    if (!value.has_value()) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(*value));
+    return true;
+  }
+
+  // -- Write side (serialized) ------------------------------------------------
+
+  bool Insert(const Key& key, T value) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (FindWriter(hash, key) != nullptr) {
+      return false;
+    }
+    auto* node = new Node(hash, key, std::move(value));
+    Table* cur = current_.load(std::memory_order_relaxed);
+    std::atomic<Node*>& head = cur->bucket(hash & cur->mask);
+    node->next.store(head.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    rcu::RcuAssignPointer(head, node);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Erase(const Key& key) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    bool erased = EraseFrom(current_.load(std::memory_order_relaxed), hash, key);
+    Table* old = old_.load(std::memory_order_relaxed);
+    if (old != nullptr) {
+      // During (never concurrent, but between) migrations both copies may
+      // exist; remove both so the key is gone from every probe path.
+      erased = EraseFrom(old, hash, key) || erased;
+    }
+    if (erased) {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return erased;
+  }
+
+  // -- Resizing ----------------------------------------------------------------
+
+  // DDDS resize: install an empty table of the target size as current,
+  // expose the previous one as `old_`, then migrate bucket by bucket by
+  // copying entries into the new table. Readers double-probe throughout and
+  // must re-validate misses against the resize sequence counter.
+  void Resize(std::size_t target_buckets) {
+    const std::size_t n = core::CeilPowerOfTwo(target_buckets);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Table* prev = current_.load(std::memory_order_relaxed);
+    if (prev->size == n) {
+      return;
+    }
+    Table* next = Table::Create(n);
+
+    resize_seq_.fetch_add(1, std::memory_order_acq_rel);  // odd: in progress
+    rcu::RcuAssignPointer(old_, prev);
+    rcu::RcuAssignPointer(current_, next);
+
+    // Migrate: copy every entry into the new table. The old copy stays
+    // visible until the final grace period, so readers never miss.
+    for (std::size_t i = 0; i < prev->size; ++i) {
+      for (Node* node = prev->bucket(i).load(std::memory_order_relaxed);
+           node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
+        auto* copy = new Node(node->hash, node->key, node->value);
+        std::atomic<Node*>& head = next->bucket(node->hash & next->mask);
+        copy->next.store(head.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        rcu::RcuAssignPointer(head, copy);
+      }
+    }
+
+    // Stop advertising the old table, wait for every reader that may be
+    // probing it, then reclaim it wholesale.
+    rcu::RcuAssignPointer(old_, static_cast<Table*>(nullptr));
+    resize_seq_.fetch_add(1, std::memory_order_acq_rel);  // even: idle
+    Domain::Synchronize();
+    DestroyTable(prev);
+    resizes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t BucketCount() const {
+    rcu::ReadGuard<Domain> guard;
+    return rcu::RcuDereference(current_)->size;
+  }
+
+  [[nodiscard]] std::uint64_t ResizeCount() const {
+    return resizes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Node {
+    Node(std::size_t h, const Key& k, T v)
+        : hash(h), key(k), value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    const std::size_t hash;
+    const Key key;
+    T value;
+  };
+
+  struct Table {
+    std::size_t size;
+    std::size_t mask;
+
+    std::atomic<Node*>& bucket(std::size_t i) { return slots()[i]; }
+    const std::atomic<Node*>& bucket(std::size_t i) const { return slots()[i]; }
+
+    static Table* Create(std::size_t n) {
+      assert(core::IsPowerOfTwo(n));
+      void* mem = ::operator new(sizeof(Table) + n * sizeof(std::atomic<Node*>),
+                                 std::align_val_t{alignof(Table)});
+      auto* table = new (mem) Table();
+      table->size = n;
+      table->mask = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        new (&table->slots()[i]) std::atomic<Node*>(nullptr);
+      }
+      return table;
+    }
+
+   private:
+    std::atomic<Node*>* slots() {
+      return reinterpret_cast<std::atomic<Node*>*>(this + 1);
+    }
+    const std::atomic<Node*>* slots() const {
+      return reinterpret_cast<const std::atomic<Node*>*>(this + 1);
+    }
+  };
+
+  static void DestroyTable(Table* table) {
+    for (std::size_t i = 0; i < table->size; ++i) {
+      Node* node = table->bucket(i).load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+    table->~Table();
+    ::operator delete(table, std::align_val_t{alignof(Table)});
+  }
+
+  static const Node* FindIn(const Table* table, std::size_t hash, const Key& key) {
+    for (const Node* node = rcu::RcuDereference(table->bucket(hash & table->mask));
+         node != nullptr; node = rcu::RcuDereference(node->next)) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  Node* FindWriter(std::size_t hash, const Key& key) {
+    Table* cur = current_.load(std::memory_order_relaxed);
+    for (Node* node = cur->bucket(hash & cur->mask).load(std::memory_order_relaxed);
+         node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    Table* old = old_.load(std::memory_order_relaxed);
+    if (old != nullptr) {
+      for (Node* node = old->bucket(hash & old->mask).load(std::memory_order_relaxed);
+           node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
+        if (node->hash == hash && KeyEqual{}(node->key, key)) {
+          return node;
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  bool EraseFrom(Table* table, std::size_t hash, const Key& key) {
+    std::atomic<Node*>* slot = &table->bucket(hash & table->mask);
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+        slot->store(cur->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        Domain::Retire(cur);
+        return true;
+      }
+      slot = &cur->next;
+      cur = slot->load(std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  std::atomic<Table*> current_{nullptr};
+  std::atomic<Table*> old_{nullptr};
+  // Even: idle. Odd: resize in progress. Readers validate misses against it.
+  std::atomic<std::uint64_t> resize_seq_{0};
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> resizes_{0};
+  mutable std::mutex writer_mutex_;
+};
+
+}  // namespace rp::baselines
+
+#endif  // RP_BASELINES_DDDS_HASH_MAP_H_

@@ -1,0 +1,153 @@
+// Fixed-size RCU hash table: the paper's "don't resize" baseline.
+//
+// Identical read and update paths to RpHashMap, with the resize machinery
+// deleted. Used for the 8k/16k fixed curves in figures F3/F4 and as a
+// differential-testing oracle for the resizable table's non-resize paths.
+#ifndef RP_BASELINES_FIXED_RCU_HASH_MAP_H_
+#define RP_BASELINES_FIXED_RCU_HASH_MAP_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/hash.h"
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+
+namespace rp::baselines {
+
+template <typename Key, typename T, typename HashFn = core::MixedHash<Key>,
+          typename KeyEqual = std::equal_to<Key>, typename Domain = rcu::Epoch>
+class FixedRcuHashMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  explicit FixedRcuHashMap(std::size_t buckets = 1024)
+      : mask_(core::CeilPowerOfTwo(buckets) - 1),
+        buckets_(mask_ + 1) {}
+
+  FixedRcuHashMap(const FixedRcuHashMap&) = delete;
+  FixedRcuHashMap& operator=(const FixedRcuHashMap&) = delete;
+
+  ~FixedRcuHashMap() {
+    for (auto& head : buckets_) {
+      Node* node = head.load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    return FindNode(key) != nullptr;
+  }
+
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(key);
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+    return node->value;
+  }
+
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(key);
+    if (node == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(node->value));
+    return true;
+  }
+
+  bool Insert(const Key& key, T value) {
+    auto* node = new Node(HashFn()(key), key, std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (FindNodeWriter(node->hash, key) != nullptr) {
+      delete node;
+      return false;
+    }
+    std::atomic<Node*>& head = buckets_[node->hash & mask_];
+    node->next.store(head.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    rcu::RcuAssignPointer(head, node);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Erase(const Key& key) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::atomic<Node*>* slot = &buckets_[hash & mask_];
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+        slot->store(cur->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        Domain::Retire(cur);
+        return true;
+      }
+      slot = &cur->next;
+      cur = slot->load(std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t BucketCount() const { return mask_ + 1; }
+
+ private:
+  struct Node {
+    Node(std::size_t h, const Key& k, T v)
+        : hash(h), key(k), value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    const std::size_t hash;
+    const Key key;
+    T value;
+  };
+
+  const Node* FindNode(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    for (const Node* node = rcu::RcuDereference(buckets_[hash & mask_]);
+         node != nullptr; node = rcu::RcuDereference(node->next)) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  Node* FindNodeWriter(std::size_t hash, const Key& key) {
+    for (Node* node = buckets_[hash & mask_].load(std::memory_order_relaxed);
+         node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  const std::size_t mask_;
+  std::vector<std::atomic<Node*>> buckets_;
+  std::atomic<std::size_t> count_{0};
+  mutable std::mutex writer_mutex_;
+};
+
+}  // namespace rp::baselines
+
+#endif  // RP_BASELINES_FIXED_RCU_HASH_MAP_H_

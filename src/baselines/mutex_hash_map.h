@@ -1,0 +1,165 @@
+// Global-mutex hash table: the coarsest locking baseline ("Locking" slide).
+//
+// Also models default memcached's cache_lock, which is what the F5
+// memcached reproduction's LockedEngine wraps around.
+#ifndef RP_BASELINES_MUTEX_HASH_MAP_H_
+#define RP_BASELINES_MUTEX_HASH_MAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/core/hash.h"
+
+namespace rp::baselines {
+
+template <typename Key, typename T, typename HashFn = core::MixedHash<Key>,
+          typename KeyEqual = std::equal_to<Key>>
+class MutexHashMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  explicit MutexHashMap(std::size_t initial_buckets = 16)
+      : buckets_(core::CeilPowerOfTwo(initial_buckets)) {}
+
+  MutexHashMap(const MutexHashMap&) = delete;
+  MutexHashMap& operator=(const MutexHashMap&) = delete;
+
+  ~MutexHashMap() {
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        delete head;
+        head = next;
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Node* node = FindLocked(hash, key);
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+    return node->value;
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return FindLocked(hash, key) != nullptr;
+  }
+
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Node* node = FindLocked(hash, key);
+    if (node == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(node->value));
+    return true;
+  }
+
+  bool Insert(const Key& key, T value) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (FindLocked(hash, key) != nullptr) {
+      return false;
+    }
+    Node*& head = buckets_[hash & (buckets_.size() - 1)];
+    head = new Node(hash, key, std::move(value), head);
+    ++count_;
+    MaybeGrowLocked();
+    return true;
+  }
+
+  bool Erase(const Key& key) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    Node** slot = &buckets_[hash & (buckets_.size() - 1)];
+    while (*slot != nullptr) {
+      Node* cur = *slot;
+      if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+        *slot = cur->next;
+        delete cur;
+        --count_;
+        return true;
+      }
+      slot = &cur->next;
+    }
+    return false;
+  }
+
+  void Resize(std::size_t target_buckets) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    RehashLocked(core::CeilPowerOfTwo(target_buckets));
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
+  [[nodiscard]] std::size_t BucketCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buckets_.size();
+  }
+
+ private:
+  struct Node {
+    Node(std::size_t h, const Key& k, T v, Node* n)
+        : next(n), hash(h), key(k), value(std::move(v)) {}
+    Node* next;
+    const std::size_t hash;
+    const Key key;
+    T value;
+  };
+
+  const Node* FindLocked(std::size_t hash, const Key& key) const {
+    for (const Node* node = buckets_[hash & (buckets_.size() - 1)];
+         node != nullptr; node = node->next) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  void MaybeGrowLocked() {
+    if (count_ > buckets_.size() * 2) {
+      RehashLocked(buckets_.size() * 2);
+    }
+  }
+
+  void RehashLocked(std::size_t n) {
+    if (n == buckets_.size()) {
+      return;
+    }
+    std::vector<Node*> fresh(n, nullptr);
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        Node*& slot = fresh[head->hash & (n - 1)];
+        head->next = slot;
+        slot = head;
+        head = next;
+      }
+    }
+    buckets_.swap(fresh);
+  }
+
+  std::vector<Node*> buckets_;
+  std::size_t count_ = 0;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace rp::baselines
+
+#endif  // RP_BASELINES_MUTEX_HASH_MAP_H_

@@ -1,0 +1,164 @@
+// Reader-writer-locked hash table: the paper's rwlock baseline.
+//
+// Every lookup acquires a global reader-writer lock in shared mode. Even
+// with zero writers, each acquisition writes the lock word, so all readers
+// serialize on one cache line — the reason the rwlock curve in Figure F1 is
+// flat. The lock type is a template parameter: std::shared_mutex
+// (futex-based, what a pragmatic user would reach for) or sync::RwSpinlock
+// (the classic centralized spinning design).
+#ifndef RP_BASELINES_RWLOCK_HASH_MAP_H_
+#define RP_BASELINES_RWLOCK_HASH_MAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "src/core/hash.h"
+#include "src/sync/rwlock.h"
+
+namespace rp::baselines {
+
+template <typename Key, typename T, typename HashFn = core::MixedHash<Key>,
+          typename KeyEqual = std::equal_to<Key>,
+          typename Lock = std::shared_mutex>
+class RwlockHashMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  explicit RwlockHashMap(std::size_t initial_buckets = 16)
+      : buckets_(core::CeilPowerOfTwo(initial_buckets)) {}
+
+  RwlockHashMap(const RwlockHashMap&) = delete;
+  RwlockHashMap& operator=(const RwlockHashMap&) = delete;
+
+  ~RwlockHashMap() {
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        delete head;
+        head = next;
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    std::shared_lock<Lock> lock(mutex_);
+    const Node* node = FindLocked(hash, key);
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+    return node->value;
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    std::shared_lock<Lock> lock(mutex_);
+    return FindLocked(hash, key) != nullptr;
+  }
+
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    const std::size_t hash = HashFn()(key);
+    std::shared_lock<Lock> lock(mutex_);
+    const Node* node = FindLocked(hash, key);
+    if (node == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(node->value));
+    return true;
+  }
+
+  bool Insert(const Key& key, T value) {
+    const std::size_t hash = HashFn()(key);
+    std::unique_lock<Lock> lock(mutex_);
+    if (FindLocked(hash, key) != nullptr) {
+      return false;
+    }
+    Node*& head = buckets_[hash & (buckets_.size() - 1)];
+    head = new Node(hash, key, std::move(value), head);
+    ++count_;
+    return true;
+  }
+
+  bool Erase(const Key& key) {
+    const std::size_t hash = HashFn()(key);
+    std::unique_lock<Lock> lock(mutex_);
+    Node** slot = &buckets_[hash & (buckets_.size() - 1)];
+    while (*slot != nullptr) {
+      Node* cur = *slot;
+      if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+        *slot = cur->next;
+        delete cur;  // exclusive lock: immediate reclamation is safe
+        --count_;
+        return true;
+      }
+      slot = &cur->next;
+    }
+    return false;
+  }
+
+  // Resize under the exclusive lock: readers block for the duration, which
+  // is the behaviour the paper contrasts against.
+  void Resize(std::size_t target_buckets) {
+    const std::size_t n = core::CeilPowerOfTwo(target_buckets);
+    std::unique_lock<Lock> lock(mutex_);
+    if (n == buckets_.size()) {
+      return;
+    }
+    std::vector<Node*> fresh(n, nullptr);
+    for (Node* head : buckets_) {
+      while (head != nullptr) {
+        Node* next = head->next;
+        Node*& slot = fresh[head->hash & (n - 1)];
+        head->next = slot;
+        slot = head;
+        head = next;
+      }
+    }
+    buckets_.swap(fresh);
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    std::shared_lock<Lock> lock(mutex_);
+    return count_;
+  }
+
+  [[nodiscard]] std::size_t BucketCount() const {
+    std::shared_lock<Lock> lock(mutex_);
+    return buckets_.size();
+  }
+
+ private:
+  struct Node {
+    Node(std::size_t h, const Key& k, T v, Node* n)
+        : next(n), hash(h), key(k), value(std::move(v)) {}
+    Node* next;
+    const std::size_t hash;
+    const Key key;
+    T value;
+  };
+
+  const Node* FindLocked(std::size_t hash, const Key& key) const {
+    for (const Node* node = buckets_[hash & (buckets_.size() - 1)];
+         node != nullptr; node = node->next) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Node*> buckets_;
+  std::size_t count_ = 0;
+  mutable Lock mutex_;
+};
+
+}  // namespace rp::baselines
+
+#endif  // RP_BASELINES_RWLOCK_HASH_MAP_H_

@@ -1,0 +1,266 @@
+// Seqlock-protected hash table baseline.
+//
+// The optimistic-read alternative to both locking and relativistic reads:
+// readers probe without any lock and validate a sequence counter afterward,
+// retrying if a writer overlapped. This gives rwlock-free reads with NONE
+// of RP's machinery — but exposes the two structural costs the paper's
+// design avoids:
+//
+//   1. Reader retries. Every write invalidates every overlapping read, so
+//      read throughput collapses as the write rate grows (the RP table's
+//      readers are entirely oblivious to writers).
+//   2. Type-stable memory. A seqlock reader may probe a table array that a
+//      concurrent resize has already replaced; since there is no grace
+//      period, replaced arrays can never be freed while the map lives.
+//      They sit in a graveyard until destruction (the classic
+//      SLAB_TYPESAFE_BY_RCU-without-RCU compromise).
+//
+// Open addressing with linear probing keeps reads pointer-chase-free, which
+// a seqlock requires: a torn linked-list traversal could dereference freed
+// memory, but a torn array probe only reads stale POD that validation then
+// rejects. Key and value types must be trivially copyable.
+#ifndef RP_BASELINES_SEQLOCK_HASH_MAP_H_
+#define RP_BASELINES_SEQLOCK_HASH_MAP_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/hash.h"
+#include "src/sync/seqlock.h"
+#include "src/util/compiler.h"
+
+namespace rp::baselines {
+
+template <typename Key, typename T, typename HashFn = core::MixedHash<Key>,
+          typename KeyEqual = std::equal_to<Key>>
+class SeqlockHashMap {
+  static_assert(std::is_trivially_copyable_v<Key> &&
+                    std::is_trivially_copyable_v<T>,
+                "seqlock readers copy raw slots; non-POD payloads would tear");
+
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  explicit SeqlockHashMap(std::size_t initial_buckets = 16) {
+    table_.store(NewTable(core::CeilPowerOfTwo(initial_buckets)),
+                 std::memory_order_release);
+  }
+
+  SeqlockHashMap(const SeqlockHashMap&) = delete;
+  SeqlockHashMap& operator=(const SeqlockHashMap&) = delete;
+
+  ~SeqlockHashMap() {
+    delete table_.load(std::memory_order_relaxed);
+    for (Table* t : graveyard_) {
+      delete t;
+    }
+  }
+
+  // -- Read side: lock-free, optimistic, retries under writes --------------
+
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    std::optional<T> result;
+    sync::SeqlockReader reader(seq_);
+    while (reader.Retry()) {
+      result.reset();
+      const Table* t = table_.load(std::memory_order_acquire);
+      const std::size_t mask = t->slots.size() - 1;
+      for (std::size_t i = 0; i <= mask; ++i) {
+        const Slot& slot = t->slots[(hash + i) & mask];
+        const SlotState state =
+            slot.state.load(std::memory_order_acquire);
+        if (state == SlotState::kEmpty) {
+          break;  // linear-probe chain ends at the first never-used slot
+        }
+        if (state == SlotState::kFull && slot.hash == hash &&
+            KeyEqual{}(slot.key, key)) {
+          result = slot.value;
+          break;
+        }
+      }
+    }
+    retries_.fetch_add(reader.retries(), std::memory_order_relaxed);
+    return result;
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    return Get(key).has_value();
+  }
+
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    // Seqlock semantics force copy-out: the slot may be rewritten the
+    // moment validation succeeds, so no in-place reference can be exposed.
+    std::optional<T> value = Get(key);
+    if (!value.has_value()) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(*value));
+    return true;
+  }
+
+  // -- Write side (serialized) ----------------------------------------------
+
+  bool Insert(const Key& key, T value) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Table* t = table_.load(std::memory_order_relaxed);
+    if (FindSlot(t, hash, key) != nullptr) {
+      return false;
+    }
+    if ((size_ + tombstones_ + 1) * 4 > t->slots.size() * 3) {
+      t = Rehash(t->slots.size() * 2);  // keep probe chains short
+    }
+    seq_.WriteBegin();
+    InsertIntoTable(t, hash, key, value);
+    seq_.WriteEnd();
+    ++size_;
+    return true;
+  }
+
+  bool Erase(const Key& key) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Table* t = table_.load(std::memory_order_relaxed);
+    Slot* slot = FindSlot(t, hash, key);
+    if (slot == nullptr) {
+      return false;
+    }
+    seq_.WriteBegin();
+    // Tombstone, not empty: emptying would cut probe chains that pass
+    // through this slot.
+    slot->state.store(SlotState::kTombstone, std::memory_order_release);
+    seq_.WriteEnd();
+    --size_;
+    ++tombstones_;
+    return true;
+  }
+
+  void Resize(std::size_t target_buckets) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    const std::size_t n = core::CeilPowerOfTwo(
+        std::max(target_buckets, (size_ * 4 + 2) / 3 + 1));
+    if (n != table_.load(std::memory_order_relaxed)->slots.size()) {
+      Rehash(n);
+    }
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    return size_;
+  }
+
+  [[nodiscard]] std::size_t BucketCount() const {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    return table_.load(std::memory_order_relaxed)->slots.size();
+  }
+
+  // Total reader retries observed (the seqlock's characteristic cost).
+  [[nodiscard]] std::uint64_t ReaderRetries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+  // Arrays retained because readers might still probe them (the
+  // type-stable-memory cost; freed only at destruction).
+  [[nodiscard]] std::size_t GraveyardTables() const {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    return graveyard_.size();
+  }
+
+ private:
+  enum class SlotState : std::uint8_t { kEmpty = 0, kFull, kTombstone };
+
+  struct Slot {
+    std::atomic<SlotState> state{SlotState::kEmpty};
+    std::size_t hash = 0;
+    Key key{};
+    T value{};
+  };
+
+  struct Table {
+    explicit Table(std::size_t n) : slots(n) {}
+    std::vector<Slot> slots;
+  };
+
+  static Table* NewTable(std::size_t n) {
+    assert(core::IsPowerOfTwo(n));
+    return new Table(n);
+  }
+
+  Slot* FindSlot(Table* t, std::size_t hash, const Key& key) {
+    const std::size_t mask = t->slots.size() - 1;
+    for (std::size_t i = 0; i <= mask; ++i) {
+      Slot& slot = t->slots[(hash + i) & mask];
+      const SlotState state = slot.state.load(std::memory_order_relaxed);
+      if (state == SlotState::kEmpty) {
+        return nullptr;
+      }
+      if (state == SlotState::kFull && slot.hash == hash &&
+          KeyEqual{}(slot.key, key)) {
+        return &slot;
+      }
+    }
+    return nullptr;
+  }
+
+  void InsertIntoTable(Table* t, std::size_t hash, const Key& key,
+                       const T& value) {
+    const std::size_t mask = t->slots.size() - 1;
+    for (std::size_t i = 0; i <= mask; ++i) {
+      Slot& slot = t->slots[(hash + i) & mask];
+      const SlotState state = slot.state.load(std::memory_order_relaxed);
+      if (state != SlotState::kFull) {
+        if (state == SlotState::kTombstone) {
+          --tombstones_;
+        }
+        slot.hash = hash;
+        slot.key = key;
+        slot.value = value;
+        slot.state.store(SlotState::kFull, std::memory_order_release);
+        return;
+      }
+    }
+    assert(false && "insert into full table (load factor bound violated)");
+  }
+
+  // Builds a rehashed copy and swaps it in under one write section. The old
+  // array joins the graveyard: with no grace periods there is no safe point
+  // to free it.
+  Table* Rehash(std::size_t n) {
+    Table* old_table = table_.load(std::memory_order_relaxed);
+    Table* new_table = NewTable(n);
+    for (const Slot& slot : old_table->slots) {
+      if (slot.state.load(std::memory_order_relaxed) == SlotState::kFull) {
+        InsertIntoTable(new_table, slot.hash, slot.key, slot.value);
+      }
+    }
+    tombstones_ = 0;
+    seq_.WriteBegin();
+    table_.store(new_table, std::memory_order_release);
+    seq_.WriteEnd();
+    graveyard_.push_back(old_table);
+    return new_table;
+  }
+
+  std::atomic<Table*> table_{nullptr};
+  sync::Seqlock seq_;
+  mutable std::mutex writer_mutex_;
+  std::size_t size_ = 0;        // writer-locked
+  std::size_t tombstones_ = 0;  // writer-locked
+  std::vector<Table*> graveyard_;
+  mutable std::atomic<std::uint64_t> retries_{0};
+};
+
+}  // namespace rp::baselines
+
+#endif  // RP_BASELINES_SEQLOCK_HASH_MAP_H_

@@ -1,0 +1,270 @@
+// Herbert-Xu-style resizable RCU hash table baseline.
+//
+// The paper cites Herbert Xu's resizable relativistic hash tables as prior
+// art whose cost is "extra linked-list pointers in every node: high memory
+// usage". The scheme keeps TWO complete sets of chain links in each node,
+// indexed by a global generation parity. A resize builds the entire new
+// linkage through the inactive link set (while readers traverse the active
+// one undisturbed), publishes the new bucket array together with the flipped
+// parity, then waits one grace period before the old link set may be reused.
+//
+// Compared to RpHashMap this trades 8 bytes per node (the second next
+// pointer) and one extra indirection on the read path (the table carries the
+// link-set index readers must use) for a simpler writer: any resize is one
+// rebuild + one publish + one grace period, with no unzip passes.
+//
+// Readers are still wait-free and never observe an incomplete bucket: they
+// snapshot the table pointer once, and the link set named by that table is
+// immutable until a grace period has elapsed after the table was replaced.
+#ifndef RP_BASELINES_XU_HASH_MAP_H_
+#define RP_BASELINES_XU_HASH_MAP_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/core/hash.h"
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+
+namespace rp::baselines {
+
+template <typename Key, typename T, typename HashFn = core::MixedHash<Key>,
+          typename KeyEqual = std::equal_to<Key>, typename Domain = rcu::Epoch>
+class XuHashMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  explicit XuHashMap(std::size_t initial_buckets = 16) {
+    table_.store(Table::Create(core::CeilPowerOfTwo(initial_buckets), 0),
+                 std::memory_order_release);
+  }
+
+  XuHashMap(const XuHashMap&) = delete;
+  XuHashMap& operator=(const XuHashMap&) = delete;
+
+  ~XuHashMap() {
+    Table* t = table_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < t->size; ++i) {
+      Node* node = t->bucket(i).load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next[t->link_set].load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+    Table::Destroy(t);
+  }
+
+  // -- Read side: wait-free; one extra load (link_set) vs RpHashMap. --------
+
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(key);
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+    return node->value;
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    return FindNode(key) != nullptr;
+  }
+
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(key);
+    if (node == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(node->value));
+    return true;
+  }
+
+  // -- Write side (serialized) ----------------------------------------------
+
+  bool Insert(const Key& key, T value) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (FindWriter(hash, key) != nullptr) {
+      return false;
+    }
+    auto* node = new Node(hash, key, std::move(value));
+    Table* t = table_.load(std::memory_order_relaxed);
+    std::atomic<Node*>& head = t->bucket(hash & t->mask);
+    node->next[t->link_set].store(head.load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+    rcu::RcuAssignPointer(head, node);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool Erase(const Key& key) {
+    const std::size_t hash = HashFn()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Table* t = table_.load(std::memory_order_relaxed);
+    const unsigned ls = t->link_set;
+    std::atomic<Node*>* slot = &t->bucket(hash & t->mask);
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+        slot->store(cur->next[ls].load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        Domain::Retire(cur);
+        return true;
+      }
+      slot = &cur->next[ls];
+      cur = slot->load(std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  // -- Resizing --------------------------------------------------------------
+  //
+  // Build the complete new linkage through the INACTIVE link set. Readers
+  // keep traversing the active set, which the rebuild never touches. Publish
+  // the new array (which names the other set), wait for readers of the old
+  // array/set, free the array. One grace period regardless of direction or
+  // size — the memory cost of the second pointer bought writer simplicity.
+  void Resize(std::size_t target_buckets) {
+    const std::size_t n = core::CeilPowerOfTwo(target_buckets);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Table* old_table = table_.load(std::memory_order_relaxed);
+    if (old_table->size == n) {
+      return;
+    }
+    const unsigned old_ls = old_table->link_set;
+    const unsigned new_ls = old_ls ^ 1u;
+    Table* new_table = Table::Create(n, new_ls);
+
+    // Relink every node through the inactive set. Iterating the old chains
+    // via the active set is safe: it is immutable during this walk.
+    for (std::size_t i = 0; i < old_table->size; ++i) {
+      for (Node* node = old_table->bucket(i).load(std::memory_order_relaxed);
+           node != nullptr;
+           node = node->next[old_ls].load(std::memory_order_relaxed)) {
+        std::atomic<Node*>& head = new_table->bucket(node->hash & new_table->mask);
+        // Private until publish: plain ordering suffices; the publish below
+        // releases the whole linkage.
+        node->next[new_ls].store(head.load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+        head.store(node, std::memory_order_relaxed);
+      }
+    }
+
+    rcu::RcuAssignPointer(table_, new_table);
+    Domain::Synchronize();  // old array + old link set now unobservable
+    Table::Destroy(old_table);
+    resizes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t BucketCount() const {
+    rcu::ReadGuard<Domain> guard;
+    return rcu::RcuDereference(table_)->size;
+  }
+
+  [[nodiscard]] std::uint64_t ResizeCount() const {
+    return resizes_.load(std::memory_order_relaxed);
+  }
+
+  // Bytes of per-node link overhead versus a single-chain node — the memory
+  // cost the paper holds against this design.
+  static constexpr std::size_t PerNodeLinkOverheadBytes() {
+    return sizeof(std::atomic<Node*>);
+  }
+
+ private:
+  struct Node {
+    Node(std::size_t h, const Key& k, T v)
+        : hash(h), key(k), value(std::move(v)) {}
+    // Two complete link sets; the table names which one readers follow.
+    std::atomic<Node*> next[2] = {nullptr, nullptr};
+    const std::size_t hash;
+    const Key key;
+    T value;
+  };
+
+  struct Table {
+    std::size_t size;
+    std::size_t mask;
+    unsigned link_set;  // which Node::next[] readers of this table follow
+
+    std::atomic<Node*>& bucket(std::size_t i) { return slots()[i]; }
+    const std::atomic<Node*>& bucket(std::size_t i) const { return slots()[i]; }
+
+    static Table* Create(std::size_t n, unsigned link_set) {
+      assert(core::IsPowerOfTwo(n));
+      void* mem = ::operator new(sizeof(Table) + n * sizeof(std::atomic<Node*>),
+                                 std::align_val_t{alignof(Table)});
+      auto* table = new (mem) Table();
+      table->size = n;
+      table->mask = n - 1;
+      table->link_set = link_set;
+      for (std::size_t i = 0; i < n; ++i) {
+        new (&table->slots()[i]) std::atomic<Node*>(nullptr);
+      }
+      return table;
+    }
+
+    static void Destroy(Table* table) {
+      table->~Table();
+      ::operator delete(table, std::align_val_t{alignof(Table)});
+    }
+
+   private:
+    std::atomic<Node*>* slots() {
+      return reinterpret_cast<std::atomic<Node*>*>(this + 1);
+    }
+    const std::atomic<Node*>* slots() const {
+      return reinterpret_cast<const std::atomic<Node*>*>(this + 1);
+    }
+  };
+
+  const Node* FindNode(const Key& key) const {
+    const std::size_t hash = HashFn()(key);
+    const Table* t = rcu::RcuDereference(table_);
+    const unsigned ls = t->link_set;
+    for (const Node* node = rcu::RcuDereference(t->bucket(hash & t->mask));
+         node != nullptr; node = rcu::RcuDereference(node->next[ls])) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  Node* FindWriter(std::size_t hash, const Key& key) {
+    Table* t = table_.load(std::memory_order_relaxed);
+    const unsigned ls = t->link_set;
+    for (Node* node = t->bucket(hash & t->mask).load(std::memory_order_relaxed);
+         node != nullptr; node = node->next[ls].load(std::memory_order_relaxed)) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  std::atomic<Table*> table_{nullptr};
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> resizes_{0};
+  mutable std::mutex writer_mutex_;
+};
+
+}  // namespace rp::baselines
+
+#endif  // RP_BASELINES_XU_HASH_MAP_H_

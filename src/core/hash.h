@@ -1,0 +1,49 @@
+// Hash mixing for bucket indexing.
+//
+// Bucket selection masks the low bits of the hash, and std::hash of an
+// integer is the identity on every mainstream standard library — masking it
+// directly would make "key % table_size" patterns catastrophically
+// unbalanced. All tables therefore run the raw hash through a strong
+// finalizer first.
+#ifndef RP_CORE_HASH_H_
+#define RP_CORE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace rp::core {
+
+// MurmurHash3 fmix64 finalizer: full avalanche, ~3 cycles.
+constexpr std::uint64_t Mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Hash functor adapter: applies the base hash, then the finalizer.
+template <typename Key, typename BaseHash = std::hash<Key>>
+struct MixedHash {
+  [[nodiscard]] std::size_t operator()(const Key& key) const {
+    return static_cast<std::size_t>(Mix64(static_cast<std::uint64_t>(BaseHash{}(key))));
+  }
+};
+
+// True if n is a power of two (and nonzero).
+constexpr bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Smallest power of two >= n (n must be <= 2^63).
+constexpr std::size_t CeilPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace rp::core
+
+#endif  // RP_CORE_HASH_H_

@@ -1,0 +1,24 @@
+// Instrumentation emitted by each resize operation.
+#ifndef RP_CORE_RESIZE_STATS_H_
+#define RP_CORE_RESIZE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rp::core {
+
+struct ResizeStats {
+  std::size_t from_buckets = 0;
+  std::size_t to_buckets = 0;
+  // Unzip passes performed (0 for shrinks and no-op resizes).
+  std::size_t unzip_passes = 0;
+  // Wait-for-readers operations this resize issued.
+  std::size_t grace_periods = 0;
+  // Pointer swings performed while unzipping.
+  std::size_t pointer_swings = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+}  // namespace rp::core
+
+#endif  // RP_CORE_RESIZE_STATS_H_

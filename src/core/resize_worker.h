@@ -1,0 +1,142 @@
+// Deferred resize worker, in the style of the Linux kernel's rhashtable.
+//
+// RpHashMap's auto-resize runs inline in whichever writer trips the load-
+// factor threshold, so that writer absorbs the whole resize (pointer swings
+// plus grace-period waits). Kernel practice is to defer the resize to a
+// worker so insert/erase latency stays flat and the resize cost lands on a
+// dedicated thread. ResizeWorker implements that policy on top of the map's
+// public API: construct the map with auto_resize = false and attach a
+// worker.
+//
+// The worker wakes on a writer hint (Nudge) or a periodic tick, compares
+// the observed load factor against the grow/shrink thresholds with
+// hysteresis, and calls Resize. Readers are oblivious throughout — that is
+// the point of the paper's algorithm — and writers only ever pay a relaxed
+// load + occasional notify.
+#ifndef RP_CORE_RESIZE_WORKER_H_
+#define RP_CORE_RESIZE_WORKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+namespace rp::core {
+
+struct ResizeWorkerOptions {
+  // Grow when size/buckets exceeds this.
+  double grow_at = 2.0;
+  // Shrink when size/buckets falls below this. Keep well under grow_at /2 so
+  // a workload hovering near one threshold cannot make the worker oscillate.
+  double shrink_at = 0.25;
+  // Never shrink below this many buckets.
+  std::size_t min_buckets = 16;
+  // Periodic re-check interval when no writer nudges arrive.
+  std::chrono::milliseconds poll_interval{50};
+};
+
+// Map must expose Size(), BucketCount() and Resize(std::size_t) — RpHashMap
+// and every resizable baseline in this repository qualify.
+template <typename Map>
+class ResizeWorker {
+ public:
+  explicit ResizeWorker(Map& map, ResizeWorkerOptions options = {})
+      : map_(map), options_(options), thread_([this] { Run(); }) {}
+
+  ResizeWorker(const ResizeWorker&) = delete;
+  ResizeWorker& operator=(const ResizeWorker&) = delete;
+
+  ~ResizeWorker() { Stop(); }
+
+  // Writer-side hint that the load factor may have moved; cheap enough to
+  // call on every insert/erase. Coalesces: a pending nudge absorbs later
+  // ones until the worker runs.
+  void Nudge() {
+    if (nudged_.exchange(true, std::memory_order_relaxed)) {
+      return;  // worker already has a wakeup pending
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_one();
+  }
+
+  // Stops the worker after finishing any in-flight resize. Idempotent.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) {
+        return;
+      }
+      stopped_ = true;
+      cv_.notify_one();
+    }
+    thread_.join();
+  }
+
+  [[nodiscard]] std::uint64_t ResizesPerformed() const {
+    return resizes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopped_) {
+      cv_.wait_for(lock, options_.poll_interval,
+                   [this] { return stopped_ || nudged_.load(std::memory_order_relaxed); });
+      if (stopped_) {
+        return;
+      }
+      nudged_.store(false, std::memory_order_relaxed);
+      // Resize outside the lock so Nudge/Stop never block behind a grace
+      // period; a nudge arriving mid-resize re-wakes us immediately.
+      lock.unlock();
+      MaybeResize();
+      lock.lock();
+    }
+  }
+
+  void MaybeResize() {
+    const std::size_t size = map_.Size();
+    const std::size_t buckets = map_.BucketCount();
+    const double load =
+        static_cast<double>(size) / static_cast<double>(buckets);
+    std::size_t target = buckets;
+    if (load > options_.grow_at) {
+      target = buckets * 2;
+      // Catch up in one resize if the map grew far past the threshold while
+      // we slept; Resize expands in doubling steps internally anyway.
+      while (static_cast<double>(size) / static_cast<double>(target) >
+             options_.grow_at) {
+        target *= 2;
+      }
+    } else if (load < options_.shrink_at && buckets > options_.min_buckets) {
+      target = buckets / 2;
+      while (target > options_.min_buckets &&
+             static_cast<double>(size) / static_cast<double>(target) <
+                 options_.shrink_at) {
+        target /= 2;
+      }
+      if (target < options_.min_buckets) {
+        target = options_.min_buckets;
+      }
+    }
+    if (target != buckets) {
+      map_.Resize(target);
+      resizes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  Map& map_;
+  const ResizeWorkerOptions options_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::atomic<bool> nudged_{false};
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> resizes_{0};
+  std::thread thread_;  // last member: starts after everything is ready
+};
+
+}  // namespace rp::core
+
+#endif  // RP_CORE_RESIZE_WORKER_H_

@@ -1,0 +1,600 @@
+// RpHashMap — the paper's primary contribution: a resizable, scalable,
+// concurrent hash table built on relativistic programming.
+//
+// Properties:
+//   * Lookups are wait-free: no locks, no retries, no writes to shared
+//     cache lines; they run concurrently with inserts, erases, moves and —
+//     crucially — with resizes.
+//   * The table stays *consistent* for readers at every instant, under the
+//     paper's definition: a reader traversing a bucket always observes every
+//     element that belongs to that bucket; it may transiently observe extra
+//     elements from a sibling bucket ("imprecise buckets"), which is
+//     harmless because lookups compare full keys.
+//   * Shrinking concatenates sibling chains and needs ONE wait-for-readers
+//     regardless of table size.
+//   * Expansion publishes "zipped" buckets immediately, then incrementally
+//     "unzips" them, one pointer swing per chain per pass, with one
+//     wait-for-readers between passes. All chains unzip in parallel, so the
+//     number of grace periods is the maximum number of key-runs in any
+//     chain, not the number of elements.
+//   * Updates (insert/erase/move/resize) serialize on an internal mutex:
+//     writers do all the waiting, readers none.
+//
+// Template parameters mirror std::unordered_map, plus the RCU Domain
+// (rcu::Epoch for general-purpose use, rcu::Qsbr for zero-cost readers in
+// cooperative threads).
+#ifndef RP_CORE_RP_HASH_MAP_H_
+#define RP_CORE_RP_HASH_MAP_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "src/core/hash.h"
+#include "src/core/resize_stats.h"
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+#include "src/util/stopwatch.h"
+
+namespace rp::core {
+
+struct RpHashMapOptions {
+  // Insert triggers an expansion when size/buckets exceeds this.
+  double max_load_factor = 2.0;
+  // Erase triggers a shrink when size/buckets drops below this.
+  double min_load_factor = 0.125;
+  // Resizes never shrink below this many buckets.
+  std::size_t min_buckets = 4;
+  // When false, the table only resizes on explicit Resize/Expand/Shrink.
+  bool auto_resize = true;
+};
+
+template <typename Key, typename T, typename HashFn = MixedHash<Key>,
+          typename KeyEqual = std::equal_to<Key>, typename Domain = rcu::Epoch>
+class RpHashMap {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  explicit RpHashMap(std::size_t initial_buckets = 16,
+                     RpHashMapOptions options = {})
+      : options_(options) {
+    const std::size_t n =
+        CeilPowerOfTwo(std::max(initial_buckets, options_.min_buckets));
+    table_.store(BucketArray::Create(n), std::memory_order_release);
+  }
+
+  RpHashMap(const RpHashMap&) = delete;
+  RpHashMap& operator=(const RpHashMap&) = delete;
+
+  // Destruction requires external quiescence (no concurrent readers or
+  // writers), like any container.
+  ~RpHashMap() {
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < t->size; ++i) {
+      Node* node = t->bucket(i).load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        delete node;
+        node = next;
+      }
+    }
+    BucketArray::Destroy(t);
+  }
+
+  // ---------------------------------------------------------------------
+  // Read side — wait-free, safe during any concurrent update or resize.
+  // ---------------------------------------------------------------------
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    return FindNode(key) != nullptr;
+  }
+
+  // Returns a copy of the mapped value.
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(key);
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+    return node->value;
+  }
+
+  // Invokes fn(const T&) on the mapped value inside the read-side critical
+  // section (no copy). Returns whether the key was found. `fn` must not
+  // block and must not retain references past its return.
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(key);
+    if (node == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(node->value));
+    return true;
+  }
+
+  // Visits every element under one read-side critical section:
+  // fn(const Key&, const T&). Elements inserted/erased concurrently may or
+  // may not be visited; during a concurrent resize an element may be
+  // visited more than once (imprecise buckets) but never missed.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const BucketArray* t = rcu::RcuDereference(table_);
+    for (std::size_t i = 0; i < t->size; ++i) {
+      for (const Node* node = rcu::RcuDereference(t->bucket(i));
+           node != nullptr; node = rcu::RcuDereference(node->next)) {
+        fn(static_cast<const Key&>(node->key), static_cast<const T&>(node->value));
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool Empty() const { return Size() == 0; }
+
+  [[nodiscard]] std::size_t BucketCount() const {
+    rcu::ReadGuard<Domain> guard;
+    return rcu::RcuDereference(table_)->size;
+  }
+
+  [[nodiscard]] double LoadFactor() const {
+    rcu::ReadGuard<Domain> guard;
+    return static_cast<double>(Size()) /
+           static_cast<double>(rcu::RcuDereference(table_)->size);
+  }
+
+  // ---------------------------------------------------------------------
+  // Write side — serialized on an internal mutex.
+  // ---------------------------------------------------------------------
+
+  // Inserts; returns false (leaving the map unchanged) if the key exists.
+  bool Insert(const Key& key, T value) {
+    auto* node = new Node(Hash()(key), key, std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (FindNodeWriter(node->hash, key) != nullptr) {
+      delete node;
+      return false;
+    }
+    InsertNode(node);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    MaybeAutoResizeLocked();
+    return true;
+  }
+
+  // Inserts or replaces. Returns true if a new key was inserted. A replace
+  // swaps in a fresh node with one pointer swing, so readers atomically see
+  // either the old or the new value, never a torn one.
+  bool InsertOrAssign(const Key& key, T value) {
+    auto* node = new Node(Hash()(key), key, std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Node* existing = FindNodeWriter(node->hash, key);
+    if (existing != nullptr) {
+      ReplaceNode(existing, node);
+      return false;
+    }
+    InsertNode(node);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    MaybeAutoResizeLocked();
+    return true;
+  }
+
+  // Copy-updates the value for `key`: clones the node, applies fn(T&) to
+  // the clone, and publishes it with one pointer swing. Returns false if
+  // the key is absent.
+  template <typename Fn>
+  bool Update(const Key& key, Fn&& fn) {
+    const std::size_t hash = Hash()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Node* existing = FindNodeWriter(hash, key);
+    if (existing == nullptr) {
+      return false;
+    }
+    auto* replacement = new Node(hash, existing->key, existing->value);
+    std::forward<Fn>(fn)(replacement->value);
+    ReplaceNode(existing, replacement);
+    return true;
+  }
+
+  // Erases; the node is reclaimed after a grace period. Returns whether the
+  // key was present.
+  bool Erase(const Key& key) {
+    const std::size_t hash = Hash()(key);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    std::atomic<Node*>* slot = &t->bucket(hash & t->mask);
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+        slot->store(cur->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        Domain::Retire(cur);
+        MaybeAutoResizeLocked();
+        return true;
+      }
+      slot = &cur->next;
+      cur = slot->load(std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  // Atomic rename (the paper's "atomic move operation"): re-keys the entry
+  // so that no concurrent reader ever observes the value as absent — the
+  // new entry is published before the old one is unlinked; a reader may
+  // transiently see both, which is harmless, but never neither.
+  // Fails (returns false) if `from` is absent or `to` already exists.
+  bool Move(const Key& from, const Key& to) {
+    const std::size_t from_hash = Hash()(from);
+    const std::size_t to_hash = Hash()(to);
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Node* source = FindNodeWriter(from_hash, from);
+    if (source == nullptr || FindNodeWriter(to_hash, to) != nullptr) {
+      return false;
+    }
+    auto* dest = new Node(to_hash, to, source->value);
+    InsertNode(dest);  // publish at destination first
+    UnlinkNode(source);
+    Domain::Retire(source);
+    return true;
+  }
+
+  // Removes every element. One unlink per bucket; reclamation deferred.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    std::size_t removed = 0;
+    for (std::size_t i = 0; i < t->size; ++i) {
+      Node* node = t->bucket(i).exchange(nullptr, std::memory_order_release);
+      while (node != nullptr) {
+        Node* next = node->next.load(std::memory_order_relaxed);
+        Domain::Retire(node);
+        node = next;
+        ++removed;
+      }
+    }
+    count_.fetch_sub(removed, std::memory_order_relaxed);
+  }
+
+  // ---------------------------------------------------------------------
+  // Resizing.
+  // ---------------------------------------------------------------------
+
+  // Resizes to CeilPowerOfTwo(target) buckets, expanding/shrinking by
+  // factors of two. Readers continue throughout.
+  void Resize(std::size_t target_buckets) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    ResizeLocked(CeilPowerOfTwo(std::max(target_buckets, options_.min_buckets)));
+  }
+
+  // Doubles the bucket count.
+  void Expand() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    ResizeLocked(table_.load(std::memory_order_relaxed)->size * 2);
+  }
+
+  // Halves the bucket count (bounded by min_buckets).
+  void Shrink() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    const std::size_t n = table_.load(std::memory_order_relaxed)->size / 2;
+    ResizeLocked(std::max(n, options_.min_buckets));
+  }
+
+  [[nodiscard]] ResizeStats LastResizeStats() const {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    return last_resize_;
+  }
+
+  [[nodiscard]] std::uint64_t ResizeCount() const {
+    return resize_count_.load(std::memory_order_relaxed);
+  }
+
+  // Test/diagnostic hook: true when every chain of the current table
+  // contains only keys that hash to that bucket (i.e., no resize is mid
+  // flight and the last unzip completed). Requires external quiescence.
+  [[nodiscard]] bool BucketsArePrecise() const {
+    rcu::ReadGuard<Domain> guard;
+    const BucketArray* t = rcu::RcuDereference(table_);
+    for (std::size_t i = 0; i < t->size; ++i) {
+      for (const Node* node = rcu::RcuDereference(t->bucket(i));
+           node != nullptr; node = rcu::RcuDereference(node->next)) {
+        if ((node->hash & t->mask) != i) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  using Hash = HashFn;
+
+  struct Node {
+    Node(std::size_t h, const Key& k, T v)
+        : hash(h), key(k), value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    const std::size_t hash;
+    const Key key;
+    T value;
+  };
+
+  // Bucket array with inline storage: exactly two dependent loads on the
+  // lookup path (array pointer, bucket head).
+  struct BucketArray {
+    std::size_t size;
+    std::size_t mask;
+
+    std::atomic<Node*>& bucket(std::size_t i) { return slots()[i]; }
+    const std::atomic<Node*>& bucket(std::size_t i) const { return slots()[i]; }
+
+    static BucketArray* Create(std::size_t n) {
+      assert(IsPowerOfTwo(n));
+      void* mem = ::operator new(sizeof(BucketArray) + n * sizeof(std::atomic<Node*>),
+                                 std::align_val_t{alignof(BucketArray)});
+      auto* array = new (mem) BucketArray();
+      array->size = n;
+      array->mask = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        new (&array->slots()[i]) std::atomic<Node*>(nullptr);
+      }
+      return array;
+    }
+
+    static void Destroy(BucketArray* array) {
+      array->~BucketArray();
+      ::operator delete(array, std::align_val_t{alignof(BucketArray)});
+    }
+
+   private:
+    std::atomic<Node*>* slots() {
+      return reinterpret_cast<std::atomic<Node*>*>(this + 1);
+    }
+    const std::atomic<Node*>* slots() const {
+      return reinterpret_cast<const std::atomic<Node*>*>(this + 1);
+    }
+  };
+
+  // -- Read-path helper. Caller must hold a read-side critical section. ---
+  const Node* FindNode(const Key& key) const {
+    const std::size_t hash = Hash()(key);
+    const BucketArray* t = rcu::RcuDereference(table_);
+    for (const Node* node = rcu::RcuDereference(t->bucket(hash & t->mask));
+         node != nullptr; node = rcu::RcuDereference(node->next)) {
+      // Full key comparison: buckets may be imprecise during a resize.
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  // -- Writer-path helpers. Caller must hold writer_mutex_. ----------------
+
+  Node* FindNodeWriter(std::size_t hash, const Key& key) {
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    for (Node* node = t->bucket(hash & t->mask).load(std::memory_order_relaxed);
+         node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  void InsertNode(Node* node) {
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    std::atomic<Node*>& head = t->bucket(node->hash & t->mask);
+    node->next.store(head.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    rcu::RcuAssignPointer(head, node);
+  }
+
+  // Finds the slot (bucket head or predecessor's next) pointing at `node`.
+  std::atomic<Node*>* SlotOf(Node* node) {
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    std::atomic<Node*>* slot = &t->bucket(node->hash & t->mask);
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != node) {
+      assert(cur != nullptr && "node not reachable from its bucket");
+      slot = &cur->next;
+      cur = slot->load(std::memory_order_relaxed);
+    }
+    return slot;
+  }
+
+  void UnlinkNode(Node* node) {
+    SlotOf(node)->store(node->next.load(std::memory_order_relaxed),
+                        std::memory_order_release);
+  }
+
+  // Replaces `victim` with `replacement` (same key) by one pointer swing.
+  void ReplaceNode(Node* victim, Node* replacement) {
+    replacement->next.store(victim->next.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    SlotOf(victim)->store(replacement, std::memory_order_release);
+    Domain::Retire(victim);
+  }
+
+  void MaybeAutoResizeLocked() {
+    if (!options_.auto_resize) {
+      return;
+    }
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    const auto size = static_cast<double>(count_.load(std::memory_order_relaxed));
+    const auto buckets = static_cast<double>(t->size);
+    if (size > options_.max_load_factor * buckets) {
+      ResizeLocked(t->size * 2);
+    } else if (t->size > options_.min_buckets &&
+               size < options_.min_load_factor * buckets) {
+      ResizeLocked(std::max(t->size / 2, options_.min_buckets));
+    }
+  }
+
+  void ResizeLocked(std::size_t target) {
+    assert(IsPowerOfTwo(target));
+    Stopwatch watch;
+    ResizeStats stats;
+    stats.from_buckets = table_.load(std::memory_order_relaxed)->size;
+    stats.to_buckets = target;
+    while (table_.load(std::memory_order_relaxed)->size < target) {
+      ExpandStep(stats);
+    }
+    while (table_.load(std::memory_order_relaxed)->size > target) {
+      ShrinkStep(stats);
+    }
+    stats.duration_ns = watch.ElapsedNanos();
+    last_resize_ = stats;
+    resize_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // One doubling, by chain unzipping (paper section "Expanding").
+  void ExpandStep(ResizeStats& stats) {
+    BucketArray* old_table = table_.load(std::memory_order_relaxed);
+    const std::size_t old_size = old_table->size;
+    BucketArray* new_table = BucketArray::Create(old_size * 2);
+
+    // Step 1: point every new bucket at the first entry of the matching old
+    // chain that belongs to it. Chains start "zipped": complete but
+    // imprecise, which readers tolerate by key comparison.
+    for (std::size_t b = 0; b < new_table->size; ++b) {
+      Node* node = old_table->bucket(b & old_table->mask).load(std::memory_order_relaxed);
+      while (node != nullptr && (node->hash & new_table->mask) != b) {
+        node = node->next.load(std::memory_order_relaxed);
+      }
+      // The new table is private until published: plain stores suffice.
+      new_table->bucket(b).store(node, std::memory_order_relaxed);
+    }
+
+    // Step 2: publish. From here on, new readers use the new buckets.
+    rcu::RcuAssignPointer(table_, new_table);
+
+    // Step 3: wait for readers still traversing via the old bucket array.
+    Domain::Synchronize();
+    ++stats.grace_periods;
+
+    // Step 4: unzip. cursor[i] tracks the first node of the next still-
+    // zipped run in old chain i; one pointer swing per chain per pass, one
+    // wait-for-readers per pass. The grace period guarantees that readers
+    // present during pass k+1 entered after pass k's swings, so no reader
+    // can be parked on a link a swing is about to retarget away from its
+    // remaining nodes.
+    std::vector<Node*> cursor(old_size);
+    for (std::size_t i = 0; i < old_size; ++i) {
+      cursor[i] = old_table->bucket(i).load(std::memory_order_relaxed);
+    }
+
+    const std::size_t new_mask = new_table->mask;
+    for (;;) {
+      bool advanced = false;
+      for (std::size_t i = 0; i < old_size; ++i) {
+        Node* p = cursor[i];
+        if (p == nullptr) {
+          continue;  // chain fully unzipped
+        }
+        // Walk to the end of p's run (consecutive nodes of one new bucket).
+        const std::size_t run_bucket = p->hash & new_mask;
+        Node* next = p->next.load(std::memory_order_relaxed);
+        while (next != nullptr && (next->hash & new_mask) == run_bucket) {
+          p = next;
+          next = p->next.load(std::memory_order_relaxed);
+        }
+        if (next == nullptr) {
+          cursor[i] = nullptr;  // suffix is pure: chain done
+          continue;
+        }
+        // `next` starts the sibling's run; find the first node after it
+        // that returns to p's bucket.
+        Node* skip_to = next->next.load(std::memory_order_relaxed);
+        while (skip_to != nullptr && (skip_to->hash & new_mask) != run_bucket) {
+          skip_to = skip_to->next.load(std::memory_order_relaxed);
+        }
+        // Swing p past the sibling run. Readers of p's bucket keep every
+        // node they need (their remainder starts at skip_to); readers of
+        // the sibling bucket entered at or after `next` and are unaffected.
+        p->next.store(skip_to, std::memory_order_release);
+        ++stats.pointer_swings;
+        if (skip_to == nullptr) {
+          // Nothing of p's bucket remains beyond the sibling run, so the
+          // suffix from `next` on is pure sibling: chain fully unzipped.
+          cursor[i] = nullptr;
+        } else {
+          cursor[i] = next;  // unzip the sibling run next pass
+          advanced = true;
+        }
+      }
+      if (!advanced) {
+        break;
+      }
+      ++stats.unzip_passes;
+      Domain::Synchronize();
+      ++stats.grace_periods;
+    }
+
+    // Step 5: the old bucket array is unreachable since the first grace
+    // period; free it directly.
+    BucketArray::Destroy(old_table);
+  }
+
+  // One halving, by chain concatenation (paper section "Shrinking").
+  void ShrinkStep(ResizeStats& stats) {
+    BucketArray* old_table = table_.load(std::memory_order_relaxed);
+    const std::size_t new_size = old_table->size / 2;
+    assert(new_size >= 1);
+    BucketArray* new_table = BucketArray::Create(new_size);
+
+    // Step 1+2: each new bucket covers old buckets j and j+new_size. Link
+    // the tail of chain j to the head of chain j+new_size — readers of old
+    // bucket j transiently see appended foreign keys (imprecise, harmless);
+    // readers of j+new_size are untouched. Then aim the new bucket at the
+    // combined chain.
+    for (std::size_t j = 0; j < new_size; ++j) {
+      Node* lo_head = old_table->bucket(j).load(std::memory_order_relaxed);
+      Node* hi_head =
+          old_table->bucket(j + new_size).load(std::memory_order_relaxed);
+      if (lo_head == nullptr) {
+        new_table->bucket(j).store(hi_head, std::memory_order_relaxed);
+        continue;
+      }
+      Node* tail = lo_head;
+      for (Node* n = tail->next.load(std::memory_order_relaxed); n != nullptr;
+           n = n->next.load(std::memory_order_relaxed)) {
+        tail = n;
+      }
+      tail->next.store(hi_head, std::memory_order_release);
+      new_table->bucket(j).store(lo_head, std::memory_order_relaxed);
+    }
+
+    // Step 3: publish the small table.
+    rcu::RcuAssignPointer(table_, new_table);
+
+    // Step 4: wait for readers that may still use the old bucket array.
+    Domain::Synchronize();
+    ++stats.grace_periods;
+
+    // Step 5: reclaim it.
+    BucketArray::Destroy(old_table);
+  }
+
+  std::atomic<BucketArray*> table_{nullptr};
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> resize_count_{0};
+  mutable std::mutex writer_mutex_;
+  RpHashMapOptions options_;
+  ResizeStats last_resize_;
+};
+
+}  // namespace rp::core
+
+#endif  // RP_CORE_RP_HASH_MAP_H_

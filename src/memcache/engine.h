@@ -1,0 +1,77 @@
+// Cache-engine interface shared by the locked (default-memcached-like) and
+// relativistic engines. The protocol server and the workload driver program
+// against this interface, so the F5 reproduction swaps engines and nothing
+// else.
+#ifndef RP_MEMCACHE_ENGINE_H_
+#define RP_MEMCACHE_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/memcache/item.h"
+
+namespace rp::memcache {
+
+enum class StoreResult {
+  kStored,
+  kNotStored,  // add on existing / replace on missing
+  kExists,     // cas mismatch
+  kNotFound,   // cas on missing key
+};
+
+struct EngineConfig {
+  std::size_t initial_buckets = 1024;
+  // Item cap; inserting beyond it evicts (approximately) least-recently
+  // used items. 0 = unlimited.
+  std::size_t max_items = 0;
+};
+
+struct EngineStats {
+  std::uint64_t get_hits = 0;
+  std::uint64_t get_misses = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t expired_reclaims = 0;
+  std::uint64_t items = 0;
+};
+
+class CacheEngine {
+ public:
+  virtual ~CacheEngine() = default;
+
+  // Copies the live value for `key` into *out. Expired items count as
+  // misses (and are lazily reclaimed).
+  virtual bool Get(const std::string& key, StoredValue* out) = 0;
+
+  virtual StoreResult Set(const std::string& key, std::string data,
+                          std::uint32_t flags, std::int64_t exptime) = 0;
+  virtual StoreResult Add(const std::string& key, std::string data,
+                          std::uint32_t flags, std::int64_t exptime) = 0;
+  virtual StoreResult Replace(const std::string& key, std::string data,
+                              std::uint32_t flags, std::int64_t exptime) = 0;
+  virtual StoreResult Append(const std::string& key, const std::string& data) = 0;
+  virtual StoreResult Prepend(const std::string& key, const std::string& data) = 0;
+  virtual StoreResult CheckAndSet(const std::string& key, std::string data,
+                                  std::uint32_t flags, std::int64_t exptime,
+                                  std::uint64_t expected_cas) = 0;
+  virtual bool Delete(const std::string& key) = 0;
+
+  // Returns the post-op value, or nullopt if missing/non-numeric. Decr
+  // clamps at zero (protocol rule).
+  virtual std::optional<std::uint64_t> Incr(const std::string& key,
+                                            std::uint64_t delta) = 0;
+  virtual std::optional<std::uint64_t> Decr(const std::string& key,
+                                            std::uint64_t delta) = 0;
+
+  virtual bool Touch(const std::string& key, std::int64_t exptime) = 0;
+  virtual void FlushAll() = 0;
+
+  virtual std::size_t ItemCount() const = 0;
+  virtual EngineStats Stats() const = 0;
+  virtual const char* Name() const = 0;
+};
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_ENGINE_H_

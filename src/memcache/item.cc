@@ -1,0 +1,31 @@
+#include "src/memcache/item.h"
+
+#include <chrono>
+
+namespace rp::memcache {
+
+namespace {
+// 30 days, the protocol's relative/absolute expiry threshold.
+constexpr std::int64_t kRelativeLimit = 60 * 60 * 24 * 30;
+}  // namespace
+
+std::int64_t NowSeconds() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t ResolveExptime(std::int64_t exptime, std::int64_t now) {
+  if (exptime == 0) {
+    return kNeverExpires;
+  }
+  if (exptime < 0) {
+    return now - 1;  // already expired
+  }
+  if (exptime <= kRelativeLimit) {
+    return now + exptime;
+  }
+  return exptime;
+}
+
+}  // namespace rp::memcache

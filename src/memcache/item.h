@@ -1,0 +1,86 @@
+// Cache item model and expiry-time semantics for the mini-memcached.
+#ifndef RP_MEMCACHE_ITEM_H_
+#define RP_MEMCACHE_ITEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rp::memcache {
+
+// Seconds since the unix epoch, as memcached reckons time.
+std::int64_t NowSeconds();
+
+// memcached expiry convention: 0 = never; values up to 30 days are relative
+// to now; larger values are absolute epoch seconds; negative = already
+// expired.
+std::int64_t ResolveExptime(std::int64_t exptime, std::int64_t now);
+
+constexpr std::int64_t kNeverExpires = 0;
+
+// Whether an item with the given resolved deadline is expired at `now`.
+constexpr bool IsExpired(std::int64_t expire_at, std::int64_t now) {
+  return expire_at != kNeverExpires && expire_at <= now;
+}
+
+// The value record stored in the hash tables. Copyable (the relativistic
+// engine's updates are copy-on-write); `last_used` is mutable+atomic so the
+// lock-free GET fast path can stamp recency without a writer lock.
+struct CacheValue {
+  std::string data;
+  std::uint32_t flags = 0;
+  std::int64_t expire_at = kNeverExpires;
+  std::uint64_t cas = 0;
+  mutable std::atomic<std::int64_t> last_used{0};
+
+  CacheValue() = default;
+  CacheValue(std::string d, std::uint32_t f, std::int64_t e, std::uint64_t c)
+      : data(std::move(d)), flags(f), expire_at(e), cas(c) {}
+
+  CacheValue(const CacheValue& other)
+      : data(other.data),
+        flags(other.flags),
+        expire_at(other.expire_at),
+        cas(other.cas),
+        last_used(other.last_used.load(std::memory_order_relaxed)) {}
+
+  CacheValue& operator=(const CacheValue& other) {
+    if (this != &other) {
+      data = other.data;
+      flags = other.flags;
+      expire_at = other.expire_at;
+      cas = other.cas;
+      last_used.store(other.last_used.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
+  CacheValue(CacheValue&& other) noexcept
+      : data(std::move(other.data)),
+        flags(other.flags),
+        expire_at(other.expire_at),
+        cas(other.cas),
+        last_used(other.last_used.load(std::memory_order_relaxed)) {}
+
+  CacheValue& operator=(CacheValue&& other) noexcept {
+    data = std::move(other.data);
+    flags = other.flags;
+    expire_at = other.expire_at;
+    cas = other.cas;
+    last_used.store(other.last_used.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+// What a GET hands back to the protocol layer (copied out of the engine).
+struct StoredValue {
+  std::string data;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+};
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_ITEM_H_

@@ -1,0 +1,246 @@
+#include "src/memcache/locked_engine.h"
+
+#include <charconv>
+
+namespace rp::memcache {
+
+namespace {
+
+bool ParseUint64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+LockedEngine::LockedEngine(EngineConfig config) : config_(config) {
+  map_.reserve(config_.initial_buckets);
+}
+
+LockedEngine::Map::iterator LockedEngine::FindLiveLocked(const std::string& key,
+                                                         std::int64_t now) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    return map_.end();
+  }
+  if (IsExpired(it->second.value.expire_at, now)) {
+    ++stats_.expired_reclaims;
+    EraseLocked(it);
+    return map_.end();
+  }
+  return it;
+}
+
+void LockedEngine::TouchLruLocked(Map::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+void LockedEngine::EraseLocked(Map::iterator it) {
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void LockedEngine::StoreLocked(const std::string& key, std::string data,
+                               std::uint32_t flags, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+                   next_cas_++);
+  value.last_used.store(now, std::memory_order_relaxed);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.value = std::move(value);
+    TouchLruLocked(it);
+  } else {
+    lru_.push_front(key);
+    map_.emplace(key, Entry{std::move(value), lru_.begin()});
+    EvictIfNeededLocked();
+  }
+  ++stats_.sets;
+}
+
+void LockedEngine::EvictIfNeededLocked() {
+  if (config_.max_items == 0) {
+    return;
+  }
+  while (map_.size() > config_.max_items && !lru_.empty()) {
+    auto victim = map_.find(lru_.back());
+    if (victim != map_.end()) {
+      EraseLocked(victim);
+      ++stats_.evictions;
+    } else {
+      lru_.pop_back();
+    }
+  }
+}
+
+bool LockedEngine::Get(const std::string& key, StoredValue* out) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
+    ++stats_.get_misses;
+    return false;
+  }
+  // Exact LRU: the GET path mutates shared state, which is why default
+  // memcached cannot drop the lock here.
+  TouchLruLocked(it);
+  it->second.value.last_used.store(now, std::memory_order_relaxed);
+  out->data = it->second.value.data;
+  out->flags = it->second.value.flags;
+  out->cas = it->second.value.cas;
+  ++stats_.get_hits;
+  return true;
+}
+
+StoreResult LockedEngine::Set(const std::string& key, std::string data,
+                              std::uint32_t flags, std::int64_t exptime) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  StoreLocked(key, std::move(data), flags, exptime);
+  return StoreResult::kStored;
+}
+
+StoreResult LockedEngine::Add(const std::string& key, std::string data,
+                              std::uint32_t flags, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (FindLiveLocked(key, now) != map_.end()) {
+    return StoreResult::kNotStored;
+  }
+  StoreLocked(key, std::move(data), flags, exptime);
+  return StoreResult::kStored;
+}
+
+StoreResult LockedEngine::Replace(const std::string& key, std::string data,
+                                  std::uint32_t flags, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (FindLiveLocked(key, now) == map_.end()) {
+    return StoreResult::kNotStored;
+  }
+  StoreLocked(key, std::move(data), flags, exptime);
+  return StoreResult::kStored;
+}
+
+StoreResult LockedEngine::Append(const std::string& key, const std::string& data) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
+    return StoreResult::kNotStored;
+  }
+  it->second.value.data.append(data);
+  it->second.value.cas = next_cas_++;
+  TouchLruLocked(it);
+  ++stats_.sets;
+  return StoreResult::kStored;
+}
+
+StoreResult LockedEngine::Prepend(const std::string& key, const std::string& data) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
+    return StoreResult::kNotStored;
+  }
+  it->second.value.data.insert(0, data);
+  it->second.value.cas = next_cas_++;
+  TouchLruLocked(it);
+  ++stats_.sets;
+  return StoreResult::kStored;
+}
+
+StoreResult LockedEngine::CheckAndSet(const std::string& key, std::string data,
+                                      std::uint32_t flags, std::int64_t exptime,
+                                      std::uint64_t expected_cas) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
+    return StoreResult::kNotFound;
+  }
+  if (it->second.value.cas != expected_cas) {
+    return StoreResult::kExists;
+  }
+  StoreLocked(key, std::move(data), flags, exptime);
+  return StoreResult::kStored;
+}
+
+bool LockedEngine::Delete(const std::string& key) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
+    return false;
+  }
+  EraseLocked(it);
+  return true;
+}
+
+std::optional<std::uint64_t> LockedEngine::ArithLocked(const std::string& key,
+                                                       std::uint64_t delta,
+                                                       bool increment) {
+  const std::int64_t now = NowSeconds();
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
+    return std::nullopt;
+  }
+  std::uint64_t current = 0;
+  if (!ParseUint64(it->second.value.data, &current)) {
+    return std::nullopt;
+  }
+  const std::uint64_t next =
+      increment ? current + delta : (current >= delta ? current - delta : 0);
+  it->second.value.data = std::to_string(next);
+  it->second.value.cas = next_cas_++;
+  TouchLruLocked(it);
+  return next;
+}
+
+std::optional<std::uint64_t> LockedEngine::Incr(const std::string& key,
+                                                std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ArithLocked(key, delta, /*increment=*/true);
+}
+
+std::optional<std::uint64_t> LockedEngine::Decr(const std::string& key,
+                                                std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ArithLocked(key, delta, /*increment=*/false);
+}
+
+bool LockedEngine::Touch(const std::string& key, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
+    return false;
+  }
+  it->second.value.expire_at = ResolveExptime(exptime, now);
+  TouchLruLocked(it);
+  return true;
+}
+
+void LockedEngine::FlushAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+}
+
+std::size_t LockedEngine::ItemCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+EngineStats LockedEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats stats = stats_;
+  stats.items = map_.size();
+  return stats;
+}
+
+}  // namespace rp::memcache

@@ -1,0 +1,78 @@
+// LockedEngine: models default memcached's global cache lock.
+//
+// Every operation — including GET — acquires one process-wide mutex, mirrors
+// memcached 1.4's cache_lock around assoc/LRU state. This is the "default"
+// series in the F5 figure: GET throughput saturates as soon as the lock does.
+// Exact LRU is maintained (GET moves the item to MRU), which is precisely
+// the shared-state write that forces the global lock in real memcached.
+#ifndef RP_MEMCACHE_LOCKED_ENGINE_H_
+#define RP_MEMCACHE_LOCKED_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/memcache/engine.h"
+
+namespace rp::memcache {
+
+class LockedEngine final : public CacheEngine {
+ public:
+  explicit LockedEngine(EngineConfig config = {});
+  ~LockedEngine() override = default;
+
+  bool Get(const std::string& key, StoredValue* out) override;
+  StoreResult Set(const std::string& key, std::string data, std::uint32_t flags,
+                  std::int64_t exptime) override;
+  StoreResult Add(const std::string& key, std::string data, std::uint32_t flags,
+                  std::int64_t exptime) override;
+  StoreResult Replace(const std::string& key, std::string data,
+                      std::uint32_t flags, std::int64_t exptime) override;
+  StoreResult Append(const std::string& key, const std::string& data) override;
+  StoreResult Prepend(const std::string& key, const std::string& data) override;
+  StoreResult CheckAndSet(const std::string& key, std::string data,
+                          std::uint32_t flags, std::int64_t exptime,
+                          std::uint64_t expected_cas) override;
+  bool Delete(const std::string& key) override;
+  std::optional<std::uint64_t> Incr(const std::string& key,
+                                    std::uint64_t delta) override;
+  std::optional<std::uint64_t> Decr(const std::string& key,
+                                    std::uint64_t delta) override;
+  bool Touch(const std::string& key, std::int64_t exptime) override;
+  void FlushAll() override;
+
+  std::size_t ItemCount() const override;
+  EngineStats Stats() const override;
+  const char* Name() const override { return "locked"; }
+
+ private:
+  struct Entry {
+    CacheValue value;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  using Map = std::unordered_map<std::string, Entry>;
+
+  // All helpers require mutex_ held.
+  Map::iterator FindLiveLocked(const std::string& key, std::int64_t now);
+  void TouchLruLocked(Map::iterator it);
+  void EraseLocked(Map::iterator it);
+  void StoreLocked(const std::string& key, std::string data,
+                   std::uint32_t flags, std::int64_t exptime);
+  void EvictIfNeededLocked();
+  std::optional<std::uint64_t> ArithLocked(const std::string& key,
+                                           std::uint64_t delta, bool increment);
+
+  const EngineConfig config_;
+  mutable std::mutex mutex_;
+  Map map_;
+  std::list<std::string> lru_;  // front = MRU, back = LRU victim
+  std::uint64_t next_cas_ = 1;
+  EngineStats stats_;
+};
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_LOCKED_ENGINE_H_

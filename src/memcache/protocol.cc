@@ -1,0 +1,324 @@
+#include "src/memcache/protocol.h"
+
+#include <charconv>
+#include <cstring>
+
+namespace rp::memcache {
+
+namespace {
+
+// Splits a command line into whitespace-separated tokens.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') {
+      ++pos;
+    }
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') {
+      ++pos;
+    }
+    if (pos > start) {
+      tokens.push_back(line.substr(start, pos - start));
+    }
+  }
+  return tokens;
+}
+
+template <typename Int>
+bool ParseInt(std::string_view token, Int* out) {
+  const char* first = token.data();
+  const char* last = token.data() + token.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ValidKey(std::string_view key) {
+  if (key.empty() || key.size() > RequestParser::kMaxKeyLength) {
+    return false;
+  }
+  for (char c : key) {
+    if (c <= 0x20 || c == 0x7F) {  // no whitespace or control chars
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void RequestParser::Feed(std::string_view bytes) {
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+void RequestParser::Compact() {
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+ParseStatus RequestParser::Fail(std::string message, bool resync) {
+  error_ = std::move(message);
+  state_ = State::kCommandLine;
+  if (resync) {
+    // Skip to the next line so a malformed stream doesn't wedge the parser.
+    const std::size_t eol = buffer_.find("\r\n", consumed_);
+    consumed_ = eol == std::string::npos ? buffer_.size() : eol + 2;
+  }
+  Compact();
+  return ParseStatus::kError;
+}
+
+ParseStatus RequestParser::Next(Request* out) {
+  if (state_ == State::kDataBlock) {
+    // Need data_needed_ bytes plus the trailing \r\n.
+    if (buffer_.size() - consumed_ < data_needed_ + 2) {
+      return ParseStatus::kNeedMore;
+    }
+    pending_.data.assign(buffer_, consumed_, data_needed_);
+    if (buffer_[consumed_ + data_needed_] != '\r' ||
+        buffer_[consumed_ + data_needed_ + 1] != '\n') {
+      consumed_ += data_needed_;
+      return Fail("bad data chunk", /*resync=*/true);
+    }
+    consumed_ += data_needed_ + 2;
+    state_ = State::kCommandLine;
+    *out = std::move(pending_);
+    pending_ = Request{};
+    Compact();
+    return ParseStatus::kOk;
+  }
+
+  const std::size_t eol = buffer_.find("\r\n", consumed_);
+  if (eol == std::string::npos) {
+    if (buffer_.size() - consumed_ > kMaxKeyLength + 64) {
+      return Fail("command line too long", /*resync=*/true);
+    }
+    return ParseStatus::kNeedMore;
+  }
+  const std::string_view line(buffer_.data() + consumed_, eol - consumed_);
+  consumed_ = eol + 2;
+  const ParseStatus status = ParseCommandLine(line, out);
+  if (status != ParseStatus::kError) {
+    Compact();
+  }
+  return status;
+}
+
+ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out) {
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Fail("empty command", /*resync=*/false);
+  }
+  const std::string_view cmd = tokens[0];
+  Request req;
+
+  auto parse_storage = [&](Op op, bool with_cas) -> ParseStatus {
+    // <cmd> <key> <flags> <exptime> <bytes> [<cas>] [noreply]
+    const std::size_t expected = with_cas ? 6u : 5u;
+    if (tokens.size() < expected || tokens.size() > expected + 1) {
+      return Fail("bad storage command", /*resync=*/false);
+    }
+    if (!ValidKey(tokens[1])) {
+      return Fail("bad key", /*resync=*/false);
+    }
+    req.op = op;
+    req.keys.emplace_back(tokens[1]);
+    std::size_t bytes = 0;
+    if (!ParseInt(tokens[2], &req.flags) || !ParseInt(tokens[3], &req.exptime) ||
+        !ParseInt(tokens[4], &bytes)) {
+      return Fail("bad storage arguments", /*resync=*/false);
+    }
+    if (bytes > kMaxValueLength) {
+      return Fail("object too large for cache", /*resync=*/false);
+    }
+    std::size_t next_token = 5;
+    if (with_cas) {
+      if (!ParseInt(tokens[5], &req.cas)) {
+        return Fail("bad cas value", /*resync=*/false);
+      }
+      next_token = 6;
+    }
+    if (tokens.size() == next_token + 1) {
+      if (tokens[next_token] != "noreply") {
+        return Fail("bad storage command", /*resync=*/false);
+      }
+      req.noreply = true;
+    }
+    pending_ = std::move(req);
+    data_needed_ = bytes;
+    state_ = State::kDataBlock;
+    return Next(out);  // the data block may already be buffered
+  };
+
+  if (cmd == "get" || cmd == "gets") {
+    if (tokens.size() < 2) {
+      return Fail("get requires a key", /*resync=*/false);
+    }
+    req.op = cmd == "get" ? Op::kGet : Op::kGets;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      if (!ValidKey(tokens[i])) {
+        return Fail("bad key", /*resync=*/false);
+      }
+      req.keys.emplace_back(tokens[i]);
+    }
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  if (cmd == "set") {
+    return parse_storage(Op::kSet, false);
+  }
+  if (cmd == "add") {
+    return parse_storage(Op::kAdd, false);
+  }
+  if (cmd == "replace") {
+    return parse_storage(Op::kReplace, false);
+  }
+  if (cmd == "append") {
+    return parse_storage(Op::kAppend, false);
+  }
+  if (cmd == "prepend") {
+    return parse_storage(Op::kPrepend, false);
+  }
+  if (cmd == "cas") {
+    return parse_storage(Op::kCas, true);
+  }
+  if (cmd == "delete") {
+    // delete <key> [noreply]
+    if (tokens.size() < 2 || tokens.size() > 3 || !ValidKey(tokens[1])) {
+      return Fail("bad delete command", /*resync=*/false);
+    }
+    req.op = Op::kDelete;
+    req.keys.emplace_back(tokens[1]);
+    if (tokens.size() == 3) {
+      if (tokens[2] != "noreply") {
+        return Fail("bad delete command", /*resync=*/false);
+      }
+      req.noreply = true;
+    }
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  if (cmd == "incr" || cmd == "decr") {
+    // incr <key> <delta> [noreply]
+    if (tokens.size() < 3 || tokens.size() > 4 || !ValidKey(tokens[1])) {
+      return Fail("bad arithmetic command", /*resync=*/false);
+    }
+    req.op = cmd == "incr" ? Op::kIncr : Op::kDecr;
+    req.keys.emplace_back(tokens[1]);
+    if (!ParseInt(tokens[2], &req.delta)) {
+      return Fail("invalid numeric delta argument", /*resync=*/false);
+    }
+    if (tokens.size() == 4) {
+      if (tokens[3] != "noreply") {
+        return Fail("bad arithmetic command", /*resync=*/false);
+      }
+      req.noreply = true;
+    }
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  if (cmd == "touch") {
+    // touch <key> <exptime> [noreply]
+    if (tokens.size() < 3 || tokens.size() > 4 || !ValidKey(tokens[1])) {
+      return Fail("bad touch command", /*resync=*/false);
+    }
+    req.op = Op::kTouch;
+    req.keys.emplace_back(tokens[1]);
+    if (!ParseInt(tokens[2], &req.exptime)) {
+      return Fail("bad touch exptime", /*resync=*/false);
+    }
+    if (tokens.size() == 4) {
+      if (tokens[3] != "noreply") {
+        return Fail("bad touch command", /*resync=*/false);
+      }
+      req.noreply = true;
+    }
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  if (cmd == "flush_all") {
+    req.op = Op::kFlushAll;
+    if (tokens.size() >= 2 && tokens.back() == "noreply") {
+      req.noreply = true;
+    }
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  if (cmd == "version") {
+    req.op = Op::kVersion;
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  if (cmd == "stats") {
+    req.op = Op::kStats;
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  if (cmd == "quit") {
+    req.op = Op::kQuit;
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
+  return Fail("unknown command", /*resync=*/false);
+}
+
+std::string FormatValue(std::string_view key, const StoredValue& value,
+                        bool with_cas) {
+  std::string out;
+  out.reserve(key.size() + value.data.size() + 48);
+  out.append("VALUE ");
+  out.append(key);
+  out.push_back(' ');
+  out.append(std::to_string(value.flags));
+  out.push_back(' ');
+  out.append(std::to_string(value.data.size()));
+  if (with_cas) {
+    out.push_back(' ');
+    out.append(std::to_string(value.cas));
+  }
+  out.append("\r\n");
+  out.append(value.data);
+  out.append("\r\n");
+  return out;
+}
+
+std::string FormatEnd() { return "END\r\n"; }
+std::string FormatStored() { return "STORED\r\n"; }
+std::string FormatNotStored() { return "NOT_STORED\r\n"; }
+std::string FormatExists() { return "EXISTS\r\n"; }
+std::string FormatNotFound() { return "NOT_FOUND\r\n"; }
+std::string FormatDeleted() { return "DELETED\r\n"; }
+std::string FormatTouched() { return "TOUCHED\r\n"; }
+std::string FormatOk() { return "OK\r\n"; }
+
+std::string FormatNumber(std::uint64_t n) {
+  return std::to_string(n) + "\r\n";
+}
+
+std::string FormatError() { return "ERROR\r\n"; }
+
+std::string FormatClientError(std::string_view message) {
+  std::string out = "CLIENT_ERROR ";
+  out.append(message);
+  out.append("\r\n");
+  return out;
+}
+
+std::string FormatServerError(std::string_view message) {
+  std::string out = "SERVER_ERROR ";
+  out.append(message);
+  out.append("\r\n");
+  return out;
+}
+
+std::string FormatVersion(std::string_view version) {
+  std::string out = "VERSION ";
+  out.append(version);
+  out.append("\r\n");
+  return out;
+}
+
+}  // namespace rp::memcache

@@ -1,0 +1,113 @@
+// memcached text-protocol codec.
+//
+// Incremental parser: feed raw bytes (as they arrive from a socket), pull
+// complete requests out. Storage commands carry a data block whose length
+// comes from the command line, so the parser is a two-state machine
+// (command line → data block). Response formatting helpers live here too so
+// the server and the in-process workload driver share one codec.
+#ifndef RP_MEMCACHE_PROTOCOL_H_
+#define RP_MEMCACHE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/memcache/item.h"
+
+namespace rp::memcache {
+
+enum class Op {
+  kGet,       // get <key>+
+  kGets,      // gets <key>+  (returns cas)
+  kSet,
+  kAdd,
+  kReplace,
+  kAppend,
+  kPrepend,
+  kCas,
+  kDelete,
+  kIncr,
+  kDecr,
+  kTouch,
+  kFlushAll,
+  kVersion,
+  kStats,
+  kQuit,
+};
+
+struct Request {
+  Op op = Op::kGet;
+  std::vector<std::string> keys;  // 1+ for get/gets; exactly 1 otherwise
+  std::string data;               // storage commands' data block
+  std::uint32_t flags = 0;
+  std::int64_t exptime = 0;
+  std::uint64_t delta = 0;        // incr/decr
+  std::uint64_t cas = 0;          // cas command
+  bool noreply = false;
+};
+
+enum class ParseStatus {
+  kOk,        // a complete request was produced
+  kNeedMore,  // buffer holds only a partial request
+  kError,     // protocol error; error_message says why
+};
+
+class RequestParser {
+ public:
+  // Appends raw bytes to the internal buffer.
+  void Feed(std::string_view bytes);
+
+  // Attempts to extract the next complete request.
+  ParseStatus Next(Request* out);
+
+  const std::string& error_message() const { return error_; }
+
+  // Bytes buffered but not yet consumed (diagnostics / backpressure).
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  // Protocol limits (from the memcached protocol spec).
+  static constexpr std::size_t kMaxKeyLength = 250;
+  static constexpr std::size_t kMaxValueLength = 1024 * 1024;
+
+ private:
+  enum class State { kCommandLine, kDataBlock };
+
+  ParseStatus ParseCommandLine(std::string_view line, Request* out);
+  // Records the error. With resync=true, additionally skips the buffer
+  // forward to the next line boundary — needed when the failure happened
+  // mid-stream (bad data chunk, overlong line); command-line failures have
+  // already consumed their line and must not eat the following one.
+  ParseStatus Fail(std::string message, bool resync);
+  void Compact();
+
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  State state_ = State::kCommandLine;
+  Request pending_;          // storage command awaiting its data block
+  std::size_t data_needed_ = 0;
+  std::string error_;
+};
+
+// -- Response formatting ------------------------------------------------------
+
+// VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\n
+std::string FormatValue(std::string_view key, const StoredValue& value,
+                        bool with_cas);
+std::string FormatEnd();
+std::string FormatStored();
+std::string FormatNotStored();
+std::string FormatExists();
+std::string FormatNotFound();
+std::string FormatDeleted();
+std::string FormatTouched();
+std::string FormatOk();
+std::string FormatNumber(std::uint64_t n);
+std::string FormatError();
+std::string FormatClientError(std::string_view message);
+std::string FormatServerError(std::string_view message);
+std::string FormatVersion(std::string_view version);
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_PROTOCOL_H_

@@ -1,0 +1,276 @@
+#include "src/memcache/rp_engine.h"
+
+#include <charconv>
+
+namespace rp::memcache {
+
+namespace {
+
+bool ParseUint64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+}  // namespace
+
+RpEngine::RpEngine(EngineConfig config)
+    : config_(config), table_(config.initial_buckets) {}
+
+bool RpEngine::Get(const std::string& key, StoredValue* out) {
+  const std::int64_t now = NowSeconds();
+  bool expired = false;
+  // Fast path: relativistic lookup; value copied inside the read-side
+  // critical section, so the node may be reclaimed the instant we return.
+  const bool found = table_.With(key, [&](const CacheValue& value) {
+    if (IsExpired(value.expire_at, now)) {
+      expired = true;
+      return;
+    }
+    out->data = value.data;
+    out->flags = value.flags;
+    out->cas = value.cas;
+    // Relaxed recency stamp feeding the second-chance eviction scan. This
+    // is the only write a GET performs, and it is per-item, not global.
+    value.last_used.store(now, std::memory_order_relaxed);
+  });
+  if (found && !expired) {
+    get_hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (expired) {
+    ReclaimExpired(key);
+  }
+  get_misses_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void RpEngine::ReclaimExpired(const std::string& key) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  bool still_expired = false;
+  table_.With(key, [&](const CacheValue& value) {
+    still_expired = IsExpired(value.expire_at, now);
+  });
+  if (still_expired && table_.Erase(key)) {
+    expired_reclaims_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RpEngine::NoteInsertLocked(const std::string& key) {
+  fifo_.push_back(key);
+  EvictIfNeededLocked();
+}
+
+void RpEngine::EvictIfNeededLocked() {
+  if (config_.max_items == 0) {
+    return;
+  }
+  const std::int64_t now = NowSeconds();
+  // Second-chance sweep: items touched within the last second get one
+  // reprieve (re-queued); everything else in FIFO order is evicted.
+  std::size_t chances = fifo_.size();
+  while (table_.Size() > config_.max_items && !fifo_.empty()) {
+    std::string victim = std::move(fifo_.front());
+    fifo_.pop_front();
+    bool recently_used = false;
+    const bool present = table_.With(victim, [&](const CacheValue& value) {
+      recently_used =
+          value.last_used.load(std::memory_order_relaxed) >= now;
+    });
+    if (!present) {
+      continue;  // stale queue entry (deleted or already evicted)
+    }
+    if (recently_used && chances > 0) {
+      --chances;
+      fifo_.push_back(std::move(victim));
+      continue;
+    }
+    if (table_.Erase(victim)) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+StoreResult RpEngine::Set(const std::string& key, std::string data,
+                          std::uint32_t flags, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+                   next_cas_.fetch_add(1, std::memory_order_relaxed));
+  value.last_used.store(now, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  const bool inserted = table_.InsertOrAssign(key, std::move(value));
+  if (inserted) {
+    NoteInsertLocked(key);
+  }
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return StoreResult::kStored;
+}
+
+StoreResult RpEngine::Add(const std::string& key, std::string data,
+                          std::uint32_t flags, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  bool live = false;
+  table_.With(key, [&](const CacheValue& value) {
+    live = !IsExpired(value.expire_at, now);
+  });
+  if (live) {
+    return StoreResult::kNotStored;
+  }
+  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+                   next_cas_.fetch_add(1, std::memory_order_relaxed));
+  value.last_used.store(now, std::memory_order_relaxed);
+  const bool inserted = table_.InsertOrAssign(key, std::move(value));
+  if (inserted) {
+    NoteInsertLocked(key);
+  }
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return StoreResult::kStored;
+}
+
+StoreResult RpEngine::Replace(const std::string& key, std::string data,
+                              std::uint32_t flags, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  bool live = false;
+  table_.With(key, [&](const CacheValue& value) {
+    live = !IsExpired(value.expire_at, now);
+  });
+  if (!live) {
+    return StoreResult::kNotStored;
+  }
+  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+                   next_cas_.fetch_add(1, std::memory_order_relaxed));
+  value.last_used.store(now, std::memory_order_relaxed);
+  table_.InsertOrAssign(key, std::move(value));
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return StoreResult::kStored;
+}
+
+StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  const bool updated = table_.Update(key, [&](CacheValue& value) {
+    value.data.append(data);
+    value.cas = cas;
+  });
+  if (!updated) {
+    return StoreResult::kNotStored;
+  }
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return StoreResult::kStored;
+}
+
+StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  const bool updated = table_.Update(key, [&](CacheValue& value) {
+    value.data.insert(0, data);
+    value.cas = cas;
+  });
+  if (!updated) {
+    return StoreResult::kNotStored;
+  }
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return StoreResult::kStored;
+}
+
+StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
+                                  std::uint32_t flags, std::int64_t exptime,
+                                  std::uint64_t expected_cas) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  bool live = false;
+  std::uint64_t current_cas = 0;
+  table_.With(key, [&](const CacheValue& value) {
+    live = !IsExpired(value.expire_at, now);
+    current_cas = value.cas;
+  });
+  if (!live) {
+    return StoreResult::kNotFound;
+  }
+  if (current_cas != expected_cas) {
+    return StoreResult::kExists;
+  }
+  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+                   next_cas_.fetch_add(1, std::memory_order_relaxed));
+  value.last_used.store(now, std::memory_order_relaxed);
+  table_.InsertOrAssign(key, std::move(value));
+  sets_.fetch_add(1, std::memory_order_relaxed);
+  return StoreResult::kStored;
+}
+
+bool RpEngine::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  return table_.Erase(key);
+}
+
+std::optional<std::uint64_t> RpEngine::ArithLocked(const std::string& key,
+                                                   std::uint64_t delta,
+                                                   bool increment) {
+  const std::int64_t now = NowSeconds();
+  bool live = false;
+  std::uint64_t current = 0;
+  bool numeric = false;
+  table_.With(key, [&](const CacheValue& value) {
+    live = !IsExpired(value.expire_at, now);
+    numeric = ParseUint64(value.data, &current);
+  });
+  if (!live || !numeric) {
+    return std::nullopt;
+  }
+  const std::uint64_t next =
+      increment ? current + delta : (current >= delta ? current - delta : 0);
+  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  table_.Update(key, [&](CacheValue& value) {
+    value.data = std::to_string(next);
+    value.cas = cas;
+  });
+  return next;
+}
+
+std::optional<std::uint64_t> RpEngine::Incr(const std::string& key,
+                                            std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  return ArithLocked(key, delta, /*increment=*/true);
+}
+
+std::optional<std::uint64_t> RpEngine::Decr(const std::string& key,
+                                            std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  return ArithLocked(key, delta, /*increment=*/false);
+}
+
+bool RpEngine::Touch(const std::string& key, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  return table_.Update(key, [&](CacheValue& value) {
+    value.expire_at = ResolveExptime(exptime, now);
+  });
+}
+
+void RpEngine::FlushAll() {
+  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  table_.Clear();
+  fifo_.clear();
+}
+
+std::size_t RpEngine::ItemCount() const { return table_.Size(); }
+
+EngineStats RpEngine::Stats() const {
+  EngineStats stats;
+  stats.get_hits = get_hits_.load(std::memory_order_relaxed);
+  stats.get_misses = get_misses_.load(std::memory_order_relaxed);
+  stats.sets = sets_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.expired_reclaims = expired_reclaims_.load(std::memory_order_relaxed);
+  stats.items = table_.Size();
+  return stats;
+}
+
+}  // namespace rp::memcache

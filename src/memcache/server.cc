@@ -1,0 +1,229 @@
+#include "src/memcache/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rp::memcache {
+
+std::string ExecuteRequest(CacheEngine& engine, const Request& request,
+                           bool* quit) {
+  *quit = false;
+  std::string response;
+  switch (request.op) {
+    case Op::kGet:
+    case Op::kGets: {
+      const bool with_cas = request.op == Op::kGets;
+      StoredValue value;
+      for (const std::string& key : request.keys) {
+        if (engine.Get(key, &value)) {
+          response += FormatValue(key, value, with_cas);
+        }
+      }
+      response += FormatEnd();
+      return response;
+    }
+    case Op::kSet:
+      engine.Set(request.keys[0], request.data, request.flags, request.exptime);
+      response = FormatStored();
+      break;
+    case Op::kAdd:
+      response = engine.Add(request.keys[0], request.data, request.flags,
+                            request.exptime) == StoreResult::kStored
+                     ? FormatStored()
+                     : FormatNotStored();
+      break;
+    case Op::kReplace:
+      response = engine.Replace(request.keys[0], request.data, request.flags,
+                                request.exptime) == StoreResult::kStored
+                     ? FormatStored()
+                     : FormatNotStored();
+      break;
+    case Op::kAppend:
+      response = engine.Append(request.keys[0], request.data) == StoreResult::kStored
+                     ? FormatStored()
+                     : FormatNotStored();
+      break;
+    case Op::kPrepend:
+      response = engine.Prepend(request.keys[0], request.data) == StoreResult::kStored
+                     ? FormatStored()
+                     : FormatNotStored();
+      break;
+    case Op::kCas:
+      switch (engine.CheckAndSet(request.keys[0], request.data, request.flags,
+                                 request.exptime, request.cas)) {
+        case StoreResult::kStored:
+          response = FormatStored();
+          break;
+        case StoreResult::kExists:
+          response = FormatExists();
+          break;
+        default:
+          response = FormatNotFound();
+          break;
+      }
+      break;
+    case Op::kDelete:
+      response = engine.Delete(request.keys[0]) ? FormatDeleted() : FormatNotFound();
+      break;
+    case Op::kIncr: {
+      const auto result = engine.Incr(request.keys[0], request.delta);
+      response = result.has_value() ? FormatNumber(*result) : FormatNotFound();
+      break;
+    }
+    case Op::kDecr: {
+      const auto result = engine.Decr(request.keys[0], request.delta);
+      response = result.has_value() ? FormatNumber(*result) : FormatNotFound();
+      break;
+    }
+    case Op::kTouch:
+      response = engine.Touch(request.keys[0], request.exptime) ? FormatTouched()
+                                                                : FormatNotFound();
+      break;
+    case Op::kFlushAll:
+      engine.FlushAll();
+      response = FormatOk();
+      break;
+    case Op::kVersion:
+      return FormatVersion("rp-memcache 1.0");
+    case Op::kStats: {
+      const EngineStats stats = engine.Stats();
+      response += "STAT engine " + std::string(engine.Name()) + "\r\n";
+      response += "STAT get_hits " + std::to_string(stats.get_hits) + "\r\n";
+      response += "STAT get_misses " + std::to_string(stats.get_misses) + "\r\n";
+      response += "STAT cmd_set " + std::to_string(stats.sets) + "\r\n";
+      response += "STAT evictions " + std::to_string(stats.evictions) + "\r\n";
+      response += "STAT expired_unfetched " +
+                  std::to_string(stats.expired_reclaims) + "\r\n";
+      response += "STAT curr_items " + std::to_string(stats.items) + "\r\n";
+      response += FormatEnd();
+      return response;
+    }
+    case Op::kQuit:
+      *quit = true;
+      return "";
+  }
+  return request.noreply ? "" : response;
+}
+
+Server::Server(CacheEngine& engine, std::uint16_t port)
+    : engine_(engine), port_(port) {}
+
+Server::~Server() { Stop(); }
+
+bool Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    error_ = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    error_ = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void Server::Stop() {
+  if (listen_fd_ < 0) {
+    return;
+  }
+  stopping_.store(true, std::memory_order_release);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  listen_fd_ = -1;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    workers_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  RequestParser parser;
+  char buf[16 * 1024];
+  bool quit = false;
+  while (!quit && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+
+    std::string out;
+    for (;;) {
+      Request request;
+      const ParseStatus status = parser.Next(&request);
+      if (status == ParseStatus::kNeedMore) {
+        break;
+      }
+      if (status == ParseStatus::kError) {
+        out += FormatClientError(parser.error_message());
+        continue;
+      }
+      out += ExecuteRequest(engine_, request, &quit);
+      if (quit) {
+        break;
+      }
+    }
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t w = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (w <= 0) {
+        quit = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace rp::memcache

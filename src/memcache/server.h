@@ -1,0 +1,65 @@
+// Thread-per-connection TCP server speaking the memcached text protocol.
+//
+// The real network front-end for the mini-memcached: the F5 reproduction
+// drives engines in-process (the figure isolates engine locking, not kernel
+// networking), but the example server and an integration test run this
+// loopback server end to end.
+#ifndef RP_MEMCACHE_SERVER_H_
+#define RP_MEMCACHE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/memcache/engine.h"
+#include "src/memcache/protocol.h"
+
+namespace rp::memcache {
+
+// Executes one parsed request against an engine and returns the wire
+// response ("" for noreply). Shared by the server and the protocol-level
+// workload mode. Sets *quit on a quit command.
+std::string ExecuteRequest(CacheEngine& engine, const Request& request,
+                           bool* quit);
+
+class Server {
+ public:
+  // Binds to 127.0.0.1:port (port 0 = ephemeral; see port()).
+  Server(CacheEngine& engine, std::uint16_t port);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Starts the accept loop. Returns false (with a reason in error()) if
+  // binding failed.
+  bool Start();
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  const std::string& error() const { return error_; }
+  std::uint64_t connections_handled() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  CacheEngine& engine_;
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  std::string error_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_SERVER_H_

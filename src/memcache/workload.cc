@@ -1,0 +1,154 @@
+#include "src/memcache/workload.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/memcache/protocol.h"
+#include "src/memcache/server.h"
+#include "src/util/affinity.h"
+#include "src/util/rng.h"
+#include "src/util/spin_barrier.h"
+#include "src/util/stopwatch.h"
+#include "src/util/zipf.h"
+
+namespace rp::memcache {
+
+std::string WorkloadKey(std::size_t i) {
+  return "memtier-" + std::to_string(i);
+}
+
+namespace {
+
+struct ClientTotals {
+  std::uint64_t requests = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+// One client's inner loop, protocol round trip included.
+void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
+                       std::size_t id, const std::atomic<bool>& stop,
+                       ClientTotals& totals) {
+  Xoshiro256 rng(config.seed + id * 0x9E37);
+  ZipfGenerator zipf(config.num_keys, config.zipf_theta);
+  const std::string value(config.value_size, 'v');
+  RequestParser parser;
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::size_t key_index = zipf.Next(rng);
+    const bool is_get = rng.NextDouble() < config.get_ratio;
+    std::string wire;
+    const std::string key = WorkloadKey(key_index);
+    if (is_get) {
+      wire = "get " + key + "\r\n";
+    } else {
+      wire = "set " + key + " 0 0 " + std::to_string(value.size()) + "\r\n" +
+             value + "\r\n";
+    }
+    parser.Feed(wire);
+    Request request;
+    if (parser.Next(&request) != ParseStatus::kOk) {
+      continue;  // unreachable for well-formed generated traffic
+    }
+    bool quit = false;
+    const std::string response = ExecuteRequest(engine, request, &quit);
+    ++totals.requests;
+    if (is_get) {
+      ++totals.gets;
+      // "VALUE..." prefix = hit; bare "END" = miss.
+      if (response.size() > 5 && response[0] == 'V') {
+        ++totals.hits;
+      } else {
+        ++totals.misses;
+      }
+    } else {
+      ++totals.sets;
+    }
+  }
+}
+
+// Direct-call variant (no codec): isolates raw engine throughput.
+void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
+                     std::size_t id, const std::atomic<bool>& stop,
+                     ClientTotals& totals) {
+  Xoshiro256 rng(config.seed + id * 0x9E37);
+  ZipfGenerator zipf(config.num_keys, config.zipf_theta);
+  const std::string value(config.value_size, 'v');
+  StoredValue out;
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    const std::size_t key_index = zipf.Next(rng);
+    const bool is_get = rng.NextDouble() < config.get_ratio;
+    const std::string key = WorkloadKey(key_index);
+    if (is_get) {
+      ++totals.gets;
+      if (engine.Get(key, &out)) {
+        ++totals.hits;
+      } else {
+        ++totals.misses;
+      }
+    } else {
+      engine.Set(key, value, 0, 0);
+      ++totals.sets;
+    }
+    ++totals.requests;
+  }
+}
+
+}  // namespace
+
+WorkloadResult RunWorkload(CacheEngine& engine, const WorkloadConfig& config) {
+  if (config.prepopulate) {
+    const std::string value(config.value_size, 'v');
+    for (std::size_t i = 0; i < config.num_keys; ++i) {
+      engine.Set(WorkloadKey(i), value, 0, 0);
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  SpinBarrier barrier(config.num_clients + 1);
+  std::vector<ClientTotals> totals(config.num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(config.num_clients);
+
+  for (std::size_t id = 0; id < config.num_clients; ++id) {
+    clients.emplace_back([&, id] {
+      PinThisThreadToCpu(id);
+      barrier.ArriveAndWait();
+      if (config.use_protocol) {
+        RunProtocolClient(engine, config, id, stop, totals[id]);
+      } else {
+        RunDirectClient(engine, config, id, stop, totals[id]);
+      }
+    });
+  }
+
+  barrier.ArriveAndWait();
+  Stopwatch watch;
+  while (watch.ElapsedSeconds() < config.duration_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  const double elapsed = watch.ElapsedSeconds();
+
+  WorkloadResult result;
+  result.duration_seconds = elapsed;
+  for (const ClientTotals& t : totals) {
+    result.total_requests += t.requests;
+    result.gets += t.gets;
+    result.sets += t.sets;
+    result.hits += t.hits;
+    result.misses += t.misses;
+  }
+  result.requests_per_second =
+      static_cast<double>(result.total_requests) / elapsed;
+  return result;
+}
+
+}  // namespace rp::memcache

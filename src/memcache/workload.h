@@ -1,0 +1,55 @@
+// mc-benchmark-style workload driver.
+//
+// Reproduces the paper's memcached experiment in-process: N client threads
+// issue GET or SET traffic against a CacheEngine as fast as they can for a
+// fixed duration. Optionally the full text-protocol round trip (request
+// encode → parse → execute → response format) is exercised per operation,
+// modelling the per-request work a server connection performs; the engine
+// contrast (global lock vs relativistic reads) is the variable under test.
+#ifndef RP_MEMCACHE_WORKLOAD_H_
+#define RP_MEMCACHE_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/memcache/engine.h"
+
+namespace rp::memcache {
+
+struct WorkloadConfig {
+  std::size_t num_clients = 1;
+  std::size_t num_keys = 10000;
+  std::size_t value_size = 32;
+  // Fraction of operations that are GETs (1.0 = pure GET, 0.0 = pure SET —
+  // the paper's mc-benchmark runs are pure GET and pure SET).
+  double get_ratio = 1.0;
+  // Zipf skew over keys (0 = uniform).
+  double zipf_theta = 0.0;
+  double duration_seconds = 1.0;
+  // Route every operation through the protocol codec.
+  bool use_protocol = true;
+  // Pre-populate all keys before measuring.
+  bool prepopulate = true;
+  std::uint64_t seed = 42;
+};
+
+struct WorkloadResult {
+  double requests_per_second = 0.0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t sets = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double duration_seconds = 0.0;
+};
+
+// Runs the workload and aggregates across client threads.
+WorkloadResult RunWorkload(CacheEngine& engine, const WorkloadConfig& config);
+
+// Key name for index i, mc-benchmark style ("memtier-<i>").
+std::string WorkloadKey(std::size_t i);
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_WORKLOAD_H_

@@ -1,0 +1,122 @@
+#include "src/rcu/epoch.h"
+
+#include <thread>
+
+#include "src/rcu/callback.h"
+#include "src/sync/backoff.h"
+
+namespace rp::rcu {
+
+ThreadRegistry& Epoch::registry() {
+  static ThreadRegistry instance;
+  return instance;
+}
+
+RcuCallbackQueue& Epoch::queue() {
+  // Constructed on first Retire(); touching registry() first pins the
+  // destruction order so the queue (whose destructor runs a final grace
+  // period) dies before the registry it scans.
+  (void)registry();
+  static RcuCallbackQueue instance([] { Epoch::Synchronize(); });
+  return instance;
+}
+
+ThreadRecord* Epoch::RegisterSlow() {
+  ThreadRecord* record = registry().Register(0);
+  tls_guard_.record = record;
+  return record;
+}
+
+Epoch::TlsGuard::~TlsGuard() {
+  if (record != nullptr) {
+    Epoch::registry().Unregister(record);
+    Epoch::tls_record_ = nullptr;
+  }
+}
+
+void Epoch::Synchronize() {
+  assert((tls_record_ == nullptr || tls_record_->nesting == 0) &&
+         "Synchronize() called from within a read-side critical section");
+
+  ThreadRegistry& reg = registry();
+  std::lock_guard<std::mutex> gp_lock(reg.mutex());
+
+  // The seq_cst RMW is the writer-side fence of the store-buffering pattern:
+  // it orders the caller's data-structure updates before the reader scan.
+  const std::uint64_t new_gp = gp_.fetch_add(2, std::memory_order_seq_cst) + 2;
+
+  for (ThreadRecord* record : reg.records()) {
+    sync::Backoff backoff;
+    int spins = 0;
+    for (;;) {
+      const std::uint64_t c = record->ctr.load(std::memory_order_acquire);
+      // Pass when the thread is outside any read section (0) or inside one
+      // that began after the counter bump (snapshot > new_gp, odd).
+      if (c == 0 || c > new_gp) {
+        break;
+      }
+      if (++spins < 1024) {
+        backoff.Pause();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  // Order the scan before the caller's subsequent frees.
+  SmpMb();
+
+  // Publish completion for pollers (monotonic max; we hold the GP lock, so
+  // a plain max-update under it suffices).
+  if (gp_completed_.load(std::memory_order_relaxed) < new_gp) {
+    gp_completed_.store(new_gp, std::memory_order_release);
+  }
+}
+
+bool Epoch::Poll(GpCookie cookie) {
+  // A grace period beginning after `cookie` completes at counter value
+  // cookie + 2 or later.
+  const std::uint64_t target = cookie + 2;
+  if (gp_completed_.load(std::memory_order_acquire) >= target) {
+    return true;  // someone else's Synchronize/Poll already covered us
+  }
+
+  ThreadRegistry& reg = registry();
+  std::unique_lock<std::mutex> lock(reg.mutex(), std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // A Synchronize (or another Poll) is in flight; it will advance
+    // gp_completed_ for us. Report "not yet" rather than blocking.
+    return false;
+  }
+
+  // Start a grace period covering the cookie if none has been started yet.
+  if (gp_.load(std::memory_order_relaxed) < target) {
+    gp_.fetch_add(2, std::memory_order_seq_cst);
+  }
+  // Writer-side store-buffering fence: order the caller's data-structure
+  // updates before the reader scan (the fetch_add above provides it when it
+  // runs, but not when another thread already advanced the counter).
+  SmpMb();
+
+  // One non-blocking scan: pass if every reader is idle or entered after
+  // the target period began.
+  for (ThreadRecord* record : reg.records()) {
+    const std::uint64_t c = record->ctr.load(std::memory_order_acquire);
+    if (c != 0 && c <= target) {
+      return false;
+    }
+  }
+  SmpMb();  // order the scan before the caller's subsequent frees
+
+  if (gp_completed_.load(std::memory_order_relaxed) < target) {
+    gp_completed_.store(target, std::memory_order_release);
+  }
+  return true;
+}
+
+void Epoch::RetireErased(void* ptr, void (*deleter)(void*)) {
+  queue().Enqueue(deleter, ptr);
+}
+
+void Epoch::Barrier() { queue().Barrier(); }
+
+}  // namespace rp::rcu

@@ -1,0 +1,34 @@
+// RAII read-side critical section, and the RcuDomain concept.
+#ifndef RP_RCU_GUARD_H_
+#define RP_RCU_GUARD_H_
+
+#include <concepts>
+#include <cstdint>
+
+namespace rp::rcu {
+
+// Static-polymorphic contract every RCU flavour satisfies. Data structures
+// are templated on a Domain so the same table runs on Epoch (general
+// purpose) or Qsbr (zero-cost readers) without code changes.
+template <typename D>
+concept RcuDomain = requires(int* p) {
+  { D::ReadLock() };
+  { D::ReadUnlock() };
+  { D::Synchronize() };
+  { D::template Retire<int>(p) };
+  { D::Barrier() };
+  { D::GracePeriodCount() } -> std::convertible_to<std::uint64_t>;
+};
+
+template <typename Domain>
+class ReadGuard {
+ public:
+  ReadGuard() { Domain::ReadLock(); }
+  ~ReadGuard() { Domain::ReadUnlock(); }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+};
+
+}  // namespace rp::rcu
+
+#endif  // RP_RCU_GUARD_H_

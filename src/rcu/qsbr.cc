@@ -1,0 +1,119 @@
+#include "src/rcu/qsbr.h"
+
+#include <thread>
+
+#include "src/rcu/callback.h"
+#include "src/sync/backoff.h"
+
+namespace rp::rcu {
+
+ThreadRegistry& Qsbr::registry() {
+  static ThreadRegistry instance;
+  return instance;
+}
+
+RcuCallbackQueue& Qsbr::queue() {
+  (void)registry();
+  static RcuCallbackQueue instance([] { Qsbr::Synchronize(); });
+  return instance;
+}
+
+ThreadRecord* Qsbr::RegisterSlow() {
+  // New threads start online at the current counter value: they hold no
+  // pre-existing references, so they never block an in-flight grace period.
+  ThreadRecord* record = registry().Register(gp_.load(std::memory_order_acquire));
+  SmpMb();
+  tls_guard_.record = record;
+  return record;
+}
+
+Qsbr::TlsGuard::~TlsGuard() {
+  if (record != nullptr) {
+    Qsbr::registry().Unregister(record);
+    Qsbr::tls_record_ = nullptr;
+  }
+}
+
+void Qsbr::Synchronize() {
+  assert((tls_record_ == nullptr || tls_record_->nesting == 0) &&
+         "Synchronize() called from within a read-side critical section");
+
+  ThreadRegistry& reg = registry();
+  std::lock_guard<std::mutex> gp_lock(reg.mutex());
+
+  const std::uint64_t new_gp = gp_.fetch_add(2, std::memory_order_seq_cst) + 2;
+
+  // The caller itself counts as quiescent right now (it may be a registered
+  // online thread; without this it would wait on its own record).
+  if (tls_record_ != nullptr &&
+      tls_record_->ctr.load(std::memory_order_relaxed) != kOffline) {
+    tls_record_->ctr.store(new_gp, std::memory_order_release);
+  }
+
+  for (ThreadRecord* record : reg.records()) {
+    sync::Backoff backoff;
+    int spins = 0;
+    for (;;) {
+      const std::uint64_t c = record->ctr.load(std::memory_order_acquire);
+      if (c == kOffline || c >= new_gp) {
+        break;
+      }
+      if (++spins < 1024) {
+        backoff.Pause();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  SmpMb();
+
+  if (gp_completed_.load(std::memory_order_relaxed) < new_gp) {
+    gp_completed_.store(new_gp, std::memory_order_release);
+  }
+}
+
+bool Qsbr::Poll(GpCookie cookie) {
+  const std::uint64_t target = cookie + 2;
+  if (gp_completed_.load(std::memory_order_acquire) >= target) {
+    return true;
+  }
+
+  ThreadRegistry& reg = registry();
+  std::unique_lock<std::mutex> lock(reg.mutex(), std::try_to_lock);
+  if (!lock.owns_lock()) {
+    return false;  // a Synchronize/Poll is in flight; it advances the clock
+  }
+
+  if (gp_.load(std::memory_order_relaxed) < target) {
+    gp_.fetch_add(2, std::memory_order_seq_cst);
+  }
+  SmpMb();  // writer-side fence even when another thread did the bump
+
+  // The polling thread itself is quiescent by definition of calling here.
+  if (tls_record_ != nullptr &&
+      tls_record_->ctr.load(std::memory_order_relaxed) != kOffline) {
+    tls_record_->ctr.store(gp_.load(std::memory_order_relaxed),
+                           std::memory_order_release);
+  }
+
+  for (ThreadRecord* record : reg.records()) {
+    const std::uint64_t c = record->ctr.load(std::memory_order_acquire);
+    if (c != kOffline && c < target) {
+      return false;
+    }
+  }
+  SmpMb();
+
+  if (gp_completed_.load(std::memory_order_relaxed) < target) {
+    gp_completed_.store(target, std::memory_order_release);
+  }
+  return true;
+}
+
+void Qsbr::RetireErased(void* ptr, void (*deleter)(void*)) {
+  queue().Enqueue(deleter, ptr);
+}
+
+void Qsbr::Barrier() { queue().Barrier(); }
+
+}  // namespace rp::rcu

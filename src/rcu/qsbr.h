@@ -1,0 +1,166 @@
+// QSBR (quiescent-state-based reclamation) RCU domain.
+//
+// The zero-overhead flavour: read-side lock/unlock compile to nothing but a
+// compiler barrier (plus a nesting assertion in debug builds), reproducing
+// the read-side cost of the Linux kernel RCU the paper's microbenchmark ran
+// on. The price is cooperation: every registered thread must pass through
+// QuiescentState() regularly while online, or writers stall.
+//
+// Protocol. The global counter `gp` advances by 2 per grace period. Each
+// online thread's record stores the counter value it observed at its last
+// quiescent state. Synchronize() bumps the counter and waits until every
+// record is offline or has caught up. Going online uses the same
+// store-then-fence-then-read pattern as the Epoch flavour so a thread
+// cannot slip online unnoticed during a scan.
+#ifndef RP_RCU_QSBR_H_
+#define RP_RCU_QSBR_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "src/rcu/thread_registry.h"
+#include "src/util/compiler.h"
+
+namespace rp::rcu {
+
+class RcuCallbackQueue;
+
+class Qsbr {
+ public:
+  Qsbr() = delete;  // static-only domain
+
+  static constexpr std::uint64_t kOffline = 0;
+
+  // -- Read side: free -----------------------------------------------------
+
+  RP_ALWAYS_INLINE static void ReadLock() {
+    ThreadRecord* self = Self();
+    assert(self->ctr.load(std::memory_order_relaxed) != kOffline &&
+           "QSBR ReadLock while offline");
+    ++self->nesting;
+    CompilerBarrier();
+  }
+
+  RP_ALWAYS_INLINE static void ReadUnlock() {
+    ThreadRecord* self = Self();
+    assert(self->nesting > 0 && "ReadUnlock without matching ReadLock");
+    CompilerBarrier();
+    --self->nesting;
+  }
+
+  static bool InReadSection() { return Self()->nesting > 0; }
+
+  // Announces that this thread holds no RCU-protected references. Must be
+  // called periodically by every online thread.
+  RP_ALWAYS_INLINE static void QuiescentState() {
+    ThreadRecord* self = Self();
+    assert(self->nesting == 0 && "quiescent state inside a read section");
+    const std::uint64_t gp = gp_.load(std::memory_order_acquire);
+    SmpMb();  // order prior reference use before the announcement
+    self->ctr.store(gp, std::memory_order_release);
+  }
+
+  // Marks the thread offline (parked in non-RCU code); writers skip it.
+  static void Offline() {
+    ThreadRecord* self = Self();
+    assert(self->nesting == 0 && "going offline inside a read section");
+    SmpMb();
+    self->ctr.store(kOffline, std::memory_order_release);
+  }
+
+  // Brings the thread back online.
+  static void Online() {
+    ThreadRecord* self = Self();
+    self->ctr.store(gp_.load(std::memory_order_relaxed) | 1,
+                    std::memory_order_relaxed);
+    SmpMb();  // store-buffering fence, pairs with Synchronize()'s RMW
+    // Settle on a proper (even) quiescent value now that we are visible.
+    self->ctr.store(gp_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+  }
+
+  static bool IsOnline() {
+    return Self()->ctr.load(std::memory_order_relaxed) != kOffline;
+  }
+
+  // -- Update side ---------------------------------------------------------
+
+  static void Synchronize();
+
+  template <typename T>
+  static void Retire(T* ptr) {
+    RetireErased(ptr, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  static void Barrier();
+
+  // -- Grace-period polling (kernel get_state/poll_state equivalent) -------
+  //
+  // StartPoll() snapshots the grace-period clock; Poll(cookie) returns true
+  // once a full grace period has elapsed since the snapshot, making one
+  // non-blocking attempt to advance the clock per call. See Epoch for the
+  // intended use (interleaving work with grace-period waits).
+  using GpCookie = std::uint64_t;
+
+  static GpCookie StartPoll() { return gp_.load(std::memory_order_acquire); }
+
+  static bool Poll(GpCookie cookie);
+
+  // -- Introspection --------------------------------------------------------
+
+  static std::uint64_t GracePeriodCount() {
+    return gp_.load(std::memory_order_relaxed) / 2;
+  }
+
+  static std::size_t RegisteredThreads() { return registry().size(); }
+
+  // Registers the calling thread and marks it online.
+  static void RegisterThread() {
+    (void)Self();
+    if (!IsOnline()) {
+      Online();
+    }
+  }
+
+ private:
+  friend class QsbrTestPeer;
+
+  static void RetireErased(void* ptr, void (*deleter)(void*));
+  static ThreadRegistry& registry();
+  static RcuCallbackQueue& queue();
+  static ThreadRecord* RegisterSlow();
+
+  RP_ALWAYS_INLINE static ThreadRecord* Self() {
+    if (RP_UNLIKELY(tls_record_ == nullptr)) {
+      tls_record_ = RegisterSlow();
+    }
+    return tls_record_;
+  }
+
+  struct TlsGuard {
+    TlsGuard() : record(nullptr) {}
+    ~TlsGuard();
+    ThreadRecord* record;
+  };
+
+  static inline std::atomic<std::uint64_t> gp_{2};
+  // Highest gp_ value known to have fully completed (all readers scanned).
+  static inline std::atomic<std::uint64_t> gp_completed_{2};
+  static inline thread_local ThreadRecord* tls_record_ = nullptr;
+  static inline thread_local TlsGuard tls_guard_;
+};
+
+// RAII helper: registers the thread as online for the enclosing scope and
+// reports a quiescent state when asked.
+class QsbrThreadScope {
+ public:
+  QsbrThreadScope() { Qsbr::RegisterThread(); }
+  ~QsbrThreadScope() { Qsbr::Offline(); }
+  QsbrThreadScope(const QsbrThreadScope&) = delete;
+  QsbrThreadScope& operator=(const QsbrThreadScope&) = delete;
+};
+
+}  // namespace rp::rcu
+
+#endif  // RP_RCU_QSBR_H_

@@ -1,0 +1,60 @@
+// Pointer-publication primitives: rcu_assign_pointer / rcu_dereference.
+//
+// Publication (store-release) guarantees a reader that sees the new pointer
+// also sees the pointee's initialisation; dereference uses an acquire load
+// (C++'s sound spelling of the kernel's dependent-load consume ordering —
+// free on x86, one ldar on arm64).
+#ifndef RP_RCU_RCU_POINTER_H_
+#define RP_RCU_RCU_POINTER_H_
+
+#include <atomic>
+
+namespace rp::rcu {
+
+// Reader side: fetch an RCU-protected pointer. Must be called inside a
+// read-side critical section (or with updates otherwise excluded).
+template <typename T>
+[[nodiscard]] inline T* RcuDereference(const std::atomic<T*>& slot) {
+  return slot.load(std::memory_order_acquire);
+}
+
+// Writer side: publish a fully-initialised object.
+template <typename T>
+inline void RcuAssignPointer(std::atomic<T*>& slot, T* value) {
+  slot.store(value, std::memory_order_release);
+}
+
+// Writer side: read a slot while holding the write-side lock; no ordering
+// needed beyond visibility of one's own writes.
+template <typename T>
+[[nodiscard]] inline T* WriterLoad(const std::atomic<T*>& slot) {
+  return slot.load(std::memory_order_relaxed);
+}
+
+// Typed wrapper for struct members, so data structures can declare
+// RcuPtr<Node> next; and the publication discipline is enforced by type.
+template <typename T>
+class RcuPtr {
+ public:
+  RcuPtr() = default;
+  explicit RcuPtr(T* value) : slot_(value) {}
+
+  // Movable only in the "steal the raw value" sense used while building
+  // private (not yet published) structure.
+  RcuPtr(const RcuPtr&) = delete;
+  RcuPtr& operator=(const RcuPtr&) = delete;
+
+  [[nodiscard]] T* Dereference() const { return RcuDereference(slot_); }
+  void Publish(T* value) { RcuAssignPointer(slot_, value); }
+
+  [[nodiscard]] T* WriterRead() const { return WriterLoad(slot_); }
+  // Plain store for structure not yet reachable by any reader.
+  void UnpublishedSet(T* value) { slot_.store(value, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<T*> slot_{nullptr};
+};
+
+}  // namespace rp::rcu
+
+#endif  // RP_RCU_RCU_POINTER_H_

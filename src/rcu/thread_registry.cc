@@ -1,0 +1,40 @@
+#include "src/rcu/thread_registry.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rp::rcu {
+
+ThreadRegistry::~ThreadRegistry() {
+  // Threads normally unregister themselves at exit. Any records still
+  // present belong to threads that outlive the registry (a shutdown-order
+  // bug in the embedding program); leak them rather than free memory a
+  // running thread may still touch.
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.clear();
+}
+
+ThreadRecord* ThreadRegistry::Register(std::uint64_t initial_ctr) {
+  auto* record = new ThreadRecord();
+  record->ctr.store(initial_ctr, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  records_.push_back(record);
+  return record;
+}
+
+void ThreadRegistry::Unregister(ThreadRecord* record) {
+  assert(record->nesting == 0 && "thread exiting inside a read-side critical section");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find(records_.begin(), records_.end(), record);
+  if (it != records_.end()) {
+    records_.erase(it);
+    delete record;
+  }
+}
+
+std::size_t ThreadRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+}  // namespace rp::rcu

@@ -1,0 +1,63 @@
+// Registry of per-thread RCU reader state.
+//
+// Every RCU flavour needs to enumerate reader threads during a grace period.
+// Each registered thread owns one cache-line-aligned ThreadRecord; the
+// registry tracks live records under a mutex that doubles as the
+// grace-period lock (exactly the liburcu arrangement: registration and
+// synchronize() serialize against each other, while the reader fast path
+// touches only its own record).
+#ifndef RP_RCU_THREAD_REGISTRY_H_
+#define RP_RCU_THREAD_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/util/cacheline.h"
+
+namespace rp::rcu {
+
+// Per-thread reader state. Meaning of `ctr` depends on the flavour:
+//  - Epoch: 0 = not in a read-side critical section; otherwise the global
+//    grace-period counter value observed at outermost ReadLock, with the low
+//    bit set (so nonzero values are always odd).
+//  - QSBR: kQsbrOffline = thread offline; otherwise the last grace-period
+//    counter value the thread observed at a quiescent state (always even).
+struct alignas(kCacheLineSize) ThreadRecord {
+  std::atomic<std::uint64_t> ctr{0};
+  // Read-side nesting depth; touched only by the owning thread.
+  std::uint32_t nesting = 0;
+};
+
+class ThreadRegistry {
+ public:
+  ThreadRegistry() = default;
+  ThreadRegistry(const ThreadRegistry&) = delete;
+  ThreadRegistry& operator=(const ThreadRegistry&) = delete;
+  ~ThreadRegistry();
+
+  // Allocates and registers a record for the calling thread.
+  ThreadRecord* Register(std::uint64_t initial_ctr);
+
+  // Unregisters and frees the record. The thread must not be in a read-side
+  // critical section.
+  void Unregister(ThreadRecord* record);
+
+  // The grace-period lock. Held while scanning records; also excludes
+  // concurrent register/unregister.
+  std::mutex& mutex() { return mutex_; }
+
+  // Records snapshot; caller must hold mutex().
+  const std::vector<ThreadRecord*>& records() const { return records_; }
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ThreadRecord*> records_;
+};
+
+}  // namespace rp::rcu
+
+#endif  // RP_RCU_THREAD_REGISTRY_H_

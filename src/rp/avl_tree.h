@@ -1,0 +1,454 @@
+// Relativistic AVL tree.
+//
+// Completes the paper's list of relativistic data structures ("balanced
+// trees"). This implementation takes the path-copying route: every node is
+// immutable once published, and an update (insert / assign / erase) copies
+// the O(log n) path from the root to the touched node — plus any rotation
+// partners — rebalances the private copies, then publishes the new root
+// with a single pointer swing. Replaced nodes are retired and reclaimed
+// after a grace period.
+//
+// What this buys:
+//   * Readers are wait-free and take no locks — one atomic root load, then
+//     plain loads of immutable nodes.
+//   * Every read observes a point-in-time SNAPSHOT of the whole tree: a
+//     lookup, range scan, or full iteration started before an update
+//     completes sees the pre-update tree in its entirety. This is stronger
+//     than the hash table's per-bucket guarantee, and it is the natural
+//     consistency unit for an ordered structure (range scans across many
+//     nodes would otherwise observe mixed states).
+//   * Writers pay O(log n) allocation per update and serialize on a mutex,
+//     same single-writer discipline as the rest of the library.
+//
+// The alternative relativistic design (in-place rotation with one copied
+// node per rotation, as in Howard & Walpole's RP red-black trees) does less
+// allocation but gives only per-step consistency; the trade is called out
+// in DESIGN.md and exercised by bench/abl9_tree_scaling.
+#ifndef RP_RP_AVL_TREE_H_
+#define RP_RP_AVL_TREE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+
+namespace rp::rp {
+
+template <typename Key, typename T, typename Compare = std::less<Key>,
+          typename Domain = rcu::Epoch>
+class AvlTree {
+ public:
+  using key_type = Key;
+  using mapped_type = T;
+
+  AvlTree() = default;
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+
+  // Destruction requires external quiescence, like any container.
+  ~AvlTree() { FreeSubtree(root_.load(std::memory_order_relaxed)); }
+
+  // ---------------------------------------------------------------------
+  // Read side — wait-free, snapshot-consistent.
+  // ---------------------------------------------------------------------
+
+  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(rcu::RcuDereference(root_), key);
+    if (node == nullptr) {
+      return std::nullopt;
+    }
+    return node->value;
+  }
+
+  [[nodiscard]] bool Contains(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    return FindNode(rcu::RcuDereference(root_), key) != nullptr;
+  }
+
+  // Zero-copy access inside the read-side critical section.
+  template <typename Fn>
+  bool With(const Key& key, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = FindNode(rcu::RcuDereference(root_), key);
+    if (node == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(node->value));
+    return true;
+  }
+
+  // In-order visit of the whole tree: fn(const Key&, const T&). The scan
+  // observes one atomic snapshot — concurrent updates are either entirely
+  // visible or entirely invisible.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    VisitInOrder(rcu::RcuDereference(root_), fn);
+  }
+
+  // In-order visit of keys in [lo, hi); same snapshot guarantee.
+  template <typename Fn>
+  void ForEachRange(const Key& lo, const Key& hi, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    VisitRange(rcu::RcuDereference(root_), lo, hi, fn);
+  }
+
+  // Smallest key ≥ `key` in the snapshot, with its value.
+  [[nodiscard]] std::optional<std::pair<Key, T>> Ceiling(const Key& key) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* best = nullptr;
+    const Node* node = rcu::RcuDereference(root_);
+    while (node != nullptr) {
+      if (Compare{}(node->key, key)) {
+        node = node->right;
+      } else {
+        best = node;
+        node = node->left;
+      }
+    }
+    if (best == nullptr) {
+      return std::nullopt;
+    }
+    return std::make_pair(best->key, best->value);
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool Empty() const { return Size() == 0; }
+
+  // Tree height (0 when empty). Diagnostic; AVL keeps it ≤ 1.44·log2(n+2).
+  [[nodiscard]] int Height() const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* root = rcu::RcuDereference(root_);
+    return root == nullptr ? 0 : root->height;
+  }
+
+  // ---------------------------------------------------------------------
+  // Write side — serialized on an internal mutex.
+  // ---------------------------------------------------------------------
+
+  // Inserts; returns false (tree unchanged, nothing allocated beyond a
+  // probe) if the key is present.
+  bool Insert(const Key& key, T value) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (FindNode(root_.load(std::memory_order_relaxed), key) != nullptr) {
+      return false;
+    }
+    UpdateContext ctx(this);
+    Node* new_root =
+        InsertRec(root_.load(std::memory_order_relaxed), key, std::move(value),
+                  /*replace=*/false, ctx);
+    PublishLocked(new_root, ctx);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Inserts or replaces. Returns true if newly inserted. A replace copies
+  // the path and swaps the root, so readers see old or new atomically.
+  bool InsertOrAssign(const Key& key, T value) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    const bool existed =
+        FindNode(root_.load(std::memory_order_relaxed), key) != nullptr;
+    UpdateContext ctx(this);
+    Node* new_root =
+        InsertRec(root_.load(std::memory_order_relaxed), key, std::move(value),
+                  /*replace=*/true, ctx);
+    PublishLocked(new_root, ctx);
+    if (!existed) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return !existed;
+  }
+
+  // Erases; returns whether the key was present.
+  bool Erase(const Key& key) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (FindNode(root_.load(std::memory_order_relaxed), key) == nullptr) {
+      return false;
+    }
+    UpdateContext ctx(this);
+    Node* new_root = EraseRec(root_.load(std::memory_order_relaxed), key, ctx);
+    PublishLocked(new_root, ctx);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Removes every entry; the whole old tree is retired at once.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Node* old_root = root_.exchange(nullptr, std::memory_order_release);
+    RetireSubtree(old_root);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+  // Test hook: verifies the AVL invariant over the current tree. Requires
+  // external quiescence with respect to writers.
+  [[nodiscard]] bool IsBalanced() const {
+    rcu::ReadGuard<Domain> guard;
+    return CheckBalanced(rcu::RcuDereference(root_)).ok;
+  }
+
+ private:
+  struct Node {
+    Node(const Key& k, T v) : key(k), value(std::move(v)) {}
+
+    // Immutable once published; mutated only while private to one update.
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+    const Key key;
+    T value;
+  };
+
+  // Bookkeeping for one path-copying update: which nodes were freshly
+  // allocated (private, mutable) and which published nodes they replace.
+  struct UpdateContext {
+    explicit UpdateContext(const AvlTree*) {}
+
+    // Returns a mutable version of `node`: the node itself if this update
+    // created it, otherwise a fresh copy (original queued for retirement).
+    Node* Own(Node* node) {
+      if (fresh.contains(node)) {
+        return node;
+      }
+      auto* copy = new Node(node->key, node->value);
+      copy->left = node->left;
+      copy->right = node->right;
+      copy->height = node->height;
+      fresh.insert(copy);
+      retired.push_back(node);
+      return copy;
+    }
+
+    Node* Make(const Key& key, T value) {
+      auto* node = new Node(key, std::move(value));
+      fresh.insert(node);
+      return node;
+    }
+
+    std::unordered_set<const Node*> fresh;
+    std::vector<Node*> retired;
+  };
+
+  static int HeightOf(const Node* node) {
+    return node == nullptr ? 0 : node->height;
+  }
+
+  static int BalanceOf(const Node* node) {
+    return HeightOf(node->left) - HeightOf(node->right);
+  }
+
+  static void Reheight(Node* node) {
+    node->height = 1 + std::max(HeightOf(node->left), HeightOf(node->right));
+  }
+
+  // Rotations operate on private nodes; partners pulled into the private
+  // set on demand via Own.
+  Node* RotateRight(Node* node, UpdateContext& ctx) {
+    Node* pivot = ctx.Own(node->left);
+    node->left = pivot->right;
+    pivot->right = node;
+    Reheight(node);
+    Reheight(pivot);
+    return pivot;
+  }
+
+  Node* RotateLeft(Node* node, UpdateContext& ctx) {
+    Node* pivot = ctx.Own(node->right);
+    node->right = pivot->left;
+    pivot->left = node;
+    Reheight(node);
+    Reheight(pivot);
+    return pivot;
+  }
+
+  // Standard AVL rebalance of a private node whose subtrees differ by ≤ 2.
+  Node* Rebalance(Node* node, UpdateContext& ctx) {
+    Reheight(node);
+    const int balance = BalanceOf(node);
+    if (balance > 1) {
+      if (BalanceOf(node->left) < 0) {
+        node->left = RotateLeft(ctx.Own(node->left), ctx);
+      }
+      return RotateRight(node, ctx);
+    }
+    if (balance < -1) {
+      if (BalanceOf(node->right) > 0) {
+        node->right = RotateRight(ctx.Own(node->right), ctx);
+      }
+      return RotateLeft(node, ctx);
+    }
+    return node;
+  }
+
+  // Copies the path to `key`, inserting or replacing. Caller has ensured a
+  // plain Insert never reaches an existing key.
+  Node* InsertRec(Node* node, const Key& key, T value, bool replace,
+                  UpdateContext& ctx) {
+    if (node == nullptr) {
+      return ctx.Make(key, std::move(value));
+    }
+    Node* copy = ctx.Own(node);
+    if (Compare{}(key, copy->key)) {
+      copy->left = InsertRec(copy->left, key, std::move(value), replace, ctx);
+    } else if (Compare{}(copy->key, key)) {
+      copy->right = InsertRec(copy->right, key, std::move(value), replace, ctx);
+    } else {
+      assert(replace && "plain Insert pre-checked key absence");
+      copy->value = std::move(value);  // private copy: mutation is safe
+      return copy;
+    }
+    return Rebalance(copy, ctx);
+  }
+
+  Node* EraseRec(Node* node, const Key& key, UpdateContext& ctx) {
+    assert(node != nullptr && "Erase pre-checked key presence");
+    Node* copy = ctx.Own(node);
+    if (Compare{}(key, copy->key)) {
+      copy->left = EraseRec(copy->left, key, ctx);
+    } else if (Compare{}(copy->key, key)) {
+      copy->right = EraseRec(copy->right, key, ctx);
+    } else {
+      // Found. The copy itself is discarded; it never becomes reachable.
+      // It is in ctx.fresh, so PublishLocked's sweep deletes it if orphaned.
+      if (copy->left == nullptr || copy->right == nullptr) {
+        Node* child = copy->left != nullptr ? copy->left : copy->right;
+        orphan_.push_back(copy);
+        return child;
+      }
+      // Two children: splice the in-order successor's key/value into a
+      // fresh node occupying this position, then remove the successor from
+      // the right subtree.
+      Node* successor = copy->right;
+      while (successor->left != nullptr) {
+        successor = successor->left;
+      }
+      Node* replacement = ctx.Make(successor->key, successor->value);
+      replacement->left = copy->left;
+      replacement->right = EraseRec(copy->right, successor->key, ctx);
+      orphan_.push_back(copy);
+      return Rebalance(replacement, ctx);
+    }
+    return Rebalance(copy, ctx);
+  }
+
+  void PublishLocked(Node* new_root, UpdateContext& ctx) {
+    rcu::RcuAssignPointer(root_, new_root);
+    // Published nodes we replaced: free after a grace period.
+    for (Node* node : ctx.retired) {
+      Domain::Retire(node);
+    }
+    // Private copies that fell out of the final tree (erase victims):
+    // no reader ever saw them, delete immediately.
+    for (Node* node : orphan_) {
+      if (ctx.fresh.contains(node)) {
+        delete node;
+      } else {
+        Domain::Retire(node);  // was a published node routed around
+      }
+    }
+    orphan_.clear();
+  }
+
+  static const Node* FindNode(const Node* node, const Key& key) {
+    while (node != nullptr) {
+      if (Compare{}(key, node->key)) {
+        node = node->left;
+      } else if (Compare{}(node->key, key)) {
+        node = node->right;
+      } else {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+
+  template <typename Fn>
+  static void VisitInOrder(const Node* node, Fn& fn) {
+    if (node == nullptr) {
+      return;
+    }
+    VisitInOrder(node->left, fn);
+    fn(static_cast<const Key&>(node->key), static_cast<const T&>(node->value));
+    VisitInOrder(node->right, fn);
+  }
+
+  template <typename Fn>
+  static void VisitRange(const Node* node, const Key& lo, const Key& hi,
+                         Fn& fn) {
+    if (node == nullptr) {
+      return;
+    }
+    const bool below = Compare{}(node->key, lo);
+    const bool at_or_above_hi = !Compare{}(node->key, hi);
+    if (!below) {
+      VisitRange(node->left, lo, hi, fn);
+    }
+    if (!below && !at_or_above_hi) {
+      fn(static_cast<const Key&>(node->key),
+         static_cast<const T&>(node->value));
+    }
+    if (!at_or_above_hi) {
+      VisitRange(node->right, lo, hi, fn);
+    }
+  }
+
+  struct BalanceCheck {
+    bool ok;
+    int height;
+  };
+  static BalanceCheck CheckBalanced(const Node* node) {
+    if (node == nullptr) {
+      return {true, 0};
+    }
+    const BalanceCheck left = CheckBalanced(node->left);
+    const BalanceCheck right = CheckBalanced(node->right);
+    const int height = 1 + std::max(left.height, right.height);
+    const bool ok = left.ok && right.ok &&
+                    std::abs(left.height - right.height) <= 1 &&
+                    node->height == height;
+    return {ok, height};
+  }
+
+  static void FreeSubtree(Node* node) {
+    if (node == nullptr) {
+      return;
+    }
+    FreeSubtree(node->left);
+    FreeSubtree(node->right);
+    delete node;
+  }
+
+  static void RetireSubtree(Node* node) {
+    if (node == nullptr) {
+      return;
+    }
+    RetireSubtree(node->left);
+    RetireSubtree(node->right);
+    Domain::Retire(node);
+  }
+
+  std::atomic<Node*> root_{nullptr};
+  std::atomic<std::size_t> count_{0};
+  mutable std::mutex writer_mutex_;
+  // Erase victims awaiting classification in PublishLocked; writer-locked.
+  std::vector<Node*> orphan_;
+};
+
+}  // namespace rp::rp
+
+#endif  // RP_RP_AVL_TREE_H_

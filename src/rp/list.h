@@ -1,0 +1,185 @@
+// Relativistic (RCU-protected) singly-linked list.
+//
+// The building block of the paper's hash buckets, exposed as a standalone
+// container: readers traverse with no locks, no retries and no shared-line
+// writes; writers serialize on an internal mutex, publish insertions with
+// release stores, and defer reclamation of removed nodes until a grace
+// period has elapsed.
+//
+// Reader guarantees (the paper's slides, "Relativistic synchronization
+// primitives"):
+//   * a traversal concurrent with an insert sees the list either with or
+//     without the new element, never a partial link;
+//   * a traversal concurrent with a removal sees the element or not, and
+//     may safely keep using a removed element until it leaves the read-side
+//     critical section.
+#ifndef RP_RP_LIST_H_
+#define RP_RP_LIST_H_
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+
+namespace rp {
+
+template <typename T, typename Domain = rcu::Epoch>
+class RpList {
+ public:
+  RpList() = default;
+
+  RpList(const RpList&) = delete;
+  RpList& operator=(const RpList&) = delete;
+
+  // Destruction requires external quiescence: no concurrent readers or
+  // writers. Nodes are freed immediately.
+  ~RpList() {
+    Node* node = head_.load(std::memory_order_relaxed);
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      delete node;
+      node = next;
+    }
+  }
+
+  // -- Write side (serialized internally) ----------------------------------
+
+  // Inserts at the head. O(1).
+  void PushFront(T value) {
+    Node* node = new Node(std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    node->next.store(head_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    rcu::RcuAssignPointer(head_, node);  // publish
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Inserts keeping ascending order w.r.t. Compare (stable: after equals).
+  template <typename Compare>
+  void InsertSorted(T value, Compare cmp) {
+    Node* node = new Node(std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::atomic<Node*>* slot = &head_;
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != nullptr && !cmp(node->value, cur->value)) {
+      slot = &cur->next;
+      cur = slot->load(std::memory_order_relaxed);
+    }
+    node->next.store(cur, std::memory_order_relaxed);
+    rcu::RcuAssignPointer(*slot, node);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Removes the first element matching `pred`. Returns whether one was
+  // removed. The node is reclaimed after a grace period.
+  template <typename Pred>
+  bool RemoveIf(Pred pred) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::atomic<Node*>* slot = &head_;
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      if (pred(cur->value)) {
+        // Unlink: a single pointer swing; concurrent readers positioned at
+        // `cur` keep a valid next pointer until reclamation.
+        slot->store(cur->next.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        Domain::Retire(cur);
+        return true;
+      }
+      slot = &cur->next;
+      cur = slot->load(std::memory_order_relaxed);
+    }
+    return false;
+  }
+
+  // Removes all elements matching `pred`; returns the count removed.
+  template <typename Pred>
+  std::size_t RemoveAllIf(Pred pred) {
+    std::size_t removed = 0;
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::atomic<Node*>* slot = &head_;
+    Node* cur = slot->load(std::memory_order_relaxed);
+    while (cur != nullptr) {
+      Node* next = cur->next.load(std::memory_order_relaxed);
+      if (pred(cur->value)) {
+        slot->store(next, std::memory_order_release);
+        Domain::Retire(cur);
+        ++removed;
+      } else {
+        slot = &cur->next;
+      }
+      cur = next;
+    }
+    count_.fetch_sub(removed, std::memory_order_relaxed);
+    return removed;
+  }
+
+  // -- Read side (wait-free) ------------------------------------------------
+
+  // Returns a copy of the first element matching `pred`.
+  template <typename Pred>
+  std::optional<T> FindIf(Pred pred) const {
+    rcu::ReadGuard<Domain> guard;
+    for (Node* cur = rcu::RcuDereference(head_); cur != nullptr;
+         cur = rcu::RcuDereference(cur->next)) {
+      if (pred(cur->value)) {
+        return cur->value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  template <typename Pred>
+  bool ContainsIf(Pred pred) const {
+    rcu::ReadGuard<Domain> guard;
+    for (Node* cur = rcu::RcuDereference(head_); cur != nullptr;
+         cur = rcu::RcuDereference(cur->next)) {
+      if (pred(cur->value)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Visits every element under one read-side critical section.
+  // `fn(const T&)` returning void, or bool where `false` stops early.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    rcu::ReadGuard<Domain> guard;
+    for (Node* cur = rcu::RcuDereference(head_); cur != nullptr;
+         cur = rcu::RcuDereference(cur->next)) {
+      if constexpr (std::is_invocable_r_v<bool, Fn, const T&>) {
+        if (!fn(static_cast<const T&>(cur->value))) {
+          return;
+        }
+      } else {
+        fn(static_cast<const T&>(cur->value));
+      }
+    }
+  }
+
+  // Element count (writer-maintained; readers see a recent value).
+  std::size_t Size() const { return count_.load(std::memory_order_relaxed); }
+  bool Empty() const { return Size() == 0; }
+
+ private:
+  struct Node {
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value;
+  };
+
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::size_t> count_{0};
+  mutable std::mutex writer_mutex_;
+};
+
+}  // namespace rp
+
+#endif  // RP_RP_LIST_H_

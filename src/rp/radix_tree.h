@@ -1,0 +1,436 @@
+// Relativistic radix tree.
+//
+// One of the relativistic data structures the paper lists alongside linked
+// lists and hash tables. The design follows the Linux kernel's RCU radix
+// tree: a fixed-fanout trie over unsigned 64-bit keys where readers descend
+// from the root to a leaf with wait-free dependent loads and writers publish
+// or prune subtrees with single pointer swings.
+//
+// Reader guarantees:
+//   * Lookup is wait-free: at most Height() dependent loads, no locks,
+//     no retries, no shared-cacheline writes.
+//   * The tree is consistent at every instant: a published entry is
+//     reachable the moment its publishing pointer swing lands; an erased
+//     entry stays fully intact until a grace period after unlink.
+//   * Concurrent growth (stacking a level above the root) and collapse
+//     (unstacking a root whose only occupant is slot 0) are invisible to
+//     readers. The key trick, borrowed from the kernel, is that each node
+//     carries its own level, so a reader needs only ONE racy load — the
+//     root pointer — and everything else is self-describing. There is no
+//     separate height variable whose staleness could mis-pair with the
+//     root.
+//
+// Writers serialize on an internal mutex, exactly like RpHashMap: the
+// paper's concurrency claim under test is reader scalability.
+#ifndef RP_RP_RADIX_TREE_H_
+#define RP_RP_RADIX_TREE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+
+namespace rp::rp {
+
+// Fanout of 64 (6 bits/level) matches the kernel's default: a 3-level tree
+// covers 18 bits; 11 levels cover all of uint64.
+inline constexpr unsigned kRadixBits = 6;
+inline constexpr std::size_t kRadixFanout = std::size_t{1} << kRadixBits;
+inline constexpr std::uint64_t kRadixSlotMask = kRadixFanout - 1;
+
+template <typename T, typename Domain = rcu::Epoch>
+class RadixTree {
+ public:
+  using key_type = std::uint64_t;
+  using mapped_type = T;
+
+  RadixTree() = default;
+  RadixTree(const RadixTree&) = delete;
+  RadixTree& operator=(const RadixTree&) = delete;
+
+  // Destruction requires external quiescence, like any container.
+  ~RadixTree() {
+    Node* root = root_.load(std::memory_order_relaxed);
+    if (root != nullptr) {
+      FreeSubtree(root);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Read side — wait-free.
+  // ---------------------------------------------------------------------
+
+  [[nodiscard]] std::optional<T> Get(std::uint64_t key) const {
+    rcu::ReadGuard<Domain> guard;
+    const Entry* entry = FindEntry(key);
+    if (entry == nullptr) {
+      return std::nullopt;
+    }
+    return entry->value;
+  }
+
+  [[nodiscard]] bool Contains(std::uint64_t key) const {
+    rcu::ReadGuard<Domain> guard;
+    return FindEntry(key) != nullptr;
+  }
+
+  // Zero-copy access inside the read-side critical section. `fn` must not
+  // block and must not retain references past its return.
+  template <typename Fn>
+  bool With(std::uint64_t key, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Entry* entry = FindEntry(key);
+    if (entry == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(entry->value));
+    return true;
+  }
+
+  // Key-order visit of every entry under one read section: fn(key, const T&).
+  // Entries inserted/erased concurrently may or may not be seen.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* root = rcu::RcuDereference(root_);
+    if (root != nullptr) {
+      VisitSubtree(root, fn);
+    }
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool Empty() const { return Size() == 0; }
+
+  // Current number of node levels (0 when empty). Diagnostic.
+  [[nodiscard]] unsigned Height() const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* root = rcu::RcuDereference(root_);
+    return root == nullptr ? 0 : root->level;
+  }
+
+  // ---------------------------------------------------------------------
+  // Write side — serialized on an internal mutex.
+  // ---------------------------------------------------------------------
+
+  // Inserts; returns false (tree unchanged) if the key is present.
+  bool Insert(std::uint64_t key, T value) {
+    auto* entry = new Entry(key, std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Entry* displaced = nullptr;
+    if (!InsertEntryLocked(entry, /*replace=*/false, &displaced)) {
+      delete entry;
+      return false;
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Inserts or replaces; a replace swings the leaf slot to a fresh entry so
+  // readers atomically see the old or the new value. Returns true on insert.
+  bool InsertOrAssign(std::uint64_t key, T value) {
+    auto* entry = new Entry(key, std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Entry* displaced = nullptr;
+    if (InsertEntryLocked(entry, /*replace=*/true, &displaced)) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    assert(displaced != nullptr);
+    Domain::Retire(displaced);
+    return false;
+  }
+
+  // Erases; prunes now-empty interior nodes and collapses a root whose only
+  // occupant is slot 0. Returns whether the key was present.
+  bool Erase(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Node* root = root_.load(std::memory_order_relaxed);
+    if (root == nullptr || !KeyFits(key, root->level)) {
+      return false;
+    }
+
+    // Record the path root→leaf-owner so empty nodes can be pruned
+    // bottom-up. path[i] has level root->level - i.
+    Node* path[kMaxLevels];
+    unsigned path_len = 0;
+    Node* node = root;
+    for (;;) {
+      path[path_len++] = node;
+      if (node->level == 1) {
+        break;
+      }
+      void* child =
+          node->slot(SlotIndex(key, node->level)).load(std::memory_order_relaxed);
+      if (child == nullptr) {
+        return false;
+      }
+      node = static_cast<Node*>(child);
+    }
+
+    std::atomic<void*>& leaf_slot = node->slot(SlotIndex(key, 1));
+    auto* entry = static_cast<Entry*>(leaf_slot.load(std::memory_order_relaxed));
+    if (entry == nullptr) {
+      return false;
+    }
+    assert(entry->key == key);
+
+    // Unlink with one pointer swing, then prune empty ancestors bottom-up.
+    leaf_slot.store(nullptr, std::memory_order_release);
+    Domain::Retire(entry);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+
+    for (unsigned i = path_len; i-- > 0;) {
+      if (!path[i]->IsEmpty()) {
+        break;
+      }
+      if (i == 0) {
+        root_.store(nullptr, std::memory_order_release);
+      } else {
+        path[i - 1]
+            ->slot(SlotIndex(key, path[i - 1]->level))
+            .store(nullptr, std::memory_order_release);
+      }
+      Domain::Retire(path[i]);
+    }
+    MaybeCollapseRootLocked();
+    return true;
+  }
+
+  // Removes every entry; reclamation of the whole tree is deferred.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Node* root = root_.exchange(nullptr, std::memory_order_release);
+    if (root != nullptr) {
+      RetireSubtree(root);
+    }
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    Entry(std::uint64_t k, T v) : key(k), value(std::move(v)) {}
+    const std::uint64_t key;
+    T value;
+  };
+
+  static constexpr unsigned kMaxLevels = (64 + kRadixBits - 1) / kRadixBits;
+
+  // Interior node. `level` is immutable after construction: level 1 slots
+  // hold Entry*, higher levels hold Node*. A node self-describes its place
+  // in the tree, so readers never consult shared mutable metadata.
+  struct Node {
+    explicit Node(unsigned lvl) : level(lvl) {}
+
+    std::atomic<void*>& slot(std::size_t i) { return slots_[i]; }
+    const std::atomic<void*>& slot(std::size_t i) const { return slots_[i]; }
+
+    [[nodiscard]] bool EmptyExceptSlotZero() const {
+      for (std::size_t i = 1; i < kRadixFanout; ++i) {
+        if (slots_[i].load(std::memory_order_relaxed) != nullptr) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    [[nodiscard]] bool IsEmpty() const {
+      return slots_[0].load(std::memory_order_relaxed) == nullptr &&
+             EmptyExceptSlotZero();
+    }
+
+    const unsigned level;
+
+   private:
+    std::atomic<void*> slots_[kRadixFanout] = {};
+  };
+
+  // Slot index of `key` within a node of `level`.
+  static std::size_t SlotIndex(std::uint64_t key, unsigned level) {
+    return (key >> ((level - 1) * kRadixBits)) & kRadixSlotMask;
+  }
+
+  // Whether `key` is addressable by a tree whose root has `level`.
+  static bool KeyFits(std::uint64_t key, unsigned level) {
+    const unsigned bits = level * kRadixBits;
+    return bits >= 64 || (key >> bits) == 0;
+  }
+
+  static unsigned LevelsNeeded(std::uint64_t key) {
+    unsigned level = 1;
+    while (!KeyFits(key, level)) {
+      ++level;
+    }
+    return level;
+  }
+
+  // -- Read path. Caller must hold a read-side critical section. ----------
+  const Entry* FindEntry(std::uint64_t key) const {
+    const Node* node = rcu::RcuDereference(root_);
+    if (node == nullptr || !KeyFits(key, node->level)) {
+      return nullptr;
+    }
+    for (;;) {
+      const void* child =
+          node->slot(SlotIndex(key, node->level)).load(std::memory_order_acquire);
+      if (child == nullptr) {
+        return nullptr;
+      }
+      if (node->level == 1) {
+        const Entry* entry = static_cast<const Entry*>(child);
+        assert(entry->key == key);
+        return entry;
+      }
+      node = static_cast<const Node*>(child);
+    }
+  }
+
+  template <typename Fn>
+  void VisitSubtree(const Node* node, Fn& fn) const {
+    for (std::size_t i = 0; i < kRadixFanout; ++i) {
+      const void* child = node->slot(i).load(std::memory_order_acquire);
+      if (child == nullptr) {
+        continue;
+      }
+      if (node->level == 1) {
+        const Entry* entry = static_cast<const Entry*>(child);
+        fn(entry->key, static_cast<const T&>(entry->value));
+      } else {
+        VisitSubtree(static_cast<const Node*>(child), fn);
+      }
+    }
+  }
+
+  // -- Writer helpers. Caller holds writer_mutex_. -------------------------
+
+  // Stacks new roots (slot 0 = previous root) until `key` fits. Publishing
+  // the taller root is one pointer swing; a reader holding the old root
+  // sees an interior node of the new tree and remains complete for every
+  // key it could previously reach.
+  void GrowToFitLocked(std::uint64_t key) {
+    Node* root = root_.load(std::memory_order_relaxed);
+    while (!KeyFits(key, root->level)) {
+      auto* taller = new Node(root->level + 1);
+      taller->slot(0).store(root, std::memory_order_relaxed);
+      rcu::RcuAssignPointer(root_, taller);
+      root = taller;
+    }
+  }
+
+  // Returns true if `entry` was newly linked. Returns false when the key
+  // already existed: with replace=false the tree is unchanged; with
+  // replace=true the old entry is swung out and handed back in *displaced.
+  bool InsertEntryLocked(Entry* entry, bool replace, Entry** displaced) {
+    Node* root = root_.load(std::memory_order_relaxed);
+    if (root == nullptr) {
+      auto* spine = static_cast<Node*>(
+          BuildSpine(entry, LevelsNeeded(entry->key)));
+      rcu::RcuAssignPointer(root_, spine);
+      return true;
+    }
+    GrowToFitLocked(entry->key);
+
+    Node* node = root_.load(std::memory_order_relaxed);
+    while (node->level > 1) {
+      std::atomic<void*>& slot = node->slot(SlotIndex(entry->key, node->level));
+      void* child = slot.load(std::memory_order_relaxed);
+      if (child == nullptr) {
+        // Build the remaining spine privately; publish it in one swing.
+        void* spine = BuildSpine(entry, node->level - 1);
+        rcu::RcuAssignPointer(slot, spine);
+        return true;
+      }
+      node = static_cast<Node*>(child);
+    }
+
+    std::atomic<void*>& leaf_slot = node->slot(SlotIndex(entry->key, 1));
+    void* existing = leaf_slot.load(std::memory_order_relaxed);
+    if (existing == nullptr) {
+      rcu::RcuAssignPointer(leaf_slot, static_cast<void*>(entry));
+      return true;
+    }
+    auto* old_entry = static_cast<Entry*>(existing);
+    assert(old_entry->key == entry->key);
+    if (replace) {
+      *displaced = old_entry;
+      leaf_slot.store(entry, std::memory_order_release);  // atomic swap
+    }
+    return false;
+  }
+
+  // Allocates the chain of nodes from `level` down to the slot holding
+  // `entry`. Entirely private until the caller publishes its head; level 0
+  // means the entry itself.
+  void* BuildSpine(Entry* entry, unsigned level) {
+    if (level == 0) {
+      return entry;
+    }
+    auto* node = new Node(level);
+    node->slot(SlotIndex(entry->key, level))
+        .store(BuildSpine(entry, level - 1), std::memory_order_relaxed);
+    return node;
+  }
+
+  // Unstacks roots whose only occupant is slot 0. The slot-0 child is a
+  // complete tree for every remaining key; readers still holding the old
+  // root merely traverse one extra level through it, so only the node
+  // itself needs a grace period before reuse.
+  void MaybeCollapseRootLocked() {
+    for (;;) {
+      Node* root = root_.load(std::memory_order_relaxed);
+      if (root == nullptr || root->level == 1 || !root->EmptyExceptSlotZero()) {
+        return;
+      }
+      void* child = root->slot(0).load(std::memory_order_relaxed);
+      assert(child != nullptr && "fully-empty roots are pruned by Erase");
+      rcu::RcuAssignPointer(root_, static_cast<Node*>(child));
+      Domain::Retire(root);
+    }
+  }
+
+  void FreeSubtree(Node* node) {
+    for (std::size_t i = 0; i < kRadixFanout; ++i) {
+      void* child = node->slot(i).load(std::memory_order_relaxed);
+      if (child == nullptr) {
+        continue;
+      }
+      if (node->level == 1) {
+        delete static_cast<Entry*>(child);
+      } else {
+        FreeSubtree(static_cast<Node*>(child));
+      }
+    }
+    delete node;
+  }
+
+  void RetireSubtree(Node* node) {
+    for (std::size_t i = 0; i < kRadixFanout; ++i) {
+      void* child = node->slot(i).load(std::memory_order_relaxed);
+      if (child == nullptr) {
+        continue;
+      }
+      if (node->level == 1) {
+        Domain::Retire(static_cast<Entry*>(child));
+      } else {
+        RetireSubtree(static_cast<Node*>(child));
+      }
+    }
+    Domain::Retire(node);
+  }
+
+  std::atomic<Node*> root_{nullptr};
+  std::atomic<std::size_t> count_{0};
+  mutable std::mutex writer_mutex_;
+};
+
+}  // namespace rp::rp
+
+#endif  // RP_RP_RADIX_TREE_H_

@@ -1,0 +1,362 @@
+// Relativistic trie over byte-string keys.
+//
+// The paper lists tries among the data structures relativistic techniques
+// apply to. This is a nibble-fanout (16-way) trie: each key byte consumes
+// two levels, so depth equals 2x key length, nodes stay small (16 slots +
+// an optional terminal value) and a lookup is a chain of wait-free
+// dependent loads, exactly like the radix tree's.
+//
+// Reader guarantees mirror the other relativistic structures:
+//   * Lookups and prefix scans take no locks, never retry, and write no
+//     shared cache lines.
+//   * A published key is visible the instant its publishing pointer swing
+//     lands; an erased key's nodes stay intact until a grace period after
+//     unlink, so concurrent readers finish their descent safely.
+//   * Values are stored in immutable Entry cells; replacement swings the
+//     terminal pointer, so readers see the old or the new value, never a
+//     torn one.
+//
+// Writers serialize on an internal mutex (single-writer discipline, as in
+// the paper's hash table).
+#ifndef RP_RP_TRIE_H_
+#define RP_RP_TRIE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/rcu_pointer.h"
+
+namespace rp::rp {
+
+inline constexpr std::size_t kTrieFanout = 16;  // one nibble per level
+
+template <typename T, typename Domain = rcu::Epoch>
+class Trie {
+ public:
+  using key_type = std::string;
+  using mapped_type = T;
+
+  Trie() : root_(new Node()) {}
+  Trie(const Trie&) = delete;
+  Trie& operator=(const Trie&) = delete;
+
+  // Destruction requires external quiescence, like any container.
+  ~Trie() { FreeSubtree(root_.load(std::memory_order_relaxed)); }
+
+  // ---------------------------------------------------------------------
+  // Read side — wait-free.
+  // ---------------------------------------------------------------------
+
+  [[nodiscard]] std::optional<T> Get(std::string_view key) const {
+    rcu::ReadGuard<Domain> guard;
+    const Entry* entry = FindEntry(key);
+    if (entry == nullptr) {
+      return std::nullopt;
+    }
+    return entry->value;
+  }
+
+  [[nodiscard]] bool Contains(std::string_view key) const {
+    rcu::ReadGuard<Domain> guard;
+    return FindEntry(key) != nullptr;
+  }
+
+  // Zero-copy access inside the read-side critical section.
+  template <typename Fn>
+  bool With(std::string_view key, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Entry* entry = FindEntry(key);
+    if (entry == nullptr) {
+      return false;
+    }
+    std::forward<Fn>(fn)(static_cast<const T&>(entry->value));
+    return true;
+  }
+
+  // Visits every (key, value) whose key starts with `prefix`, in
+  // lexicographic key order, under one read section: fn(const std::string&,
+  // const T&). Concurrent inserts/erases may or may not be observed.
+  template <typename Fn>
+  void ForEachPrefix(std::string_view prefix, Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const Node* node = DescendToPrefix(prefix);
+    if (node == nullptr) {
+      return;
+    }
+    std::string key(prefix);
+    VisitSubtree(node, key, /*half_nibble=*/prefix.size() * 2, fn);
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachPrefix({}, std::forward<Fn>(fn));
+  }
+
+  [[nodiscard]] std::size_t Size() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool Empty() const { return Size() == 0; }
+
+  // ---------------------------------------------------------------------
+  // Write side — serialized on an internal mutex.
+  // ---------------------------------------------------------------------
+
+  // Inserts; returns false (trie unchanged) if the key is present. The
+  // empty string is a valid key (terminal value on the root).
+  bool Insert(std::string_view key, T value) {
+    auto* entry = new Entry(std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (!LinkEntryLocked(key, entry, /*replace=*/false)) {
+      delete entry;
+      return false;
+    }
+    count_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  // Inserts or replaces atomically. Returns true if newly inserted.
+  bool InsertOrAssign(std::string_view key, T value) {
+    auto* entry = new Entry(std::move(value));
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    if (LinkEntryLocked(key, entry, /*replace=*/true)) {
+      count_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  // Erases; prunes interior nodes left childless and value-less. Returns
+  // whether the key was present.
+  bool Erase(std::string_view key) {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    Node* path[2 * kMaxKeyBytes + 1];
+    std::size_t depth = 0;
+    Node* node = root_.load(std::memory_order_relaxed);
+    path[depth++] = node;
+    for (std::size_t i = 0; i < key.size() * 2; ++i) {
+      Node* child = static_cast<Node*>(
+          node->child(NibbleAt(key, i)).load(std::memory_order_relaxed));
+      if (child == nullptr) {
+        return false;
+      }
+      node = child;
+      path[depth++] = node;
+    }
+    Entry* entry =
+        node->terminal.load(std::memory_order_relaxed);
+    if (entry == nullptr) {
+      return false;
+    }
+    node->terminal.store(nullptr, std::memory_order_release);
+    Domain::Retire(entry);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+
+    // Prune childless, value-less nodes bottom-up (never the root).
+    for (std::size_t i = depth; i-- > 1;) {
+      if (!path[i]->IsEmpty()) {
+        break;
+      }
+      path[i - 1]->child(NibbleAt(key, i - 1)).store(nullptr,
+                                                     std::memory_order_release);
+      Domain::Retire(path[i]);
+    }
+    return true;
+  }
+
+  // Removes every entry; whole-subtree reclamation is deferred.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(writer_mutex_);
+    auto* empty = new Node();
+    Node* old_root = root_.exchange(empty, std::memory_order_release);
+    RetireSubtree(old_root);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Longest supported key; deep enough for realistic identifiers while
+  // keeping the erase path array on the stack.
+  static constexpr std::size_t kMaxKeyBytes = 4096;
+
+  struct Entry {
+    explicit Entry(T v) : value(std::move(v)) {}
+    const T value;
+  };
+
+  struct Node {
+    std::atomic<void*>& child(std::size_t nibble) { return children_[nibble]; }
+    const std::atomic<void*>& child(std::size_t nibble) const {
+      return children_[nibble];
+    }
+
+    [[nodiscard]] bool IsEmpty() const {
+      if (terminal.load(std::memory_order_relaxed) != nullptr) {
+        return false;
+      }
+      for (std::size_t i = 0; i < kTrieFanout; ++i) {
+        if (children_[i].load(std::memory_order_relaxed) != nullptr) {
+          return false;
+        }
+      }
+      return true;
+    }
+
+    // Value for the key ending at this node (may be null).
+    std::atomic<Entry*> terminal{nullptr};
+
+   private:
+    std::atomic<void*> children_[kTrieFanout] = {};
+  };
+
+  // Nibble `i` of the key: high nibble of byte i/2 first, so iteration
+  // order is lexicographic byte order.
+  static std::size_t NibbleAt(std::string_view key, std::size_t i) {
+    const auto byte = static_cast<unsigned char>(key[i / 2]);
+    return (i % 2 == 0) ? (byte >> 4) : (byte & 0xF);
+  }
+
+  // -- Read path. Caller must hold a read-side critical section. ----------
+  const Entry* FindEntry(std::string_view key) const {
+    const Node* node = rcu::RcuDereference(root_);
+    for (std::size_t i = 0; i < key.size() * 2; ++i) {
+      const void* child =
+          node->child(NibbleAt(key, i)).load(std::memory_order_acquire);
+      if (child == nullptr) {
+        return nullptr;
+      }
+      node = static_cast<const Node*>(child);
+    }
+    return node->terminal.load(std::memory_order_acquire);
+  }
+
+  const Node* DescendToPrefix(std::string_view prefix) const {
+    const Node* node = rcu::RcuDereference(root_);
+    for (std::size_t i = 0; i < prefix.size() * 2; ++i) {
+      const void* child =
+          node->child(NibbleAt(prefix, i)).load(std::memory_order_acquire);
+      if (child == nullptr) {
+        return nullptr;
+      }
+      node = static_cast<const Node*>(child);
+    }
+    return node;
+  }
+
+  // Depth-first visit. `key` holds the bytes decoded so far; at odd
+  // half-nibble positions its last byte is half-built.
+  template <typename Fn>
+  void VisitSubtree(const Node* node, std::string& key,
+                    std::size_t half_nibble, Fn& fn) const {
+    if (half_nibble % 2 == 0) {
+      const Entry* entry = node->terminal.load(std::memory_order_acquire);
+      if (entry != nullptr) {
+        fn(static_cast<const std::string&>(key),
+           static_cast<const T&>(entry->value));
+      }
+    }
+    for (std::size_t nibble = 0; nibble < kTrieFanout; ++nibble) {
+      const void* child = node->child(nibble).load(std::memory_order_acquire);
+      if (child == nullptr) {
+        continue;
+      }
+      if (half_nibble % 2 == 0) {
+        key.push_back(static_cast<char>(nibble << 4));
+      } else {
+        key.back() = static_cast<char>(
+            (static_cast<unsigned char>(key.back()) & 0xF0) | nibble);
+      }
+      VisitSubtree(static_cast<const Node*>(child), key, half_nibble + 1, fn);
+      if (half_nibble % 2 == 0) {
+        key.pop_back();
+      } else {
+        key.back() = static_cast<char>(
+            static_cast<unsigned char>(key.back()) & 0xF0);
+      }
+    }
+  }
+
+  // -- Writer helpers. Caller holds writer_mutex_. -------------------------
+
+  // Returns true if `entry` was newly linked; false when the key existed
+  // (entry adopted only under replace=true, else caller frees it).
+  bool LinkEntryLocked(std::string_view key, Entry* entry, bool replace) {
+    assert(key.size() <= kMaxKeyBytes && "key exceeds supported length");
+    Node* node = root_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < key.size() * 2; ++i) {
+      std::atomic<void*>& slot = node->child(NibbleAt(key, i));
+      void* child = slot.load(std::memory_order_relaxed);
+      if (child == nullptr) {
+        // Build the remaining spine privately; publish in one swing.
+        Node* spine = BuildSpine(key, i + 1, entry);
+        rcu::RcuAssignPointer(slot, static_cast<void*>(spine));
+        return true;
+      }
+      node = static_cast<Node*>(child);
+    }
+    Entry* existing = node->terminal.load(std::memory_order_relaxed);
+    if (existing == nullptr) {
+      rcu::RcuAssignPointer(node->terminal, entry);
+      return true;
+    }
+    if (replace) {
+      node->terminal.store(entry, std::memory_order_release);
+      Domain::Retire(existing);
+    }
+    return false;
+  }
+
+  // Nodes for nibbles [from, 2*len) of `key`, ending at a node holding
+  // `entry` as terminal. Entirely private until published.
+  Node* BuildSpine(std::string_view key, std::size_t from, Entry* entry) {
+    auto* node = new Node();
+    if (from == key.size() * 2) {
+      node->terminal.store(entry, std::memory_order_relaxed);
+      return node;
+    }
+    node->child(NibbleAt(key, from))
+        .store(BuildSpine(key, from + 1, entry), std::memory_order_relaxed);
+    return node;
+  }
+
+  void FreeSubtree(Node* node) {
+    Entry* entry = node->terminal.load(std::memory_order_relaxed);
+    delete entry;
+    for (std::size_t i = 0; i < kTrieFanout; ++i) {
+      void* child = node->child(i).load(std::memory_order_relaxed);
+      if (child != nullptr) {
+        FreeSubtree(static_cast<Node*>(child));
+      }
+    }
+    delete node;
+  }
+
+  void RetireSubtree(Node* node) {
+    Entry* entry = node->terminal.load(std::memory_order_relaxed);
+    if (entry != nullptr) {
+      Domain::Retire(entry);
+    }
+    for (std::size_t i = 0; i < kTrieFanout; ++i) {
+      void* child = node->child(i).load(std::memory_order_relaxed);
+      if (child != nullptr) {
+        RetireSubtree(static_cast<Node*>(child));
+      }
+    }
+    Domain::Retire(node);
+  }
+
+  std::atomic<Node*> root_;  // never null
+  std::atomic<std::size_t> count_{0};
+  mutable std::mutex writer_mutex_;
+};
+
+}  // namespace rp::rp
+
+#endif  // RP_RP_TRIE_H_

@@ -1,0 +1,33 @@
+// Exponential backoff for contended spin loops.
+#ifndef RP_SYNC_BACKOFF_H_
+#define RP_SYNC_BACKOFF_H_
+
+#include <cstdint>
+
+#include "src/util/compiler.h"
+
+namespace rp::sync {
+
+class Backoff {
+ public:
+  // Spin with exponentially increasing pause counts, capped so a waiter
+  // never sleeps long enough to add visible latency cliffs.
+  void Pause() {
+    for (std::uint32_t i = 0; i < current_; ++i) {
+      CpuRelax();
+    }
+    if (current_ < kMaxSpins) {
+      current_ *= 2;
+    }
+  }
+
+  void Reset() { current_ = 1; }
+
+ private:
+  static constexpr std::uint32_t kMaxSpins = 1024;
+  std::uint32_t current_ = 1;
+};
+
+}  // namespace rp::sync
+
+#endif  // RP_SYNC_BACKOFF_H_

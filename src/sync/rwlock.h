@@ -1,0 +1,70 @@
+// Centralized reader-writer spinlock.
+//
+// This is deliberately the *classic* design the paper benchmarks against: a
+// single atomic word that every reader must write twice (acquire/release).
+// On a multi-socket machine the cacheline containing `state_` ping-pongs
+// between all reader cores, which is exactly why the rwlock curve in Figure
+// F1 stays flat. std::shared_mutex (futex-based) is also offered to the
+// baselines via a template parameter; both exhibit the same flat shape.
+#ifndef RP_SYNC_RWLOCK_H_
+#define RP_SYNC_RWLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/sync/backoff.h"
+
+namespace rp::sync {
+
+class RwSpinlock {
+ public:
+  RwSpinlock() = default;
+  RwSpinlock(const RwSpinlock&) = delete;
+  RwSpinlock& operator=(const RwSpinlock&) = delete;
+
+  void lock_shared() {
+    Backoff backoff;
+    for (;;) {
+      std::int64_t s = state_.load(std::memory_order_relaxed);
+      if (s >= 0 &&
+          state_.compare_exchange_weak(s, s + 1, std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  void unlock_shared() { state_.fetch_sub(1, std::memory_order_release); }
+
+  void lock() {
+    Backoff backoff;
+    for (;;) {
+      std::int64_t expected = 0;
+      if (state_.compare_exchange_weak(expected, kWriter,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      backoff.Pause();
+    }
+  }
+
+  void unlock() { state_.store(0, std::memory_order_release); }
+
+  bool try_lock() {
+    std::int64_t expected = 0;
+    return state_.compare_exchange_strong(expected, kWriter,
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed);
+  }
+
+ private:
+  // state: 0 free, >0 reader count, kWriter (negative) writer-held.
+  static constexpr std::int64_t kWriter = -1;
+  std::atomic<std::int64_t> state_{0};
+};
+
+}  // namespace rp::sync
+
+#endif  // RP_SYNC_RWLOCK_H_

@@ -1,0 +1,50 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used by the memcached engine's slow path and the bucket-locked baseline;
+// satisfies the Lockable named requirement so it composes with
+// std::lock_guard.
+#ifndef RP_SYNC_SPINLOCK_H_
+#define RP_SYNC_SPINLOCK_H_
+
+#include <atomic>
+
+#include "src/sync/backoff.h"
+#include "src/util/cacheline.h"
+
+namespace rp::sync {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (locked_.load(std::memory_order_relaxed)) {
+        backoff.Pause();
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// Cache-line-isolated spinlock for lock arrays (per-bucket locks).
+struct alignas(kCacheLineSize) PaddedSpinlock : Spinlock {};
+
+}  // namespace rp::sync
+
+#endif  // RP_SYNC_SPINLOCK_H_

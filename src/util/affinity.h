@@ -1,0 +1,22 @@
+// Thread-affinity helpers for the benchmark harness.
+//
+// The paper's figures sweep reader-thread counts; pinning one thread per
+// core removes scheduler migration noise from the curves.
+#ifndef RP_UTIL_AFFINITY_H_
+#define RP_UTIL_AFFINITY_H_
+
+#include <cstddef>
+
+namespace rp {
+
+// Number of online CPUs.
+std::size_t OnlineCpus();
+
+// Pin the calling thread to the given CPU (modulo the online count).
+// Returns false if pinning is unsupported or fails; callers treat pinning as
+// best-effort.
+bool PinThisThreadToCpu(std::size_t cpu);
+
+}  // namespace rp
+
+#endif  // RP_UTIL_AFFINITY_H_

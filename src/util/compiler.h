@@ -1,0 +1,61 @@
+// Low-level compiler and CPU helpers shared by the concurrency substrates.
+//
+// These mirror the Linux-kernel idioms the paper's implementation relied on
+// (READ_ONCE/WRITE_ONCE, barrier(), cpu_relax()) using standard C++20
+// facilities, so the relativistic algorithms read like their kernel
+// counterparts while remaining portable.
+#ifndef RP_UTIL_COMPILER_H_
+#define RP_UTIL_COMPILER_H_
+
+#include <atomic>
+#include <type_traits>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RP_ALWAYS_INLINE inline __attribute__((always_inline))
+#define RP_NOINLINE __attribute__((noinline))
+#define RP_LIKELY(x) __builtin_expect(!!(x), 1)
+#define RP_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define RP_ALWAYS_INLINE inline
+#define RP_NOINLINE
+#define RP_LIKELY(x) (x)
+#define RP_UNLIKELY(x) (x)
+#endif
+
+namespace rp {
+
+// Compiler-only barrier: prevents the compiler from caching shared values in
+// registers across this point. Equivalent to the kernel's barrier().
+RP_ALWAYS_INLINE void CompilerBarrier() { std::atomic_signal_fence(std::memory_order_seq_cst); }
+
+// Polite spin-wait hint (kernel cpu_relax() / x86 PAUSE).
+RP_ALWAYS_INLINE void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// READ_ONCE / WRITE_ONCE equivalents: a single, non-torn access the compiler
+// may not duplicate or elide. Relaxed atomics give exactly that guarantee.
+template <typename T>
+RP_ALWAYS_INLINE T ReadOnce(const T& location) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::atomic_ref<const T>(location).load(std::memory_order_relaxed);
+}
+
+template <typename T>
+RP_ALWAYS_INLINE void WriteOnce(T& location, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::atomic_ref<T>(location).store(value, std::memory_order_relaxed);
+}
+
+// Full memory fence (kernel smp_mb()).
+RP_ALWAYS_INLINE void SmpMb() { std::atomic_thread_fence(std::memory_order_seq_cst); }
+
+}  // namespace rp
+
+#endif  // RP_UTIL_COMPILER_H_

@@ -1,0 +1,81 @@
+// Small, fast pseudo-random generators for workload generation.
+//
+// Benchmarks need a per-thread generator whose cost is a handful of cycles
+// so that key generation does not dominate the lookup being measured;
+// std::mt19937 is far too heavy for that. SplitMix64 seeds Xoshiro256**,
+// the standard pairing.
+#ifndef RP_UTIL_RNG_H_
+#define RP_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace rp {
+
+// SplitMix64: used to expand a small seed into well-mixed state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Xoshiro256**: 4x64-bit state, sub-nanosecond generation, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+      word = sm.Next();
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  constexpr result_type operator()() { return Next(); }
+
+  constexpr std::uint64_t Next() {
+    const std::uint64_t result = RotL(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = RotL(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) without modulo bias worth caring about for
+  // benchmarking purposes (Lemire's multiply-shift reduction).
+  constexpr std::uint64_t NextBounded(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  constexpr double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t RotL(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace rp
+
+#endif  // RP_UTIL_RNG_H_

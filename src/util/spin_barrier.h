@@ -1,0 +1,42 @@
+// Sense-reversing spin barrier.
+//
+// Benchmark threads must start measuring at the same instant; a condition
+// variable adds milliseconds of wake-up skew, a spin barrier adds none.
+#ifndef RP_UTIL_SPIN_BARRIER_H_
+#define RP_UTIL_SPIN_BARRIER_H_
+
+#include <atomic>
+#include <cstddef>
+
+#include "src/util/compiler.h"
+
+namespace rp {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) : parties_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  void ArriveAndWait() {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        CpuRelax();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace rp
+
+#endif  // RP_UTIL_SPIN_BARRIER_H_

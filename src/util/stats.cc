@@ -1,0 +1,151 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rp {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / n;
+  mean_ = (mean_ * static_cast<double>(count_) +
+           other.mean_ * static_cast<double>(other.count_)) /
+          n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double RunningStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Percentiles::Percentiles(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Percentiles::At(double p) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+LatencyHistogram::LatencyHistogram() : counts_(kBuckets, 0) {}
+
+std::size_t LatencyHistogram::BucketFor(std::uint64_t nanos) {
+  // 16 buckets per power of two: bucket = 16*log2(n) + next 4 bits.
+  if (nanos < 16) {
+    return static_cast<std::size_t>(nanos);
+  }
+  const int msb = 63 - __builtin_clzll(nanos);
+  const std::uint64_t sub = (nanos >> (msb - 4)) & 0xF;
+  const auto bucket = static_cast<std::size_t>((msb - 3) * 16) + sub;
+  return std::min(bucket, kBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperBound(std::size_t bucket) {
+  if (bucket < 16) {
+    return bucket;
+  }
+  const std::size_t msb = bucket / 16 + 3;
+  const std::uint64_t sub = bucket % 16;
+  return (1ULL << msb) + ((sub + 1) << (msb - 4));
+}
+
+void LatencyHistogram::RecordNanos(std::uint64_t nanos) {
+  ++counts_[BucketFor(nanos)];
+  ++total_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  if (total_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p50=%s p90=%s p99=%s p99.9=%s (n=%llu)",
+                FormatNanos(static_cast<double>(PercentileNanos(50))).c_str(),
+                FormatNanos(static_cast<double>(PercentileNanos(90))).c_str(),
+                FormatNanos(static_cast<double>(PercentileNanos(99))).c_str(),
+                FormatNanos(static_cast<double>(PercentileNanos(99.9))).c_str(),
+                static_cast<unsigned long long>(total_));
+  return buf;
+}
+
+std::string FormatThroughput(double ops_per_sec) {
+  char buf[64];
+  if (ops_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f Gop/s", ops_per_sec / 1e9);
+  } else if (ops_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f Mop/s", ops_per_sec / 1e6);
+  } else if (ops_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f Kop/s", ops_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f op/s", ops_per_sec);
+  }
+  return buf;
+}
+
+std::string FormatNanos(double nanos) {
+  char buf[64];
+  if (nanos >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", nanos / 1e9);
+  } else if (nanos >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", nanos / 1e6);
+  } else if (nanos >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", nanos / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", nanos);
+  }
+  return buf;
+}
+
+}  // namespace rp

@@ -1,0 +1,74 @@
+// Summary statistics and fixed-bucket histograms for the bench harness.
+#ifndef RP_UTIL_STATS_H_
+#define RP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rp {
+
+// Online mean / variance / min / max accumulator (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch percentile computation over a sample vector (sorts a copy).
+class Percentiles {
+ public:
+  explicit Percentiles(std::vector<double> samples);
+
+  double At(double p) const;  // p in [0, 100]
+  double median() const { return At(50.0); }
+  bool empty() const { return sorted_.empty(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Log-scaled latency histogram: buckets cover [1ns, ~1s] with ~4% precision.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void RecordNanos(std::uint64_t nanos);
+  void Merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return total_; }
+  // Approximate value at the given percentile (nanoseconds).
+  std::uint64_t PercentileNanos(double p) const;
+  std::string Summary() const;
+
+ private:
+  static constexpr std::size_t kBuckets = 512;
+  static std::size_t BucketFor(std::uint64_t nanos);
+  static std::uint64_t BucketUpperBound(std::size_t bucket);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Human formatting helpers shared by benches and examples.
+std::string FormatThroughput(double ops_per_sec);
+std::string FormatNanos(double nanos);
+
+}  // namespace rp
+
+#endif  // RP_UTIL_STATS_H_

@@ -1,0 +1,31 @@
+// Monotonic stopwatch used throughout the bench harness and tests.
+#ifndef RP_UTIL_STOPWATCH_H_
+#define RP_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace rp {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  std::uint64_t ElapsedNanos() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rp
+
+#endif  // RP_UTIL_STOPWATCH_H_

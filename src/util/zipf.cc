@@ -1,0 +1,61 @@
+#include "src/util/zipf.h"
+
+#include <cmath>
+
+namespace rp {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t num_items, double theta)
+    : num_items_(num_items), theta_(theta) {
+  if (num_items_ == 0) {
+    num_items_ = 1;
+  }
+  if (theta_ <= 0.0) {
+    theta_ = 0.0;
+    return;
+  }
+  zeta2theta_ = Zeta(2, theta_);
+  zetan_ = Zeta(num_items_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfGenerator::Zeta(std::uint64_t n, double theta) const {
+  // Exact harmonic sum for small n, Euler-Maclaurin style approximation for
+  // large n; benchmark setup only, so precision needs are modest.
+  if (n <= 1024) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= 1024; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  // Integral tail from 1024 to n of x^-theta dx.
+  const double a = 1.0 - theta;
+  sum += (std::pow(static_cast<double>(n), a) - std::pow(1024.0, a)) / a;
+  return sum;
+}
+
+std::uint64_t ZipfGenerator::Next(Xoshiro256& rng) {
+  if (theta_ == 0.0) {
+    return rng.NextBounded(num_items_);
+  }
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(num_items_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= num_items_ ? num_items_ - 1 : rank;
+}
+
+}  // namespace rp

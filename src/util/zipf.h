@@ -1,0 +1,41 @@
+// Zipfian key-popularity generator.
+//
+// memcached-style caches see heavily skewed key popularity; the F5
+// reproduction and several ablations use a Zipf(theta) distribution over the
+// key space, generated with the rejection-inversion method of Hormann &
+// Derflinger so that setup cost is O(1) rather than O(n).
+#ifndef RP_UTIL_ZIPF_H_
+#define RP_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace rp {
+
+class ZipfGenerator {
+ public:
+  // Items are drawn from [0, num_items); theta in (0, 1) is the usual YCSB
+  // skew parameter (0.99 ~ "hot" cache traffic). theta == 0 degenerates to
+  // uniform.
+  ZipfGenerator(std::uint64_t num_items, double theta);
+
+  std::uint64_t Next(Xoshiro256& rng);
+
+  std::uint64_t num_items() const { return num_items_; }
+  double theta() const { return theta_; }
+
+ private:
+  double Zeta(std::uint64_t n, double theta) const;
+
+  std::uint64_t num_items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace rp
+
+#endif  // RP_UTIL_ZIPF_H_

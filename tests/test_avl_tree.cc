@@ -1,0 +1,275 @@
+// Relativistic AVL tree: unit, balance-invariant, snapshot and concurrent
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rp/avl_tree.h"
+#include "src/util/rng.h"
+#include "src/util/spin_barrier.h"
+
+namespace rp::rp {
+namespace {
+
+using IntTree = AvlTree<std::uint64_t, std::uint64_t>;
+
+TEST(AvlTree, StartsEmpty) {
+  IntTree tree;
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_FALSE(tree.Contains(1));
+  EXPECT_FALSE(tree.Get(1).has_value());
+  EXPECT_FALSE(tree.Erase(1));
+}
+
+TEST(AvlTree, InsertGetErase) {
+  IntTree tree;
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_FALSE(tree.Insert(5, 99));
+  EXPECT_EQ(*tree.Get(5), 50u);
+  EXPECT_TRUE(tree.Erase(5));
+  EXPECT_FALSE(tree.Contains(5));
+  EXPECT_TRUE(tree.Empty());
+}
+
+TEST(AvlTree, InsertOrAssignReplacesAtomically) {
+  IntTree tree;
+  EXPECT_TRUE(tree.InsertOrAssign(1, 10));
+  EXPECT_FALSE(tree.InsertOrAssign(1, 20));
+  EXPECT_EQ(*tree.Get(1), 20u);
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(AvlTree, StaysBalancedUnderSortedInsertion) {
+  IntTree tree;
+  // Sorted insertion is the classic BST worst case: without rebalancing the
+  // height would be 4096; AVL must keep it near log2.
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k));
+  }
+  EXPECT_TRUE(tree.IsBalanced());
+  EXPECT_LE(tree.Height(), 18);  // 1.44 * log2(4098) ≈ 17.3
+  for (std::uint64_t k = 0; k < 4096; ++k) {
+    ASSERT_TRUE(tree.Contains(k));
+  }
+}
+
+TEST(AvlTree, StaysBalancedUnderReverseAndRandomChurn) {
+  IntTree tree;
+  for (std::uint64_t k = 4096; k-- > 0;) {
+    tree.Insert(k, k);
+  }
+  EXPECT_TRUE(tree.IsBalanced());
+  SplitMix64 rng(42);
+  for (int op = 0; op < 4096; ++op) {
+    if (op % 2 == 0) {
+      tree.Erase(rng.Next() % 4096);
+    } else {
+      tree.Insert(rng.Next() % 8192, op);
+    }
+  }
+  EXPECT_TRUE(tree.IsBalanced());
+}
+
+TEST(AvlTree, EraseBothChildCases) {
+  IntTree tree;
+  for (std::uint64_t k : {50, 30, 70, 20, 40, 60, 80, 35, 45}) {
+    tree.Insert(k, k);
+  }
+  EXPECT_TRUE(tree.Erase(20));  // leaf
+  EXPECT_TRUE(tree.Erase(30));  // two children (successor 35)
+  EXPECT_TRUE(tree.Erase(70));  // two children (successor 80)
+  EXPECT_TRUE(tree.IsBalanced());
+  for (std::uint64_t k : {50, 40, 60, 80, 35, 45}) {
+    EXPECT_TRUE(tree.Contains(k)) << k;
+  }
+  for (std::uint64_t k : {20, 30, 70}) {
+    EXPECT_FALSE(tree.Contains(k)) << k;
+  }
+}
+
+TEST(AvlTree, ForEachIsInOrder) {
+  IntTree tree;
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    tree.Insert(rng.Next() % 10000, i);
+  }
+  std::uint64_t prev = 0;
+  bool first = true;
+  std::size_t visited = 0;
+  tree.ForEach([&](const std::uint64_t& k, const std::uint64_t&) {
+    if (!first) {
+      EXPECT_LT(prev, k);
+    }
+    prev = k;
+    first = false;
+    ++visited;
+  });
+  EXPECT_EQ(visited, tree.Size());
+}
+
+TEST(AvlTree, ForEachRangeIsHalfOpen) {
+  IntTree tree;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    tree.Insert(k, k * 10);
+  }
+  std::vector<std::uint64_t> seen;
+  tree.ForEachRange(10, 15, [&](const std::uint64_t& k, const std::uint64_t& v) {
+    EXPECT_EQ(v, k * 10);
+    seen.push_back(k);
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{10, 11, 12, 13, 14}));
+  // Empty and out-of-domain ranges.
+  tree.ForEachRange(15, 15,
+                    [](const std::uint64_t&, const std::uint64_t&) { FAIL(); });
+  tree.ForEachRange(200, 300,
+                    [](const std::uint64_t&, const std::uint64_t&) { FAIL(); });
+}
+
+TEST(AvlTree, CeilingFindsSuccessors) {
+  IntTree tree;
+  for (std::uint64_t k : {10, 20, 30}) {
+    tree.Insert(k, k + 1);
+  }
+  auto c = tree.Ceiling(15);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->first, 20u);
+  EXPECT_EQ(c->second, 21u);
+  EXPECT_EQ(tree.Ceiling(10)->first, 10u);  // inclusive
+  EXPECT_FALSE(tree.Ceiling(31).has_value());
+}
+
+TEST(AvlTree, StringKeysWithCustomCompare) {
+  AvlTree<std::string, int, std::greater<std::string>> tree;  // descending
+  tree.Insert("alpha", 1);
+  tree.Insert("beta", 2);
+  tree.Insert("gamma", 3);
+  std::vector<std::string> order;
+  tree.ForEach([&](const std::string& k, const int&) { order.push_back(k); });
+  EXPECT_EQ(order, (std::vector<std::string>{"gamma", "beta", "alpha"}));
+}
+
+TEST(AvlTree, ClearThenReuse) {
+  IntTree tree;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    tree.Insert(k, k);
+  }
+  tree.Clear();
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.Insert(1, 1));
+  EXPECT_EQ(*tree.Get(1), 1u);
+}
+
+TEST(AvlTree, RandomizedAgainstStdMap) {
+  IntTree tree;
+  std::map<std::uint64_t, std::uint64_t> model;
+  SplitMix64 rng(0xBEEF);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng.Next() % 1024;
+    switch (rng.Next() % 5) {
+      case 0:
+      case 1:
+        EXPECT_EQ(tree.Insert(key, op), model.emplace(key, op).second);
+        break;
+      case 2:
+        tree.InsertOrAssign(key, op);
+        model.insert_or_assign(key, op);
+        break;
+      case 3:
+        EXPECT_EQ(tree.Erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        auto v = tree.Get(key);
+        auto it = model.find(key);
+        ASSERT_EQ(v.has_value(), it != model.end());
+        if (v.has_value()) {
+          EXPECT_EQ(*v, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(tree.Size(), model.size());
+  }
+  EXPECT_TRUE(tree.IsBalanced());
+  auto it = model.begin();
+  tree.ForEach([&](const std::uint64_t& k, const std::uint64_t& v) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, model.end());
+}
+
+// The headline property of path copying: every scan observes one atomic
+// snapshot. Structurally, that means a full scan always yields strictly
+// increasing keys and never misses a stable key, no matter how many
+// rotations a concurrent writer performs under it.
+TEST(AvlTree, ScansSeeStructurallyConsistentTreesUnderChurn) {
+  IntTree tree;
+  constexpr std::uint64_t kStable = 512;
+  for (std::uint64_t k = 0; k < kStable; ++k) {
+    tree.Insert(2 * k, k);  // even keys: stable forever
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> anomalies{0};
+  SpinBarrier barrier(3);
+
+  std::thread scanner([&] {
+    barrier.ArriveAndWait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::uint64_t prev = 0;
+      bool first = true;
+      std::uint64_t stable_seen = 0;
+      tree.ForEach([&](const std::uint64_t& k, const std::uint64_t&) {
+        if (!first && prev >= k) {
+          anomalies.fetch_add(1, std::memory_order_relaxed);  // order broken
+        }
+        prev = k;
+        first = false;
+        if (k % 2 == 0 && k < 2 * kStable) {
+          ++stable_seen;
+        }
+      });
+      if (stable_seen != kStable) {
+        anomalies.fetch_add(1, std::memory_order_relaxed);  // missed stable key
+      }
+    }
+  });
+
+  std::thread reader([&] {
+    SplitMix64 rng(3);
+    barrier.ArriveAndWait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t k = 2 * (rng.Next() % kStable);
+      if (!tree.Contains(k)) {
+        anomalies.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  barrier.ArriveAndWait();
+  SplitMix64 rng(9);
+  for (int op = 0; op < 30000; ++op) {
+    const std::uint64_t k = 2 * (rng.Next() % kStable) + 1;  // odd: volatile
+    if (op % 2 == 0) {
+      tree.InsertOrAssign(k, op);
+    } else {
+      tree.Erase(k);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  scanner.join();
+  reader.join();
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_TRUE(tree.IsBalanced());
+}
+
+}  // namespace
+}  // namespace rp::rp

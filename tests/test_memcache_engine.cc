@@ -1,0 +1,291 @@
+// Engine contract tests, run against BOTH engines (locked and RP) via a
+// parameterized factory, plus engine-specific concurrency checks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/memcache/locked_engine.h"
+#include "src/memcache/rp_engine.h"
+#include "src/util/rng.h"
+
+namespace rp::memcache {
+namespace {
+
+using EngineFactory = std::function<std::unique_ptr<CacheEngine>(EngineConfig)>;
+
+class EngineTest : public ::testing::TestWithParam<EngineFactory> {
+ protected:
+  std::unique_ptr<CacheEngine> Make(EngineConfig config = {}) {
+    return GetParam()(config);
+  }
+};
+
+TEST_P(EngineTest, GetMissOnEmpty) {
+  auto engine = Make();
+  StoredValue out;
+  EXPECT_FALSE(engine->Get("nope", &out));
+}
+
+TEST_P(EngineTest, SetThenGet) {
+  auto engine = Make();
+  EXPECT_EQ(engine->Set("k", "v", 3, 0), StoreResult::kStored);
+  StoredValue out;
+  ASSERT_TRUE(engine->Get("k", &out));
+  EXPECT_EQ(out.data, "v");
+  EXPECT_EQ(out.flags, 3u);
+  EXPECT_GT(out.cas, 0u);
+}
+
+TEST_P(EngineTest, SetOverwrites) {
+  auto engine = Make();
+  engine->Set("k", "v1", 0, 0);
+  engine->Set("k", "v2", 0, 0);
+  StoredValue out;
+  ASSERT_TRUE(engine->Get("k", &out));
+  EXPECT_EQ(out.data, "v2");
+  EXPECT_EQ(engine->ItemCount(), 1u);
+}
+
+TEST_P(EngineTest, CasChangesOnEveryStore) {
+  auto engine = Make();
+  engine->Set("k", "a", 0, 0);
+  StoredValue first;
+  engine->Get("k", &first);
+  engine->Set("k", "b", 0, 0);
+  StoredValue second;
+  engine->Get("k", &second);
+  EXPECT_NE(first.cas, second.cas);
+}
+
+TEST_P(EngineTest, AddOnlyWhenAbsent) {
+  auto engine = Make();
+  EXPECT_EQ(engine->Add("k", "v", 0, 0), StoreResult::kStored);
+  EXPECT_EQ(engine->Add("k", "w", 0, 0), StoreResult::kNotStored);
+  StoredValue out;
+  engine->Get("k", &out);
+  EXPECT_EQ(out.data, "v");
+}
+
+TEST_P(EngineTest, ReplaceOnlyWhenPresent) {
+  auto engine = Make();
+  EXPECT_EQ(engine->Replace("k", "v", 0, 0), StoreResult::kNotStored);
+  engine->Set("k", "v", 0, 0);
+  EXPECT_EQ(engine->Replace("k", "w", 0, 0), StoreResult::kStored);
+  StoredValue out;
+  engine->Get("k", &out);
+  EXPECT_EQ(out.data, "w");
+}
+
+TEST_P(EngineTest, AppendPrepend) {
+  auto engine = Make();
+  EXPECT_EQ(engine->Append("k", "x"), StoreResult::kNotStored);
+  engine->Set("k", "mid", 0, 0);
+  EXPECT_EQ(engine->Append("k", "-end"), StoreResult::kStored);
+  EXPECT_EQ(engine->Prepend("k", "start-"), StoreResult::kStored);
+  StoredValue out;
+  engine->Get("k", &out);
+  EXPECT_EQ(out.data, "start-mid-end");
+}
+
+TEST_P(EngineTest, CheckAndSetProtocol) {
+  auto engine = Make();
+  EXPECT_EQ(engine->CheckAndSet("k", "v", 0, 0, 1), StoreResult::kNotFound);
+  engine->Set("k", "v", 0, 0);
+  StoredValue out;
+  engine->Get("k", &out);
+  EXPECT_EQ(engine->CheckAndSet("k", "w", 0, 0, out.cas + 1), StoreResult::kExists);
+  EXPECT_EQ(engine->CheckAndSet("k", "w", 0, 0, out.cas), StoreResult::kStored);
+  engine->Get("k", &out);
+  EXPECT_EQ(out.data, "w");
+}
+
+TEST_P(EngineTest, DeleteRemoves) {
+  auto engine = Make();
+  engine->Set("k", "v", 0, 0);
+  EXPECT_TRUE(engine->Delete("k"));
+  StoredValue out;
+  EXPECT_FALSE(engine->Get("k", &out));
+  EXPECT_FALSE(engine->Delete("k"));
+}
+
+TEST_P(EngineTest, IncrDecrArithmetic) {
+  auto engine = Make();
+  engine->Set("n", "10", 0, 0);
+  EXPECT_EQ(engine->Incr("n", 5), 15u);
+  EXPECT_EQ(engine->Decr("n", 3), 12u);
+  EXPECT_EQ(engine->Decr("n", 100), 0u);  // clamps at zero
+  StoredValue out;
+  engine->Get("n", &out);
+  EXPECT_EQ(out.data, "0");
+}
+
+TEST_P(EngineTest, IncrOnMissingOrNonNumeric) {
+  auto engine = Make();
+  EXPECT_FALSE(engine->Incr("missing", 1).has_value());
+  engine->Set("s", "abc", 0, 0);
+  EXPECT_FALSE(engine->Incr("s", 1).has_value());
+}
+
+TEST_P(EngineTest, ExpiredItemIsAMiss) {
+  auto engine = Make();
+  engine->Set("k", "v", 0, -1);  // negative exptime: instantly expired
+  StoredValue out;
+  EXPECT_FALSE(engine->Get("k", &out));
+}
+
+TEST_P(EngineTest, TouchExtendsAndExpires) {
+  auto engine = Make();
+  engine->Set("k", "v", 0, 0);
+  EXPECT_TRUE(engine->Touch("k", -1));  // expire it now
+  StoredValue out;
+  EXPECT_FALSE(engine->Get("k", &out));
+  EXPECT_FALSE(engine->Touch("missing", 100));
+}
+
+TEST_P(EngineTest, FlushAllEmptiesCache) {
+  auto engine = Make();
+  for (int i = 0; i < 100; ++i) {
+    engine->Set("k" + std::to_string(i), "v", 0, 0);
+  }
+  engine->FlushAll();
+  EXPECT_EQ(engine->ItemCount(), 0u);
+  StoredValue out;
+  EXPECT_FALSE(engine->Get("k5", &out));
+}
+
+TEST_P(EngineTest, EvictionRespectsItemCap) {
+  EngineConfig config;
+  config.max_items = 100;
+  auto engine = Make(config);
+  for (int i = 0; i < 500; ++i) {
+    engine->Set("k" + std::to_string(i), "v", 0, 0);
+  }
+  EXPECT_LE(engine->ItemCount(), 110u);  // cap plus small slack
+  EXPECT_GT(engine->Stats().evictions, 0u);
+}
+
+TEST_P(EngineTest, StatsCountHitsAndMisses) {
+  auto engine = Make();
+  engine->Set("k", "v", 0, 0);
+  StoredValue out;
+  engine->Get("k", &out);
+  engine->Get("gone", &out);
+  const EngineStats stats = engine->Stats();
+  EXPECT_EQ(stats.get_hits, 1u);
+  EXPECT_EQ(stats.get_misses, 1u);
+  EXPECT_GE(stats.sets, 1u);
+  EXPECT_EQ(stats.items, 1u);
+}
+
+TEST_P(EngineTest, ConcurrentGetSetStress) {
+  auto engine = Make();
+  constexpr int kKeys = 256;
+  for (int i = 0; i < kKeys; ++i) {
+    engine->Set("k" + std::to_string(i), "v0", 0, 0);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      StoredValue out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int k = static_cast<int>(rng.NextBounded(kKeys));
+        if (!engine->Get("k" + std::to_string(k), &out)) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      Xoshiro256 rng(100 + t);
+      for (int i = 0; i < 5000; ++i) {
+        const int k = static_cast<int>(rng.NextBounded(kKeys));
+        engine->Set("k" + std::to_string(k), "v" + std::to_string(i), 0, 0);
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+  // SETs always overwrite, never remove: no GET may ever miss.
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineTest,
+    ::testing::Values(
+        EngineFactory([](EngineConfig c) -> std::unique_ptr<CacheEngine> {
+          return std::make_unique<LockedEngine>(c);
+        }),
+        EngineFactory([](EngineConfig c) -> std::unique_ptr<CacheEngine> {
+          return std::make_unique<RpEngine>(c);
+        })),
+    [](const ::testing::TestParamInfo<EngineFactory>& param) {
+      return param.index == 0 ? "Locked" : "Rp";
+    });
+
+// --- RP-engine specifics ---------------------------------------------------------
+
+TEST(RpEngineSpecific, TableResizesWithPopulation) {
+  EngineConfig config;
+  config.initial_buckets = 16;
+  RpEngine engine(config);
+  const std::size_t before = engine.BucketCount();
+  for (int i = 0; i < 20000; ++i) {
+    engine.Set("key-" + std::to_string(i), "v", 0, 0);
+  }
+  EXPECT_GT(engine.BucketCount(), before);
+}
+
+TEST(RpEngineSpecific, GetsScaleWhileSettersRun) {
+  // Smoke-check the architecture claim: GETs proceed while a SET storm
+  // holds the slow-path lock (would deadlock/starve if GET took the lock).
+  RpEngine engine;
+  engine.Set("hot", "value", 0, 0);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> gets{0};
+  std::thread reader([&] {
+    StoredValue out;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(engine.Get("hot", &out));
+      gets.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    engine.Set("churn-" + std::to_string(i % 64), "x", 0, 0);
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(gets.load(), 1000u);
+}
+
+TEST(LockedEngineSpecific, LruEvictsOldestUntouched) {
+  EngineConfig config;
+  config.max_items = 3;
+  LockedEngine engine(config);
+  engine.Set("a", "1", 0, 0);
+  engine.Set("b", "2", 0, 0);
+  engine.Set("c", "3", 0, 0);
+  StoredValue out;
+  ASSERT_TRUE(engine.Get("a", &out));  // a becomes MRU
+  engine.Set("d", "4", 0, 0);          // evicts b (LRU)
+  EXPECT_TRUE(engine.Get("a", &out));
+  EXPECT_FALSE(engine.Get("b", &out));
+  EXPECT_TRUE(engine.Get("c", &out));
+  EXPECT_TRUE(engine.Get("d", &out));
+}
+
+}  // namespace
+}  // namespace rp::memcache

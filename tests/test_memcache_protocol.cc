@@ -1,0 +1,247 @@
+// Tests for the memcached text-protocol codec.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/memcache/protocol.h"
+
+namespace rp::memcache {
+namespace {
+
+Request MustParse(std::string_view wire) {
+  RequestParser parser;
+  parser.Feed(wire);
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kOk) << wire;
+  return request;
+}
+
+TEST(Protocol, ParsesGetSingleKey) {
+  const Request r = MustParse("get foo\r\n");
+  EXPECT_EQ(r.op, Op::kGet);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.keys[0], "foo");
+}
+
+TEST(Protocol, ParsesGetMultiKey) {
+  const Request r = MustParse("get a b c\r\n");
+  EXPECT_EQ(r.op, Op::kGet);
+  EXPECT_EQ(r.keys, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Protocol, ParsesGetsWithCas) {
+  const Request r = MustParse("gets foo\r\n");
+  EXPECT_EQ(r.op, Op::kGets);
+}
+
+TEST(Protocol, ParsesSetWithData) {
+  const Request r = MustParse("set foo 7 300 5\r\nhello\r\n");
+  EXPECT_EQ(r.op, Op::kSet);
+  EXPECT_EQ(r.keys[0], "foo");
+  EXPECT_EQ(r.flags, 7u);
+  EXPECT_EQ(r.exptime, 300);
+  EXPECT_EQ(r.data, "hello");
+  EXPECT_FALSE(r.noreply);
+}
+
+TEST(Protocol, ParsesSetNoreply) {
+  const Request r = MustParse("set foo 0 0 2 noreply\r\nhi\r\n");
+  EXPECT_TRUE(r.noreply);
+}
+
+TEST(Protocol, ParsesEmptyDataBlock) {
+  const Request r = MustParse("set foo 0 0 0\r\n\r\n");
+  EXPECT_EQ(r.data, "");
+}
+
+TEST(Protocol, DataBlockMayContainSpacesAndCr) {
+  const Request r = MustParse(std::string("set k 0 0 9\r\nab cd\refg\r\n"));
+  EXPECT_EQ(r.data, "ab cd\refg");
+}
+
+TEST(Protocol, ParsesCasCommand) {
+  const Request r = MustParse("cas foo 1 0 3 42\r\nxyz\r\n");
+  EXPECT_EQ(r.op, Op::kCas);
+  EXPECT_EQ(r.cas, 42u);
+  EXPECT_EQ(r.data, "xyz");
+}
+
+TEST(Protocol, ParsesAddReplaceAppendPrepend) {
+  EXPECT_EQ(MustParse("add k 0 0 1\r\nx\r\n").op, Op::kAdd);
+  EXPECT_EQ(MustParse("replace k 0 0 1\r\nx\r\n").op, Op::kReplace);
+  EXPECT_EQ(MustParse("append k 0 0 1\r\nx\r\n").op, Op::kAppend);
+  EXPECT_EQ(MustParse("prepend k 0 0 1\r\nx\r\n").op, Op::kPrepend);
+}
+
+TEST(Protocol, ParsesDelete) {
+  const Request r = MustParse("delete foo\r\n");
+  EXPECT_EQ(r.op, Op::kDelete);
+  EXPECT_EQ(r.keys[0], "foo");
+}
+
+TEST(Protocol, ParsesDeleteNoreply) {
+  EXPECT_TRUE(MustParse("delete foo noreply\r\n").noreply);
+}
+
+TEST(Protocol, ParsesIncrDecr) {
+  const Request incr = MustParse("incr counter 5\r\n");
+  EXPECT_EQ(incr.op, Op::kIncr);
+  EXPECT_EQ(incr.delta, 5u);
+  const Request decr = MustParse("decr counter 3\r\n");
+  EXPECT_EQ(decr.op, Op::kDecr);
+  EXPECT_EQ(decr.delta, 3u);
+}
+
+TEST(Protocol, ParsesTouch) {
+  const Request r = MustParse("touch foo 600\r\n");
+  EXPECT_EQ(r.op, Op::kTouch);
+  EXPECT_EQ(r.exptime, 600);
+}
+
+TEST(Protocol, ParsesAdministrative) {
+  EXPECT_EQ(MustParse("flush_all\r\n").op, Op::kFlushAll);
+  EXPECT_EQ(MustParse("version\r\n").op, Op::kVersion);
+  EXPECT_EQ(MustParse("stats\r\n").op, Op::kStats);
+  EXPECT_EQ(MustParse("quit\r\n").op, Op::kQuit);
+}
+
+TEST(Protocol, IncrementalFeedAcrossBoundaries) {
+  RequestParser parser;
+  Request request;
+  // Split the command at awkward places (mid-token, mid-CRLF, mid-data).
+  parser.Feed("se");
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kNeedMore);
+  parser.Feed("t foo 0 0 5\r");
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kNeedMore);
+  parser.Feed("\nhel");
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kNeedMore);
+  parser.Feed("lo\r\n");
+  ASSERT_EQ(parser.Next(&request), ParseStatus::kOk);
+  EXPECT_EQ(request.data, "hello");
+}
+
+TEST(Protocol, PipelinedRequests) {
+  RequestParser parser;
+  parser.Feed("set a 0 0 1\r\nx\r\nget a\r\ndelete a\r\n");
+  Request r1;
+  Request r2;
+  Request r3;
+  ASSERT_EQ(parser.Next(&r1), ParseStatus::kOk);
+  ASSERT_EQ(parser.Next(&r2), ParseStatus::kOk);
+  ASSERT_EQ(parser.Next(&r3), ParseStatus::kOk);
+  EXPECT_EQ(r1.op, Op::kSet);
+  EXPECT_EQ(r2.op, Op::kGet);
+  EXPECT_EQ(r3.op, Op::kDelete);
+  Request r4;
+  EXPECT_EQ(parser.Next(&r4), ParseStatus::kNeedMore);
+}
+
+TEST(Protocol, RejectsUnknownCommand) {
+  RequestParser parser;
+  parser.Feed("frobnicate\r\n");
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kError);
+  EXPECT_FALSE(parser.error_message().empty());
+}
+
+TEST(Protocol, RecoversAfterError) {
+  RequestParser parser;
+  parser.Feed("bogus\r\nget ok\r\n");
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kError);
+  ASSERT_EQ(parser.Next(&request), ParseStatus::kOk);
+  EXPECT_EQ(request.keys[0], "ok");
+}
+
+TEST(Protocol, RejectsMissingArguments) {
+  for (const char* wire : {"get\r\n", "set foo 0 0\r\n", "incr foo\r\n",
+                           "delete\r\n", "touch foo\r\n", "set foo 0 0 abc\r\n"}) {
+    RequestParser parser;
+    parser.Feed(wire);
+    Request request;
+    EXPECT_EQ(parser.Next(&request), ParseStatus::kError) << wire;
+  }
+}
+
+TEST(Protocol, RejectsOversizedKey) {
+  RequestParser parser;
+  const std::string big(RequestParser::kMaxKeyLength + 1, 'k');
+  parser.Feed("get " + big + "\r\n");
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kError);
+}
+
+TEST(Protocol, RejectsOversizedValue) {
+  RequestParser parser;
+  parser.Feed("set k 0 0 9999999\r\n");
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kError);
+}
+
+TEST(Protocol, RejectsControlCharactersInKey) {
+  RequestParser parser;
+  parser.Feed(std::string("get a\x01b\r\n"));
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kError);
+}
+
+TEST(Protocol, RejectsBadDataTerminator) {
+  RequestParser parser;
+  parser.Feed("set k 0 0 2\r\nabXX");  // data not followed by CRLF
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kError);
+}
+
+TEST(Protocol, FormatsValueResponse) {
+  StoredValue value;
+  value.data = "world";
+  value.flags = 9;
+  value.cas = 77;
+  EXPECT_EQ(FormatValue("hello", value, false),
+            "VALUE hello 9 5\r\nworld\r\n");
+  EXPECT_EQ(FormatValue("hello", value, true),
+            "VALUE hello 9 5 77\r\nworld\r\n");
+}
+
+TEST(Protocol, FormatsStatusLines) {
+  EXPECT_EQ(FormatEnd(), "END\r\n");
+  EXPECT_EQ(FormatStored(), "STORED\r\n");
+  EXPECT_EQ(FormatNotStored(), "NOT_STORED\r\n");
+  EXPECT_EQ(FormatExists(), "EXISTS\r\n");
+  EXPECT_EQ(FormatNotFound(), "NOT_FOUND\r\n");
+  EXPECT_EQ(FormatDeleted(), "DELETED\r\n");
+  EXPECT_EQ(FormatTouched(), "TOUCHED\r\n");
+  EXPECT_EQ(FormatOk(), "OK\r\n");
+  EXPECT_EQ(FormatNumber(42), "42\r\n");
+  EXPECT_EQ(FormatError(), "ERROR\r\n");
+  EXPECT_EQ(FormatClientError("oops"), "CLIENT_ERROR oops\r\n");
+  EXPECT_EQ(FormatServerError("bad"), "SERVER_ERROR bad\r\n");
+  EXPECT_EQ(FormatVersion("1.0"), "VERSION 1.0\r\n");
+}
+
+TEST(Protocol, ExptimeResolution) {
+  const std::int64_t now = 1000000;
+  EXPECT_EQ(ResolveExptime(0, now), kNeverExpires);
+  EXPECT_EQ(ResolveExptime(60, now), now + 60);
+  EXPECT_EQ(ResolveExptime(-1, now), now - 1);
+  const std::int64_t absolute = 60 * 60 * 24 * 31;  // > 30 days: absolute
+  EXPECT_EQ(ResolveExptime(absolute, now), absolute);
+}
+
+TEST(Protocol, IsExpiredSemantics) {
+  EXPECT_FALSE(IsExpired(kNeverExpires, 500));
+  EXPECT_TRUE(IsExpired(499, 500));
+  EXPECT_TRUE(IsExpired(500, 500));
+  EXPECT_FALSE(IsExpired(501, 500));
+}
+
+TEST(Protocol, BufferedBytesShrinkAfterConsumption) {
+  RequestParser parser;
+  parser.Feed("get aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+  Request request;
+  ASSERT_EQ(parser.Next(&request), ParseStatus::kOk);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rp::memcache

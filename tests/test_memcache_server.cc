@@ -1,0 +1,253 @@
+// End-to-end test: real TCP round trips against the loopback server, plus
+// direct tests of ExecuteRequest (the server's dispatch core).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/memcache/locked_engine.h"
+#include "src/memcache/rp_engine.h"
+#include "src/memcache/server.h"
+
+namespace rp::memcache {
+namespace {
+
+// Minimal blocking client for the test.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& wire) {
+    ASSERT_EQ(::send(fd_, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+  }
+
+  // Reads until the accumulated response ends with `terminator`.
+  std::string ReadUntil(const std::string& terminator) {
+    std::string acc;
+    char buf[4096];
+    while (acc.size() < 1 << 20) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      acc.append(buf, static_cast<std::size_t>(n));
+      if (acc.size() >= terminator.size() &&
+          acc.compare(acc.size() - terminator.size(), terminator.size(),
+                      terminator) == 0) {
+        break;
+      }
+    }
+    return acc;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<Server>(engine_, 0);
+    ASSERT_TRUE(server_->Start()) << server_->error();
+  }
+  void TearDown() override { server_->Stop(); }
+
+  RpEngine engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, SetAndGetRoundTrip) {
+  TestClient client(server_->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("set greeting 5 0 5\r\nhello\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "STORED\r\n");
+  client.Send("get greeting\r\n");
+  EXPECT_EQ(client.ReadUntil("END\r\n"),
+            "VALUE greeting 5 5\r\nhello\r\nEND\r\n");
+}
+
+TEST_F(ServerTest, MissReturnsBareEnd) {
+  TestClient client(server_->port());
+  client.Send("get nothing\r\n");
+  EXPECT_EQ(client.ReadUntil("END\r\n"), "END\r\n");
+}
+
+TEST_F(ServerTest, MultiKeyGet) {
+  TestClient client(server_->port());
+  client.Send("set a 0 0 1\r\nA\r\n");
+  client.ReadUntil("\r\n");
+  client.Send("set b 0 0 1\r\nB\r\n");
+  client.ReadUntil("\r\n");
+  client.Send("get a b missing\r\n");
+  const std::string response = client.ReadUntil("END\r\n");
+  EXPECT_NE(response.find("VALUE a 0 1\r\nA\r\n"), std::string::npos);
+  EXPECT_NE(response.find("VALUE b 0 1\r\nB\r\n"), std::string::npos);
+  EXPECT_EQ(response.find("missing"), std::string::npos);
+}
+
+TEST_F(ServerTest, DeleteAndNotFound) {
+  TestClient client(server_->port());
+  client.Send("set k 0 0 1\r\nx\r\n");
+  client.ReadUntil("\r\n");
+  client.Send("delete k\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "DELETED\r\n");
+  client.Send("delete k\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "NOT_FOUND\r\n");
+}
+
+TEST_F(ServerTest, IncrDecrOverWire) {
+  TestClient client(server_->port());
+  client.Send("set n 0 0 2\r\n40\r\n");
+  client.ReadUntil("\r\n");
+  client.Send("incr n 2\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "42\r\n");
+  client.Send("decr n 40\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "2\r\n");
+}
+
+TEST_F(ServerTest, NoreplySuppressesResponse) {
+  TestClient client(server_->port());
+  client.Send("set quiet 0 0 1 noreply\r\nq\r\nget quiet\r\n");
+  // The only response on the wire is the GET's.
+  EXPECT_EQ(client.ReadUntil("END\r\n"), "VALUE quiet 0 1\r\nq\r\nEND\r\n");
+}
+
+TEST_F(ServerTest, BadCommandReturnsClientError) {
+  TestClient client(server_->port());
+  client.Send("bogus nonsense\r\nversion\r\n");
+  const std::string response = client.ReadUntil("\r\n");
+  EXPECT_EQ(response.rfind("CLIENT_ERROR", 0), 0u) << response;
+}
+
+TEST_F(ServerTest, StatsReportEngine) {
+  TestClient client(server_->port());
+  client.Send("stats\r\n");
+  const std::string response = client.ReadUntil("END\r\n");
+  EXPECT_NE(response.find("STAT engine rp"), std::string::npos);
+}
+
+TEST_F(ServerTest, VersionAndQuit) {
+  TestClient client(server_->port());
+  client.Send("version\r\n");
+  const std::string v = client.ReadUntil("\r\n");
+  EXPECT_EQ(v.rfind("VERSION", 0), 0u);
+  client.Send("quit\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "");  // connection closes
+}
+
+TEST_F(ServerTest, ConcurrentClients) {
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string key = "client" + std::to_string(c);
+      client.Send("set " + key + " 0 0 4\r\ndata\r\n");
+      if (client.ReadUntil("\r\n") != "STORED\r\n") {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        client.Send("get " + key + "\r\n");
+        if (client.ReadUntil("END\r\n") !=
+            "VALUE " + key + " 0 4\r\ndata\r\nEND\r\n") {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(server_->connections_handled(), static_cast<std::uint64_t>(kClients));
+}
+
+// --- ExecuteRequest dispatch (no sockets) ------------------------------------------
+
+TEST(ExecuteRequest, HandlesEveryOp) {
+  LockedEngine engine;
+  bool quit = false;
+  auto run = [&](Request r) { return ExecuteRequest(engine, r, &quit); };
+
+  Request set;
+  set.op = Op::kSet;
+  set.keys = {"k"};
+  set.data = "v";
+  EXPECT_EQ(run(set), "STORED\r\n");
+
+  Request get;
+  get.op = Op::kGet;
+  get.keys = {"k"};
+  EXPECT_EQ(run(get), "VALUE k 0 1\r\nv\r\nEND\r\n");
+
+  Request gets;
+  gets.op = Op::kGets;
+  gets.keys = {"k"};
+  EXPECT_NE(run(gets).find("VALUE k 0 1 "), std::string::npos);
+
+  Request touch;
+  touch.op = Op::kTouch;
+  touch.keys = {"k"};
+  touch.exptime = 100;
+  EXPECT_EQ(run(touch), "TOUCHED\r\n");
+
+  Request del;
+  del.op = Op::kDelete;
+  del.keys = {"k"};
+  EXPECT_EQ(run(del), "DELETED\r\n");
+  EXPECT_EQ(run(del), "NOT_FOUND\r\n");
+
+  Request flush;
+  flush.op = Op::kFlushAll;
+  EXPECT_EQ(run(flush), "OK\r\n");
+
+  Request quit_req;
+  quit_req.op = Op::kQuit;
+  EXPECT_EQ(run(quit_req), "");
+  EXPECT_TRUE(quit);
+}
+
+TEST(ExecuteRequest, NoreplyReturnsEmpty) {
+  LockedEngine engine;
+  bool quit = false;
+  Request set;
+  set.op = Op::kSet;
+  set.keys = {"k"};
+  set.data = "v";
+  set.noreply = true;
+  EXPECT_EQ(ExecuteRequest(engine, set, &quit), "");
+  StoredValue out;
+  EXPECT_TRUE(engine.Get("k", &out));
+}
+
+}  // namespace
+}  // namespace rp::memcache

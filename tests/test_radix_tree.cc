@@ -1,0 +1,244 @@
+// Relativistic radix tree: unit, growth/collapse, and concurrent behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rp/radix_tree.h"
+#include "src/rcu/epoch.h"
+#include "src/util/rng.h"
+#include "src/util/spin_barrier.h"
+
+namespace rp::rp {
+namespace {
+
+using IntTree = RadixTree<std::uint64_t>;
+
+TEST(RadixTree, StartsEmpty) {
+  IntTree tree;
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Height(), 0u);
+  EXPECT_FALSE(tree.Contains(0));
+  EXPECT_FALSE(tree.Get(42).has_value());
+}
+
+TEST(RadixTree, InsertGetEraseKeyZero) {
+  IntTree tree;
+  EXPECT_TRUE(tree.Insert(0, 100));
+  ASSERT_TRUE(tree.Get(0).has_value());
+  EXPECT_EQ(*tree.Get(0), 100u);
+  EXPECT_EQ(tree.Height(), 1u);
+  EXPECT_TRUE(tree.Erase(0));
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Height(), 0u);
+}
+
+TEST(RadixTree, DuplicateInsertFails) {
+  IntTree tree;
+  EXPECT_TRUE(tree.Insert(7, 1));
+  EXPECT_FALSE(tree.Insert(7, 2));
+  EXPECT_EQ(*tree.Get(7), 1u);
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(RadixTree, InsertOrAssignReplacesAtomically) {
+  IntTree tree;
+  EXPECT_TRUE(tree.InsertOrAssign(7, 1));
+  EXPECT_FALSE(tree.InsertOrAssign(7, 2));
+  EXPECT_EQ(*tree.Get(7), 2u);
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(RadixTree, GrowsToFitLargeKeys) {
+  IntTree tree;
+  tree.Insert(1, 1);
+  EXPECT_EQ(tree.Height(), 1u);
+  tree.Insert(1ULL << 12, 2);  // needs 3 levels of 6 bits
+  EXPECT_EQ(tree.Height(), 3u);
+  // Growth must not orphan the small key.
+  EXPECT_EQ(*tree.Get(1), 1u);
+  EXPECT_EQ(*tree.Get(1ULL << 12), 2u);
+  tree.Insert(~0ULL, 3);  // full 64-bit key: maximum height
+  EXPECT_EQ(tree.Height(), 11u);
+  EXPECT_EQ(*tree.Get(1), 1u);
+  EXPECT_EQ(*tree.Get(1ULL << 12), 2u);
+  EXPECT_EQ(*tree.Get(~0ULL), 3u);
+}
+
+TEST(RadixTree, CollapsesWhenLargeKeysLeave) {
+  IntTree tree;
+  tree.Insert(1, 1);
+  tree.Insert(~0ULL, 3);
+  ASSERT_EQ(tree.Height(), 11u);
+  EXPECT_TRUE(tree.Erase(~0ULL));
+  // Only key 1 remains; the root chain above level 1 is all slot-0.
+  EXPECT_EQ(tree.Height(), 1u);
+  EXPECT_EQ(*tree.Get(1), 1u);
+}
+
+TEST(RadixTree, MissOnKeyBeyondHeightIsCheap) {
+  IntTree tree;
+  tree.Insert(5, 1);
+  ASSERT_EQ(tree.Height(), 1u);
+  // Key needs more levels than the tree has: immediate miss, no descent.
+  EXPECT_FALSE(tree.Contains(1ULL << 40));
+}
+
+TEST(RadixTree, EraseAbsentKeyVariants) {
+  IntTree tree;
+  EXPECT_FALSE(tree.Erase(0));          // empty tree
+  tree.Insert(64, 1);                    // occupies slot 1 of a level-2 root
+  EXPECT_FALSE(tree.Erase(65));          // same node, different leaf slot
+  EXPECT_FALSE(tree.Erase(128));         // different spine, absent
+  EXPECT_FALSE(tree.Erase(1ULL << 40));  // beyond height
+  EXPECT_TRUE(tree.Contains(64));
+}
+
+TEST(RadixTree, ErasePrunesEmptySpines) {
+  IntTree tree;
+  tree.Insert(1ULL << 30, 1);
+  tree.Insert(2, 2);
+  ASSERT_GT(tree.Height(), 1u);
+  EXPECT_TRUE(tree.Erase(1ULL << 30));
+  // The deep spine is gone and the root collapsed around the shallow key.
+  EXPECT_EQ(tree.Height(), 1u);
+  EXPECT_EQ(*tree.Get(2), 2u);
+}
+
+TEST(RadixTree, WithGivesZeroCopyAccess) {
+  RadixTree<std::string> tree;
+  tree.Insert(9, "payload");
+  bool seen = false;
+  EXPECT_TRUE(tree.With(9, [&](const std::string& v) {
+    seen = (v == "payload");
+  }));
+  EXPECT_TRUE(seen);
+  EXPECT_FALSE(tree.With(10, [](const std::string&) { FAIL(); }));
+}
+
+TEST(RadixTree, ForEachVisitsInKeyOrder) {
+  IntTree tree;
+  const std::vector<std::uint64_t> keys = {900, 3, 70, 1ULL << 20, 0, 64};
+  for (auto k : keys) {
+    tree.Insert(k, k + 1);
+  }
+  std::vector<std::uint64_t> seen;
+  tree.ForEach([&](std::uint64_t k, const std::uint64_t& v) {
+    EXPECT_EQ(v, k + 1);
+    seen.push_back(k);
+  });
+  std::vector<std::uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(RadixTree, ClearRetiresEverything) {
+  IntTree tree;
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    tree.Insert(k * 977, k);
+  }
+  tree.Clear();
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Height(), 0u);
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    EXPECT_FALSE(tree.Contains(k * 977));
+  }
+  // Reinsertion after Clear works from scratch.
+  EXPECT_TRUE(tree.Insert(1, 1));
+  EXPECT_EQ(*tree.Get(1), 1u);
+}
+
+TEST(RadixTree, RandomizedAgainstStdMap) {
+  IntTree tree;
+  std::map<std::uint64_t, std::uint64_t> model;
+  SplitMix64 rng(0xABCDEF12345ULL);
+  for (int op = 0; op < 20000; ++op) {
+    // Mix of small dense keys and sparse 40-bit keys to exercise growth,
+    // spine building, pruning and collapse on one instance.
+    const std::uint64_t key = (rng.Next() % 2 == 0)
+                                  ? rng.Next() % 512
+                                  : rng.Next() & ((1ULL << 40) - 1);
+    switch (rng.Next() % 4) {
+      case 0:
+      case 1:
+        EXPECT_EQ(tree.Insert(key, op), model.emplace(key, op).second);
+        break;
+      case 2:
+        EXPECT_EQ(tree.Erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        auto v = tree.Get(key);
+        auto it = model.find(key);
+        ASSERT_EQ(v.has_value(), it != model.end()) << key;
+        if (v.has_value()) {
+          EXPECT_EQ(*v, static_cast<std::uint64_t>(it->second));
+        }
+      }
+    }
+    ASSERT_EQ(tree.Size(), model.size());
+  }
+  // Full content check.
+  std::size_t visited = 0;
+  tree.ForEach([&](std::uint64_t k, const std::uint64_t& v) {
+    auto it = model.find(k);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(v, static_cast<std::uint64_t>(it->second));
+    ++visited;
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+// Concurrent readers must never miss a live key while a writer churns
+// unrelated keys, grows and collapses the tree under them.
+TEST(RadixTree, ReadersNeverMissLiveKeysDuringChurn) {
+  IntTree tree;
+  constexpr std::uint64_t kStable = 128;
+  for (std::uint64_t k = 0; k < kStable; ++k) {
+    tree.Insert(k, k + 1);  // stable set, never removed
+  }
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  SpinBarrier barrier(kReaders + 1);
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      SplitMix64 rng(static_cast<std::uint64_t>(r) + 1);
+      barrier.ArriveAndWait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t key = rng.Next() % kStable;
+        auto v = tree.Get(key);
+        if (!v.has_value() || *v != key + 1) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  barrier.ArriveAndWait();
+  SplitMix64 rng(42);
+  for (int round = 0; round < 30000; ++round) {
+    // Volatile keys live above the stable range, repeatedly forcing height
+    // changes: deep inserts grow the tree, erasing them collapses it.
+    const std::uint64_t key = kStable + (rng.Next() % 64) * (1ULL << 24);
+    if (round % 2 == 0) {
+      tree.InsertOrAssign(key, round);
+    } else {
+      tree.Erase(key);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rp::rp

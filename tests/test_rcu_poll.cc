@@ -1,0 +1,205 @@
+// Grace-period polling (StartPoll/Poll) on both RCU flavours.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/qsbr.h"
+#include "src/util/spin_barrier.h"
+
+namespace rp::rcu {
+namespace {
+
+TEST(EpochPoll, CompletesImmediatelyWithNoReaders) {
+  const Epoch::GpCookie cookie = Epoch::StartPoll();
+  // One attempt may need to start the period; a second must see it done.
+  const bool first = Epoch::Poll(cookie);
+  EXPECT_TRUE(first || Epoch::Poll(cookie));
+}
+
+TEST(EpochPoll, SynchronizeSatisfiesOlderCookies) {
+  const Epoch::GpCookie cookie = Epoch::StartPoll();
+  Epoch::Synchronize();
+  EXPECT_TRUE(Epoch::Poll(cookie));
+}
+
+TEST(EpochPoll, BlockedByAPreexistingReader) {
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    Epoch::ReadLock();
+    reader_in.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    Epoch::ReadUnlock();
+  });
+  while (!reader_in.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  const Epoch::GpCookie cookie = Epoch::StartPoll();
+  // The reader entered before the cookie, so the period cannot complete.
+  EXPECT_FALSE(Epoch::Poll(cookie));
+  EXPECT_FALSE(Epoch::Poll(cookie));
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+
+  // Eventually completes once the reader has left.
+  while (!Epoch::Poll(cookie)) {
+    std::this_thread::yield();
+  }
+  SUCCEED();
+}
+
+TEST(EpochPoll, ReaderEnteringAfterStartDoesNotBlockIt) {
+  const Epoch::GpCookie cookie = Epoch::StartPoll();
+  // Kick the grace period so the next reader snapshots a newer counter.
+  (void)Epoch::Poll(cookie);
+
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    Epoch::ReadLock();
+    reader_in.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    Epoch::ReadUnlock();
+  });
+  while (!reader_in.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // The late reader holds a post-bump snapshot: it must not stall the poll.
+  bool done = false;
+  for (int i = 0; i < 1000 && !done; ++i) {
+    done = Epoch::Poll(cookie);
+  }
+  EXPECT_TRUE(done);
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+}
+
+TEST(EpochPoll, CookiesAreOrdered) {
+  const Epoch::GpCookie first = Epoch::StartPoll();
+  Epoch::Synchronize();
+  const Epoch::GpCookie second = Epoch::StartPoll();
+  EXPECT_LT(first, second);
+  // Completing the newer cookie implies the older one.
+  while (!Epoch::Poll(second)) {
+  }
+  EXPECT_TRUE(Epoch::Poll(first));
+}
+
+// A writer interleaving work with polls makes progress equivalent to a
+// sequence of Synchronize calls, without ever blocking.
+TEST(EpochPoll, DrivesAMultiStepUpdate) {
+  constexpr int kSteps = 10;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ReadGuard<Epoch> guard;
+    }
+  });
+
+  int completed = 0;
+  Epoch::GpCookie cookie = Epoch::StartPoll();
+  while (completed < kSteps) {
+    if (Epoch::Poll(cookie)) {
+      ++completed;  // one "unzip pass" worth of progress
+      cookie = Epoch::StartPoll();
+    } else {
+      std::this_thread::yield();  // the interleaved useful work
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(completed, kSteps);
+}
+
+TEST(QsbrPoll, CompletesOnceReadersPassQuiescentStates) {
+  Qsbr::RegisterThread();
+  SpinBarrier barrier(2);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    Qsbr::RegisterThread();
+    barrier.ArriveAndWait();
+    while (!stop.load(std::memory_order_relaxed)) {
+      {
+        ReadGuard<Qsbr> guard;
+      }
+      Qsbr::QuiescentState();
+    }
+    Qsbr::Offline();
+  });
+  barrier.ArriveAndWait();
+
+  const Qsbr::GpCookie cookie = Qsbr::StartPoll();
+  while (!Qsbr::Poll(cookie)) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  SUCCEED();
+}
+
+TEST(QsbrPoll, StalledOnlineReaderBlocksPoll) {
+  Qsbr::RegisterThread();
+  SpinBarrier barrier(2);
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    Qsbr::RegisterThread();
+    barrier.ArriveAndWait();  // online, but never quiescing
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    Qsbr::Offline();
+  });
+  barrier.ArriveAndWait();
+
+  const Qsbr::GpCookie cookie = Qsbr::StartPoll();
+  EXPECT_FALSE(Qsbr::Poll(cookie));
+  EXPECT_FALSE(Qsbr::Poll(cookie));
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+  while (!Qsbr::Poll(cookie)) {
+    std::this_thread::yield();
+  }
+  SUCCEED();
+}
+
+TEST(QsbrPoll, OfflineReadersNeverBlockPoll) {
+  Qsbr::RegisterThread();
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread reader([&] {
+    Qsbr::RegisterThread();
+    Qsbr::Offline();
+    parked.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!parked.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  const Qsbr::GpCookie cookie = Qsbr::StartPoll();
+  bool done = false;
+  for (int i = 0; i < 1000 && !done; ++i) {
+    done = Qsbr::Poll(cookie);
+  }
+  EXPECT_TRUE(done);
+
+  release.store(true, std::memory_order_release);
+  reader.join();
+}
+
+}  // namespace
+}  // namespace rp::rcu

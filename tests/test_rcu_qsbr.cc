@@ -1,0 +1,210 @@
+// Tests for the QSBR RCU domain.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/rcu/guard.h"
+#include "src/rcu/qsbr.h"
+#include "src/rcu/rcu_pointer.h"
+
+namespace rp::rcu {
+namespace {
+
+class QsbrTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Qsbr::RegisterThread(); }
+  void TearDown() override { Qsbr::Offline(); }
+};
+
+TEST_F(QsbrTest, OnlineOfflineToggles) {
+  EXPECT_TRUE(Qsbr::IsOnline());
+  Qsbr::Offline();
+  EXPECT_FALSE(Qsbr::IsOnline());
+  Qsbr::Online();
+  EXPECT_TRUE(Qsbr::IsOnline());
+}
+
+TEST_F(QsbrTest, ReadLockNests) {
+  Qsbr::ReadLock();
+  Qsbr::ReadLock();
+  EXPECT_TRUE(Qsbr::InReadSection());
+  Qsbr::ReadUnlock();
+  Qsbr::ReadUnlock();
+  EXPECT_FALSE(Qsbr::InReadSection());
+}
+
+TEST_F(QsbrTest, SynchronizeSelfQuiesces) {
+  // The calling thread is registered and online; Synchronize must not
+  // deadlock on its own record.
+  const std::uint64_t before = Qsbr::GracePeriodCount();
+  Qsbr::Synchronize();
+  EXPECT_GT(Qsbr::GracePeriodCount(), before);
+}
+
+TEST_F(QsbrTest, SynchronizeSkipsOfflineThreads) {
+  std::atomic<bool> parked{false};
+  std::atomic<bool> release{false};
+  std::thread t([&] {
+    Qsbr::RegisterThread();
+    Qsbr::Offline();
+    parked.store(true);
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!parked.load()) {
+    std::this_thread::yield();
+  }
+  // Must complete promptly even though the offline thread never quiesces.
+  Qsbr::Synchronize();
+  release.store(true);
+  t.join();
+  SUCCEED();
+}
+
+TEST_F(QsbrTest, SynchronizeWaitsForNonQuiescentReader) {
+  std::atomic<bool> online{false};
+  std::atomic<bool> release{false};
+  std::atomic<bool> sync_done{false};
+
+  std::thread reader([&] {
+    Qsbr::RegisterThread();
+    Qsbr::QuiescentState();
+    online.store(true);
+    // Simulate a thread busy in a read section: no quiescent states.
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+    Qsbr::Offline();
+  });
+  while (!online.load()) {
+    std::this_thread::yield();
+  }
+
+  // This (main) thread is registered and online via the fixture; it must
+  // not itself stall the writer's grace period while it sleeps and joins
+  // below — only `reader` is supposed to block it.
+  Qsbr::Offline();
+
+  std::thread writer([&] {
+    Qsbr::Synchronize();
+    sync_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(sync_done.load());
+
+  release.store(true);  // reader goes offline → grace period can end
+  writer.join();
+  reader.join();
+  EXPECT_TRUE(sync_done.load());
+  Qsbr::Online();  // restore the fixture's expected state for TearDown
+}
+
+TEST_F(QsbrTest, QuiescentStateAllowsProgress) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      Qsbr::RegisterThread();
+      while (!stop.load(std::memory_order_relaxed)) {
+        Qsbr::ReadLock();
+        Qsbr::ReadUnlock();
+        Qsbr::QuiescentState();
+      }
+      Qsbr::Offline();
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    Qsbr::Synchronize();
+  }
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+  SUCCEED();
+}
+
+TEST_F(QsbrTest, DeletionGuarantee) {
+  struct Object {
+    std::atomic<bool> alive{true};
+  };
+  std::atomic<Object*> shared{new Object()};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> saw_dead{false};
+
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      Qsbr::RegisterThread();
+      while (!stop.load(std::memory_order_relaxed)) {
+        Qsbr::ReadLock();
+        Object* obj = RcuDereference(shared);
+        if (obj != nullptr && !obj->alive.load(std::memory_order_relaxed)) {
+          saw_dead.store(true);
+        }
+        Qsbr::ReadUnlock();
+        Qsbr::QuiescentState();
+      }
+      Qsbr::Offline();
+    });
+  }
+
+  for (int i = 0; i < 200; ++i) {
+    auto* fresh = new Object();
+    Object* old = shared.exchange(fresh);
+    Qsbr::Synchronize();
+    old->alive.store(false, std::memory_order_relaxed);
+    delete old;
+  }
+
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+  delete shared.load();
+  EXPECT_FALSE(saw_dead.load());
+}
+
+TEST_F(QsbrTest, NewThreadsDoNotBlockGracePeriods) {
+  // Threads registering mid-grace-period start "caught up".
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    while (!stop.load()) {
+      std::thread t([] {
+        Qsbr::RegisterThread();
+        Qsbr::QuiescentState();
+        Qsbr::Offline();
+      });
+      t.join();
+    }
+  });
+  for (int i = 0; i < 30; ++i) {
+    Qsbr::Synchronize();
+  }
+  stop.store(true);
+  churn.join();
+  SUCCEED();
+}
+
+TEST_F(QsbrTest, GracePeriodCountMonotonic) {
+  const std::uint64_t a = Qsbr::GracePeriodCount();
+  Qsbr::Synchronize();
+  EXPECT_GT(Qsbr::GracePeriodCount(), a);
+}
+
+TEST_F(QsbrTest, ThreadScopeRegistersAndParks) {
+  std::thread t([] {
+    QsbrThreadScope scope;
+    EXPECT_TRUE(Qsbr::IsOnline());
+    Qsbr::QuiescentState();
+  });
+  t.join();
+  Qsbr::Synchronize();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rp::rcu

@@ -1,0 +1,180 @@
+// Deferred (rhashtable-style) resize worker driving RpHashMap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/rwlock_hash_map.h"
+#include "src/core/resize_worker.h"
+#include "src/core/rp_hash_map.h"
+
+namespace rp::core {
+namespace {
+
+using Map = RpHashMap<std::uint64_t, std::uint64_t>;
+
+RpHashMapOptions ManualResize() {
+  RpHashMapOptions options;
+  options.auto_resize = false;
+  return options;
+}
+
+ResizeWorkerOptions FastWorker() {
+  ResizeWorkerOptions options;
+  options.poll_interval = std::chrono::milliseconds(1);
+  return options;
+}
+
+void WaitUntil(const std::function<bool()>& cond, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (!cond() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(cond()) << "condition not reached within " << timeout_ms << "ms";
+}
+
+TEST(ResizeWorker, GrowsOverloadedTable) {
+  Map map(16, ManualResize());
+  ResizeWorker<Map> worker(map, FastWorker());
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    map.Insert(k, k);
+    worker.Nudge();
+  }
+  // 1000 entries at grow_at=2.0 needs ≥512 buckets.
+  WaitUntil([&] { return map.BucketCount() >= 512; });
+  EXPECT_GE(worker.ResizesPerformed(), 1u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(map.Contains(k)) << k;
+  }
+}
+
+TEST(ResizeWorker, ShrinksEmptiedTable) {
+  Map map(16, ManualResize());
+  for (std::uint64_t k = 0; k < 4000; ++k) {
+    map.Insert(k, k);
+  }
+  map.Resize(2048);
+  ResizeWorker<Map> worker(map, FastWorker());
+  for (std::uint64_t k = 0; k < 4000; ++k) {
+    map.Erase(k);
+  }
+  worker.Nudge();
+  WaitUntil([&] { return map.BucketCount() <= 16; });
+  EXPECT_EQ(map.Size(), 0u);
+}
+
+TEST(ResizeWorker, PeriodicTickWorksWithoutNudges) {
+  Map map(16, ManualResize());
+  ResizeWorker<Map> worker(map, FastWorker());
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    map.Insert(k, k);  // no Nudge: rely on the poll interval
+  }
+  WaitUntil([&] { return map.BucketCount() >= 256; });
+}
+
+TEST(ResizeWorker, StopIsIdempotentAndFinal) {
+  Map map(16, ManualResize());
+  ResizeWorker<Map> worker(map, FastWorker());
+  worker.Stop();
+  worker.Stop();  // second call must be a no-op
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    map.Insert(k, k);
+    worker.Nudge();  // nudging a stopped worker must be safe
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(map.BucketCount(), 16u);  // nothing resized after Stop
+}
+
+TEST(ResizeWorker, HysteresisPreventsOscillation) {
+  Map map(64, ManualResize());
+  ResizeWorkerOptions options = FastWorker();
+  options.min_buckets = 64;
+  ResizeWorker<Map> worker(map, options);
+  // Load factor 1.0: inside (shrink_at, grow_at) — the worker must not act.
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    map.Insert(k, k);
+    worker.Nudge();
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(map.BucketCount(), 64u);
+  EXPECT_EQ(worker.ResizesPerformed(), 0u);
+}
+
+TEST(ResizeWorker, CatchesUpInOneResizeAfterBurst) {
+  Map map(16, ManualResize());
+  // Insert a large burst before the worker exists, then attach it.
+  for (std::uint64_t k = 0; k < 10000; ++k) {
+    map.Insert(k, k);
+  }
+  ResizeWorker<Map> worker(map, FastWorker());
+  worker.Nudge();
+  WaitUntil([&] { return worker.ResizesPerformed() >= 1; });
+  EXPECT_GE(map.BucketCount(), 4096u);
+  // One catch-up resize, not a ladder of individually-nudged doublings.
+  EXPECT_EQ(worker.ResizesPerformed(), 1u);
+}
+
+TEST(ResizeWorker, ReadersNeverMissDuringWorkerResizes) {
+  Map map(16, ManualResize());
+  constexpr std::uint64_t kStable = 256;
+  for (std::uint64_t k = 0; k < kStable; ++k) {
+    map.Insert(k, k + 1);
+  }
+  ResizeWorker<Map> worker(map, FastWorker());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      std::uint64_t key = static_cast<std::uint64_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        key = (key * 6364136223846793005ULL + 1442695040888963407ULL) % kStable;
+        auto v = map.Get(key);
+        if (!v.has_value() || *v != key + 1) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Churn volatile keys to swing the load factor across both thresholds.
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint64_t k = kStable; k < kStable + 2000; ++k) {
+      map.Insert(k, k);
+      worker.Nudge();
+    }
+    for (std::uint64_t k = kStable; k < kStable + 2000; ++k) {
+      map.Erase(k);
+      worker.Nudge();
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(misses.load(), 0u);
+  EXPECT_GE(worker.ResizesPerformed(), 1u);
+}
+
+// The worker is generic over the table type: drive a baseline too.
+TEST(ResizeWorker, WorksWithRwlockBaseline) {
+  using LockMap = baselines::RwlockHashMap<std::uint64_t, std::uint64_t>;
+  LockMap map(16);
+  ResizeWorker<LockMap> worker(map, FastWorker());
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    map.Insert(k, k);
+    worker.Nudge();
+  }
+  WaitUntil([&] { return map.BucketCount() >= 512; });
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(map.Contains(k));
+  }
+}
+
+}  // namespace
+}  // namespace rp::core

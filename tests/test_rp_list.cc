@@ -1,0 +1,195 @@
+// Tests for the relativistic linked list.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rcu/epoch.h"
+#include "src/rp/list.h"
+
+namespace rp {
+namespace {
+
+TEST(RpList, StartsEmpty) {
+  RpList<int> list;
+  EXPECT_TRUE(list.Empty());
+  EXPECT_EQ(list.Size(), 0u);
+  EXPECT_FALSE(list.FindIf([](int) { return true; }).has_value());
+}
+
+TEST(RpList, PushFrontAndFind) {
+  RpList<int> list;
+  list.PushFront(1);
+  list.PushFront(2);
+  list.PushFront(3);
+  EXPECT_EQ(list.Size(), 3u);
+  for (int v : {1, 2, 3}) {
+    EXPECT_TRUE(list.ContainsIf([v](int x) { return x == v; }));
+  }
+  EXPECT_FALSE(list.ContainsIf([](int x) { return x == 4; }));
+}
+
+TEST(RpList, FindReturnsCopy) {
+  RpList<std::string> list;
+  list.PushFront("hello");
+  auto found = list.FindIf([](const std::string& s) { return s == "hello"; });
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, "hello");
+}
+
+TEST(RpList, RemoveIfRemovesFirstMatch) {
+  RpList<int> list;
+  list.PushFront(1);
+  list.PushFront(2);
+  list.PushFront(1);
+  EXPECT_TRUE(list.RemoveIf([](int x) { return x == 1; }));
+  EXPECT_EQ(list.Size(), 2u);
+  EXPECT_TRUE(list.ContainsIf([](int x) { return x == 1; }));  // one left
+  EXPECT_TRUE(list.RemoveIf([](int x) { return x == 1; }));
+  EXPECT_FALSE(list.ContainsIf([](int x) { return x == 1; }));
+  EXPECT_FALSE(list.RemoveIf([](int x) { return x == 1; }));
+}
+
+TEST(RpList, RemoveAllIf) {
+  RpList<int> list;
+  for (int i = 0; i < 10; ++i) {
+    list.PushFront(i);
+  }
+  EXPECT_EQ(list.RemoveAllIf([](int x) { return x % 2 == 0; }), 5u);
+  EXPECT_EQ(list.Size(), 5u);
+  list.ForEach([](int x) { EXPECT_EQ(x % 2, 1); });
+}
+
+TEST(RpList, InsertSortedMaintainsOrder) {
+  RpList<int> list;
+  auto less = [](int a, int b) { return a < b; };
+  for (int v : {5, 1, 4, 2, 3}) {
+    list.InsertSorted(v, less);
+  }
+  std::vector<int> seen;
+  list.ForEach([&](int x) { seen.push_back(x); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(RpList, ForEachEarlyStop) {
+  RpList<int> list;
+  for (int i = 0; i < 10; ++i) {
+    list.PushFront(i);
+  }
+  int visited = 0;
+  list.ForEach([&](int) -> bool {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(RpList, ConcurrentReadersSeeConsistentList) {
+  RpList<std::uint64_t> list;
+  // Each element encodes its own parity check: value and ~value packed.
+  constexpr int kInitial = 64;
+  for (int i = 0; i < kInitial; ++i) {
+    list.PushFront(static_cast<std::uint64_t>(i));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::size_t count = 0;
+        list.ForEach([&](std::uint64_t) { ++count; });
+        // Writers keep size within [kInitial/2, kInitial*2].
+        if (count > kInitial * 4) {
+          failed.store(true);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Writer churns: remove then add, keeping membership invariant for a
+  // sentinel element that must always be present.
+  list.PushFront(0xFFFFFFFFULL);
+  std::thread writer([&] {
+    for (int round = 0; round < 500; ++round) {
+      list.PushFront(1000 + round);
+      list.RemoveIf([round](std::uint64_t v) { return v == 1000u + round; });
+    }
+    stop.store(true);
+  });
+
+  std::atomic<bool> sentinel_missing{false};
+  std::thread checker([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!list.ContainsIf([](std::uint64_t v) { return v == 0xFFFFFFFFULL; })) {
+        sentinel_missing.store(true);
+      }
+    }
+  });
+
+  writer.join();
+  checker.join();
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_FALSE(sentinel_missing.load());
+  EXPECT_GT(reads.load(), 0u);
+}
+
+TEST(RpList, ConcurrentWritersSerialize) {
+  RpList<int> list;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 8; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < 250; ++i) {
+        list.PushFront(t * 1000 + i);
+      }
+    });
+  }
+  for (auto& w : writers) {
+    w.join();
+  }
+  EXPECT_EQ(list.Size(), 2000u);
+  std::size_t count = 0;
+  list.ForEach([&](int) { ++count; });
+  EXPECT_EQ(count, 2000u);
+}
+
+TEST(RpList, RemovedNodesReclaimedSafely) {
+  // Readers that hold references to removed nodes must stay valid until
+  // they exit their read section (Retire defers the free).
+  RpList<std::unique_ptr<int>> list;  // a value type with a destructor
+  for (int i = 0; i < 100; ++i) {
+    list.PushFront(std::make_unique<int>(i));
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<bool> corrupt{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      list.ForEach([&](const std::unique_ptr<int>& p) {
+        if (p == nullptr || *p < 0 || *p >= 100) {
+          corrupt.store(true);
+        }
+      });
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    list.RemoveAllIf([](const std::unique_ptr<int>&) { return true; });
+    for (int i = 0; i < 100; ++i) {
+      list.PushFront(std::make_unique<int>(i));
+    }
+  }
+  stop.store(true);
+  reader.join();
+  rcu::Epoch::Barrier();
+  EXPECT_FALSE(corrupt.load());
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,244 @@
+// Conformance suite: one behavioural contract, run against every table
+// implementation (the RP table, the fixed RCU table, and all baselines).
+// Catches divergence between the paper's table and the comparators so the
+// benchmarks compare like for like.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/bucket_lock_hash_map.h"
+#include "src/baselines/ddds_hash_map.h"
+#include "src/baselines/fixed_rcu_hash_map.h"
+#include "src/baselines/mutex_hash_map.h"
+#include "src/baselines/rwlock_hash_map.h"
+#include "src/baselines/xu_hash_map.h"
+#include "src/core/rp_hash_map.h"
+#include "src/util/rng.h"
+
+namespace rp {
+namespace {
+
+using core::RpHashMap;
+
+template <typename Map>
+class TableConformance : public ::testing::Test {
+ protected:
+  Map map_{64};
+};
+
+using TableTypes = ::testing::Types<
+    RpHashMap<std::uint64_t, std::uint64_t>,
+    baselines::FixedRcuHashMap<std::uint64_t, std::uint64_t>,
+    baselines::DddsHashMap<std::uint64_t, std::uint64_t>,
+    baselines::RwlockHashMap<std::uint64_t, std::uint64_t>,
+    baselines::MutexHashMap<std::uint64_t, std::uint64_t>,
+    baselines::BucketLockHashMap<std::uint64_t, std::uint64_t>,
+    baselines::XuHashMap<std::uint64_t, std::uint64_t>>;
+TYPED_TEST_SUITE(TableConformance, TableTypes);
+
+TYPED_TEST(TableConformance, EmptyMapBehaviour) {
+  EXPECT_EQ(this->map_.Size(), 0u);
+  EXPECT_FALSE(this->map_.Contains(0));
+  EXPECT_FALSE(this->map_.Get(0).has_value());
+  EXPECT_FALSE(this->map_.Erase(0));
+}
+
+TYPED_TEST(TableConformance, InsertGetRoundTrip) {
+  EXPECT_TRUE(this->map_.Insert(42, 4242));
+  ASSERT_TRUE(this->map_.Get(42).has_value());
+  EXPECT_EQ(*this->map_.Get(42), 4242u);
+  EXPECT_EQ(this->map_.Size(), 1u);
+}
+
+TYPED_TEST(TableConformance, DuplicateInsertRejected) {
+  EXPECT_TRUE(this->map_.Insert(1, 10));
+  EXPECT_FALSE(this->map_.Insert(1, 20));
+  EXPECT_EQ(*this->map_.Get(1), 10u);
+}
+
+TYPED_TEST(TableConformance, EraseThenMiss) {
+  this->map_.Insert(5, 50);
+  EXPECT_TRUE(this->map_.Erase(5));
+  EXPECT_FALSE(this->map_.Contains(5));
+  EXPECT_FALSE(this->map_.Erase(5));
+  EXPECT_EQ(this->map_.Size(), 0u);
+}
+
+TYPED_TEST(TableConformance, WithVisitsOnlyPresentKeys) {
+  this->map_.Insert(3, 33);
+  bool visited = false;
+  EXPECT_TRUE(this->map_.With(3, [&](const std::uint64_t& v) {
+    visited = true;
+    EXPECT_EQ(v, 33u);
+  }));
+  EXPECT_TRUE(visited);
+  EXPECT_FALSE(this->map_.With(4, [](const std::uint64_t&) { FAIL(); }));
+}
+
+TYPED_TEST(TableConformance, ThousandKeySweep) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(this->map_.Insert(i, i * 2));
+  }
+  EXPECT_EQ(this->map_.Size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(this->map_.Contains(i));
+    EXPECT_EQ(*this->map_.Get(i), i * 2);
+  }
+  for (std::uint64_t i = 0; i < 1000; i += 2) {
+    EXPECT_TRUE(this->map_.Erase(i));
+  }
+  EXPECT_EQ(this->map_.Size(), 500u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(this->map_.Contains(i), i % 2 == 1) << i;
+  }
+}
+
+TYPED_TEST(TableConformance, RandomizedAgainstReferenceModel) {
+  // Differential test against std::set-based reference.
+  std::set<std::uint64_t> model;
+  Xoshiro256 rng(99);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng.NextBounded(512);
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const bool inserted = this->map_.Insert(key, key + 1);
+        EXPECT_EQ(inserted, model.insert(key).second);
+        break;
+      }
+      case 1: {
+        const bool erased = this->map_.Erase(key);
+        EXPECT_EQ(erased, model.erase(key) > 0);
+        break;
+      }
+      default: {
+        EXPECT_EQ(this->map_.Contains(key), model.count(key) > 0);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(this->map_.Size(), model.size());
+  for (std::uint64_t key : model) {
+    EXPECT_EQ(*this->map_.Get(key), key + 1);
+  }
+}
+
+TYPED_TEST(TableConformance, ConcurrentReadersWithOneWriter) {
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    this->map_.Insert(i, i);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!this->map_.Contains(rng.NextBounded(512))) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::uint64_t i = 512; i < 4096; ++i) {
+    this->map_.Insert(i, i);
+  }
+  for (std::uint64_t i = 512; i < 4096; ++i) {
+    this->map_.Erase(i);
+  }
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+// Resizable subset: every table except the fixed one.
+template <typename Map>
+class ResizableConformance : public ::testing::Test {
+ protected:
+  Map map_{16};
+};
+
+using ResizableTypes = ::testing::Types<
+    RpHashMap<std::uint64_t, std::uint64_t>,
+    baselines::DddsHashMap<std::uint64_t, std::uint64_t>,
+    baselines::RwlockHashMap<std::uint64_t, std::uint64_t>,
+    baselines::MutexHashMap<std::uint64_t, std::uint64_t>,
+    baselines::BucketLockHashMap<std::uint64_t, std::uint64_t>,
+    baselines::XuHashMap<std::uint64_t, std::uint64_t>>;
+TYPED_TEST_SUITE(ResizableConformance, ResizableTypes);
+
+TYPED_TEST(ResizableConformance, ResizePreservesContents) {
+  for (std::uint64_t i = 0; i < 777; ++i) {
+    ASSERT_TRUE(this->map_.Insert(i, i * 3));
+  }
+  this->map_.Resize(512);
+  for (std::uint64_t i = 0; i < 777; ++i) {
+    ASSERT_TRUE(this->map_.Contains(i)) << i;
+    EXPECT_EQ(*this->map_.Get(i), i * 3);
+  }
+  this->map_.Resize(64);
+  for (std::uint64_t i = 0; i < 777; ++i) {
+    ASSERT_TRUE(this->map_.Contains(i)) << i;
+  }
+  EXPECT_EQ(this->map_.Size(), 777u);
+}
+
+TYPED_TEST(ResizableConformance, LookupsDuringResizeNeverMissStableKeys) {
+  for (std::uint64_t i = 0; i < 1024; ++i) {
+    this->map_.Insert(i, i);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      Xoshiro256 rng(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (!this->map_.Contains(rng.NextBounded(1024))) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int round = 0; round < 15; ++round) {
+    this->map_.Resize(2048);
+    this->map_.Resize(16);
+  }
+  stop.store(true);
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+TYPED_TEST(ResizableConformance, WritesInterleavedWithResizes) {
+  Xoshiro256 rng(3);
+  std::set<std::uint64_t> model;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t key = rng.NextBounded(4096);
+      if (rng.NextDouble() < 0.6) {
+        if (this->map_.Insert(key, key)) {
+          model.insert(key);
+        }
+      } else {
+        this->map_.Erase(key);
+        model.erase(key);
+      }
+    }
+    this->map_.Resize(round % 2 == 0 ? 1024 : 32);
+  }
+  EXPECT_EQ(this->map_.Size(), model.size());
+  for (std::uint64_t key : model) {
+    EXPECT_TRUE(this->map_.Contains(key)) << key;
+  }
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,237 @@
+// Relativistic trie: unit, prefix-scan, and concurrent behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/rp/trie.h"
+#include "src/util/rng.h"
+#include "src/util/spin_barrier.h"
+
+namespace rp::rp {
+namespace {
+
+using StrTrie = Trie<std::string>;
+
+TEST(Trie, StartsEmpty) {
+  StrTrie trie;
+  EXPECT_TRUE(trie.Empty());
+  EXPECT_FALSE(trie.Contains("a"));
+  EXPECT_FALSE(trie.Get("").has_value());
+}
+
+TEST(Trie, InsertGetErase) {
+  StrTrie trie;
+  EXPECT_TRUE(trie.Insert("hello", "world"));
+  EXPECT_FALSE(trie.Insert("hello", "other"));
+  ASSERT_TRUE(trie.Get("hello").has_value());
+  EXPECT_EQ(*trie.Get("hello"), "world");
+  EXPECT_TRUE(trie.Erase("hello"));
+  EXPECT_FALSE(trie.Erase("hello"));
+  EXPECT_TRUE(trie.Empty());
+}
+
+TEST(Trie, EmptyStringIsAValidKey) {
+  StrTrie trie;
+  EXPECT_TRUE(trie.Insert("", "root-value"));
+  EXPECT_EQ(*trie.Get(""), "root-value");
+  EXPECT_EQ(trie.Size(), 1u);
+  EXPECT_TRUE(trie.Erase(""));
+  EXPECT_FALSE(trie.Contains(""));
+}
+
+TEST(Trie, PrefixKeysAreIndependent) {
+  StrTrie trie;
+  EXPECT_TRUE(trie.Insert("car", "1"));
+  EXPECT_TRUE(trie.Insert("carpet", "2"));
+  EXPECT_TRUE(trie.Insert("ca", "3"));
+  EXPECT_EQ(*trie.Get("car"), "1");
+  EXPECT_EQ(*trie.Get("carpet"), "2");
+  EXPECT_EQ(*trie.Get("ca"), "3");
+  EXPECT_FALSE(trie.Contains("c"));
+  EXPECT_FALSE(trie.Contains("carp"));
+  // Erasing the middle key must not disturb its extension or prefix.
+  EXPECT_TRUE(trie.Erase("car"));
+  EXPECT_FALSE(trie.Contains("car"));
+  EXPECT_EQ(*trie.Get("carpet"), "2");
+  EXPECT_EQ(*trie.Get("ca"), "3");
+}
+
+TEST(Trie, InsertOrAssignReplacesAtomically) {
+  StrTrie trie;
+  EXPECT_TRUE(trie.InsertOrAssign("k", "v1"));
+  EXPECT_FALSE(trie.InsertOrAssign("k", "v2"));
+  EXPECT_EQ(*trie.Get("k"), "v2");
+  EXPECT_EQ(trie.Size(), 1u);
+}
+
+TEST(Trie, BinaryKeysWithAllByteValues) {
+  Trie<int> trie;
+  std::string key;
+  for (int b = 0; b < 256; ++b) {
+    key.push_back(static_cast<char>(b));
+    ASSERT_TRUE(trie.Insert(key, b));
+  }
+  EXPECT_EQ(trie.Size(), 256u);
+  key.clear();
+  for (int b = 0; b < 256; ++b) {
+    key.push_back(static_cast<char>(b));
+    ASSERT_TRUE(trie.Contains(key)) << b;
+    EXPECT_EQ(*trie.Get(key), b);
+  }
+}
+
+TEST(Trie, ForEachPrefixVisitsLexicographically) {
+  StrTrie trie;
+  for (const char* k :
+       {"dog", "door", "doom", "cat", "do", "doors", "dot", "dz"}) {
+    trie.Insert(k, k);
+  }
+  std::vector<std::string> seen;
+  trie.ForEachPrefix("do", [&](const std::string& k, const std::string& v) {
+    EXPECT_EQ(k, v);
+    seen.push_back(k);
+  });
+  const std::vector<std::string> expected = {"do",   "dog",   "doom",
+                                             "door", "doors", "dot"};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Trie, ForEachPrefixMissesAbsentPrefix) {
+  StrTrie trie;
+  trie.Insert("alpha", "1");
+  trie.ForEachPrefix("beta", [](const std::string&, const std::string&) {
+    FAIL() << "no key has this prefix";
+  });
+}
+
+TEST(Trie, ForEachVisitsEverything) {
+  StrTrie trie;
+  trie.Insert("", "empty");
+  trie.Insert("a", "1");
+  trie.Insert("zz", "2");
+  std::vector<std::string> seen;
+  trie.ForEach([&](const std::string& k, const std::string&) {
+    seen.push_back(k);
+  });
+  EXPECT_EQ(seen, (std::vector<std::string>{"", "a", "zz"}));
+}
+
+TEST(Trie, ErasePrunesSpinesButKeepsSharedNodes) {
+  StrTrie trie;
+  trie.Insert("abcdef", "deep");
+  trie.Insert("abc", "mid");
+  EXPECT_TRUE(trie.Erase("abcdef"));
+  EXPECT_EQ(*trie.Get("abc"), "mid");
+  EXPECT_TRUE(trie.Erase("abc"));
+  EXPECT_TRUE(trie.Empty());
+  // Everything reinserts cleanly after full pruning.
+  EXPECT_TRUE(trie.Insert("abcdef", "again"));
+  EXPECT_EQ(*trie.Get("abcdef"), "again");
+}
+
+TEST(Trie, ClearThenReuse) {
+  StrTrie trie;
+  for (int i = 0; i < 300; ++i) {
+    trie.Insert("key" + std::to_string(i), "v");
+  }
+  trie.Clear();
+  EXPECT_TRUE(trie.Empty());
+  EXPECT_FALSE(trie.Contains("key7"));
+  EXPECT_TRUE(trie.Insert("key7", "fresh"));
+  EXPECT_EQ(*trie.Get("key7"), "fresh");
+}
+
+TEST(Trie, RandomizedAgainstStdMap) {
+  Trie<int> trie;
+  std::map<std::string, int> model;
+  SplitMix64 rng(0x7717);
+  auto random_key = [&] {
+    std::string key;
+    const std::size_t len = rng.Next() % 8;
+    for (std::size_t i = 0; i < len; ++i) {
+      key.push_back(static_cast<char>('a' + rng.Next() % 4));
+    }
+    return key;  // small alphabet: heavy prefix sharing
+  };
+  for (int op = 0; op < 20000; ++op) {
+    const std::string key = random_key();
+    switch (rng.Next() % 4) {
+      case 0:
+      case 1:
+        EXPECT_EQ(trie.Insert(key, op), model.emplace(key, op).second);
+        break;
+      case 2:
+        EXPECT_EQ(trie.Erase(key), model.erase(key) == 1);
+        break;
+      default: {
+        auto v = trie.Get(key);
+        auto it = model.find(key);
+        ASSERT_EQ(v.has_value(), it != model.end());
+        if (v.has_value()) {
+          EXPECT_EQ(*v, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(trie.Size(), model.size());
+  }
+  // ForEach agrees with the model in content and order.
+  auto it = model.begin();
+  trie.ForEach([&](const std::string& k, const int& v) {
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  });
+  EXPECT_EQ(it, model.end());
+}
+
+TEST(Trie, ReadersNeverMissStableKeysDuringChurn) {
+  StrTrie trie;
+  std::vector<std::string> stable;
+  for (int i = 0; i < 100; ++i) {
+    stable.push_back("stable/key/" + std::to_string(i));
+    trie.Insert(stable.back(), "present");
+  }
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  SpinBarrier barrier(kReaders + 1);
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      SplitMix64 rng(static_cast<std::uint64_t>(r) + 1);
+      barrier.ArriveAndWait();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& key = stable[rng.Next() % stable.size()];
+        if (!trie.Contains(key)) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  barrier.ArriveAndWait();
+  SplitMix64 rng(31337);
+  for (int round = 0; round < 20000; ++round) {
+    // Volatile keys share the "stable/" prefix so churn hits shared spines.
+    const std::string key = "stable/tmp/" + std::to_string(rng.Next() % 128);
+    if (round % 2 == 0) {
+      trie.InsertOrAssign(key, "volatile");
+    } else {
+      trie.Erase(key);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rp::rp

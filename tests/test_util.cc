@@ -1,0 +1,274 @@
+// Unit tests for src/util: RNG, Zipf, stats, histograms, barriers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/util/cacheline.h"
+#include "src/util/compiler.h"
+#include "src/util/rng.h"
+#include "src/util/spin_barrier.h"
+#include "src/util/stats.h"
+#include "src/util/stopwatch.h"
+#include "src/util/zipf.h"
+
+namespace rp {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256, ProducesDistinctValues) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Next());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedCoversRange) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(19);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  Xoshiro256 rng(23);
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Next(rng)];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  Xoshiro256 rng(29);
+  ZipfGenerator zipf(10000, 0.99);
+  int head = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next(rng) < 100) {
+      ++head;
+    }
+  }
+  // With theta=0.99, the top 1% of keys should draw well over a third of
+  // the traffic (theory: ~55%+).
+  EXPECT_GT(head, kSamples / 3);
+}
+
+TEST(Zipf, StaysInRange) {
+  Xoshiro256 rng(31);
+  for (double theta : {0.0, 0.5, 0.9, 0.99}) {
+    ZipfGenerator zipf(1000, theta);
+    for (int i = 0; i < 10000; ++i) {
+      EXPECT_LT(zipf.Next(rng), 1000u) << "theta=" << theta;
+    }
+  }
+}
+
+TEST(Zipf, SingleItemAlwaysZero) {
+  Xoshiro256 rng(37);
+  ZipfGenerator zipf(1, 0.99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Next(rng), 0u);
+  }
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stats.Add(x);
+  }
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.stddev(), 2.138, 0.01);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100;
+    (i % 2 == 0 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenSamples) {
+  Percentiles p({10.0, 20.0, 30.0, 40.0});
+  EXPECT_DOUBLE_EQ(p.At(0), 10.0);
+  EXPECT_DOUBLE_EQ(p.At(100), 40.0);
+  EXPECT_DOUBLE_EQ(p.median(), 25.0);
+}
+
+TEST(Percentiles, EmptyIsZero) {
+  Percentiles p({});
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.At(50), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesAreMonotonic) {
+  LatencyHistogram h;
+  Xoshiro256 rng(43);
+  for (int i = 0; i < 100000; ++i) {
+    h.RecordNanos(rng.NextBounded(1000000) + 1);
+  }
+  EXPECT_EQ(h.count(), 100000u);
+  EXPECT_LE(h.PercentileNanos(50), h.PercentileNanos(90));
+  EXPECT_LE(h.PercentileNanos(90), h.PercentileNanos(99));
+}
+
+TEST(LatencyHistogram, ApproximatesKnownDistribution) {
+  LatencyHistogram h;
+  for (std::uint64_t i = 1; i <= 1000; ++i) {
+    h.RecordNanos(i * 1000);  // 1us..1ms uniform
+  }
+  const std::uint64_t p50 = h.PercentileNanos(50);
+  EXPECT_GT(p50, 400000u);
+  EXPECT_LT(p50, 600000u);
+}
+
+TEST(LatencyHistogram, MergeAccumulates) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.RecordNanos(100);
+  b.RecordNanos(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(FormatHelpers, Throughput) {
+  EXPECT_EQ(FormatThroughput(1.5e9), "1.50 Gop/s");
+  EXPECT_EQ(FormatThroughput(2.5e6), "2.50 Mop/s");
+  EXPECT_EQ(FormatThroughput(3.5e3), "3.50 Kop/s");
+  EXPECT_EQ(FormatThroughput(42), "42.00 op/s");
+}
+
+TEST(FormatHelpers, Nanos) {
+  EXPECT_EQ(FormatNanos(1.5e9), "1.50 s");
+  EXPECT_EQ(FormatNanos(2.5e6), "2.50 ms");
+  EXPECT_EQ(FormatNanos(3.5e3), "3.50 us");
+  EXPECT_EQ(FormatNanos(42), "42 ns");
+}
+
+TEST(CachePadded, OccupiesFullLines) {
+  CachePadded<int> a;
+  *a = 5;
+  EXPECT_EQ(*a, 5);
+  EXPECT_EQ(sizeof(CachePadded<int>) % kCacheLineSize, 0u);
+  EXPECT_GE(alignof(CachePadded<std::uint64_t>), kCacheLineSize);
+}
+
+TEST(SpinBarrier, SynchronizesThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.ArriveAndWait();
+        // Between barriers, the counter must be a full multiple.
+        if (counter.load() % kThreads != 0) {
+          failed.store(true);
+        }
+        barrier.ArriveAndWait();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(watch.ElapsedNanos(), 5'000'000u);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedNanos(), 5'000'000u);
+}
+
+TEST(ReadWriteOnce, RoundTrips) {
+  std::uint64_t x = 0;
+  WriteOnce(x, std::uint64_t{42});
+  EXPECT_EQ(ReadOnce(x), 42u);
+}
+
+}  // namespace
+}  // namespace rp

@@ -1,0 +1,161 @@
+// Herbert-Xu dual-chain resizable table: unit + concurrent behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/baselines/xu_hash_map.h"
+#include "src/rcu/epoch.h"
+#include "src/util/spin_barrier.h"
+
+namespace rp::baselines {
+namespace {
+
+using IntMap = XuHashMap<std::uint64_t, std::uint64_t>;
+
+TEST(XuHashMap, StartsEmpty) {
+  IntMap map;
+  EXPECT_EQ(map.Size(), 0u);
+  EXPECT_FALSE(map.Contains(1));
+  EXPECT_FALSE(map.Get(1).has_value());
+}
+
+TEST(XuHashMap, InsertGetErase) {
+  IntMap map;
+  EXPECT_TRUE(map.Insert(1, 100));
+  EXPECT_FALSE(map.Insert(1, 200));  // duplicate
+  ASSERT_TRUE(map.Get(1).has_value());
+  EXPECT_EQ(*map.Get(1), 100u);
+  EXPECT_TRUE(map.Erase(1));
+  EXPECT_FALSE(map.Erase(1));
+  EXPECT_EQ(map.Size(), 0u);
+}
+
+TEST(XuHashMap, WithRunsInsideReadSection) {
+  XuHashMap<std::string, std::string> map;
+  map.Insert("key", "value");
+  bool seen = false;
+  EXPECT_TRUE(map.With("key", [&](const std::string& v) {
+    seen = (v == "value");
+  }));
+  EXPECT_TRUE(seen);
+  EXPECT_FALSE(map.With("absent", [](const std::string&) { FAIL(); }));
+}
+
+TEST(XuHashMap, BucketCountRoundsToPowerOfTwo) {
+  IntMap map(/*initial_buckets=*/10);
+  EXPECT_EQ(map.BucketCount(), 16u);
+}
+
+TEST(XuHashMap, ResizePreservesAllEntries) {
+  IntMap map(/*initial_buckets=*/8);
+  constexpr std::uint64_t kEntries = 1000;
+  for (std::uint64_t k = 0; k < kEntries; ++k) {
+    ASSERT_TRUE(map.Insert(k, k * 2));
+  }
+  map.Resize(1024);
+  EXPECT_EQ(map.BucketCount(), 1024u);
+  for (std::uint64_t k = 0; k < kEntries; ++k) {
+    ASSERT_TRUE(map.Contains(k)) << k;
+    EXPECT_EQ(*map.Get(k), k * 2);
+  }
+  map.Resize(8);
+  EXPECT_EQ(map.BucketCount(), 8u);
+  for (std::uint64_t k = 0; k < kEntries; ++k) {
+    ASSERT_TRUE(map.Contains(k)) << k;
+  }
+  EXPECT_EQ(map.ResizeCount(), 2u);
+}
+
+TEST(XuHashMap, ResizeToSameSizeIsNoOp) {
+  IntMap map(/*initial_buckets=*/16);
+  map.Insert(1, 1);
+  map.Resize(16);
+  EXPECT_EQ(map.ResizeCount(), 0u);
+  EXPECT_TRUE(map.Contains(1));
+}
+
+TEST(XuHashMap, AlternatingResizesFlipLinkSetsRepeatedly) {
+  IntMap map(/*initial_buckets=*/8);
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    map.Insert(k, k);
+  }
+  // Each resize flips the active link set; several round trips prove both
+  // sets relink correctly and no stale pointer from two generations back
+  // survives.
+  for (int round = 0; round < 6; ++round) {
+    map.Resize(round % 2 == 0 ? 64 : 8);
+    for (std::uint64_t k = 0; k < 256; ++k) {
+      ASSERT_TRUE(map.Contains(k)) << "round " << round << " key " << k;
+    }
+  }
+}
+
+TEST(XuHashMap, EraseDuringAlternatingResizes) {
+  IntMap map(8);
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    map.Insert(k, k);
+  }
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    if (k % 4 == 0) {
+      EXPECT_TRUE(map.Erase(k));
+    }
+    if (k % 32 == 0) {
+      map.Resize(k % 64 == 0 ? 16 : 8);
+    }
+  }
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    EXPECT_EQ(map.Contains(k), k % 4 != 0) << k;
+  }
+}
+
+TEST(XuHashMap, PerNodeOverheadIsOnePointer) {
+  EXPECT_EQ(IntMap::PerNodeLinkOverheadBytes(), sizeof(void*));
+}
+
+// Readers run through continuous resizing and must observe every live key
+// on every probe — the table's core correctness claim.
+TEST(XuHashMap, LookupsNeverMissDuringContinuousResize) {
+  IntMap map(/*initial_buckets=*/8);
+  constexpr std::uint64_t kKeys = 512;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    map.Insert(k, k + 7);
+  }
+
+  constexpr int kReaders = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  SpinBarrier barrier(kReaders + 1);
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      barrier.ArriveAndWait();
+      std::uint64_t key = static_cast<std::uint64_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        key = (key * 2862933555777941757ULL + 3037000493ULL) % kKeys;
+        auto v = map.Get(key);
+        if (!v.has_value() || *v != key + 7) {
+          misses.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  barrier.ArriveAndWait();
+  for (int round = 0; round < 50; ++round) {
+    map.Resize(round % 2 == 0 ? 64 : 8);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_EQ(misses.load(), 0u);
+}
+
+}  // namespace
+}  // namespace rp::baselines
