@@ -13,6 +13,12 @@
 // hysteresis, and calls Resize. Readers are oblivious throughout — that is
 // the point of the paper's algorithm — and writers only ever pay a relaxed
 // load + occasional notify.
+//
+// The worker also doubles as the reclamation pump for maps using deferred
+// (call_rcu-style) reclamation: after each resize, and when stopping, it
+// flushes the map's pending retirements (FlushDeferred, detected by
+// concept) so memory reclamation keeps pace with heavy update churn without
+// any writer ever waiting on a grace period.
 #ifndef RP_CORE_RESIZE_WORKER_H_
 #define RP_CORE_RESIZE_WORKER_H_
 
@@ -23,7 +29,14 @@
 #include <mutex>
 #include <thread>
 
+#include "src/core/hash.h"
+
 namespace rp::core {
+
+// Maps with a deferred-reclamation policy expose FlushDeferred(); plain
+// baselines do not, and the worker skips the flush for them.
+template <typename Map>
+concept HasFlushDeferred = requires(Map& map) { map.FlushDeferred(); };
 
 struct ResizeWorkerOptions {
   // Grow when size/buckets exceeds this.
@@ -35,6 +48,10 @@ struct ResizeWorkerOptions {
   std::size_t min_buckets = 16;
   // Periodic re-check interval when no writer nudges arrive.
   std::chrono::milliseconds poll_interval{50};
+  // After each resize, block the worker (never the writers) until the map's
+  // deferred retirements have been reclaimed. Bounds unreclaimed memory
+  // under churn at zero writer cost; ignored for maps without FlushDeferred.
+  bool flush_deferred_after_resize = true;
 };
 
 // Map must expose Size(), BucketCount() and Resize(std::size_t) — RpHashMap
@@ -61,7 +78,9 @@ class ResizeWorker {
     cv_.notify_one();
   }
 
-  // Stops the worker after finishing any in-flight resize. Idempotent.
+  // Stops the worker after finishing any in-flight resize, then drains the
+  // map's deferred retirements so a map torn down right after its worker is
+  // leak-clean. Idempotent.
   void Stop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -72,6 +91,9 @@ class ResizeWorker {
       cv_.notify_one();
     }
     thread_.join();
+    if constexpr (HasFlushDeferred<Map>) {
+      map_.FlushDeferred();
+    }
   }
 
   [[nodiscard]] std::uint64_t ResizesPerformed() const {
@@ -120,10 +142,20 @@ class ResizeWorker {
       if (target < options_.min_buckets) {
         target = options_.min_buckets;
       }
+      // Compare what the map will actually do: tables round to powers of
+      // two, so an un-rounded min_buckets clamp (e.g. 100 vs a 128-bucket
+      // table) would otherwise read as "resize needed" on every tick and
+      // spin no-op all-stripe resizes forever.
+      target = CeilPowerOfTwo(target);
     }
     if (target != buckets) {
       map_.Resize(target);
       resizes_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (HasFlushDeferred<Map>) {
+        if (options_.flush_deferred_after_resize) {
+          map_.FlushDeferred();
+        }
+      }
     }
   }
 

@@ -17,20 +17,30 @@
 //     wait-for-readers between passes. All chains unzip in parallel, so the
 //     number of grace periods is the maximum number of key-runs in any
 //     chain, not the number of elements.
-//   * Updates (insert/erase/move/resize) serialize on an internal mutex:
-//     writers do all the waiting, readers none.
+//   * Updates run under striped per-bucket writer locks: writers touching
+//     different stripes proceed in parallel; a resize takes every stripe (in
+//     index order) and so still excludes all other updates. Writers do all
+//     the waiting, readers none. With writer_stripes = 1 the table degrades
+//     to the original single-writer-mutex behaviour (the comparison baseline
+//     in bench/abl10_writer_scaling.cc).
+//   * Removed nodes are reclaimed through a pluggable Reclaimer policy
+//     (src/rcu/reclaimer.h): deferred call_rcu-style batching by default, so
+//     no update ever blocks for a grace period; synchronous
+//     wait-then-free for tests that want deterministic reclamation.
 //
 // Template parameters mirror std::unordered_map, plus the RCU Domain
 // (rcu::Epoch for general-purpose use, rcu::Qsbr for zero-cost readers in
-// cooperative threads).
+// cooperative threads) and the Reclaimer policy.
 #ifndef RP_CORE_RP_HASH_MAP_H_
 #define RP_CORE_RP_HASH_MAP_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <new>
 #include <optional>
@@ -43,6 +53,9 @@
 #include "src/rcu/epoch.h"
 #include "src/rcu/guard.h"
 #include "src/rcu/rcu_pointer.h"
+#include "src/rcu/reclaimer.h"
+#include "src/util/cacheline.h"
+#include "src/util/compiler.h"
 #include "src/util/stopwatch.h"
 
 namespace rp::core {
@@ -56,29 +69,46 @@ struct RpHashMapOptions {
   std::size_t min_buckets = 4;
   // When false, the table only resizes on explicit Resize/Expand/Shrink.
   bool auto_resize = true;
+  // Number of writer-lock stripes (rounded up to a power of two). Each
+  // stripe covers an interleaved subset of buckets; updates to different
+  // stripes run concurrently. 1 reproduces the single-writer-mutex table.
+  std::size_t writer_stripes = 64;
 };
 
 template <typename Key, typename T, typename HashFn = MixedHash<Key>,
-          typename KeyEqual = std::equal_to<Key>, typename Domain = rcu::Epoch>
+          typename KeyEqual = std::equal_to<Key>, typename Domain = rcu::Epoch,
+          typename ReclaimPolicy = rcu::DeferredReclaimer<Domain>>
 class RpHashMap {
+  static_assert(rcu::Reclaimer<ReclaimPolicy>,
+                "ReclaimPolicy must satisfy rp::rcu::Reclaimer");
+
  public:
   using key_type = Key;
   using mapped_type = T;
+  using reclaimer_type = ReclaimPolicy;
 
   explicit RpHashMap(std::size_t initial_buckets = 16,
                      RpHashMapOptions options = {})
-      : options_(options) {
+      : options_(options),
+        stripe_count_(ClampStripes(options.writer_stripes)),
+        stripes_(std::make_unique<Stripe[]>(stripe_count_)) {
     const std::size_t n =
         CeilPowerOfTwo(std::max(initial_buckets, options_.min_buckets));
     table_.store(BucketArray::Create(n), std::memory_order_release);
+    bucket_count_.store(n, std::memory_order_release);
+    stripe_mask_.store(EffectiveStripeMaskFor(stripe_count_, n),
+                       std::memory_order_release);
   }
 
   RpHashMap(const RpHashMap&) = delete;
   RpHashMap& operator=(const RpHashMap&) = delete;
 
   // Destruction requires external quiescence (no concurrent readers or
-  // writers), like any container.
+  // writers), like any container. Deferred reclamation callbacks for nodes
+  // this map retired are drained first, so the allocator (and LSan) sees
+  // every node freed by the time the destructor returns.
   ~RpHashMap() {
+    ReclaimPolicy::Drain();
     BucketArray* t = table_.load(std::memory_order_relaxed);
     for (std::size_t i = 0; i < t->size; ++i) {
       Node* node = t->bucket(i).load(std::memory_order_relaxed);
@@ -145,32 +175,37 @@ class RpHashMap {
   }
   [[nodiscard]] bool Empty() const { return Size() == 0; }
 
+  // Reads the mirrored bucket count rather than dereferencing the table:
+  // callers (e.g. a ResizeWorker polling load factor) need no read-side
+  // critical section, and on a QSBR map they must not be silently
+  // registered as readers.
   [[nodiscard]] std::size_t BucketCount() const {
-    rcu::ReadGuard<Domain> guard;
-    return rcu::RcuDereference(table_)->size;
+    return bucket_count_.load(std::memory_order_acquire);
   }
 
   [[nodiscard]] double LoadFactor() const {
-    rcu::ReadGuard<Domain> guard;
-    return static_cast<double>(Size()) /
-           static_cast<double>(rcu::RcuDereference(table_)->size);
+    return static_cast<double>(Size()) / static_cast<double>(BucketCount());
   }
 
+  [[nodiscard]] std::size_t WriterStripes() const { return stripe_count_; }
+
   // ---------------------------------------------------------------------
-  // Write side — serialized on an internal mutex.
+  // Write side — striped per-bucket locks; resize takes every stripe.
   // ---------------------------------------------------------------------
 
   // Inserts; returns false (leaving the map unchanged) if the key exists.
   bool Insert(const Key& key, T value) {
     auto* node = new Node(Hash()(key), key, std::move(value));
-    std::lock_guard<std::mutex> lock(writer_mutex_);
-    if (FindNodeWriter(node->hash, key) != nullptr) {
-      delete node;
-      return false;
+    {
+      StripeGuard guard(*this, node->hash);
+      if (FindNodeWriter(node->hash, key) != nullptr) {
+        delete node;
+        return false;
+      }
+      InsertNode(node);
+      count_.fetch_add(1, std::memory_order_relaxed);
     }
-    InsertNode(node);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    MaybeAutoResizeLocked();
+    MaybeAutoResize();
     return true;
   }
 
@@ -179,16 +214,23 @@ class RpHashMap {
   // either the old or the new value, never a torn one.
   bool InsertOrAssign(const Key& key, T value) {
     auto* node = new Node(Hash()(key), key, std::move(value));
-    std::lock_guard<std::mutex> lock(writer_mutex_);
-    Node* existing = FindNodeWriter(node->hash, key);
-    if (existing != nullptr) {
-      ReplaceNode(existing, node);
-      return false;
+    bool inserted;
+    {
+      StripeGuard guard(*this, node->hash);
+      Node* existing = FindNodeWriter(node->hash, key);
+      if (existing != nullptr) {
+        ReplaceNode(existing, node);
+        inserted = false;
+      } else {
+        InsertNode(node);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        inserted = true;
+      }
     }
-    InsertNode(node);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    MaybeAutoResizeLocked();
-    return true;
+    if (inserted) {
+      MaybeAutoResize();
+    }
+    return inserted;
   }
 
   // Copy-updates the value for `key`: clones the node, applies fn(T&) to
@@ -196,10 +238,48 @@ class RpHashMap {
   // the key is absent.
   template <typename Fn>
   bool Update(const Key& key, Fn&& fn) {
+    return UpdateIf(key, [&fn](T& value) {
+      std::forward<Fn>(fn)(value);
+      return true;
+    });
+  }
+
+  // Conditional copy-update: like Update, but fn(T&) returns bool — false
+  // aborts the update (the clone is discarded, nothing is published, no
+  // reclamation happens). The check and the swap are atomic under the
+  // key's stripe, so callers get per-key check-then-act semantics against
+  // every other writer (the table-level CAS building block). Returns true
+  // only when a replacement was published.
+  template <typename Fn>
+  bool UpdateIf(const Key& key, Fn&& fn) {
     const std::size_t hash = Hash()(key);
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    StripeGuard guard(*this, hash);
     Node* existing = FindNodeWriter(hash, key);
     if (existing == nullptr) {
+      return false;
+    }
+    auto* replacement = new Node(hash, existing->key, existing->value);
+    if (!std::forward<Fn>(fn)(replacement->value)) {
+      delete replacement;  // never published: no grace period needed
+      return false;
+    }
+    ReplaceNode(existing, replacement);
+    return true;
+  }
+
+  // Two-phase conditional update: pred(const T&) runs against the live
+  // value first, and only an accepted check pays the clone that fn(T&)
+  // then mutates. Use when rejection is the hot path (failed CAS, expired
+  // TTL): a rejected call costs one predicate evaluation, no allocation.
+  // Both phases run under the key's stripe, so they are atomic against
+  // every other writer. Returns true only when a replacement was published.
+  template <typename Pred, typename Fn>
+  bool UpdateIf(const Key& key, Pred&& pred, Fn&& fn) {
+    const std::size_t hash = Hash()(key);
+    StripeGuard guard(*this, hash);
+    Node* existing = FindNodeWriter(hash, key);
+    if (existing == nullptr ||
+        !std::forward<Pred>(pred)(static_cast<const T&>(existing->value))) {
       return false;
     }
     auto* replacement = new Node(hash, existing->key, existing->value);
@@ -208,27 +288,46 @@ class RpHashMap {
     return true;
   }
 
-  // Erases; the node is reclaimed after a grace period. Returns whether the
-  // key was present.
+  // Erases; the node is reclaimed per the Reclaimer policy (deferred, by
+  // default, so this never waits for readers). Returns whether the key was
+  // present.
   bool Erase(const Key& key) {
+    return EraseIf(key, [](const T&) { return true; });
+  }
+
+  // Conditional erase: unlinks the entry only when pred(const T&) holds,
+  // with the check and the unlink atomic under the key's stripe (e.g.
+  // "erase only if still expired", racing a writer refreshing the TTL).
+  // Returns whether an entry was erased.
+  template <typename Pred>
+  bool EraseIf(const Key& key, Pred&& pred) {
     const std::size_t hash = Hash()(key);
-    std::lock_guard<std::mutex> lock(writer_mutex_);
-    BucketArray* t = table_.load(std::memory_order_relaxed);
-    std::atomic<Node*>* slot = &t->bucket(hash & t->mask);
-    Node* cur = slot->load(std::memory_order_relaxed);
-    while (cur != nullptr) {
-      if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
-        slot->store(cur->next.load(std::memory_order_relaxed),
-                    std::memory_order_release);
-        count_.fetch_sub(1, std::memory_order_relaxed);
-        Domain::Retire(cur);
-        MaybeAutoResizeLocked();
-        return true;
+    bool erased = false;
+    {
+      StripeGuard guard(*this, hash);
+      BucketArray* t = table_.load(std::memory_order_relaxed);
+      std::atomic<Node*>* slot = &t->bucket(hash & t->mask);
+      Node* cur = slot->load(std::memory_order_relaxed);
+      while (cur != nullptr) {
+        if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+          if (!std::forward<Pred>(pred)(static_cast<const T&>(cur->value))) {
+            return false;
+          }
+          slot->store(cur->next.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+          count_.fetch_sub(1, std::memory_order_relaxed);
+          ReclaimPolicy::Retire(cur);
+          erased = true;
+          break;
+        }
+        slot = &cur->next;
+        cur = slot->load(std::memory_order_relaxed);
       }
-      slot = &cur->next;
-      cur = slot->load(std::memory_order_relaxed);
     }
-    return false;
+    if (erased) {
+      MaybeAutoResize();
+    }
+    return erased;
   }
 
   // Atomic rename (the paper's "atomic move operation"): re-keys the entry
@@ -239,7 +338,7 @@ class RpHashMap {
   bool Move(const Key& from, const Key& to) {
     const std::size_t from_hash = Hash()(from);
     const std::size_t to_hash = Hash()(to);
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    TwoStripeGuard guard(*this, from_hash, to_hash);
     Node* source = FindNodeWriter(from_hash, from);
     if (source == nullptr || FindNodeWriter(to_hash, to) != nullptr) {
       return false;
@@ -247,20 +346,20 @@ class RpHashMap {
     auto* dest = new Node(to_hash, to, source->value);
     InsertNode(dest);  // publish at destination first
     UnlinkNode(source);
-    Domain::Retire(source);
+    ReclaimPolicy::Retire(source);
     return true;
   }
 
-  // Removes every element. One unlink per bucket; reclamation deferred.
+  // Removes every element. One unlink per bucket; reclamation per policy.
   void Clear() {
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    AllStripesGuard guard(*this);
     BucketArray* t = table_.load(std::memory_order_relaxed);
     std::size_t removed = 0;
     for (std::size_t i = 0; i < t->size; ++i) {
       Node* node = t->bucket(i).exchange(nullptr, std::memory_order_release);
       while (node != nullptr) {
         Node* next = node->next.load(std::memory_order_relaxed);
-        Domain::Retire(node);
+        ReclaimPolicy::Retire(node);
         node = next;
         ++removed;
       }
@@ -268,32 +367,43 @@ class RpHashMap {
     count_.fetch_sub(removed, std::memory_order_relaxed);
   }
 
+  // Blocks until every retirement handed to this map's reclamation policy
+  // so far has been freed. Note the policy's queue is domain-global, so
+  // this also waits for retirements from other structures sharing the
+  // Domain. No-op under the synchronous policy. ResizeWorker calls this
+  // after each deferred resize so reclamation keeps pace with heavy churn.
+  void FlushDeferred() { ReclaimPolicy::Drain(); }
+
   // ---------------------------------------------------------------------
   // Resizing.
   // ---------------------------------------------------------------------
 
   // Resizes to CeilPowerOfTwo(target) buckets, expanding/shrinking by
-  // factors of two. Readers continue throughout.
+  // factors of two. Readers continue throughout; writers queue on the
+  // stripes for the duration.
   void Resize(std::size_t target_buckets) {
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::lock_guard<std::mutex> resize_lock(resize_mutex_);
+    AllStripesGuard guard(*this);
     ResizeLocked(CeilPowerOfTwo(std::max(target_buckets, options_.min_buckets)));
   }
 
   // Doubles the bucket count.
   void Expand() {
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::lock_guard<std::mutex> resize_lock(resize_mutex_);
+    AllStripesGuard guard(*this);
     ResizeLocked(table_.load(std::memory_order_relaxed)->size * 2);
   }
 
   // Halves the bucket count (bounded by min_buckets).
   void Shrink() {
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::lock_guard<std::mutex> resize_lock(resize_mutex_);
+    AllStripesGuard guard(*this);
     const std::size_t n = table_.load(std::memory_order_relaxed)->size / 2;
     ResizeLocked(std::max(n, options_.min_buckets));
   }
 
   [[nodiscard]] ResizeStats LastResizeStats() const {
-    std::lock_guard<std::mutex> lock(writer_mutex_);
+    std::lock_guard<std::mutex> resize_lock(resize_mutex_);
     return last_resize_;
   }
 
@@ -366,6 +476,131 @@ class RpHashMap {
     }
   };
 
+  // -- Writer-lock striping -------------------------------------------------
+  //
+  // Stripe i covers every bucket whose index is ≡ i modulo the effective
+  // stripe count. The effective count is min(stripe_count_, bucket_count):
+  // both are powers of two, so any two keys that share a bucket share the
+  // low bits that select the stripe — one stripe always owns a whole chain.
+  //
+  // The effective mask lives in its own atomic (stripe_mask_), maintained
+  // by resize, precisely so that stripe selection never dereferences the
+  // table: a writer choosing its stripe holds no lock and is in no read
+  // section, so a concurrent resize could free the BucketArray under it.
+  //
+  // The table pointer (and stripe_mask_) can only change while ALL stripes
+  // are held (resize), so holding any single stripe freezes the
+  // bucket→stripe mapping. A writer therefore reads the mask, locks the
+  // stripe it selects, and re-checks the mask: if a resize slipped in
+  // between (changing the effective stripe count), it unlocks and retries.
+
+  struct alignas(kCacheLineSize) Stripe {
+    std::mutex mu;
+  };
+
+  static std::size_t ClampStripes(std::size_t requested) {
+    std::size_t stripes = CeilPowerOfTwo(std::max<std::size_t>(requested, 1));
+#ifdef RP_TSAN_ENABLED
+    // TSan's deadlock detector aborts when one thread holds more than 64
+    // locks; AllStripesGuard holds every stripe plus resize_mutex_, so cap
+    // the stripe count in sanitized builds.
+    stripes = std::min<std::size_t>(stripes, 32);
+#endif
+    return stripes;
+  }
+
+  static std::size_t EffectiveStripeMaskFor(std::size_t stripes,
+                                            std::size_t buckets) {
+    return std::min(stripes, buckets) - 1;
+  }
+
+  class StripeGuard {
+   public:
+    StripeGuard(RpHashMap& map, std::size_t hash) : map_(map) {
+      for (;;) {
+        const std::size_t mask =
+            map_.stripe_mask_.load(std::memory_order_acquire);
+        index_ = hash & mask;
+        map_.stripes_[index_].mu.lock();
+        if (map_.stripe_mask_.load(std::memory_order_relaxed) == mask) {
+          return;  // mapping stable; the table is frozen while we hold it
+        }
+        map_.stripes_[index_].mu.unlock();
+      }
+    }
+    ~StripeGuard() { map_.stripes_[index_].mu.unlock(); }
+    StripeGuard(const StripeGuard&) = delete;
+    StripeGuard& operator=(const StripeGuard&) = delete;
+
+   private:
+    RpHashMap& map_;
+    std::size_t index_;
+  };
+
+  // Locks the stripes covering two hashes in ascending index order (the
+  // same order resize uses), so writer/writer and writer/resize lock
+  // acquisition can never cycle.
+  class TwoStripeGuard {
+   public:
+    TwoStripeGuard(RpHashMap& map, std::size_t hash_a, std::size_t hash_b)
+        : map_(map) {
+      for (;;) {
+        const std::size_t mask =
+            map_.stripe_mask_.load(std::memory_order_acquire);
+        lo_ = hash_a & mask;
+        hi_ = hash_b & mask;
+        if (lo_ > hi_) {
+          std::swap(lo_, hi_);
+        }
+        map_.stripes_[lo_].mu.lock();
+        if (hi_ != lo_) {
+          map_.stripes_[hi_].mu.lock();
+        }
+        if (map_.stripe_mask_.load(std::memory_order_relaxed) == mask) {
+          return;
+        }
+        if (hi_ != lo_) {
+          map_.stripes_[hi_].mu.unlock();
+        }
+        map_.stripes_[lo_].mu.unlock();
+      }
+    }
+    ~TwoStripeGuard() {
+      if (hi_ != lo_) {
+        map_.stripes_[hi_].mu.unlock();
+      }
+      map_.stripes_[lo_].mu.unlock();
+    }
+    TwoStripeGuard(const TwoStripeGuard&) = delete;
+    TwoStripeGuard& operator=(const TwoStripeGuard&) = delete;
+
+   private:
+    RpHashMap& map_;
+    std::size_t lo_;
+    std::size_t hi_;
+  };
+
+  // Excludes every writer: stripe locks taken in index order. Used by
+  // resize and Clear; the table pointer may only change under this guard.
+  class AllStripesGuard {
+   public:
+    explicit AllStripesGuard(RpHashMap& map) : map_(map) {
+      for (std::size_t i = 0; i < map_.stripe_count_; ++i) {
+        map_.stripes_[i].mu.lock();
+      }
+    }
+    ~AllStripesGuard() {
+      for (std::size_t i = map_.stripe_count_; i-- > 0;) {
+        map_.stripes_[i].mu.unlock();
+      }
+    }
+    AllStripesGuard(const AllStripesGuard&) = delete;
+    AllStripesGuard& operator=(const AllStripesGuard&) = delete;
+
+   private:
+    RpHashMap& map_;
+  };
+
   // -- Read-path helper. Caller must hold a read-side critical section. ---
   const Node* FindNode(const Key& key) const {
     const std::size_t hash = Hash()(key);
@@ -380,7 +615,8 @@ class RpHashMap {
     return nullptr;
   }
 
-  // -- Writer-path helpers. Caller must hold writer_mutex_. ----------------
+  // -- Writer-path helpers. Caller must hold the stripe covering the hash
+  // (or all stripes). ------------------------------------------------------
 
   Node* FindNodeWriter(std::size_t hash, const Key& key) {
     BucketArray* t = table_.load(std::memory_order_relaxed);
@@ -424,24 +660,47 @@ class RpHashMap {
     replacement->next.store(victim->next.load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
     SlotOf(victim)->store(replacement, std::memory_order_release);
-    Domain::Retire(victim);
+    ReclaimPolicy::Retire(victim);
   }
 
-  void MaybeAutoResizeLocked() {
+  // Called by writers after releasing their stripe. Load-factor check is a
+  // cheap relaxed read; crossing a threshold funnels into resize_mutex_,
+  // where the decision is re-made against current state (another writer may
+  // have resized while we waited).
+  void MaybeAutoResize() {
     if (!options_.auto_resize) {
       return;
     }
-    BucketArray* t = table_.load(std::memory_order_relaxed);
-    const auto size = static_cast<double>(count_.load(std::memory_order_relaxed));
-    const auto buckets = static_cast<double>(t->size);
-    if (size > options_.max_load_factor * buckets) {
-      ResizeLocked(t->size * 2);
-    } else if (t->size > options_.min_buckets &&
-               size < options_.min_load_factor * buckets) {
-      ResizeLocked(std::max(t->size / 2, options_.min_buckets));
+    if (AutoResizeTarget() == 0) {
+      return;
     }
+    std::lock_guard<std::mutex> resize_lock(resize_mutex_);
+    const std::size_t target = AutoResizeTarget();
+    if (target == 0) {
+      return;
+    }
+    AllStripesGuard guard(*this);
+    ResizeLocked(target);
   }
 
+  // Next one-step resize target the load factor asks for, or 0 for none.
+  // Safe to call without locks — it reads only the mirrored bucket count
+  // (never the table, which a concurrent resize may free), and a stale
+  // answer only delays or repeats the (re-checked) resize decision.
+  std::size_t AutoResizeTarget() const {
+    const std::size_t buckets = bucket_count_.load(std::memory_order_acquire);
+    const auto size = static_cast<double>(count_.load(std::memory_order_relaxed));
+    if (size > options_.max_load_factor * static_cast<double>(buckets)) {
+      return buckets * 2;
+    }
+    if (buckets > options_.min_buckets &&
+        size < options_.min_load_factor * static_cast<double>(buckets)) {
+      return std::max(buckets / 2, options_.min_buckets);
+    }
+    return 0;
+  }
+
+  // Caller must hold resize_mutex_ and every stripe.
   void ResizeLocked(std::size_t target) {
     assert(IsPowerOfTwo(target));
     Stopwatch watch;
@@ -454,6 +713,12 @@ class RpHashMap {
     while (table_.load(std::memory_order_relaxed)->size > target) {
       ShrinkStep(stats);
     }
+    // Writers are excluded for the whole ladder (we hold every stripe), so
+    // one mirror update at the end covers all steps; blocked writers
+    // re-check the mask the moment they acquire their stripe.
+    bucket_count_.store(target, std::memory_order_release);
+    stripe_mask_.store(EffectiveStripeMaskFor(stripe_count_, target),
+                       std::memory_order_release);
     stats.duration_ns = watch.ElapsedNanos();
     last_resize_ = stats;
     resize_count_.fetch_add(1, std::memory_order_relaxed);
@@ -590,8 +855,18 @@ class RpHashMap {
   std::atomic<BucketArray*> table_{nullptr};
   std::atomic<std::size_t> count_{0};
   std::atomic<std::uint64_t> resize_count_{0};
-  mutable std::mutex writer_mutex_;
   RpHashMapOptions options_;
+  const std::size_t stripe_count_;
+  // Mirrors of the current table's geometry, maintained under all stripes:
+  // lock-free paths (stripe selection, load-factor checks, BucketCount)
+  // read these instead of dereferencing table_, which a concurrent resize
+  // may free out from under any thread not inside a read-side section.
+  std::atomic<std::size_t> bucket_count_{0};
+  std::atomic<std::size_t> stripe_mask_{0};
+  const std::unique_ptr<Stripe[]> stripes_;
+  // Serializes resize decisions (explicit and load-factor-triggered) and
+  // guards last_resize_. Writers never hold a stripe while taking it.
+  mutable std::mutex resize_mutex_;
   ResizeStats last_resize_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/memcache/rp_engine.h"
 
+#include <algorithm>
 #include <charconv>
 
 namespace rp::memcache {
@@ -16,10 +17,30 @@ bool ParseUint64(const std::string& s, std::uint64_t* out) {
   return ec == std::errc() && ptr == last;
 }
 
+// The engine owns resize policy: the table never resizes inline (writers
+// would absorb grace-period waits); the background worker does it instead.
+core::RpHashMapOptions TableOptions() {
+  core::RpHashMapOptions options;
+  options.auto_resize = false;
+  return options;
+}
+
+core::ResizeWorkerOptions WorkerOptions(const EngineConfig& config) {
+  core::ResizeWorkerOptions options;
+  // Never shrink below the operator-provisioned initial capacity.
+  options.min_buckets = std::max<std::size_t>(config.initial_buckets, 16);
+  options.poll_interval = std::chrono::milliseconds(10);
+  return options;
+}
+
 }  // namespace
 
 RpEngine::RpEngine(EngineConfig config)
-    : config_(config), table_(config.initial_buckets) {}
+    : config_(config),
+      table_(config.initial_buckets, TableOptions()),
+      resize_worker_(table_, WorkerOptions(config)) {}
+
+RpEngine::~RpEngine() = default;
 
 bool RpEngine::Get(const std::string& key, StoredValue* out) {
   const std::int64_t now = NowSeconds();
@@ -51,19 +72,22 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
 
 void RpEngine::ReclaimExpired(const std::string& key) {
   const std::int64_t now = NowSeconds();
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  bool still_expired = false;
-  table_.With(key, [&](const CacheValue& value) {
-    still_expired = IsExpired(value.expire_at, now);
+  // Conditional erase: the still-expired re-check and the unlink are atomic
+  // under the key's stripe, so a racing Set/Touch that refreshes the TTL
+  // can never have its freshly-revived entry reclaimed.
+  const bool erased = table_.EraseIf(key, [&](const CacheValue& value) {
+    return IsExpired(value.expire_at, now);
   });
-  if (still_expired && table_.Erase(key)) {
+  if (erased) {
     expired_reclaims_.fetch_add(1, std::memory_order_relaxed);
+    resize_worker_.Nudge();
   }
 }
 
 void RpEngine::NoteInsertLocked(const std::string& key) {
   fifo_.push_back(key);
   EvictIfNeededLocked();
+  resize_worker_.Nudge();
 }
 
 void RpEngine::EvictIfNeededLocked() {
@@ -133,27 +157,37 @@ StoreResult RpEngine::Add(const std::string& key, std::string data,
   return StoreResult::kStored;
 }
 
+// Replace-only-if-live as one conditional per-key update: the liveness
+// check and the overwrite are atomic under the stripe, so a concurrent
+// DELETE can never be resurrected by a REPLACE that passed a stale check
+// (and a replace never inserts, so fifo_ bookkeeping is untouched).
 StoreResult RpEngine::Replace(const std::string& key, std::string data,
                               std::uint32_t flags, std::int64_t exptime) {
   const std::int64_t now = NowSeconds();
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  bool live = false;
-  table_.With(key, [&](const CacheValue& value) {
-    live = !IsExpired(value.expire_at, now);
-  });
-  if (!live) {
+  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  const bool replaced = table_.UpdateIf(
+      key,
+      [&](const CacheValue& value) {
+        return !IsExpired(value.expire_at, now);
+      },
+      [&](CacheValue& value) {
+        value.data = std::move(data);
+        value.flags = flags;
+        value.expire_at = ResolveExptime(exptime, now);
+        value.cas = cas;
+        value.last_used.store(now, std::memory_order_relaxed);
+      });
+  if (!replaced) {
     return StoreResult::kNotStored;
   }
-  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
-                   next_cas_.fetch_add(1, std::memory_order_relaxed));
-  value.last_used.store(now, std::memory_order_relaxed);
-  table_.InsertOrAssign(key, std::move(value));
   sets_.fetch_add(1, std::memory_order_relaxed);
   return StoreResult::kStored;
 }
 
+// Append/Prepend are per-key read-modify-writes: the table's striped
+// writer lock already makes the clone-mutate-publish atomic against any
+// concurrent update of the same key, so no engine-wide lock is needed.
 StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   const bool updated = table_.Update(key, [&](CacheValue& value) {
     value.data.append(data);
@@ -167,7 +201,6 @@ StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
 }
 
 StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   const bool updated = table_.Update(key, [&](CacheValue& value) {
     value.data.insert(0, data);
@@ -180,78 +213,110 @@ StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
   return StoreResult::kStored;
 }
 
+// CAS as one conditional per-key update: the cas comparison and the store
+// are atomic under the stripe. A concurrent APPEND/INCR/TOUCH (which bump
+// the cas under the same stripe) either lands before the comparison — CAS
+// returns kExists — or after the whole CAS; it can never be silently
+// overwritten between a passed check and the store.
 StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
                                   std::uint32_t flags, std::int64_t exptime,
                                   std::uint64_t expected_cas) {
   const std::int64_t now = NowSeconds();
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   bool live = false;
-  std::uint64_t current_cas = 0;
-  table_.With(key, [&](const CacheValue& value) {
-    live = !IsExpired(value.expire_at, now);
-    current_cas = value.cas;
-  });
+  bool matched = false;
+  table_.UpdateIf(
+      key,
+      [&](const CacheValue& value) {
+        if (IsExpired(value.expire_at, now)) {
+          return false;
+        }
+        live = true;
+        matched = value.cas == expected_cas;
+        return matched;
+      },
+      [&](CacheValue& value) {
+        value.data = std::move(data);
+        value.flags = flags;
+        value.expire_at = ResolveExptime(exptime, now);
+        value.cas = cas;
+        value.last_used.store(now, std::memory_order_relaxed);
+      });
   if (!live) {
     return StoreResult::kNotFound;
   }
-  if (current_cas != expected_cas) {
+  if (!matched) {
     return StoreResult::kExists;
   }
-  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
-                   next_cas_.fetch_add(1, std::memory_order_relaxed));
-  value.last_used.store(now, std::memory_order_relaxed);
-  table_.InsertOrAssign(key, std::move(value));
   sets_.fetch_add(1, std::memory_order_relaxed);
   return StoreResult::kStored;
 }
 
+// DELETE is a pure table erase: fifo_ tolerates stale keys (the eviction
+// sweep re-checks presence), so no engine-wide lock is needed.
 bool RpEngine::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  return table_.Erase(key);
+  if (!table_.Erase(key)) {
+    return false;
+  }
+  resize_worker_.Nudge();
+  return true;
 }
 
-std::optional<std::uint64_t> RpEngine::ArithLocked(const std::string& key,
-                                                   std::uint64_t delta,
-                                                   bool increment) {
+// INCR/DECR as one atomic per-key update: parse, bump and re-serialize
+// inside the table's conditional clone-and-swing, under that key's stripe.
+// A non-numeric or expired value aborts the update — nothing is published
+// and nothing goes through reclamation.
+std::optional<std::uint64_t> RpEngine::Arith(const std::string& key,
+                                             std::uint64_t delta,
+                                             bool increment) {
   const std::int64_t now = NowSeconds();
-  bool live = false;
-  std::uint64_t current = 0;
-  bool numeric = false;
-  table_.With(key, [&](const CacheValue& value) {
-    live = !IsExpired(value.expire_at, now);
-    numeric = ParseUint64(value.data, &current);
-  });
-  if (!live || !numeric) {
+  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t next = 0;
+  const bool applied = table_.UpdateIf(
+      key,
+      [&](const CacheValue& value) {
+        std::uint64_t current = 0;
+        if (IsExpired(value.expire_at, now) ||
+            !ParseUint64(value.data, &current)) {
+          return false;
+        }
+        next = increment ? current + delta
+                         : (current >= delta ? current - delta : 0);
+        return true;
+      },
+      [&](CacheValue& value) {
+        value.data = std::to_string(next);
+        value.cas = cas;
+      });
+  if (!applied) {
     return std::nullopt;
   }
-  const std::uint64_t next =
-      increment ? current + delta : (current >= delta ? current - delta : 0);
-  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
-  table_.Update(key, [&](CacheValue& value) {
-    value.data = std::to_string(next);
-    value.cas = cas;
-  });
   return next;
 }
 
 std::optional<std::uint64_t> RpEngine::Incr(const std::string& key,
                                             std::uint64_t delta) {
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  return ArithLocked(key, delta, /*increment=*/true);
+  return Arith(key, delta, /*increment=*/true);
 }
 
 std::optional<std::uint64_t> RpEngine::Decr(const std::string& key,
                                             std::uint64_t delta) {
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  return ArithLocked(key, delta, /*increment=*/false);
+  return Arith(key, delta, /*increment=*/false);
 }
 
+// Expired entries count as absent (as for GET/ADD/REPLACE): touching one
+// aborts, so TOUCH can never revive a logically-dead item under a racing
+// ADD that already observed it dead.
 bool RpEngine::Touch(const std::string& key, std::int64_t exptime) {
   const std::int64_t now = NowSeconds();
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  return table_.Update(key, [&](CacheValue& value) {
-    value.expire_at = ResolveExptime(exptime, now);
-  });
+  return table_.UpdateIf(
+      key,
+      [&](const CacheValue& value) {
+        return !IsExpired(value.expire_at, now);
+      },
+      [&](CacheValue& value) {
+        value.expire_at = ResolveExptime(exptime, now);
+      });
 }
 
 void RpEngine::FlushAll() {

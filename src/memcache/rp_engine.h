@@ -3,13 +3,19 @@
 // GET takes the fast path: a relativistic lookup in the resizable RP hash
 // table, copying the value out while still inside the read-side critical
 // section — no lock, no shared-line write beyond a relaxed recency stamp.
-// Everything else (stores, deletes, expiry reclamation, eviction) is the
-// slow path under a writer mutex, with removed values reclaimed safely via
-// the RCU callback machinery (the table retires nodes after a grace
-// period). This mirrors the talk's description: "adds a fast path for GET
-// requests using relativistic lookups; copies value while still in a
-// relativistic reader; falls back to the slow path for expiry, eviction;
-// writers use safe relativistic memory reclamation."
+//
+// The update side runs in the table's concurrent-writer configuration:
+// per-key operations (DELETE, TOUCH, APPEND/PREPEND, INCR/DECR, REPLACE,
+// CAS, expiry reclamation) go straight to the table, whose striped writer
+// locks serialize them per bucket while different keys proceed in parallel
+// — conditional forms (UpdateIf/EraseIf) make their check-then-act atomic
+// under the key's stripe. Removed values are reclaimed via the deferred
+// (call_rcu-style) policy so no update waits for a grace period. Only
+// operations that must change eviction bookkeeping atomically with table
+// membership (SET/ADD, flush) still serialize on the engine mutex. Resizes
+// are off the writer path entirely: the table runs with auto_resize off
+// and a background ResizeWorker (nudged by stores and deletes) absorbs
+// resize cost, kernel-rhashtable style.
 #ifndef RP_MEMCACHE_RP_ENGINE_H_
 #define RP_MEMCACHE_RP_ENGINE_H_
 
@@ -19,7 +25,9 @@
 #include <mutex>
 #include <string>
 
+#include "src/core/resize_worker.h"
 #include "src/core/rp_hash_map.h"
+#include "src/rcu/reclaimer.h"
 #include "src/memcache/engine.h"
 
 namespace rp::memcache {
@@ -27,7 +35,7 @@ namespace rp::memcache {
 class RpEngine final : public CacheEngine {
  public:
   explicit RpEngine(EngineConfig config = {});
-  ~RpEngine() override = default;
+  ~RpEngine() override;
 
   bool Get(const std::string& key, StoredValue* out) override;
   StoreResult Set(const std::string& key, std::string data, std::uint32_t flags,
@@ -58,23 +66,30 @@ class RpEngine final : public CacheEngine {
   std::size_t BucketCount() const { return table_.BucketCount(); }
 
  private:
-  using Table = core::RpHashMap<std::string, CacheValue>;
+  // Concurrent-writer configuration: striped writer locks (the table
+  // default) and deferred reclamation, spelled out so the engine's choice
+  // survives a change of table defaults.
+  using Table =
+      core::RpHashMap<std::string, CacheValue, core::MixedHash<std::string>,
+                      std::equal_to<std::string>, rcu::Epoch,
+                      rcu::DeferredReclaimer<rcu::Epoch>>;
 
-  // Slow path: reclaim an expired entry. Re-checks expiry under the lock
-  // (a racing Set may have refreshed the key).
+  // Reclaims an expired entry via a conditional erase: the still-expired
+  // re-check and the unlink are atomic under the key's stripe (a racing
+  // Set/Touch that refreshed the key wins).
   void ReclaimExpired(const std::string& key);
   // Caller must hold slow_path_mutex_.
   void NoteInsertLocked(const std::string& key);
   void EvictIfNeededLocked();
-  std::optional<std::uint64_t> ArithLocked(const std::string& key,
-                                           std::uint64_t delta, bool increment);
+  std::optional<std::uint64_t> Arith(const std::string& key,
+                                     std::uint64_t delta, bool increment);
 
   const EngineConfig config_;
   Table table_;
 
-  // Serializes stores/deletes/eviction bookkeeping. The table has its own
-  // writer mutex, but eviction state (fifo_) must change atomically with
-  // table membership.
+  // Serializes the store/eviction bookkeeping ops. The table's striped
+  // locks already serialize per-key updates; this mutex exists because
+  // eviction state (fifo_) must change atomically with table membership.
   mutable std::mutex slow_path_mutex_;
   // Approximate LRU: insertion-ordered queue scanned with a second-chance
   // test against the GET path's relaxed last_used stamps. Exact LRU would
@@ -82,6 +97,11 @@ class RpEngine final : public CacheEngine {
   // removes — so eviction precision is traded for reader scalability.
   std::deque<std::string> fifo_;
   std::atomic<std::uint64_t> next_cas_{1};
+
+  // Deferred (rhashtable-style) resizes: stores and deletes nudge the
+  // worker instead of absorbing resize cost inline. Declared after the
+  // table so it stops before the table is destroyed.
+  core::ResizeWorker<Table> resize_worker_;
 
   mutable std::atomic<std::uint64_t> get_hits_{0};
   mutable std::atomic<std::uint64_t> get_misses_{0};

@@ -43,7 +43,11 @@ class Epoch {
     ThreadRecord* self = Self();
     if (self->nesting++ == 0) {
       const std::uint64_t snapshot = gp_.load(std::memory_order_relaxed);
-      self->ctr.store(snapshot | 1, std::memory_order_relaxed);
+      // Release (free on x86: plain store) rather than relaxed so the
+      // writer's acquire scan gets a happens-before edge covering this
+      // thread's pre-section accesses — the fence below carries the real
+      // ordering, but race detectors do not model fences.
+      self->ctr.store(snapshot | 1, std::memory_order_release);
       SmpMb();  // pairs with the seq_cst RMW in Synchronize()
     }
   }
@@ -53,7 +57,9 @@ class Epoch {
     assert(self->nesting > 0 && "ReadUnlock without matching ReadLock");
     if (--self->nesting == 0) {
       SmpMb();  // order critical-section loads before going quiescent
-      self->ctr.store(0, std::memory_order_relaxed);
+      // Release for the same reason as in ReadLock: the writer passing this
+      // record on its scan must inherit everything this section read.
+      self->ctr.store(0, std::memory_order_release);
     }
   }
 

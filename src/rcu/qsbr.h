@@ -72,8 +72,10 @@ class Qsbr {
   // Brings the thread back online.
   static void Online() {
     ThreadRecord* self = Self();
+    // Release so the writer's acquire scan sees a happens-before edge (the
+    // fence below carries the real ordering; race detectors miss fences).
     self->ctr.store(gp_.load(std::memory_order_relaxed) | 1,
-                    std::memory_order_relaxed);
+                    std::memory_order_release);
     SmpMb();  // store-buffering fence, pairs with Synchronize()'s RMW
     // Settle on a proper (even) quiescent value now that we are visible.
     self->ctr.store(gp_.load(std::memory_order_acquire),

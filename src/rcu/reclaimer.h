@@ -1,0 +1,63 @@
+// Reclamation policies: how a relativistic data structure turns "this node
+// is unlinked" into "this node's memory is free".
+//
+// The paper's structures all follow unlink → wait-for-readers → free, but
+// *where* the wait happens is a policy choice, not a property of the
+// structure:
+//
+//   * SyncReclaimer — the textbook form: the writer itself blocks in
+//     Synchronize() and frees inline. Deterministic (memory is gone when the
+//     erase returns) but serializes every removal behind a full grace
+//     period, which caps update throughput at grace periods per second.
+//   * DeferredReclaimer — the call_rcu form: the writer hands the node to
+//     the domain's background RcuCallbackQueue and returns immediately; the
+//     reclaimer batches retirements and amortizes one grace period across
+//     the whole batch. This is what a sharded writer path needs — stripes
+//     are pointless if every erase still waits for all readers.
+//
+// Structures take the policy as a template parameter (defaulting to
+// deferred) so tests can pin down deterministic reclamation while the
+// production configuration never blocks an update on a grace period.
+#ifndef RP_RCU_RECLAIMER_H_
+#define RP_RCU_RECLAIMER_H_
+
+#include "src/rcu/guard.h"
+
+namespace rp::rcu {
+
+// Static-polymorphic contract a reclamation policy satisfies. Retire()
+// schedules (or performs) the reclamation of an unlinked object; Drain()
+// blocks until every prior Retire() on the policy has finished freeing, so
+// destructors can hand memory back to the allocator leak-free.
+template <typename R>
+concept Reclaimer = requires(int* p) {
+  { R::template Retire<int>(p) };
+  { R::Drain() };
+};
+
+// Frees inline: one full grace period per retirement, paid by the writer.
+template <RcuDomain Domain>
+struct SyncReclaimer {
+  template <typename T>
+  static void Retire(T* ptr) {
+    Domain::Synchronize();
+    delete ptr;
+  }
+  // Nothing can be outstanding: Retire() frees before returning.
+  static void Drain() {}
+};
+
+// Hands retirements to the domain's background reclaimer (call_rcu-style):
+// the writer never waits; grace periods amortize across batches.
+template <RcuDomain Domain>
+struct DeferredReclaimer {
+  template <typename T>
+  static void Retire(T* ptr) {
+    Domain::Retire(ptr);
+  }
+  static void Drain() { Domain::Barrier(); }
+};
+
+}  // namespace rp::rcu
+
+#endif  // RP_RCU_RECLAIMER_H_

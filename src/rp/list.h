@@ -3,8 +3,10 @@
 // The building block of the paper's hash buckets, exposed as a standalone
 // container: readers traverse with no locks, no retries and no shared-line
 // writes; writers serialize on an internal mutex, publish insertions with
-// release stores, and defer reclamation of removed nodes until a grace
-// period has elapsed.
+// release stores, and reclaim removed nodes through a pluggable Reclaimer
+// policy (src/rcu/reclaimer.h) — deferred call_rcu-style batching by
+// default, synchronous wait-then-free when determinism matters more than
+// update latency.
 //
 // Reader guarantees (the paper's slides, "Relativistic synchronization
 // primitives"):
@@ -25,11 +27,16 @@
 #include "src/rcu/epoch.h"
 #include "src/rcu/guard.h"
 #include "src/rcu/rcu_pointer.h"
+#include "src/rcu/reclaimer.h"
 
 namespace rp {
 
-template <typename T, typename Domain = rcu::Epoch>
+template <typename T, typename Domain = rcu::Epoch,
+          typename ReclaimPolicy = rcu::DeferredReclaimer<Domain>>
 class RpList {
+  static_assert(rcu::Reclaimer<ReclaimPolicy>,
+                "ReclaimPolicy must satisfy rp::rcu::Reclaimer");
+
  public:
   RpList() = default;
 
@@ -37,8 +44,10 @@ class RpList {
   RpList& operator=(const RpList&) = delete;
 
   // Destruction requires external quiescence: no concurrent readers or
-  // writers. Nodes are freed immediately.
+  // writers. Pending deferred reclamations are drained first; remaining
+  // nodes are freed immediately.
   ~RpList() {
+    ReclaimPolicy::Drain();
     Node* node = head_.load(std::memory_order_relaxed);
     while (node != nullptr) {
       Node* next = node->next.load(std::memory_order_relaxed);
@@ -76,7 +85,7 @@ class RpList {
   }
 
   // Removes the first element matching `pred`. Returns whether one was
-  // removed. The node is reclaimed after a grace period.
+  // removed. The node is reclaimed per the Reclaimer policy.
   template <typename Pred>
   bool RemoveIf(Pred pred) {
     std::lock_guard<std::mutex> lock(writer_mutex_);
@@ -89,7 +98,7 @@ class RpList {
         slot->store(cur->next.load(std::memory_order_relaxed),
                     std::memory_order_release);
         count_.fetch_sub(1, std::memory_order_relaxed);
-        Domain::Retire(cur);
+        ReclaimPolicy::Retire(cur);
         return true;
       }
       slot = &cur->next;
@@ -109,7 +118,7 @@ class RpList {
       Node* next = cur->next.load(std::memory_order_relaxed);
       if (pred(cur->value)) {
         slot->store(next, std::memory_order_release);
-        Domain::Retire(cur);
+        ReclaimPolicy::Retire(cur);
         ++removed;
       } else {
         slot = &cur->next;

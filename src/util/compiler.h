@@ -22,6 +22,17 @@
 #define RP_UNLIKELY(x) (x)
 #endif
 
+// ThreadSanitizer detection (GCC defines __SANITIZE_THREAD__, Clang speaks
+// __has_feature). Used to adapt lock-heavy configurations to TSan's runtime
+// limits (e.g. its 64-held-locks deadlock-detector cap).
+#if defined(__SANITIZE_THREAD__)
+#define RP_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RP_TSAN_ENABLED 1
+#endif
+#endif
+
 namespace rp {
 
 // Compiler-only barrier: prevents the compiler from caching shared values in

@@ -156,6 +156,13 @@ TEST(Epoch, UnlinkSynchronizeFreeIsSafe) {
     });
   }
 
+  // Ensure genuine reader/updater concurrency: on a loaded (or single-core)
+  // machine the update loop below can otherwise finish before any reader
+  // thread has been scheduled at all.
+  while (reads.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+
   for (int i = 0; i < 200; ++i) {
     auto* fresh = new Object();
     Object* old = shared.exchange(fresh);

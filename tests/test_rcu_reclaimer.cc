@@ -1,0 +1,153 @@
+// Tests for the reclamation policies (src/rcu/reclaimer.h): the sync
+// policy frees inline after a grace period; the deferred policy hands
+// retirements to the domain's background callback queue and frees them
+// batch-wise, with Drain() as the completion barrier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/rcu/epoch.h"
+#include "src/rcu/guard.h"
+#include "src/rcu/qsbr.h"
+#include "src/rcu/reclaimer.h"
+
+namespace rp::rcu {
+namespace {
+
+static_assert(Reclaimer<SyncReclaimer<Epoch>>);
+static_assert(Reclaimer<SyncReclaimer<Qsbr>>);
+static_assert(Reclaimer<DeferredReclaimer<Epoch>>);
+static_assert(Reclaimer<DeferredReclaimer<Qsbr>>);
+
+// Counts destructions so tests can observe exactly when reclamation runs.
+struct Tracked {
+  explicit Tracked(std::atomic<std::uint64_t>& counter) : counter(counter) {}
+  ~Tracked() { counter.fetch_add(1, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t>& counter;
+};
+
+TEST(SyncReclaimer, FreesBeforeRetireReturns) {
+  std::atomic<std::uint64_t> destroyed{0};
+  const std::uint64_t gp_before = Epoch::GracePeriodCount();
+  SyncReclaimer<Epoch>::Retire(new Tracked(destroyed));
+  EXPECT_EQ(destroyed.load(), 1u);
+  // The free was preceded by a full grace period.
+  EXPECT_GT(Epoch::GracePeriodCount(), gp_before);
+  SyncReclaimer<Epoch>::Drain();  // no-op: nothing can be outstanding
+  EXPECT_EQ(destroyed.load(), 1u);
+}
+
+TEST(SyncReclaimer, WaitsForActiveReader) {
+  std::atomic<std::uint64_t> destroyed{0};
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release_reader{false};
+
+  std::thread reader([&] {
+    ReadGuard<Epoch> guard;
+    reader_in.store(true, std::memory_order_release);
+    while (!release_reader.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!reader_in.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  std::atomic<bool> retired{false};
+  std::thread updater([&] {
+    SyncReclaimer<Epoch>::Retire(new Tracked(destroyed));
+    retired.store(true, std::memory_order_release);
+  });
+
+  // The retire cannot complete while the reader sits in its section.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(retired.load(std::memory_order_acquire));
+  EXPECT_EQ(destroyed.load(), 0u);
+
+  release_reader.store(true, std::memory_order_release);
+  reader.join();
+  updater.join();
+  EXPECT_EQ(destroyed.load(), 1u);
+}
+
+TEST(DeferredReclaimer, DrainIsACompletionBarrier) {
+  std::atomic<std::uint64_t> destroyed{0};
+  constexpr std::uint64_t kObjects = 100;
+  for (std::uint64_t i = 0; i < kObjects; ++i) {
+    DeferredReclaimer<Epoch>::Retire(new Tracked(destroyed));
+  }
+  DeferredReclaimer<Epoch>::Drain();
+  EXPECT_EQ(destroyed.load(), kObjects);
+}
+
+TEST(DeferredReclaimer, RetireDoesNotBlockOnActiveReader) {
+  std::atomic<std::uint64_t> destroyed{0};
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release_reader{false};
+
+  std::thread reader([&] {
+    ReadGuard<Epoch> guard;
+    reader_in.store(true, std::memory_order_release);
+    while (!release_reader.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  while (!reader_in.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+
+  // With a reader parked in its critical section, a deferred retire must
+  // return immediately (the whole point of the call_rcu path) and the
+  // object must stay unreclaimed.
+  DeferredReclaimer<Epoch>::Retire(new Tracked(destroyed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(destroyed.load(), 0u);
+
+  release_reader.store(true, std::memory_order_release);
+  reader.join();
+  DeferredReclaimer<Epoch>::Drain();
+  EXPECT_EQ(destroyed.load(), 1u);
+}
+
+TEST(DeferredReclaimer, ManyThreadsRetiringConcurrently) {
+  std::atomic<std::uint64_t> destroyed{0};
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        DeferredReclaimer<Epoch>::Retire(new Tracked(destroyed));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  DeferredReclaimer<Epoch>::Drain();
+  EXPECT_EQ(destroyed.load(), kThreads * kPerThread);
+}
+
+TEST(DeferredReclaimer, QsbrDomainDrains) {
+  // The calling thread stays offline, so the reclaimer's grace periods
+  // complete without its cooperation.
+  std::atomic<std::uint64_t> destroyed{0};
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    DeferredReclaimer<Qsbr>::Retire(new Tracked(destroyed));
+  }
+  DeferredReclaimer<Qsbr>::Drain();
+  EXPECT_EQ(destroyed.load(), 32u);
+}
+
+TEST(SyncReclaimer, QsbrDomainFreesInline) {
+  std::atomic<std::uint64_t> destroyed{0};
+  SyncReclaimer<Qsbr>::Retire(new Tracked(destroyed));
+  EXPECT_EQ(destroyed.load(), 1u);
+}
+
+}  // namespace
+}  // namespace rp::rcu

@@ -104,6 +104,25 @@ TEST(ResizeWorker, HysteresisPreventsOscillation) {
   EXPECT_EQ(worker.ResizesPerformed(), 0u);
 }
 
+TEST(ResizeWorker, NonPowerOfTwoMinBucketsDoesNotSpinResizes) {
+  // min_buckets 100 clamps the shrink target to 100 while the table rounds
+  // to 128: the worker must recognize that as "already there", not issue a
+  // no-op resize on every tick forever.
+  Map map(128, ManualResize());
+  ResizeWorkerOptions options = FastWorker();
+  options.min_buckets = 100;
+  ResizeWorker<Map> worker(map, options);
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    map.Insert(k, k);  // load far below shrink_at
+  }
+  worker.Nudge();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const std::uint64_t after_settle = worker.ResizesPerformed();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(worker.ResizesPerformed(), after_settle);
+  EXPECT_EQ(map.BucketCount(), 128u);
+}
+
 TEST(ResizeWorker, CatchesUpInOneResizeAfterBurst) {
   Map map(16, ManualResize());
   // Insert a large burst before the worker exists, then attach it.

@@ -219,5 +219,56 @@ TEST(RpHashMapBasic, CollidingKeysCoexist) {
   EXPECT_EQ(map.Size(), 99u);
 }
 
+TEST(RpHashMapBasic, UpdateIfPublishesOnlyWhenAccepted) {
+  IntMap map(16);
+  map.Insert(1, 10);
+  // Accepted: the mutation lands.
+  EXPECT_TRUE(map.UpdateIf(1, [](std::uint64_t& v) {
+    v = 11;
+    return true;
+  }));
+  EXPECT_EQ(*map.Get(1), 11u);
+  // Aborted: the clone's mutation is discarded.
+  EXPECT_FALSE(map.UpdateIf(1, [](std::uint64_t& v) {
+    v = 99;
+    return false;
+  }));
+  EXPECT_EQ(*map.Get(1), 11u);
+  // Absent key: not invoked, returns false.
+  EXPECT_FALSE(map.UpdateIf(2, [](std::uint64_t&) { return true; }));
+}
+
+TEST(RpHashMapBasic, TwoPhaseUpdateIfClonesOnlyOnAcceptedCheck) {
+  IntMap map(16);
+  map.Insert(1, 10);
+  // Rejected check: mutate phase must not run.
+  bool mutated = false;
+  EXPECT_FALSE(map.UpdateIf(
+      1, [](const std::uint64_t& v) { return v > 100; },
+      [&](std::uint64_t& v) {
+        mutated = true;
+        v = 0;
+      }));
+  EXPECT_FALSE(mutated);
+  EXPECT_EQ(*map.Get(1), 10u);
+  // Accepted check: mutation lands.
+  EXPECT_TRUE(map.UpdateIf(
+      1, [](const std::uint64_t& v) { return v == 10; },
+      [](std::uint64_t& v) { v = 11; }));
+  EXPECT_EQ(*map.Get(1), 11u);
+}
+
+TEST(RpHashMapBasic, EraseIfRespectsPredicate) {
+  IntMap map(16);
+  map.Insert(1, 10);
+  map.Insert(2, 20);
+  EXPECT_FALSE(map.EraseIf(1, [](const std::uint64_t& v) { return v > 15; }));
+  EXPECT_TRUE(map.Contains(1));
+  EXPECT_TRUE(map.EraseIf(2, [](const std::uint64_t& v) { return v > 15; }));
+  EXPECT_FALSE(map.Contains(2));
+  EXPECT_FALSE(map.EraseIf(3, [](const std::uint64_t&) { return true; }));
+  EXPECT_EQ(map.Size(), 1u);
+}
+
 }  // namespace
 }  // namespace rp::core

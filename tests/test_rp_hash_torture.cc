@@ -15,9 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/resize_worker.h"
 #include "src/core/rp_hash_map.h"
 #include "src/rcu/epoch.h"
 #include "src/rcu/guard.h"
+#include "src/rcu/reclaimer.h"
 #include "src/util/rng.h"
 #include "src/util/spin_barrier.h"
 
@@ -219,6 +221,132 @@ TEST(RpHashTorture, ForEachNeverOmitsDuringSlowResizes) {
   stop.store(true, std::memory_order_relaxed);
   scanner.join();
   EXPECT_EQ(omissions.load(), 0u);
+}
+
+// Multi-writer configuration: several writers hammer the striped update
+// path (disjoint ranges, so the expected final state is exact) while a
+// background ResizeWorker walks the table up and down with DelayDomain's
+// slowed-down grace periods, and a reader cross-checks a stable range the
+// writers never touch. This is the torture version of the sharded writer
+// path: writer/writer exclusion per stripe, writer/resize exclusion via
+// all-stripe acquisition, erase-path reclamation fully deferred.
+TEST(RpHashTorture, ConcurrentWritersRacingBackgroundResizeWorker) {
+  RpHashMapOptions options;
+  options.auto_resize = false;  // the worker owns resize policy
+  TortureMap map(16, options);
+
+  constexpr std::uint64_t kStable = 128;
+  for (std::uint64_t k = 0; k < kStable; ++k) {
+    map.Insert(k, k ^ 0x5A5A);
+  }
+
+  ResizeWorkerOptions worker_options;
+  worker_options.poll_interval = std::chrono::milliseconds(1);
+  worker_options.min_buckets = 8;
+  ResizeWorker<TortureMap> worker(map, worker_options);
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 1500;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> anomalies{0};
+
+  std::thread reader([&] {
+    SplitMix64 rng(11);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t key = rng.Next() % kStable;
+      const auto v = map.Get(key);
+      if (!v.has_value() || *v != (key ^ 0x5A5A)) {
+        anomalies.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      SplitMix64 rng(static_cast<std::uint64_t>(w) * 97 + 3);
+      const std::uint64_t base = 1000 + static_cast<std::uint64_t>(w) * 100000;
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        ASSERT_TRUE(map.Insert(base + i, i));
+        worker.Nudge();
+        // Churn within the writer's own range to exercise the striped
+        // replace/erase/move paths against the crawling resizes.
+        const std::uint64_t victim = base + rng.Next() % (i + 1);
+        switch (rng.Next() % 3) {
+          case 0:
+            map.Update(victim, [](std::uint64_t& v) { ++v; });
+            break;
+          case 1:
+            map.InsertOrAssign(victim, rng.Next());
+            break;
+          default:
+            break;
+        }
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; i += 2) {
+        ASSERT_TRUE(map.Erase(base + i));
+        worker.Nudge();
+      }
+    });
+  }
+
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  worker.Stop();
+
+  EXPECT_EQ(anomalies.load(), 0u);
+  EXPECT_EQ(map.Size(), kStable + kWriters * kPerWriter / 2);
+  for (std::uint64_t k = 0; k < kStable; ++k) {
+    ASSERT_TRUE(map.Contains(k)) << k;
+  }
+  for (int w = 0; w < kWriters; ++w) {
+    const std::uint64_t base = 1000 + static_cast<std::uint64_t>(w) * 100000;
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      EXPECT_EQ(map.Contains(base + i), i % 2 == 1) << base + i;
+    }
+  }
+  // Drain deferred reclamation so the test binary exits allocation-clean
+  // even before the map's destructor runs.
+  map.FlushDeferred();
+}
+
+// The synchronous reclamation policy under the same torture domain: erase
+// frees after an inline grace period, so a FlushDeferred/Drain is a no-op
+// and memory is returned deterministically.
+TEST(RpHashTorture, SyncReclaimerPolicyUnderResizes) {
+  using SyncMap =
+      RpHashMap<std::uint64_t, std::uint64_t, MixedHash<std::uint64_t>,
+                std::equal_to<std::uint64_t>, DelayDomain,
+                rcu::SyncReclaimer<DelayDomain>>;
+  SyncMap map(8, NoAutoResize());
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    map.Insert(k, k);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> misses{0};
+  std::thread reader([&] {
+    SplitMix64 rng(23);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!map.Contains(rng.Next() % 100)) {  // stable half
+        misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::thread eraser([&] {
+    for (std::uint64_t k = 100; k < 200; ++k) {
+      map.Erase(k);  // inline grace period + free per erase
+    }
+  });
+  map.Resize(64);
+  map.Resize(8);
+  eraser.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(misses.load(), 0u);
+  EXPECT_EQ(map.Size(), 100u);
 }
 
 }  // namespace

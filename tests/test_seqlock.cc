@@ -176,8 +176,17 @@ TEST(SeqlockHashMap, ReadersRetryUnderWritesButNeverMissStableKeys) {
   }
 
   barrier.ArriveAndWait();
-  for (int round = 0; round < 30000; ++round) {
-    const std::uint64_t k = kStable + (round % 128);
+  // Churn until a reader has demonstrably retried (a preemption must land
+  // inside a writer's odd-sequence window — rare on few-core machines, so a
+  // fixed round count is flaky), with a generous cap as a safety net.
+  for (int round = 0;
+       round < 30000 || (map.ReaderRetries() == 0 && round < 20'000'000);
+       ++round) {
+    // Insert-then-erase the same key on consecutive rounds so every round
+    // mutates the table (and bumps the sequence counter): with the key
+    // derived from `round` directly, parity made every post-warmup round a
+    // duplicate insert or an absent erase — both no-ops, zero retries.
+    const std::uint64_t k = kStable + ((round / 2) % 128);
     if (round % 2 == 0) {
       map.Insert(k, k);
     } else {

@@ -4,6 +4,8 @@
 // benchmarks compare like for like.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -17,6 +19,7 @@
 #include "src/baselines/mutex_hash_map.h"
 #include "src/baselines/rwlock_hash_map.h"
 #include "src/baselines/xu_hash_map.h"
+#include "src/core/resize_worker.h"
 #include "src/core/rp_hash_map.h"
 #include "src/util/rng.h"
 
@@ -137,7 +140,11 @@ TYPED_TEST(TableConformance, ConcurrentReadersWithOneWriter) {
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&, t] {
       Xoshiro256 rng(t);
-      while (!stop.load(std::memory_order_relaxed)) {
+      // Bounded, not stop-flag-only: lock-based tables (reader-preferring
+      // rwlock especially) would otherwise let spinning readers starve the
+      // writer indefinitely on small machines.
+      for (std::uint64_t op = 0;
+           op < 2'000'000 && !stop.load(std::memory_order_relaxed); ++op) {
         if (!this->map_.Contains(rng.NextBounded(512))) {
           misses.fetch_add(1, std::memory_order_relaxed);
         }
@@ -199,7 +206,9 @@ TYPED_TEST(ResizableConformance, LookupsDuringResizeNeverMissStableKeys) {
   for (int t = 0; t < 4; ++t) {
     readers.emplace_back([&, t] {
       Xoshiro256 rng(t);
-      while (!stop.load(std::memory_order_relaxed)) {
+      // Bounded so lock-based tables cannot starve the resizing writer.
+      for (std::uint64_t op = 0;
+           op < 2'000'000 && !stop.load(std::memory_order_relaxed); ++op) {
         if (!this->map_.Contains(rng.NextBounded(1024))) {
           misses.fetch_add(1, std::memory_order_relaxed);
         }
@@ -215,6 +224,64 @@ TYPED_TEST(ResizableConformance, LookupsDuringResizeNeverMissStableKeys) {
     r.join();
   }
   EXPECT_EQ(misses.load(), 0u);
+}
+
+// Multi-writer configuration: every table must serialize conflicting
+// updates internally (the RP table via its striped writer locks, the
+// baselines via their own locking). Disjoint key ranges make the expected
+// final state exact.
+TYPED_TEST(TableConformance, ConcurrentWritersDisjointRanges) {
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 3000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::uint64_t base = static_cast<std::uint64_t>(w) * 100000;
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        ASSERT_TRUE(this->map_.Insert(base + i, base + i));
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; i += 2) {
+        ASSERT_TRUE(this->map_.Erase(base + i));
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  EXPECT_EQ(this->map_.Size(), kWriters * kPerWriter / 2);
+  for (int w = 0; w < kWriters; ++w) {
+    const std::uint64_t base = static_cast<std::uint64_t>(w) * 100000;
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      EXPECT_EQ(this->map_.Contains(base + i), i % 2 == 1) << base + i;
+    }
+  }
+}
+
+// Contended writers: when every thread fights over the same keys, exactly
+// one Insert per key may win and Erase/Insert counts must balance.
+TYPED_TEST(TableConformance, ContendedInsertsHaveSingleWinner) {
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kKeys = 512;
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (std::uint64_t k = 0; k < kKeys; ++k) {
+        if (this->map_.Insert(k, static_cast<std::uint64_t>(w))) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(this->map_.Size(), kKeys);
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(this->map_.Get(k).has_value()) << k;
+    EXPECT_LT(*this->map_.Get(k), static_cast<std::uint64_t>(kWriters));
+  }
 }
 
 TYPED_TEST(ResizableConformance, WritesInterleavedWithResizes) {
@@ -237,6 +304,43 @@ TYPED_TEST(ResizableConformance, WritesInterleavedWithResizes) {
   EXPECT_EQ(this->map_.Size(), model.size());
   for (std::uint64_t key : model) {
     EXPECT_TRUE(this->map_.Contains(key)) << key;
+  }
+}
+
+// Multi-writer configuration racing a background ResizeWorker: concurrent
+// inserts/erases on disjoint ranges while the deferred resizer grows and
+// shrinks the table underneath them.
+TYPED_TEST(ResizableConformance, ConcurrentWritersRacingResizeWorker) {
+  core::ResizeWorkerOptions options;
+  options.poll_interval = std::chrono::milliseconds(1);
+  core::ResizeWorker<TypeParam> worker(this->map_, options);
+
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 4000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      const std::uint64_t base = static_cast<std::uint64_t>(w) * 100000;
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        ASSERT_TRUE(this->map_.Insert(base + i, base + i));
+        worker.Nudge();
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; i += 2) {
+        ASSERT_TRUE(this->map_.Erase(base + i));
+        worker.Nudge();
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  worker.Stop();
+  EXPECT_EQ(this->map_.Size(), kWriters * kPerWriter / 2);
+  for (int w = 0; w < kWriters; ++w) {
+    const std::uint64_t base = static_cast<std::uint64_t>(w) * 100000;
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      EXPECT_EQ(this->map_.Contains(base + i), i % 2 == 1) << base + i;
+    }
   }
 }
 
