@@ -1,19 +1,26 @@
 // F5 — "memcached results".
 //
-// Requests/second vs number of client threads (the paper used 1..12
-// mc-benchmark processes) for four series: RP GET, default GET, default
-// SET, RP SET. "default" = LockedEngine (global cache lock, like memcached
-// 1.4); "RP" = RpEngine (relativistic GET fast path). Expected shape:
-// RP GET scales with clients while default GET saturates on the lock;
-// the SET series stay close together (both serialize writers), with RP SET
-// at or slightly below default SET (copy + deferred reclamation overhead).
+// Requests/second vs number of clients (the paper used 1..12 mc-benchmark
+// processes) for four series: RP GET, default GET, default SET, RP SET.
+// "default" = LockedEngine (global cache lock, like memcached 1.4); "RP" =
+// RpEngine (relativistic GET fast path). Expected shape: RP GET scales
+// with clients while default GET saturates on the lock; the SET series
+// stay close together (both serialize writers).
+//
+// Like the paper's setup — and unlike the engine-only harness the earlier
+// revision used — each point drives the real network stack: an epoll
+// Server on a loopback socket, one TCP connection per client, one blocking
+// round trip per request. Set RP_BENCH_INPROC=1 to fall back to the
+// in-process codec-only workload (isolates the engines from the kernel).
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
 #include "bench/harness.h"
 #include "src/memcache/locked_engine.h"
 #include "src/memcache/rp_engine.h"
+#include "src/memcache/server.h"
 #include "src/memcache/workload.h"
 
 namespace {
@@ -27,9 +34,13 @@ std::vector<int> ClientCounts() {
   return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
 }
 
-rp::memcache::WorkloadResult RunPoint(rp::memcache::CacheEngine& engine,
-                                      int clients, double get_ratio,
-                                      double seconds) {
+bool UseInProcess() {
+  const char* env = std::getenv("RP_BENCH_INPROC");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+rp::memcache::WorkloadConfig PointConfig(int clients, double get_ratio,
+                                         double seconds) {
   rp::memcache::WorkloadConfig config;
   config.num_clients = static_cast<std::size_t>(clients);
   config.num_keys = 10000;
@@ -38,7 +49,7 @@ rp::memcache::WorkloadResult RunPoint(rp::memcache::CacheEngine& engine,
   config.duration_seconds = seconds;
   config.use_protocol = true;
   config.prepopulate = true;
-  return RunWorkload(engine, config);
+  return config;
 }
 
 }  // namespace
@@ -46,8 +57,11 @@ rp::memcache::WorkloadResult RunPoint(rp::memcache::CacheEngine& engine,
 int main() {
   const std::vector<int> clients = ClientCounts();
   const double seconds = rp::bench::SecondsPerPoint();
+  const bool in_process = UseInProcess();
   rp::bench::SeriesTable table(
-      "F5: mini-memcached requests/s vs client threads (text protocol)",
+      in_process
+          ? "F5: mini-memcached requests/s vs clients (in-process codec)"
+          : "F5: mini-memcached requests/s vs clients (TCP, epoll server)",
       clients);
 
   struct Series {
@@ -64,8 +78,8 @@ int main() {
 
   for (const Series& s : series) {
     for (int c : clients) {
-      // Fresh engine per point: eviction/expiry state does not leak across
-      // measurements.
+      // Fresh engine (and server) per point: eviction/expiry state does
+      // not leak across measurements.
       rp::memcache::EngineConfig config;
       config.initial_buckets = 16384;
       std::unique_ptr<rp::memcache::CacheEngine> engine;
@@ -74,7 +88,26 @@ int main() {
       } else {
         engine = std::make_unique<rp::memcache::LockedEngine>(config);
       }
-      const auto result = RunPoint(*engine, c, s.get_ratio, seconds);
+      const rp::memcache::WorkloadConfig point =
+          PointConfig(c, s.get_ratio, seconds);
+      rp::memcache::WorkloadResult result;
+      if (in_process) {
+        result = RunWorkload(*engine, point);
+      } else {
+        rp::memcache::ServerOptions options;
+        // Spread connections over a couple of event loops, like a
+        // deployed front end (still modest: the clients share the box).
+        options.num_workers = 2;
+        options.max_connections = point.num_clients + 8;
+        rp::memcache::Server server(*engine, 0, options);
+        if (!server.Start()) {
+          std::fprintf(stderr, "server start failed: %s\n",
+                       server.error().c_str());
+          return 1;
+        }
+        result = RunSocketWorkload(server.port(), point);
+        server.Stop();
+      }
       table.Record(s.name, c, result.requests_per_second);
       std::printf("  %-12s %2d clients: %9.0f Kreq/s (hits=%llu misses=%llu)\n",
                   s.name, c, result.requests_per_second / 1e3,

@@ -1,8 +1,12 @@
 // memcached_server: a real TCP key-value server speaking the memcached
 // text protocol, backed by the relativistic engine (or the locked engine
-// with --engine=locked for comparison).
+// with --engine=locked for comparison). The front end is the epoll
+// event-loop server: --workers sizes the event-loop pool, --max-conns caps
+// concurrent connections, --idle-ms evicts idle ones.
 //
 // Run:   ./build/examples/memcached_server [--port=11211] [--engine=rp|locked]
+//                                          [--workers=N] [--max-conns=N]
+//                                          [--idle-ms=N]
 // Talk to it:
 //   printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11211
 //
@@ -74,17 +78,28 @@ int main(int argc, char** argv) {
   std::uint16_t port = 11211;
   bool demo = false;
   std::string engine_name = "rp";
+  rp::memcache::ServerOptions options;
+  options.num_workers = 2;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) {
       port = static_cast<std::uint16_t>(std::atoi(argv[i] + 7));
     } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
       engine_name = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--workers=", 10) == 0) {
+      options.num_workers = static_cast<std::size_t>(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--max-conns=", 12) == 0) {
+      options.max_connections =
+          static_cast<std::size_t>(std::atoi(argv[i] + 12));
+    } else if (std::strncmp(argv[i], "--idle-ms=", 10) == 0) {
+      options.idle_timeout =
+          std::chrono::milliseconds(std::atoi(argv[i] + 10));
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
       port = 0;  // ephemeral
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port=N] [--engine=rp|locked] [--demo]\n",
+                   "usage: %s [--port=N] [--engine=rp|locked] [--workers=N] "
+                   "[--max-conns=N] [--idle-ms=N] [--demo]\n",
                    argv[0]);
       return 2;
     }
@@ -99,13 +114,16 @@ int main(int argc, char** argv) {
     engine = std::make_unique<rp::memcache::RpEngine>(config);
   }
 
-  rp::memcache::Server server(*engine, port);
+  rp::memcache::Server server(*engine, port, options);
   if (!server.Start()) {
     std::fprintf(stderr, "failed to start server: %s\n", server.error().c_str());
     return 1;
   }
-  std::printf("mini-memcached (%s engine) listening on 127.0.0.1:%u\n",
-              engine->Name(), server.port());
+  std::printf(
+      "mini-memcached (%s engine) listening on 127.0.0.1:%u "
+      "(%zu event-loop workers, max %zu connections)\n",
+      engine->Name(), server.port(), options.num_workers,
+      options.max_connections);
 
   if (demo) {
     const int rc = RunDemo(server.port());

@@ -1,0 +1,299 @@
+#include "src/memcache/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace rp::memcache {
+
+std::int64_t MonotonicMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ExecuteRequest(CacheEngine& engine, const Request& request,
+                    std::string* out, bool* quit,
+                    const ServerConnectionStats* conn_stats) {
+  *quit = false;
+  switch (request.op) {
+    case Op::kGet:
+    case Op::kGets: {
+      const bool with_cas = request.op == Op::kGets;
+      StoredValue value;
+      for (const std::string& key : request.keys) {
+        if (engine.Get(key, &value)) {
+          AppendValueResponse(out, key, value, with_cas);
+        }
+      }
+      out->append(kResponseEnd);
+      return;
+    }
+    case Op::kVersion:
+      AppendVersionResponse(out, "rp-memcache 1.0");
+      return;
+    case Op::kStats: {
+      const EngineStats stats = engine.Stats();
+      AppendStat(out, "engine", engine.Name());
+      AppendStat(out, "get_hits", stats.get_hits);
+      AppendStat(out, "get_misses", stats.get_misses);
+      AppendStat(out, "cmd_set", stats.sets);
+      AppendStat(out, "evictions", stats.evictions);
+      AppendStat(out, "expired_unfetched", stats.expired_reclaims);
+      AppendStat(out, "curr_items", stats.items);
+      if (conn_stats != nullptr) {
+        AppendStat(out, "curr_connections", conn_stats->curr_connections);
+        AppendStat(out, "total_connections", conn_stats->total_connections);
+      }
+      out->append(kResponseEnd);
+      return;
+    }
+    case Op::kQuit:
+      *quit = true;
+      return;
+    default:
+      break;
+  }
+
+  // Single-token commands. They all honour noreply: the response is
+  // assembled in place and truncated away when suppressed (cheaper than a
+  // temporary string on the common non-noreply path).
+  const std::size_t mark = out->size();
+  switch (request.op) {
+    case Op::kSet:
+      engine.Set(request.keys[0], request.data, request.flags, request.exptime);
+      out->append(kResponseStored);
+      break;
+    case Op::kAdd:
+      out->append(engine.Add(request.keys[0], request.data, request.flags,
+                             request.exptime) == StoreResult::kStored
+                      ? kResponseStored
+                      : kResponseNotStored);
+      break;
+    case Op::kReplace:
+      out->append(engine.Replace(request.keys[0], request.data, request.flags,
+                                 request.exptime) == StoreResult::kStored
+                      ? kResponseStored
+                      : kResponseNotStored);
+      break;
+    case Op::kAppend:
+      out->append(engine.Append(request.keys[0], request.data) ==
+                          StoreResult::kStored
+                      ? kResponseStored
+                      : kResponseNotStored);
+      break;
+    case Op::kPrepend:
+      out->append(engine.Prepend(request.keys[0], request.data) ==
+                          StoreResult::kStored
+                      ? kResponseStored
+                      : kResponseNotStored);
+      break;
+    case Op::kCas:
+      switch (engine.CheckAndSet(request.keys[0], request.data, request.flags,
+                                 request.exptime, request.cas)) {
+        case StoreResult::kStored:
+          out->append(kResponseStored);
+          break;
+        case StoreResult::kExists:
+          out->append(kResponseExists);
+          break;
+        default:
+          out->append(kResponseNotFound);
+          break;
+      }
+      break;
+    case Op::kDelete:
+      out->append(engine.Delete(request.keys[0]) ? kResponseDeleted
+                                                 : kResponseNotFound);
+      break;
+    case Op::kIncr:
+    case Op::kDecr: {
+      const ArithResult result =
+          request.op == Op::kIncr ? engine.Incr(request.keys[0], request.delta)
+                                  : engine.Decr(request.keys[0], request.delta);
+      switch (result.status) {
+        case ArithStatus::kOk:
+          AppendNumberResponse(out, result.value);
+          break;
+        case ArithStatus::kNotFound:
+          out->append(kResponseNotFound);
+          break;
+        case ArithStatus::kNonNumeric:
+          AppendClientError(out, kNonNumericMessage);
+          break;
+      }
+      break;
+    }
+    case Op::kTouch:
+      out->append(engine.Touch(request.keys[0], request.exptime)
+                      ? kResponseTouched
+                      : kResponseNotFound);
+      break;
+    case Op::kFlushAll:
+      engine.FlushAll();
+      out->append(kResponseOk);
+      break;
+    default:
+      break;  // multi-part ops handled above
+  }
+  if (request.noreply) {
+    out->resize(mark);
+  }
+}
+
+Connection::Connection(int fd, CacheEngine& engine,
+                       std::size_t write_high_water,
+                       ConnectionCounters* counters)
+    : fd_(fd),
+      engine_(engine),
+      write_high_water_(write_high_water),
+      counters_(counters),
+      last_active_ms_(MonotonicMs()) {}
+
+Connection::~Connection() {
+  ::close(fd_);
+  if (counters_ != nullptr) {
+    counters_->current.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Connection::OnReadable() {
+  last_active_ms_ = MonotonicMs();
+  char buf[16 * 1024];
+  // Drain the socket, executing after each chunk so the backpressure check
+  // sees the output produced so far: a pipelined blast stops being read
+  // (and stops being executed) the moment its responses cross the
+  // high-water mark, and TCP flow control pushes back on the client.
+  while (!close_after_flush_ && !peer_eof_ && !reads_paused_) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser_.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      deferred_work_ = ExecuteBuffered();
+      if (static_cast<std::size_t>(n) < sizeof(buf)) {
+        break;  // socket drained (level-triggered epoll re-arms if not)
+      }
+      continue;
+    }
+    if (n == 0) {
+      peer_eof_ = true;  // answer what we already read, flush, then close
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;  // fatal socket error
+  }
+  if (!Pump()) {
+    return false;
+  }
+  return !finished();
+}
+
+bool Connection::OnWritable() {
+  last_active_ms_ = MonotonicMs();
+  if (!Pump()) {
+    return false;
+  }
+  return !finished();
+}
+
+bool Connection::Pump() {
+  for (;;) {
+    if (!FlushOutput()) {
+      return false;
+    }
+    if (!deferred_work_ || close_after_flush_) {
+      return true;
+    }
+    if (pending_output() > write_high_water_) {
+      return true;  // still jammed: the next EPOLLOUT pumps again
+    }
+    deferred_work_ = ExecuteBuffered();
+  }
+}
+
+bool Connection::ExecuteBuffered() {
+  ServerConnectionStats snapshot;
+  while (!close_after_flush_) {
+    if (pending_output() > write_high_water_) {
+      // Backpressure applies between pipelined requests too, or one read
+      // chunk full of multi-gets could buffer responses without bound.
+      // (A single response still buffers whole, however large.)
+      UpdateBackpressure();
+      return true;
+    }
+    Request request;
+    const ParseStatus status = parser_.Next(&request);
+    if (status == ParseStatus::kNeedMore) {
+      break;
+    }
+    if (status == ParseStatus::kError) {
+      AppendClientError(&out_, parser_.error_message());
+      continue;
+    }
+    const ServerConnectionStats* conn_stats = nullptr;
+    if (request.op == Op::kStats && counters_ != nullptr) {
+      snapshot.curr_connections =
+          counters_->current.load(std::memory_order_relaxed);
+      snapshot.total_connections =
+          counters_->total.load(std::memory_order_relaxed);
+      conn_stats = &snapshot;
+    }
+    bool quit = false;
+    ExecuteRequest(engine_, request, &out_, &quit, conn_stats);
+    if (quit) {
+      // Later pipelined requests are dropped, but responses already in
+      // out_ still flush before the close.
+      close_after_flush_ = true;
+    }
+  }
+  UpdateBackpressure();
+  return false;
+}
+
+bool Connection::FlushOutput() {
+  while (out_sent_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_sent_,
+                             out_.size() - out_sent_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_sent_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;  // kernel buffer full; EPOLLOUT resumes the drain
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;  // peer reset / broken pipe
+  }
+  if (out_sent_ == out_.size()) {
+    out_.clear();
+    out_sent_ = 0;
+  } else if (out_sent_ >= (1u << 16) && out_sent_ >= out_.size() / 2) {
+    // Large flushed prefix: reclaim it so a long-lived slow reader doesn't
+    // pin the connection's peak buffer forever.
+    out_.erase(0, out_sent_);
+    out_sent_ = 0;
+  }
+  UpdateBackpressure();
+  return true;
+}
+
+void Connection::UpdateBackpressure() {
+  const std::size_t pending = pending_output();
+  if (!reads_paused_ && pending > write_high_water_) {
+    reads_paused_ = true;
+  } else if (reads_paused_ && pending <= write_high_water_ / 2) {
+    // Hysteresis: resume at half the mark so a connection hovering at the
+    // boundary doesn't thrash its epoll interest.
+    reads_paused_ = false;
+  }
+}
+
+}  // namespace rp::memcache

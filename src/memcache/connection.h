@@ -1,0 +1,126 @@
+// Per-connection state for the event-driven server: the socket, the
+// incremental request parser, and the input/output buffers, driven by
+// readiness callbacks from one event-loop worker.
+//
+// Threading model: a Connection is owned by exactly one worker and is only
+// ever touched from that worker's thread, so none of its state needs
+// locking. The shared ConnectionCounters (stats) are atomics.
+#ifndef RP_MEMCACHE_CONNECTION_H_
+#define RP_MEMCACHE_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/memcache/engine.h"
+#include "src/memcache/protocol.h"
+
+namespace rp::memcache {
+
+// Monotonic milliseconds (steady clock) for idle-timeout bookkeeping.
+std::int64_t MonotonicMs();
+
+// Server-wide connection gauges, owned by the Server and shared (by
+// pointer) with every Connection so the `stats` command can report them.
+struct ConnectionCounters {
+  std::atomic<std::uint64_t> current{0};
+  std::atomic<std::uint64_t> total{0};
+};
+
+// Snapshot of the gauges handed to ExecuteRequest for a `stats` response.
+struct ServerConnectionStats {
+  std::uint64_t curr_connections = 0;
+  std::uint64_t total_connections = 0;
+};
+
+// Executes one parsed request against an engine, appending the wire
+// response to *out (nothing for noreply). Sets *quit on a quit command.
+// Shared by the server's connections and the in-process workload driver;
+// conn_stats, when non-null, adds curr/total_connections to `stats`.
+void ExecuteRequest(CacheEngine& engine, const Request& request,
+                    std::string* out, bool* quit,
+                    const ServerConnectionStats* conn_stats = nullptr);
+
+class Connection {
+ public:
+  // Takes ownership of the (non-blocking) fd. counters may be null (then
+  // `stats` omits the connection gauges); when set, `current` and `total`
+  // were already incremented by the acceptor and the destructor decrements
+  // `current`.
+  Connection(int fd, CacheEngine& engine, std::size_t write_high_water,
+             ConnectionCounters* counters);
+  ~Connection();  // closes the fd
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  // Readiness handlers. Return false when the connection is done and must
+  // be destroyed: peer closed, fatal socket error, or a quit whose
+  // buffered responses have been fully flushed.
+  bool OnReadable();
+  bool OnWritable();
+
+  // Epoll interest wanted after the last event. Reads pause while the
+  // output buffer is above the high-water mark (backpressure) and stop
+  // for good once a quit has been parsed or the peer sent EOF.
+  bool wants_read() const {
+    return !close_after_flush_ && !peer_eof_ && !reads_paused_;
+  }
+  bool wants_write() const { return pending_output() > 0; }
+
+  // The event mask currently registered with epoll; bookkeeping owned by
+  // the server so it can skip redundant epoll_ctl calls.
+  std::uint32_t registered_events() const { return registered_events_; }
+  void set_registered_events(std::uint32_t events) {
+    registered_events_ = events;
+  }
+
+  std::int64_t last_active_ms() const { return last_active_ms_; }
+
+ private:
+  // Parses and executes complete buffered requests in order, appending
+  // responses to out_, until the output buffer crosses the high-water
+  // mark (returns true: deferred work remains — resume once the peer
+  // drains some output) or no complete request is left (returns false).
+  // On quit, stops executing (remaining pipelined requests are dropped
+  // per protocol) but keeps earlier responses so they flush before close.
+  bool ExecuteBuffered();
+  // Alternates flushing and executing backpressure-deferred requests
+  // until the socket stops taking bytes or no deferred work remains.
+  // False = fatal socket error.
+  bool Pump();
+  // Writes as much of out_ as the socket accepts. False = fatal error.
+  bool FlushOutput();
+  void UpdateBackpressure();
+  std::size_t pending_output() const { return out_.size() - out_sent_; }
+  // Done: everything the protocol still owes this peer has been flushed.
+  // After quit, deferred requests are dropped by contract; after a plain
+  // EOF they must still run (the blocking server answered everything it
+  // had read before noticing the close, and clients that shutdown(WR)
+  // and read — `printf ... | nc` — depend on that).
+  bool finished() const {
+    return (close_after_flush_ || (peer_eof_ && !deferred_work_)) &&
+           pending_output() == 0;
+  }
+
+  const int fd_;
+  CacheEngine& engine_;
+  const std::size_t write_high_water_;
+  ConnectionCounters* const counters_;
+
+  RequestParser parser_;
+  std::string out_;        // response bytes not yet handed to the kernel
+  std::size_t out_sent_ = 0;  // prefix of out_ already written
+  bool close_after_flush_ = false;  // quit seen: flush, then close
+  bool peer_eof_ = false;           // peer sent EOF: answer, flush, close
+  bool reads_paused_ = false;       // over the write high-water mark
+  bool deferred_work_ = false;      // parsed requests held by backpressure
+  std::uint32_t registered_events_ = 0;
+  std::int64_t last_active_ms_;
+};
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_CONNECTION_H_

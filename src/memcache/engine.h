@@ -6,7 +6,6 @@
 #define RP_MEMCACHE_ENGINE_H_
 
 #include <cstdint>
-#include <optional>
 #include <string>
 
 #include "src/memcache/item.h"
@@ -25,6 +24,23 @@ struct EngineConfig {
   // Item cap; inserting beyond it evicts (approximately) least-recently
   // used items. 0 = unlimited.
   std::size_t max_items = 0;
+};
+
+// Outcome of incr/decr. The protocol distinguishes a missing key
+// (NOT_FOUND on the wire) from a present-but-non-numeric value
+// (CLIENT_ERROR), so the engine must report which one happened rather
+// than collapsing both into "no result".
+enum class ArithStatus {
+  kOk,
+  kNotFound,    // key absent or expired
+  kNonNumeric,  // value exists but is not an unsigned decimal integer
+};
+
+struct ArithResult {
+  ArithStatus status = ArithStatus::kNotFound;
+  std::uint64_t value = 0;  // post-op value, valid only when status == kOk
+
+  bool ok() const { return status == ArithStatus::kOk; }
 };
 
 struct EngineStats {
@@ -57,12 +73,11 @@ class CacheEngine {
                                   std::uint64_t expected_cas) = 0;
   virtual bool Delete(const std::string& key) = 0;
 
-  // Returns the post-op value, or nullopt if missing/non-numeric. Decr
-  // clamps at zero (protocol rule).
-  virtual std::optional<std::uint64_t> Incr(const std::string& key,
-                                            std::uint64_t delta) = 0;
-  virtual std::optional<std::uint64_t> Decr(const std::string& key,
-                                            std::uint64_t delta) = 0;
+  // Returns the post-op value on kOk; distinguishes a missing/expired key
+  // (kNotFound) from a non-numeric value (kNonNumeric). Decr clamps at
+  // zero (protocol rule).
+  virtual ArithResult Incr(const std::string& key, std::uint64_t delta) = 0;
+  virtual ArithResult Decr(const std::string& key, std::uint64_t delta) = 0;
 
   virtual bool Touch(const std::string& key, std::int64_t exptime) = 0;
   virtual void FlushAll() = 0;

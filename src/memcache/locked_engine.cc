@@ -181,34 +181,31 @@ bool LockedEngine::Delete(const std::string& key) {
   return true;
 }
 
-std::optional<std::uint64_t> LockedEngine::ArithLocked(const std::string& key,
-                                                       std::uint64_t delta,
-                                                       bool increment) {
+ArithResult LockedEngine::ArithLocked(const std::string& key,
+                                      std::uint64_t delta, bool increment) {
   const std::int64_t now = NowSeconds();
   auto it = FindLiveLocked(key, now);
   if (it == map_.end()) {
-    return std::nullopt;
+    return {ArithStatus::kNotFound, 0};
   }
   std::uint64_t current = 0;
   if (!ParseUint64(it->second.value.data, &current)) {
-    return std::nullopt;
+    return {ArithStatus::kNonNumeric, 0};
   }
   const std::uint64_t next =
       increment ? current + delta : (current >= delta ? current - delta : 0);
   it->second.value.data = std::to_string(next);
   it->second.value.cas = next_cas_++;
   TouchLruLocked(it);
-  return next;
+  return {ArithStatus::kOk, next};
 }
 
-std::optional<std::uint64_t> LockedEngine::Incr(const std::string& key,
-                                                std::uint64_t delta) {
+ArithResult LockedEngine::Incr(const std::string& key, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   return ArithLocked(key, delta, /*increment=*/true);
 }
 
-std::optional<std::uint64_t> LockedEngine::Decr(const std::string& key,
-                                                std::uint64_t delta) {
+ArithResult LockedEngine::Decr(const std::string& key, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   return ArithLocked(key, delta, /*increment=*/false);
 }

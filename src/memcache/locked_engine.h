@@ -36,10 +36,8 @@ class LockedEngine final : public CacheEngine {
                           std::uint32_t flags, std::int64_t exptime,
                           std::uint64_t expected_cas) override;
   bool Delete(const std::string& key) override;
-  std::optional<std::uint64_t> Incr(const std::string& key,
-                                    std::uint64_t delta) override;
-  std::optional<std::uint64_t> Decr(const std::string& key,
-                                    std::uint64_t delta) override;
+  ArithResult Incr(const std::string& key, std::uint64_t delta) override;
+  ArithResult Decr(const std::string& key, std::uint64_t delta) override;
   bool Touch(const std::string& key, std::int64_t exptime) override;
   void FlushAll() override;
 
@@ -62,8 +60,8 @@ class LockedEngine final : public CacheEngine {
   void StoreLocked(const std::string& key, std::string data,
                    std::uint32_t flags, std::int64_t exptime);
   void EvictIfNeededLocked();
-  std::optional<std::uint64_t> ArithLocked(const std::string& key,
-                                           std::uint64_t delta, bool increment);
+  ArithResult ArithLocked(const std::string& key, std::uint64_t delta,
+                          bool increment);
 
   const EngineConfig config_;
   mutable std::mutex mutex_;

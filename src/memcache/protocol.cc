@@ -265,59 +265,115 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
   return Fail("unknown command", /*resync=*/false);
 }
 
+namespace {
+
+// Appends an unsigned decimal without allocating a temporary string.
+void AppendUint(std::string* out, std::uint64_t n) {
+  char digits[20];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), n);
+  (void)ec;  // cannot fail: the buffer fits any uint64
+  out->append(digits, static_cast<std::size_t>(ptr - digits));
+}
+
+}  // namespace
+
+void AppendValueResponse(std::string* out, std::string_view key,
+                         const StoredValue& value, bool with_cas) {
+  out->reserve(out->size() + key.size() + value.data.size() + 48);
+  out->append("VALUE ");
+  out->append(key);
+  out->push_back(' ');
+  AppendUint(out, value.flags);
+  out->push_back(' ');
+  AppendUint(out, value.data.size());
+  if (with_cas) {
+    out->push_back(' ');
+    AppendUint(out, value.cas);
+  }
+  out->append("\r\n");
+  out->append(value.data);
+  out->append("\r\n");
+}
+
+void AppendNumberResponse(std::string* out, std::uint64_t n) {
+  AppendUint(out, n);
+  out->append("\r\n");
+}
+
+void AppendClientError(std::string* out, std::string_view message) {
+  out->append("CLIENT_ERROR ");
+  out->append(message);
+  out->append("\r\n");
+}
+
+void AppendServerError(std::string* out, std::string_view message) {
+  out->append("SERVER_ERROR ");
+  out->append(message);
+  out->append("\r\n");
+}
+
+void AppendVersionResponse(std::string* out, std::string_view version) {
+  out->append("VERSION ");
+  out->append(version);
+  out->append("\r\n");
+}
+
+void AppendStat(std::string* out, std::string_view name,
+                std::string_view value) {
+  out->append("STAT ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(value);
+  out->append("\r\n");
+}
+
+void AppendStat(std::string* out, std::string_view name, std::uint64_t value) {
+  out->append("STAT ");
+  out->append(name);
+  out->push_back(' ');
+  AppendUint(out, value);
+  out->append("\r\n");
+}
+
 std::string FormatValue(std::string_view key, const StoredValue& value,
                         bool with_cas) {
   std::string out;
-  out.reserve(key.size() + value.data.size() + 48);
-  out.append("VALUE ");
-  out.append(key);
-  out.push_back(' ');
-  out.append(std::to_string(value.flags));
-  out.push_back(' ');
-  out.append(std::to_string(value.data.size()));
-  if (with_cas) {
-    out.push_back(' ');
-    out.append(std::to_string(value.cas));
-  }
-  out.append("\r\n");
-  out.append(value.data);
-  out.append("\r\n");
+  AppendValueResponse(&out, key, value, with_cas);
   return out;
 }
 
-std::string FormatEnd() { return "END\r\n"; }
-std::string FormatStored() { return "STORED\r\n"; }
-std::string FormatNotStored() { return "NOT_STORED\r\n"; }
-std::string FormatExists() { return "EXISTS\r\n"; }
-std::string FormatNotFound() { return "NOT_FOUND\r\n"; }
-std::string FormatDeleted() { return "DELETED\r\n"; }
-std::string FormatTouched() { return "TOUCHED\r\n"; }
-std::string FormatOk() { return "OK\r\n"; }
+std::string FormatEnd() { return std::string(kResponseEnd); }
+std::string FormatStored() { return std::string(kResponseStored); }
+std::string FormatNotStored() { return std::string(kResponseNotStored); }
+std::string FormatExists() { return std::string(kResponseExists); }
+std::string FormatNotFound() { return std::string(kResponseNotFound); }
+std::string FormatDeleted() { return std::string(kResponseDeleted); }
+std::string FormatTouched() { return std::string(kResponseTouched); }
+std::string FormatOk() { return std::string(kResponseOk); }
 
 std::string FormatNumber(std::uint64_t n) {
-  return std::to_string(n) + "\r\n";
+  std::string out;
+  AppendNumberResponse(&out, n);
+  return out;
 }
 
-std::string FormatError() { return "ERROR\r\n"; }
+std::string FormatError() { return std::string(kResponseError); }
 
 std::string FormatClientError(std::string_view message) {
-  std::string out = "CLIENT_ERROR ";
-  out.append(message);
-  out.append("\r\n");
+  std::string out;
+  AppendClientError(&out, message);
   return out;
 }
 
 std::string FormatServerError(std::string_view message) {
-  std::string out = "SERVER_ERROR ";
-  out.append(message);
-  out.append("\r\n");
+  std::string out;
+  AppendServerError(&out, message);
   return out;
 }
 
 std::string FormatVersion(std::string_view version) {
-  std::string out = "VERSION ";
-  out.append(version);
-  out.append("\r\n");
+  std::string out;
+  AppendVersionResponse(&out, version);
   return out;
 }
 

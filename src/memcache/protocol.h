@@ -89,9 +89,40 @@ class RequestParser {
   std::string error_;
 };
 
-// -- Response formatting ------------------------------------------------------
+// -- Response assembly --------------------------------------------------------
+//
+// The hot path appends straight into the connection's output buffer: fixed
+// responses are string_view constants (one memcpy, no temporary strings),
+// numbers go through std::to_chars into a stack buffer. The Format*
+// wrappers below remain for call sites that want a standalone string
+// (tests, one-shot tools).
+
+inline constexpr std::string_view kResponseEnd = "END\r\n";
+inline constexpr std::string_view kResponseStored = "STORED\r\n";
+inline constexpr std::string_view kResponseNotStored = "NOT_STORED\r\n";
+inline constexpr std::string_view kResponseExists = "EXISTS\r\n";
+inline constexpr std::string_view kResponseNotFound = "NOT_FOUND\r\n";
+inline constexpr std::string_view kResponseDeleted = "DELETED\r\n";
+inline constexpr std::string_view kResponseTouched = "TOUCHED\r\n";
+inline constexpr std::string_view kResponseOk = "OK\r\n";
+inline constexpr std::string_view kResponseError = "ERROR\r\n";
+
+// Protocol-mandated wording for incr/decr on a non-numeric value.
+inline constexpr std::string_view kNonNumericMessage =
+    "cannot increment or decrement non-numeric value";
 
 // VALUE <key> <flags> <bytes> [<cas>]\r\n<data>\r\n
+void AppendValueResponse(std::string* out, std::string_view key,
+                         const StoredValue& value, bool with_cas);
+void AppendNumberResponse(std::string* out, std::uint64_t n);
+void AppendClientError(std::string* out, std::string_view message);
+void AppendServerError(std::string* out, std::string_view message);
+void AppendVersionResponse(std::string* out, std::string_view version);
+// STAT <name> <value>\r\n
+void AppendStat(std::string* out, std::string_view name, std::string_view value);
+void AppendStat(std::string* out, std::string_view name, std::uint64_t value);
+
+// Standalone-string conveniences (wrappers over the Append* forms).
 std::string FormatValue(std::string_view key, const StoredValue& value,
                         bool with_cas);
 std::string FormatEnd();

@@ -265,42 +265,46 @@ bool RpEngine::Delete(const std::string& key) {
 // INCR/DECR as one atomic per-key update: parse, bump and re-serialize
 // inside the table's conditional clone-and-swing, under that key's stripe.
 // A non-numeric or expired value aborts the update — nothing is published
-// and nothing goes through reclamation.
-std::optional<std::uint64_t> RpEngine::Arith(const std::string& key,
-                                             std::uint64_t delta,
-                                             bool increment) {
+// and nothing goes through reclamation. The predicate distinguishes
+// expired (NOT_FOUND on the wire) from non-numeric (CLIENT_ERROR).
+ArithResult RpEngine::Arith(const std::string& key, std::uint64_t delta,
+                            bool increment) {
   const std::int64_t now = NowSeconds();
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  ArithStatus status = ArithStatus::kNotFound;  // stays if the key is absent
   std::uint64_t next = 0;
-  const bool applied = table_.UpdateIf(
+  table_.UpdateIf(
       key,
       [&](const CacheValue& value) {
+        if (IsExpired(value.expire_at, now)) {
+          status = ArithStatus::kNotFound;
+          return false;
+        }
         std::uint64_t current = 0;
-        if (IsExpired(value.expire_at, now) ||
-            !ParseUint64(value.data, &current)) {
+        if (!ParseUint64(value.data, &current)) {
+          status = ArithStatus::kNonNumeric;
           return false;
         }
         next = increment ? current + delta
                          : (current >= delta ? current - delta : 0);
+        status = ArithStatus::kOk;
         return true;
       },
       [&](CacheValue& value) {
         value.data = std::to_string(next);
         value.cas = cas;
       });
-  if (!applied) {
-    return std::nullopt;
+  if (status != ArithStatus::kOk) {
+    return {status, 0};
   }
-  return next;
+  return {ArithStatus::kOk, next};
 }
 
-std::optional<std::uint64_t> RpEngine::Incr(const std::string& key,
-                                            std::uint64_t delta) {
+ArithResult RpEngine::Incr(const std::string& key, std::uint64_t delta) {
   return Arith(key, delta, /*increment=*/true);
 }
 
-std::optional<std::uint64_t> RpEngine::Decr(const std::string& key,
-                                            std::uint64_t delta) {
+ArithResult RpEngine::Decr(const std::string& key, std::uint64_t delta) {
   return Arith(key, delta, /*increment=*/false);
 }
 

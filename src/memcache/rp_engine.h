@@ -50,10 +50,8 @@ class RpEngine final : public CacheEngine {
                           std::uint32_t flags, std::int64_t exptime,
                           std::uint64_t expected_cas) override;
   bool Delete(const std::string& key) override;
-  std::optional<std::uint64_t> Incr(const std::string& key,
-                                    std::uint64_t delta) override;
-  std::optional<std::uint64_t> Decr(const std::string& key,
-                                    std::uint64_t delta) override;
+  ArithResult Incr(const std::string& key, std::uint64_t delta) override;
+  ArithResult Decr(const std::string& key, std::uint64_t delta) override;
   bool Touch(const std::string& key, std::int64_t exptime) override;
   void FlushAll() override;
 
@@ -81,8 +79,8 @@ class RpEngine final : public CacheEngine {
   // Caller must hold slow_path_mutex_.
   void NoteInsertLocked(const std::string& key);
   void EvictIfNeededLocked();
-  std::optional<std::uint64_t> Arith(const std::string& key,
-                                     std::uint64_t delta, bool increment);
+  ArithResult Arith(const std::string& key, std::uint64_t delta,
+                    bool increment);
 
   const EngineConfig config_;
   Table table_;

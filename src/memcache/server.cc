@@ -3,124 +3,52 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <array>
 #include <cerrno>
 #include <cstring>
 
 namespace rp::memcache {
 
-std::string ExecuteRequest(CacheEngine& engine, const Request& request,
-                           bool* quit) {
-  *quit = false;
-  std::string response;
-  switch (request.op) {
-    case Op::kGet:
-    case Op::kGets: {
-      const bool with_cas = request.op == Op::kGets;
-      StoredValue value;
-      for (const std::string& key : request.keys) {
-        if (engine.Get(key, &value)) {
-          response += FormatValue(key, value, with_cas);
-        }
-      }
-      response += FormatEnd();
-      return response;
-    }
-    case Op::kSet:
-      engine.Set(request.keys[0], request.data, request.flags, request.exptime);
-      response = FormatStored();
-      break;
-    case Op::kAdd:
-      response = engine.Add(request.keys[0], request.data, request.flags,
-                            request.exptime) == StoreResult::kStored
-                     ? FormatStored()
-                     : FormatNotStored();
-      break;
-    case Op::kReplace:
-      response = engine.Replace(request.keys[0], request.data, request.flags,
-                                request.exptime) == StoreResult::kStored
-                     ? FormatStored()
-                     : FormatNotStored();
-      break;
-    case Op::kAppend:
-      response = engine.Append(request.keys[0], request.data) == StoreResult::kStored
-                     ? FormatStored()
-                     : FormatNotStored();
-      break;
-    case Op::kPrepend:
-      response = engine.Prepend(request.keys[0], request.data) == StoreResult::kStored
-                     ? FormatStored()
-                     : FormatNotStored();
-      break;
-    case Op::kCas:
-      switch (engine.CheckAndSet(request.keys[0], request.data, request.flags,
-                                 request.exptime, request.cas)) {
-        case StoreResult::kStored:
-          response = FormatStored();
-          break;
-        case StoreResult::kExists:
-          response = FormatExists();
-          break;
-        default:
-          response = FormatNotFound();
-          break;
-      }
-      break;
-    case Op::kDelete:
-      response = engine.Delete(request.keys[0]) ? FormatDeleted() : FormatNotFound();
-      break;
-    case Op::kIncr: {
-      const auto result = engine.Incr(request.keys[0], request.delta);
-      response = result.has_value() ? FormatNumber(*result) : FormatNotFound();
-      break;
-    }
-    case Op::kDecr: {
-      const auto result = engine.Decr(request.keys[0], request.delta);
-      response = result.has_value() ? FormatNumber(*result) : FormatNotFound();
-      break;
-    }
-    case Op::kTouch:
-      response = engine.Touch(request.keys[0], request.exptime) ? FormatTouched()
-                                                                : FormatNotFound();
-      break;
-    case Op::kFlushAll:
-      engine.FlushAll();
-      response = FormatOk();
-      break;
-    case Op::kVersion:
-      return FormatVersion("rp-memcache 1.0");
-    case Op::kStats: {
-      const EngineStats stats = engine.Stats();
-      response += "STAT engine " + std::string(engine.Name()) + "\r\n";
-      response += "STAT get_hits " + std::to_string(stats.get_hits) + "\r\n";
-      response += "STAT get_misses " + std::to_string(stats.get_misses) + "\r\n";
-      response += "STAT cmd_set " + std::to_string(stats.sets) + "\r\n";
-      response += "STAT evictions " + std::to_string(stats.evictions) + "\r\n";
-      response += "STAT expired_unfetched " +
-                  std::to_string(stats.expired_reclaims) + "\r\n";
-      response += "STAT curr_items " + std::to_string(stats.items) + "\r\n";
-      response += FormatEnd();
-      return response;
-    }
-    case Op::kQuit:
-      *quit = true;
-      return "";
-  }
-  return request.noreply ? "" : response;
-}
+namespace {
 
-Server::Server(CacheEngine& engine, std::uint16_t port)
-    : engine_(engine), port_(port) {}
+constexpr std::string_view kTooManyConnections =
+    "SERVER_ERROR too many open connections\r\n";
+
+}  // namespace
+
+Server::Server(CacheEngine& engine, std::uint16_t port, ServerOptions options)
+    : engine_(engine), port_(port), options_(options) {}
 
 Server::~Server() { Stop(); }
 
+bool Server::FailStart(const std::string& what) {
+  error_ = what + ": " + std::strerror(errno);
+  for (auto& worker : workers_) {
+    if (worker->epoll_fd >= 0) {
+      ::close(worker->epoll_fd);
+    }
+    if (worker->wake_fd >= 0) {
+      ::close(worker->wake_fd);
+    }
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  return false;
+}
+
 bool Server::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
-    error_ = std::strerror(errno);
-    return false;
+    return FailStart("socket");
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -130,100 +58,233 @@ bool Server::Start() {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port_);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listen_fd_, 128) < 0) {
-    error_ = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
+      ::listen(listen_fd_, options_.listen_backlog) < 0) {
+    return FailStart("bind/listen");
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+
+  const std::size_t num_workers = std::max<std::size_t>(1, options_.num_workers);
+  workers_.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    worker->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    workers_.push_back(std::move(worker));
+    Worker& w = *workers_.back();
+    if (w.epoll_fd < 0 || w.wake_fd < 0) {
+      return FailStart("epoll_create1/eventfd");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w.wake_fd;
+    if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, w.wake_fd, &ev) < 0) {
+      return FailStart("epoll_ctl(wake)");
+    }
+    // EPOLLEXCLUSIVE: the kernel wakes one worker per accept burst instead
+    // of thundering all of them; each worker accepts on its own.
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.fd = listen_fd_;
+    if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+      return FailStart("epoll_ctl(listen)");
+    }
+  }
+  stopping_.store(false, std::memory_order_release);
+  for (auto& worker : workers_) {
+    Worker& w = *worker;
+    w.thread = std::thread([this, &w] { WorkerLoop(w); });
+  }
+  started_ = true;
   return true;
 }
 
 void Server::Stop() {
-  if (listen_fd_ < 0) {
+  if (!started_) {
     return;
   }
+  started_ = false;
   stopping_.store(true, std::memory_order_release);
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  for (auto& worker : workers_) {
+    const std::uint64_t one = 1;
+    // A failed write (impossible for a fresh eventfd) would only delay the
+    // worker until its next epoll timeout; ignore it.
+    (void)!::write(worker->wake_fd, &one, sizeof(one));
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) {
+      worker->thread.join();
+    }
+    // The worker cleared its connections on exit; release its fds here.
+    ::close(worker->wake_fd);
+    ::close(worker->epoll_fd);
+  }
+  workers_.clear();
   ::close(listen_fd_);
-  if (accept_thread_.joinable()) {
-    accept_thread_.join();
-  }
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers.swap(workers_);
-  }
-  for (std::thread& worker : workers) {
-    worker.join();
-  }
   listen_fd_ = -1;
 }
 
-void Server::AcceptLoop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stopping_.load(std::memory_order_acquire)) {
-        return;
+void Server::WorkerLoop(Worker& worker) {
+  std::array<epoll_event, 64> events;
+  // With idle eviction on, cap the wait so sweeps happen even on a quiet
+  // loop; otherwise sleep until an event or a Stop() wakeup.
+  const int wait_ms =
+      options_.idle_timeout.count() > 0
+          ? static_cast<int>(std::max<std::int64_t>(
+                1, options_.idle_timeout.count() / 4))
+          : -1;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int timeout = wait_ms;
+    if (worker.relisten_at_ms != 0) {
+      const std::int64_t now = MonotonicMs();
+      if (now >= worker.relisten_at_ms) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+        ev.data.fd = listen_fd_;
+        if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev) == 0) {
+          worker.relisten_at_ms = 0;
+        }
       }
+      if (worker.relisten_at_ms != 0) {
+        const int until = static_cast<int>(worker.relisten_at_ms - MonotonicMs());
+        timeout = timeout < 0 ? std::max(1, until)
+                              : std::min(timeout, std::max(1, until));
+      }
+    }
+    const int n =
+        ::epoll_wait(worker.epoll_fd, events.data(), events.size(), timeout);
+    if (stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (n < 0) {
       if (errno == EINTR) {
         continue;
       }
+      break;  // epoll fd gone: shutting down
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == worker.wake_fd) {
+        std::uint64_t drain = 0;
+        (void)!::read(worker.wake_fd, &drain, sizeof(drain));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady(worker);
+        continue;
+      }
+      auto it = worker.connections.find(fd);
+      if (it == worker.connections.end()) {
+        continue;  // closed earlier in this same batch
+      }
+      Connection& conn = *it->second;
+      bool alive = true;
+      if (events[i].events & EPOLLERR) {
+        alive = false;
+      } else {
+        if (events[i].events & EPOLLOUT) {
+          alive = conn.OnWritable();
+        }
+        if (alive && (events[i].events & (EPOLLIN | EPOLLHUP))) {
+          alive = conn.OnReadable();
+        }
+      }
+      if (!alive) {
+        worker.connections.erase(it);  // dtor closes fd, drops the gauge
+      } else {
+        UpdateInterest(worker, conn);
+      }
+    }
+    if (options_.idle_timeout.count() > 0) {
+      SweepIdle(worker);
+    }
+  }
+  // Graceful shutdown: closing each connection here, on the owning thread,
+  // keeps the single-threaded ownership invariant to the very end.
+  worker.connections.clear();
+}
+
+void Server::AcceptReady(Worker& worker) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;  // backlog drained (or another EPOLLEXCLUSIVE worker won)
+      }
+      // EMFILE/ENFILE and friends: accepting is impossible right now, and
+      // with a level-triggered listen event an immediate retry would spin
+      // this loop at 100% CPU. Mute the listen fd in this worker's epoll
+      // and re-arm it shortly; other workers (and the backlog) carry on.
+      ::epoll_ctl(worker.epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      worker.relisten_at_ms = MonotonicMs() + 50;
       return;
     }
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    workers_.emplace_back([this, fd] { HandleConnection(fd); });
+    // Claim a slot first, then check: a load-then-increment would let
+    // concurrent AcceptReady calls on different workers both pass the
+    // check and overshoot the server-wide cap.
+    const std::uint64_t live =
+        counters_.current.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (live > options_.max_connections) {
+      counters_.current.fetch_sub(1, std::memory_order_relaxed);
+      // Over the cap: best-effort error, then close. The socket never
+      // enters an event loop, so a connect flood can't grow state.
+      (void)!::send(fd, kTooManyConnections.data(), kTooManyConnections.size(),
+                    MSG_NOSIGNAL);
+      ::close(fd);
+      continue;
+    }
+    counters_.total.fetch_add(1, std::memory_order_relaxed);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(
+        fd, engine_, options_.write_high_water, &counters_);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      continue;  // conn dtor closes the fd and restores the gauge
+    }
+    conn->set_registered_events(EPOLLIN);
+    worker.connections.emplace(fd, std::move(conn));
   }
 }
 
-void Server::HandleConnection(int fd) {
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+void Server::UpdateInterest(Worker& worker, Connection& conn) {
+  const std::uint32_t want = (conn.wants_read() ? EPOLLIN : 0u) |
+                             (conn.wants_write() ? EPOLLOUT : 0u);
+  if (want == conn.registered_events()) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = conn.fd();
+  if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_MOD, conn.fd(), &ev) == 0) {
+    conn.set_registered_events(want);
+  }
+}
 
-  RequestParser parser;
-  char buf[16 * 1024];
-  bool quit = false;
-  while (!quit && !stopping_.load(std::memory_order_acquire)) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      break;
-    }
-    parser.Feed(std::string_view(buf, static_cast<std::size_t>(n)));
-
-    std::string out;
-    for (;;) {
-      Request request;
-      const ParseStatus status = parser.Next(&request);
-      if (status == ParseStatus::kNeedMore) {
-        break;
-      }
-      if (status == ParseStatus::kError) {
-        out += FormatClientError(parser.error_message());
-        continue;
-      }
-      out += ExecuteRequest(engine_, request, &quit);
-      if (quit) {
-        break;
-      }
-    }
-    std::size_t sent = 0;
-    while (sent < out.size()) {
-      const ssize_t w = ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-      if (w <= 0) {
-        quit = true;
-        break;
-      }
-      sent += static_cast<std::size_t>(w);
+void Server::SweepIdle(Worker& worker) {
+  const std::int64_t now = MonotonicMs();
+  if (now < worker.next_sweep_ms) {
+    return;  // busy loops return from epoll_wait constantly; sweep at most
+             // once per wait interval, not once per event batch
+  }
+  worker.next_sweep_ms =
+      now + std::max<std::int64_t>(1, options_.idle_timeout.count() / 4);
+  const std::int64_t limit = options_.idle_timeout.count();
+  for (auto it = worker.connections.begin();
+       it != worker.connections.end();) {
+    if (now - it->second->last_active_ms() >= limit) {
+      it = worker.connections.erase(it);
+    } else {
+      ++it;
     }
   }
-  ::close(fd);
 }
 
 }  // namespace rp::memcache

@@ -1,6 +1,13 @@
 #include "src/memcache/workload.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -28,6 +35,32 @@ struct ClientTotals {
   std::uint64_t misses = 0;
 };
 
+// Formats one random operation in wire form into *wire (replacing its
+// contents). Returns whether it is a GET. Shared by the in-process and
+// socket client loops so both benchmark modes drive the same workload.
+bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
+                     ZipfGenerator& zipf, const std::string& value,
+                     std::string* wire) {
+  const std::size_t key_index = zipf.Next(rng);
+  const bool is_get = rng.NextDouble() < config.get_ratio;
+  const std::string key = WorkloadKey(key_index);
+  wire->clear();
+  if (is_get) {
+    *wire += "get ";
+    *wire += key;
+    *wire += "\r\n";
+  } else {
+    *wire += "set ";
+    *wire += key;
+    *wire += " 0 0 ";
+    *wire += std::to_string(value.size());
+    *wire += "\r\n";
+    *wire += value;
+    *wire += "\r\n";
+  }
+  return is_get;
+}
+
 // One client's inner loop, protocol round trip included.
 void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
                        std::size_t id, const std::atomic<bool>& stop,
@@ -36,25 +69,19 @@ void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
   ZipfGenerator zipf(config.num_keys, config.zipf_theta);
   const std::string value(config.value_size, 'v');
   RequestParser parser;
+  std::string wire;
+  std::string response;
 
   while (!stop.load(std::memory_order_relaxed)) {
-    const std::size_t key_index = zipf.Next(rng);
-    const bool is_get = rng.NextDouble() < config.get_ratio;
-    std::string wire;
-    const std::string key = WorkloadKey(key_index);
-    if (is_get) {
-      wire = "get " + key + "\r\n";
-    } else {
-      wire = "set " + key + " 0 0 " + std::to_string(value.size()) + "\r\n" +
-             value + "\r\n";
-    }
+    const bool is_get = NextRequestWire(config, rng, zipf, value, &wire);
     parser.Feed(wire);
     Request request;
     if (parser.Next(&request) != ParseStatus::kOk) {
       continue;  // unreachable for well-formed generated traffic
     }
     bool quit = false;
-    const std::string response = ExecuteRequest(engine, request, &quit);
+    response.clear();
+    ExecuteRequest(engine, request, &response, &quit);
     ++totals.requests;
     if (is_get) {
       ++totals.gets;
@@ -98,7 +125,181 @@ void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
   }
 }
 
+// Blocking loopback client used by the socket workload.
+class SocketClient {
+ public:
+  explicit SocketClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~SocketClient() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool SendAll(std::string_view wire) {
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n =
+          ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  // Appends socket bytes to *acc until it ends with `terminator`.
+  bool ReadUntil(std::string_view terminator, std::string* acc) {
+    char buf[16 * 1024];
+    for (;;) {
+      if (acc->size() >= terminator.size() &&
+          acc->compare(acc->size() - terminator.size(), terminator.size(),
+                       terminator.data(), terminator.size()) == 0) {
+        return true;
+      }
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return false;
+      }
+      acc->append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// One socket client's inner loop: one blocking round trip per operation.
+void RunSocketClient(std::uint16_t port, const WorkloadConfig& config,
+                     std::size_t id, const std::atomic<bool>& stop,
+                     ClientTotals& totals) {
+  SocketClient client(port);
+  if (!client.connected()) {
+    return;
+  }
+  Xoshiro256 rng(config.seed + id * 0x9E37);
+  ZipfGenerator zipf(config.num_keys, config.zipf_theta);
+  const std::string value(config.value_size, 'v');
+  std::string wire;
+  std::string response;
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    const bool is_get = NextRequestWire(config, rng, zipf, value, &wire);
+    response.clear();
+    // GET responses end with END\r\n; every other response here is a
+    // single line (the workload values never contain protocol framing).
+    if (!client.SendAll(wire) ||
+        !client.ReadUntil(is_get ? "END\r\n" : "\r\n", &response)) {
+      return;  // server went away mid-run; partial totals still count
+    }
+    ++totals.requests;
+    if (is_get) {
+      ++totals.gets;
+      if (response.size() > 5 && response[0] == 'V') {
+        ++totals.hits;
+      } else {
+        ++totals.misses;
+      }
+    } else {
+      ++totals.sets;
+    }
+  }
+}
+
+// Loads every key through one connection with pipelined noreply sets.
+bool PrepopulateOverSocket(std::uint16_t port, const WorkloadConfig& config) {
+  SocketClient client(port);
+  if (!client.connected()) {
+    return false;
+  }
+  const std::string value(config.value_size, 'v');
+  std::string wire;
+  for (std::size_t i = 0; i < config.num_keys; ++i) {
+    wire += "set ";
+    wire += WorkloadKey(i);
+    wire += " 0 0 ";
+    wire += std::to_string(value.size());
+    wire += " noreply\r\n";
+    wire += value;
+    wire += "\r\n";
+    if (wire.size() >= 256 * 1024) {
+      if (!client.SendAll(wire)) {
+        return false;
+      }
+      wire.clear();
+    }
+  }
+  // The version round trip doubles as a barrier: when it answers, every
+  // pipelined set before it has been executed.
+  wire += "version\r\n";
+  std::string response;
+  return client.SendAll(wire) && client.ReadUntil("\r\n", &response);
+}
+
 }  // namespace
+
+WorkloadResult RunSocketWorkload(std::uint16_t port,
+                                 const WorkloadConfig& config) {
+  if (config.prepopulate && !PrepopulateOverSocket(port, config)) {
+    return {};
+  }
+
+  std::atomic<bool> stop{false};
+  SpinBarrier barrier(config.num_clients + 1);
+  std::vector<ClientTotals> totals(config.num_clients);
+  std::vector<std::thread> clients;
+  clients.reserve(config.num_clients);
+
+  for (std::size_t id = 0; id < config.num_clients; ++id) {
+    clients.emplace_back([&, id] {
+      PinThisThreadToCpu(id);
+      barrier.ArriveAndWait();
+      RunSocketClient(port, config, id, stop, totals[id]);
+    });
+  }
+
+  barrier.ArriveAndWait();
+  Stopwatch watch;
+  while (watch.ElapsedSeconds() < config.duration_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  const double elapsed = watch.ElapsedSeconds();
+
+  WorkloadResult result;
+  result.duration_seconds = elapsed;
+  for (const ClientTotals& t : totals) {
+    result.total_requests += t.requests;
+    result.gets += t.gets;
+    result.sets += t.sets;
+    result.hits += t.hits;
+    result.misses += t.misses;
+  }
+  result.requests_per_second =
+      static_cast<double>(result.total_requests) / elapsed;
+  return result;
+}
 
 WorkloadResult RunWorkload(CacheEngine& engine, const WorkloadConfig& config) {
   if (config.prepopulate) {

@@ -47,6 +47,15 @@ struct WorkloadResult {
 // Runs the workload and aggregates across client threads.
 WorkloadResult RunWorkload(CacheEngine& engine, const WorkloadConfig& config);
 
+// Drives the same workload over real TCP: every client thread opens its
+// own loopback connection to a running Server on `port` and does one
+// blocking request/response round trip per operation (mc-benchmark
+// style), so the measurement includes the kernel socket path and the
+// server's event loop, not just the engine. Prepopulation (when enabled)
+// also goes over the wire, via pipelined noreply sets.
+WorkloadResult RunSocketWorkload(std::uint16_t port,
+                                 const WorkloadConfig& config);
+
 // Key name for index i, mc-benchmark style ("memtier-<i>").
 std::string WorkloadKey(std::size_t i);
 

@@ -115,19 +115,35 @@ TEST_P(EngineTest, DeleteRemoves) {
 TEST_P(EngineTest, IncrDecrArithmetic) {
   auto engine = Make();
   engine->Set("n", "10", 0, 0);
-  EXPECT_EQ(engine->Incr("n", 5), 15u);
-  EXPECT_EQ(engine->Decr("n", 3), 12u);
-  EXPECT_EQ(engine->Decr("n", 100), 0u);  // clamps at zero
+  ArithResult r = engine->Incr("n", 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 15u);
+  r = engine->Decr("n", 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 12u);
+  r = engine->Decr("n", 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 0u);  // clamps at zero
   StoredValue out;
   engine->Get("n", &out);
   EXPECT_EQ(out.data, "0");
 }
 
-TEST_P(EngineTest, IncrOnMissingOrNonNumeric) {
+TEST_P(EngineTest, IncrDistinguishesMissingFromNonNumeric) {
   auto engine = Make();
-  EXPECT_FALSE(engine->Incr("missing", 1).has_value());
+  // Missing (and expired) keys are NOT_FOUND on the wire...
+  EXPECT_EQ(engine->Incr("missing", 1).status, ArithStatus::kNotFound);
+  engine->Set("gone", "1", 0, -1);  // instantly expired
+  EXPECT_EQ(engine->Incr("gone", 1).status, ArithStatus::kNotFound);
+  // ...but a live non-numeric value is a CLIENT_ERROR, like real
+  // memcached; the engine must not collapse the two.
   engine->Set("s", "abc", 0, 0);
-  EXPECT_FALSE(engine->Incr("s", 1).has_value());
+  EXPECT_EQ(engine->Incr("s", 1).status, ArithStatus::kNonNumeric);
+  EXPECT_EQ(engine->Decr("s", 1).status, ArithStatus::kNonNumeric);
+  // The failed arithmetic must not have clobbered the value.
+  StoredValue out;
+  ASSERT_TRUE(engine->Get("s", &out));
+  EXPECT_EQ(out.data, "abc");
 }
 
 TEST_P(EngineTest, ExpiredItemIsAMiss) {

@@ -1,5 +1,7 @@
-// End-to-end test: real TCP round trips against the loopback server, plus
-// direct tests of ExecuteRequest (the server's dispatch core).
+// End-to-end tests: real TCP round trips against the loopback epoll
+// server — protocol conformance, pipelining, connection churn, idle
+// eviction, write backpressure — plus direct tests of ExecuteRequest
+// (the server's dispatch core).
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -7,8 +9,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/memcache/locked_engine.h"
 #include "src/memcache/rp_engine.h"
@@ -29,24 +35,34 @@ class TestClient {
     connected_ =
         ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
   }
-  ~TestClient() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-    }
-  }
+  ~TestClient() { Close(); }
 
   bool connected() const { return connected_; }
 
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  // Half-close: no more requests, but keep reading (printf | nc pattern).
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
   void Send(const std::string& wire) {
-    ASSERT_EQ(::send(fd_, wire.data(), wire.size(), 0),
-              static_cast<ssize_t>(wire.size()));
+    std::size_t sent = 0;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, 0);
+      ASSERT_GT(n, 0);
+      sent += static_cast<std::size_t>(n);
+    }
   }
 
   // Reads until the accumulated response ends with `terminator`.
   std::string ReadUntil(const std::string& terminator) {
     std::string acc;
-    char buf[4096];
-    while (acc.size() < 1 << 20) {
+    char buf[16 * 1024];
+    while (acc.size() < 8u << 20) {
       const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
       if (n <= 0) {
         break;
@@ -61,10 +77,68 @@ class TestClient {
     return acc;
   }
 
+  // Reads exactly `bytes` bytes (or until EOF, whichever comes first).
+  std::string ReadExact(std::size_t bytes) {
+    std::string acc;
+    char buf[16 * 1024];
+    while (acc.size() < bytes) {
+      const std::size_t want = std::min(sizeof(buf), bytes - acc.size());
+      const ssize_t n = ::recv(fd_, buf, want, 0);
+      if (n <= 0) {
+        break;
+      }
+      acc.append(buf, static_cast<std::size_t>(n));
+    }
+    return acc;
+  }
+
+  // Reads to EOF (empty string if the server closed without sending).
+  std::string ReadToEof() {
+    std::string acc;
+    char buf[16 * 1024];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        break;
+      }
+      acc.append(buf, static_cast<std::size_t>(n));
+    }
+    return acc;
+  }
+
  private:
   int fd_ = -1;
   bool connected_ = false;
 };
+
+// Threads of this process, from /proc/self/status (Linux-only, like epoll).
+int ProcessThreadCount() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return -1;
+  }
+  char line[256];
+  int threads = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "Threads: %d", &threads) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+// Polls `pred` until it holds or ~deadline_ms elapses.
+template <typename Pred>
+bool EventuallyTrue(Pred pred, int deadline_ms) {
+  for (int waited = 0; waited < deadline_ms; waited += 10) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
 
 class ServerTest : public ::testing::Test {
  protected:
@@ -127,6 +201,22 @@ TEST_F(ServerTest, IncrDecrOverWire) {
   EXPECT_EQ(client.ReadUntil("\r\n"), "2\r\n");
 }
 
+// Protocol conformance (real memcached): incr/decr on a live non-numeric
+// value is CLIENT_ERROR, not NOT_FOUND — NOT_FOUND is for missing keys.
+TEST_F(ServerTest, IncrNonNumericReturnsClientErrorOverWire) {
+  TestClient client(server_->port());
+  client.Send("set s 0 0 3\r\nabc\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "STORED\r\n");
+  client.Send("incr s 1\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n");
+  client.Send("decr s 1\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n");
+  client.Send("incr missing 1\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "NOT_FOUND\r\n");
+}
+
 TEST_F(ServerTest, NoreplySuppressesResponse) {
   TestClient client(server_->port());
   client.Send("set quiet 0 0 1 noreply\r\nq\r\nget quiet\r\n");
@@ -141,11 +231,41 @@ TEST_F(ServerTest, BadCommandReturnsClientError) {
   EXPECT_EQ(response.rfind("CLIENT_ERROR", 0), 0u) << response;
 }
 
-TEST_F(ServerTest, StatsReportEngine) {
+// A malformed data chunk mid-stream must not wedge the connection: the
+// parser resyncs to the next line and later commands still answer.
+TEST_F(ServerTest, ParseErrorResyncOverSocket) {
+  TestClient client(server_->port());
+  client.Send(
+      "bogus\r\n"
+      "set k 0 0 3\r\nabcdef\r\n"  // declares 3 bytes, sends 6: bad chunk
+      "version\r\n");
+  std::string acc;
+  acc += client.ReadUntil("\r\n");  // CLIENT_ERROR unknown command
+  while (acc.find("VERSION") == std::string::npos) {
+    const std::string more = client.ReadUntil("\r\n");
+    ASSERT_FALSE(more.empty()) << "connection closed before resync: " << acc;
+    acc += more;
+  }
+  EXPECT_NE(acc.find("CLIENT_ERROR unknown command"), std::string::npos) << acc;
+  EXPECT_NE(acc.find("CLIENT_ERROR bad data chunk"), std::string::npos) << acc;
+  EXPECT_NE(acc.find("VERSION"), std::string::npos) << acc;
+}
+
+TEST_F(ServerTest, StatsReportEngineAndConnections) {
+  TestClient other(server_->port());  // second open connection
+  ASSERT_TRUE(other.connected());
   TestClient client(server_->port());
   client.Send("stats\r\n");
   const std::string response = client.ReadUntil("END\r\n");
   EXPECT_NE(response.find("STAT engine rp"), std::string::npos);
+  // The gauges come from the server, not the engine: both live
+  // connections are visible, as is the running accept total.
+  const std::size_t curr_pos = response.find("STAT curr_connections ");
+  ASSERT_NE(curr_pos, std::string::npos) << response;
+  const int curr = std::atoi(
+      response.c_str() + curr_pos + std::strlen("STAT curr_connections "));
+  EXPECT_GE(curr, 2);
+  EXPECT_NE(response.find("STAT total_connections "), std::string::npos);
 }
 
 TEST_F(ServerTest, VersionAndQuit) {
@@ -155,6 +275,18 @@ TEST_F(ServerTest, VersionAndQuit) {
   EXPECT_EQ(v.rfind("VERSION", 0), 0u);
   client.Send("quit\r\n");
   EXPECT_EQ(client.ReadUntil("\r\n"), "");  // connection closes
+}
+
+// quit mid-pipeline: requests parsed after the quit are dropped, but the
+// responses to requests before it must still be flushed before close.
+TEST_F(ServerTest, QuitMidPipelineFlushesEarlierResponses) {
+  TestClient client(server_->port());
+  client.Send(
+      "set k 0 0 1\r\nv\r\n"
+      "get k\r\n"
+      "quit\r\n"
+      "get k\r\n");  // after quit: must never be answered
+  EXPECT_EQ(client.ReadToEof(), "STORED\r\nVALUE k 0 1\r\nv\r\nEND\r\n");
 }
 
 TEST_F(ServerTest, ConcurrentClients) {
@@ -191,12 +323,221 @@ TEST_F(ServerTest, ConcurrentClients) {
   EXPECT_GE(server_->connections_handled(), static_cast<std::uint64_t>(kClients));
 }
 
+// Several clients each firing one large pipelined batch per round: the
+// whole batch goes out in one write and every response must come back in
+// order.
+TEST_F(ServerTest, ConcurrentPipelinedClients) {
+  constexpr int kClients = 4;
+  constexpr int kGetsPerBatch = 50;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(server_->port());
+      if (!client.connected()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::string key = "pipeline" + std::to_string(c);
+      std::string batch = "set " + key + " 0 0 4\r\ndata\r\n";
+      std::string expected = "STORED\r\n";
+      for (int i = 0; i < kGetsPerBatch; ++i) {
+        batch += "get " + key + "\r\n";
+        expected += "VALUE " + key + " 0 4\r\ndata\r\nEND\r\n";
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        client.Send(batch);
+        if (client.ReadExact(expected.size()) != expected) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Regression for the unbounded workers_ leak in the old thread-per-
+// connection server: churning >1k short-lived connections must not grow
+// the process thread count (the epoll front end keeps a fixed pool) and
+// the connection gauge must return to zero.
+TEST(ServerChurn, ThousandShortLivedConnectionsStayBounded) {
+  constexpr int kCycles = 1200;
+  RpEngine engine;
+  ServerOptions options;
+  options.num_workers = 2;
+  Server server(engine, 0, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  const int threads_before = ProcessThreadCount();
+  ASSERT_GT(threads_before, 0);
+  for (int i = 0; i < kCycles; ++i) {
+    TestClient client(server.port());
+    ASSERT_TRUE(client.connected()) << "cycle " << i;
+    client.Send("version\r\n");
+    ASSERT_EQ(client.ReadUntil("\r\n").rfind("VERSION", 0), 0u);
+  }
+  const int threads_after = ProcessThreadCount();
+  EXPECT_EQ(threads_after, threads_before)
+      << "event-loop server must not spawn per-connection threads";
+  EXPECT_GE(server.connections_handled(), static_cast<std::uint64_t>(kCycles));
+  // The server notices each client's close on its next readiness event;
+  // give the loops a moment to drain the gauge.
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server.current_connections() == 0; }, 2000))
+      << server.current_connections() << " connections still open";
+  server.Stop();
+}
+
+TEST(ServerOptionsTest, IdleConnectionsAreEvicted) {
+  RpEngine engine;
+  ServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(200);
+  Server server(engine, 0, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send("version\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n").rfind("VERSION", 0), 0u);
+  // Go idle past the timeout: the server must close the connection.
+  EXPECT_EQ(client.ReadToEof(), "");  // blocks until the server evicts us
+  EXPECT_TRUE(EventuallyTrue(
+      [&] { return server.current_connections() == 0; }, 2000));
+  server.Stop();
+}
+
+TEST(ServerOptionsTest, MaxConnectionsCapIsEnforced) {
+  RpEngine engine;
+  ServerOptions options;
+  options.max_connections = 2;
+  Server server(engine, 0, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  TestClient first(server.port());
+  TestClient second(server.port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(second.connected());
+  // Round trips guarantee both connections are registered (the cap is
+  // checked at accept time, which runs asynchronously to connect()).
+  first.Send("version\r\n");
+  ASSERT_FALSE(first.ReadUntil("\r\n").empty());
+  second.Send("version\r\n");
+  ASSERT_FALSE(second.ReadUntil("\r\n").empty());
+
+  TestClient third(server.port());
+  ASSERT_TRUE(third.connected());  // accepted, then refused by the server
+  EXPECT_EQ(third.ReadToEof(), "SERVER_ERROR too many open connections\r\n");
+
+  // Closing one frees a slot for the next client.
+  first.Close();
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return server.current_connections() <= 1; }, 2000));
+  TestClient fourth(server.port());
+  ASSERT_TRUE(fourth.connected());
+  fourth.Send("version\r\n");
+  EXPECT_EQ(fourth.ReadUntil("\r\n").rfind("VERSION", 0), 0u);
+  server.Stop();
+}
+
+// Write backpressure: a slow reader asking for ~1MB via one multi-get.
+// The server buffers the single oversized response, pauses reads on the
+// connection, and drains it via EPOLLOUT as the client catches up — no
+// deadlock, no truncation, bytes intact.
+TEST(ServerOptionsTest, WriteBackpressureSlowReaderGetsEverything) {
+  constexpr int kKeys = 64;
+  constexpr std::size_t kValueSize = 16 * 1024;
+  RpEngine engine;
+  ServerOptions options;
+  options.write_high_water = 8 * 1024;  // tiny: force the pause/resume path
+  Server server(engine, 0, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string value(kValueSize, 'x');
+  std::string multiget = "get";
+  std::size_t expected_size = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "big" + std::to_string(i);
+    client.Send("set " + key + " 0 0 " + std::to_string(kValueSize) +
+                " noreply\r\n" + value + "\r\n");
+    multiget += " " + key;
+    expected_size += std::string("VALUE " + key + " 0 " +
+                                 std::to_string(kValueSize) + "\r\n")
+                         .size() +
+                     kValueSize + 2;
+  }
+  multiget += "\r\n";
+  expected_size += std::string("END\r\n").size();
+
+  client.Send(multiget);
+  // Stay slow for a moment so the response piles up server-side first.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const std::string response = client.ReadExact(expected_size);
+  ASSERT_EQ(response.size(), expected_size);
+  EXPECT_EQ(response.compare(response.size() - 5, 5, "END\r\n"), 0);
+  std::size_t values = 0;
+  for (std::size_t pos = response.find("VALUE "); pos != std::string::npos;
+       pos = response.find("VALUE ", pos + 1)) {
+    ++values;
+  }
+  EXPECT_EQ(values, static_cast<std::size_t>(kKeys));
+  // The connection survived the pressure and still answers.
+  client.Send("version\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n").rfind("VERSION", 0), 0u);
+  server.Stop();
+}
+
+// A pipelined burst of individual gets whose responses dwarf the
+// high-water mark, sent by a client that half-closes before reading
+// (`printf ... | nc`). Two things must hold: execution defers between
+// pipelined requests while the buffer is over the mark (bounded memory),
+// and the EOF must not cut off responses still being produced/drained.
+TEST(ServerOptionsTest, HalfCloseAfterPipelinedBurstGetsEverything) {
+  constexpr int kKeys = 16;
+  constexpr std::size_t kValueSize = 16 * 1024;
+  RpEngine engine;
+  ServerOptions options;
+  options.write_high_water = 8 * 1024;
+  Server server(engine, 0, options);
+  ASSERT_TRUE(server.Start()) << server.error();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  const std::string value(kValueSize, 'y');
+  std::string burst;
+  std::string expected;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "half" + std::to_string(i);
+    client.Send("set " + key + " 0 0 " + std::to_string(kValueSize) +
+                " noreply\r\n" + value + "\r\n");
+    burst += "get " + key + "\r\n";
+    expected += "VALUE " + key + " 0 " + std::to_string(kValueSize) + "\r\n" +
+                value + "\r\nEND\r\n";
+  }
+  client.Send(burst);
+  client.ShutdownWrite();  // EOF reaches the server before it finishes
+  const std::string response = client.ReadToEof();
+  EXPECT_EQ(response.size(), expected.size());
+  EXPECT_EQ(response, expected);
+  server.Stop();
+}
+
 // --- ExecuteRequest dispatch (no sockets) ------------------------------------------
 
 TEST(ExecuteRequest, HandlesEveryOp) {
   LockedEngine engine;
   bool quit = false;
-  auto run = [&](Request r) { return ExecuteRequest(engine, r, &quit); };
+  auto run = [&](Request r) {
+    std::string out;
+    ExecuteRequest(engine, r, &out, &quit);
+    return out;
+  };
 
   Request set;
   set.op = Op::kSet;
@@ -236,6 +577,59 @@ TEST(ExecuteRequest, HandlesEveryOp) {
   EXPECT_TRUE(quit);
 }
 
+TEST(ExecuteRequest, AppendsWithoutClobberingEarlierOutput) {
+  LockedEngine engine;
+  bool quit = false;
+  std::string out = "EXISTING";
+  Request version;
+  version.op = Op::kVersion;
+  ExecuteRequest(engine, version, &out, &quit);
+  EXPECT_EQ(out.rfind("EXISTING", 0), 0u);
+  EXPECT_NE(out.find("VERSION"), std::string::npos);
+}
+
+TEST(ExecuteRequest, IncrStatusMapping) {
+  LockedEngine engine;
+  bool quit = false;
+  auto run = [&](Request r) {
+    std::string out;
+    ExecuteRequest(engine, r, &out, &quit);
+    return out;
+  };
+
+  Request incr;
+  incr.op = Op::kIncr;
+  incr.keys = {"n"};
+  incr.delta = 1;
+  EXPECT_EQ(run(incr), "NOT_FOUND\r\n");
+
+  engine.Set("n", "41", 0, 0);
+  EXPECT_EQ(run(incr), "42\r\n");
+
+  engine.Set("n", "not-a-number", 0, 0);
+  EXPECT_EQ(run(incr),
+            "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n");
+}
+
+TEST(ExecuteRequest, StatsIncludesConnectionGaugesWhenProvided) {
+  LockedEngine engine;
+  bool quit = false;
+  Request stats;
+  stats.op = Op::kStats;
+
+  std::string without;
+  ExecuteRequest(engine, stats, &without, &quit);
+  EXPECT_EQ(without.find("curr_connections"), std::string::npos);
+
+  ServerConnectionStats conn;
+  conn.curr_connections = 3;
+  conn.total_connections = 99;
+  std::string with;
+  ExecuteRequest(engine, stats, &with, &quit, &conn);
+  EXPECT_NE(with.find("STAT curr_connections 3\r\n"), std::string::npos);
+  EXPECT_NE(with.find("STAT total_connections 99\r\n"), std::string::npos);
+}
+
 TEST(ExecuteRequest, NoreplyReturnsEmpty) {
   LockedEngine engine;
   bool quit = false;
@@ -244,9 +638,11 @@ TEST(ExecuteRequest, NoreplyReturnsEmpty) {
   set.keys = {"k"};
   set.data = "v";
   set.noreply = true;
-  EXPECT_EQ(ExecuteRequest(engine, set, &quit), "");
-  StoredValue out;
-  EXPECT_TRUE(engine.Get("k", &out));
+  std::string out;
+  ExecuteRequest(engine, set, &out, &quit);
+  EXPECT_EQ(out, "");
+  StoredValue stored;
+  EXPECT_TRUE(engine.Get("k", &stored));
 }
 
 }  // namespace
