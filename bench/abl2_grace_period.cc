@@ -62,7 +62,10 @@ void BM_EpochSynchronize(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_EpochSynchronize)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+// Real time, not CPU time: the metric is how long a writer *waits* for the
+// grace period, and the waiting thread burns almost no CPU while blocked —
+// CPU-time pacing would keep ramping iterations and run for minutes.
+BENCHMARK(BM_EpochSynchronize)->Arg(0)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_QsbrSynchronize(benchmark::State& state) {
   ReaderPool pool(static_cast<int>(state.range(0)), /*qsbr=*/true);
@@ -71,7 +74,7 @@ void BM_QsbrSynchronize(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_QsbrSynchronize)->Arg(0)->Arg(1)->Arg(4)->Arg(8);
+BENCHMARK(BM_QsbrSynchronize)->Arg(0)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_EpochRetireThroughput(benchmark::State& state) {
   ReaderPool pool(2, /*qsbr=*/false);
@@ -110,7 +113,7 @@ void BM_SynchronizePerUpdateVsBatched(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 16);
   state.SetLabel(batched ? "one GP per 16 updates" : "one GP per update");
 }
-BENCHMARK(BM_SynchronizePerUpdateVsBatched)->Arg(0)->Arg(1);
+BENCHMARK(BM_SynchronizePerUpdateVsBatched)->Arg(0)->Arg(1)->UseRealTime();
 
 }  // namespace
 

@@ -12,14 +12,18 @@
 // Server on a loopback socket, one TCP connection per client, one blocking
 // round trip per request. Set RP_BENCH_INPROC=1 to fall back to the
 // in-process codec-only workload (isolates the engines from the kernel).
+//
+// A second table sweeps EngineConfig::shards (1, 4, 8) under SET-heavy
+// multi-writer traffic: the sharded RP engine's write path should scale
+// with shards (on real multicore hardware; a 1-core box reads flat), while
+// the locked baseline stays flat by construction — it ignores `shards`.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/harness.h"
-#include "src/memcache/locked_engine.h"
-#include "src/memcache/rp_engine.h"
 #include "src/memcache/server.h"
 #include "src/memcache/workload.h"
 
@@ -82,12 +86,8 @@ int main() {
       // not leak across measurements.
       rp::memcache::EngineConfig config;
       config.initial_buckets = 16384;
-      std::unique_ptr<rp::memcache::CacheEngine> engine;
-      if (s.rp) {
-        engine = std::make_unique<rp::memcache::RpEngine>(config);
-      } else {
-        engine = std::make_unique<rp::memcache::LockedEngine>(config);
-      }
+      std::unique_ptr<rp::memcache::CacheEngine> engine =
+          rp::memcache::MakeEngine(s.rp ? "rp" : "locked", config);
       const rp::memcache::WorkloadConfig point =
           PointConfig(c, s.get_ratio, seconds);
       rp::memcache::WorkloadResult result;
@@ -118,5 +118,32 @@ int main() {
   }
 
   table.Print();
+
+  // --- Shard sweep: SET-heavy multi-writer traffic vs shard count --------
+  // In-process protocol workload (the kernel socket path would mask the
+  // engine-lock contrast): 4 writer-heavy clients hammer each engine
+  // configured with 1, 4 and 8 shards. The x-axis is the shard count.
+  const std::vector<int> shard_counts = {1, 4, 8};
+  rp::bench::SeriesTable shard_table(
+      "F5b: SET-heavy requests/s vs engine shards (4 clients, in-process)",
+      shard_counts);
+  for (const char* engine_name : {"rp", "locked"}) {
+    for (int shards : shard_counts) {
+      rp::memcache::EngineConfig config;
+      config.initial_buckets = 16384;
+      config.shards = static_cast<std::size_t>(shards);
+      std::unique_ptr<rp::memcache::CacheEngine> engine =
+          rp::memcache::MakeEngine(engine_name, config);
+      rp::memcache::WorkloadConfig point =
+          PointConfig(/*clients=*/4, /*get_ratio=*/0.1, seconds);
+      const rp::memcache::WorkloadResult result = RunWorkload(*engine, point);
+      const std::string series_name = std::string(engine_name) + " SET";
+      shard_table.Record(series_name, shards, result.requests_per_second);
+      std::printf("  %-12s %2d shards:  %9.0f Kreq/s\n", series_name.c_str(),
+                  shards, result.requests_per_second / 1e3);
+      std::fflush(stdout);
+    }
+  }
+  shard_table.Print();
   return 0;
 }

@@ -2,18 +2,23 @@
 // text protocol, backed by the relativistic engine (or the locked engine
 // with --engine=locked for comparison). The front end is the epoll
 // event-loop server: --workers sizes the event-loop pool, --max-conns caps
-// concurrent connections, --idle-ms evicts idle ones.
+// concurrent connections, --idle-ms evicts idle ones. The cache itself is
+// tuned with --shards (keyspace partitions; power of two; rp engine only)
+// and --max-bytes (resident-byte cap, k/m/g suffixes accepted; 0 = off).
 //
 // Run:   ./build/examples/memcached_server [--port=11211] [--engine=rp|locked]
 //                                          [--workers=N] [--max-conns=N]
-//                                          [--idle-ms=N]
+//                                          [--idle-ms=N] [--shards=N]
+//                                          [--max-bytes=N[k|m|g]]
 // Talk to it:
 //   printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11211
 //
 // Pass --demo to run a built-in loopback client session instead of serving
 // forever (used by CI and the bench pipeline).
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -23,14 +28,47 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "src/memcache/locked_engine.h"
 #include "src/memcache/rp_engine.h"
 #include "src/memcache/server.h"
+#include "src/memcache/workload.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void HandleSignal(int) { g_stop = 1; }
+
+// Parses a byte count with an optional k/m/g suffix ("64m" = 64 MiB).
+// Returns false on malformed input, negative values, or overflow.
+bool ParseBytes(const char* arg, std::size_t* out) {
+  if (arg[0] == '-') {
+    return false;  // strtoull would silently wrap a negative
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long base = std::strtoull(arg, &end, 10);
+  if (end == arg || errno == ERANGE) {
+    return false;
+  }
+  unsigned long long scale = 1;
+  if (*end == 'k' || *end == 'K') {
+    scale = 1ull << 10;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    scale = 1ull << 20;
+    ++end;
+  } else if (*end == 'g' || *end == 'G') {
+    scale = 1ull << 30;
+    ++end;
+  }
+  if (*end != '\0') {
+    return false;
+  }
+  if (scale != 1 && base > ~0ull / scale) {
+    return false;  // suffix multiply would overflow
+  }
+  *out = static_cast<std::size_t>(base * scale);
+  return true;
+}
 
 // Simple demo client exercising the wire protocol end to end.
 int RunDemo(std::uint16_t port) {
@@ -80,6 +118,8 @@ int main(int argc, char** argv) {
   std::string engine_name = "rp";
   rp::memcache::ServerOptions options;
   options.num_workers = 2;
+  rp::memcache::EngineConfig config;
+  config.initial_buckets = 4096;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--port=", 7) == 0) {
       port = static_cast<std::uint16_t>(std::atoi(argv[i] + 7));
@@ -93,25 +133,39 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--idle-ms=", 10) == 0) {
       options.idle_timeout =
           std::chrono::milliseconds(std::atoi(argv[i] + 10));
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      char* end = nullptr;
+      const long shards = std::strtol(argv[i] + 9, &end, 10);
+      if (end == argv[i] + 9 || *end != '\0' || shards < 1 || shards > 4096) {
+        std::fprintf(stderr, "bad --shards value (want 1..4096): %s\n",
+                     argv[i] + 9);
+        return 2;
+      }
+      config.shards = static_cast<std::size_t>(shards);
+    } else if (std::strncmp(argv[i], "--max-bytes=", 12) == 0) {
+      if (!ParseBytes(argv[i] + 12, &config.max_bytes)) {
+        std::fprintf(stderr, "bad --max-bytes value: %s\n", argv[i] + 12);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
       port = 0;  // ephemeral
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--engine=rp|locked] [--workers=N] "
-                   "[--max-conns=N] [--idle-ms=N] [--demo]\n",
+                   "[--max-conns=N] [--idle-ms=N] [--shards=N] "
+                   "[--max-bytes=N[k|m|g]] [--demo]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  std::unique_ptr<rp::memcache::CacheEngine> engine;
-  rp::memcache::EngineConfig config;
-  config.initial_buckets = 4096;
-  if (engine_name == "locked") {
-    engine = std::make_unique<rp::memcache::LockedEngine>(config);
-  } else {
-    engine = std::make_unique<rp::memcache::RpEngine>(config);
+  std::unique_ptr<rp::memcache::CacheEngine> engine =
+      rp::memcache::MakeEngine(engine_name, config);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "unknown engine: %s (want rp or locked)\n",
+                 engine_name.c_str());
+    return 2;
   }
 
   rp::memcache::Server server(*engine, port, options);
@@ -119,11 +173,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to start server: %s\n", server.error().c_str());
     return 1;
   }
+  // Report the engine's effective geometry, not the raw flag: the rp
+  // engine rounds shards to a power of two and the locked engine ignores
+  // the knob entirely.
+  std::size_t effective_shards = 1;
+  if (const auto* rp = dynamic_cast<rp::memcache::RpEngine*>(engine.get())) {
+    effective_shards = rp->ShardCount();
+  }
   std::printf(
-      "mini-memcached (%s engine) listening on 127.0.0.1:%u "
-      "(%zu event-loop workers, max %zu connections)\n",
-      engine->Name(), server.port(), options.num_workers,
-      options.max_connections);
+      "mini-memcached (%s engine, %zu shards, max_bytes=%zu) listening on "
+      "127.0.0.1:%u (%zu event-loop workers, max %zu connections)\n",
+      engine->Name(), effective_shards, config.max_bytes, server.port(),
+      options.num_workers, options.max_connections);
 
   if (demo) {
     const int rc = RunDemo(server.port());

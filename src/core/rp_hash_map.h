@@ -213,12 +213,23 @@ class RpHashMap {
   // swaps in a fresh node with one pointer swing, so readers atomically see
   // either the old or the new value, never a torn one.
   bool InsertOrAssign(const Key& key, T value) {
+    return InsertOrAssign(key, std::move(value), [](const T&) {});
+  }
+
+  // InsertOrAssign variant that reports a replacement: on_replace(const T&)
+  // runs against the live value, under the key's stripe, just before the
+  // swing — without cloning the old node (unlike UpdateIf). Lets callers
+  // keep external accounting (e.g. a byte gauge keyed on the value's size)
+  // exactly in step with table membership at no extra allocation.
+  template <typename Fn>
+  bool InsertOrAssign(const Key& key, T value, Fn&& on_replace) {
     auto* node = new Node(Hash()(key), key, std::move(value));
     bool inserted;
     {
       StripeGuard guard(*this, node->hash);
       Node* existing = FindNodeWriter(node->hash, key);
       if (existing != nullptr) {
+        std::forward<Fn>(on_replace)(static_cast<const T&>(existing->value));
         ReplaceNode(existing, node);
         inserted = false;
       } else {

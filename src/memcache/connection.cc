@@ -43,6 +43,9 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
       AppendStat(out, "evictions", stats.evictions);
       AppendStat(out, "expired_unfetched", stats.expired_reclaims);
       AppendStat(out, "curr_items", stats.items);
+      AppendStat(out, "total_items", stats.total_items);
+      AppendStat(out, "bytes", stats.bytes);
+      AppendStat(out, "limit_maxbytes", stats.limit_maxbytes);
       if (conn_stats != nullptr) {
         AppendStat(out, "curr_connections", conn_stats->curr_connections);
         AppendStat(out, "total_connections", conn_stats->total_connections);
@@ -132,7 +135,7 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
                       : kResponseNotFound);
       break;
     case Op::kFlushAll:
-      engine.FlushAll();
+      engine.FlushAll(request.exptime);  // exptime carries the [delay] arg
       out->append(kResponseOk);
       break;
     default:

@@ -24,6 +24,17 @@ struct EngineConfig {
   // Item cap; inserting beyond it evicts (approximately) least-recently
   // used items. 0 = unlimited.
   std::size_t max_items = 0;
+  // Byte cap over the charged size of every resident item (key + data +
+  // kItemOverheadBytes). 0 = unlimited. Sharded engines split the budget
+  // evenly (max_bytes / shards) and evict per shard.
+  std::size_t max_bytes = 0;
+  // Keyspace partitions for engines that shard their cache state (rounded
+  // up to a power of two, clamped to [1, 4096]; 0 and 1 both mean
+  // unsharded). Each shard owns
+  // its own table, store mutex, eviction queue and stats, so writers to
+  // different shards never contend. Engines modelling a single global
+  // cache lock (LockedEngine) ignore this.
+  std::size_t shards = 8;
 };
 
 // Outcome of incr/decr. The protocol distinguishes a missing key
@@ -43,6 +54,9 @@ struct ArithResult {
   bool ok() const { return status == ArithStatus::kOk; }
 };
 
+// Snapshot of engine counters. Sharded engines aggregate across shards at
+// snapshot time, so the totals are consistent-enough gauges (memcached
+// semantics), not a linearizable cut.
 struct EngineStats {
   std::uint64_t get_hits = 0;
   std::uint64_t get_misses = 0;
@@ -50,6 +64,12 @@ struct EngineStats {
   std::uint64_t evictions = 0;
   std::uint64_t expired_reclaims = 0;
   std::uint64_t items = 0;
+  // Cumulative count of items ever linked into the cache (new keys).
+  std::uint64_t total_items = 0;
+  // Charged bytes currently resident (key + data + overhead per item).
+  std::uint64_t bytes = 0;
+  // Configured max_bytes (0 = unlimited); the `stats` wire field.
+  std::uint64_t limit_maxbytes = 0;
 };
 
 class CacheEngine {
@@ -80,7 +100,14 @@ class CacheEngine {
   virtual ArithResult Decr(const std::string& key, std::uint64_t delta) = 0;
 
   virtual bool Touch(const std::string& key, std::int64_t exptime) = 0;
-  virtual void FlushAll() = 0;
+
+  // flush_all [delay]: delay <= 0 drops everything immediately; delay > 0
+  // arms a deadline (exptime conventions: <= 30 days means `delay` seconds
+  // out, larger is an absolute unix time), after which every item stored
+  // before the deadline is logically expired (lazily reclaimed). Items
+  // stored at or after the deadline survive.
+  virtual void FlushAll(std::int64_t delay_seconds) = 0;
+  void FlushAll() { FlushAll(0); }
 
   virtual std::size_t ItemCount() const = 0;
   virtual EngineStats Stats() const = 0;

@@ -3,6 +3,7 @@
 #define RP_MEMCACHE_ITEM_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,28 @@ constexpr bool IsExpired(std::int64_t expire_at, std::int64_t now) {
   return expire_at != kNeverExpires && expire_at <= now;
 }
 
+// `flush_all [delay]` semantics (memcached's oldest_live rule): once the
+// flush deadline passes, every item stored before the deadline is logically
+// expired; items stored at or after the deadline survive. 0 = no flush
+// pending.
+constexpr std::int64_t kNoFlush = 0;
+
+constexpr bool IsFlushed(std::int64_t stored_at, std::int64_t flush_at,
+                         std::int64_t now) {
+  return flush_at != kNoFlush && now >= flush_at && stored_at < flush_at;
+}
+
+// Per-item memory charge: key + data + a fixed overhead approximating the
+// node, hash/cas/expiry fields and eviction bookkeeping. Both engines use
+// the same formula so byte accounting stays comparable across the fig5
+// series.
+constexpr std::size_t kItemOverheadBytes = 64;
+
+constexpr std::size_t ChargedBytes(std::size_t key_size,
+                                   std::size_t data_size) {
+  return key_size + data_size + kItemOverheadBytes;
+}
+
 // The value record stored in the hash tables. Copyable (the relativistic
 // engine's updates are copy-on-write); `last_used` is mutable+atomic so the
 // lock-free GET fast path can stamp recency without a writer lock.
@@ -31,6 +54,10 @@ struct CacheValue {
   std::uint32_t flags = 0;
   std::int64_t expire_at = kNeverExpires;
   std::uint64_t cas = 0;
+  // When the value was last fully stored (set/add/replace/cas); compared
+  // against the engine's flush deadline. Partial mutations (append, incr,
+  // touch) preserve it so they can never revive a flushed item.
+  std::int64_t stored_at = 0;
   mutable std::atomic<std::int64_t> last_used{0};
 
   CacheValue() = default;
@@ -42,6 +69,7 @@ struct CacheValue {
         flags(other.flags),
         expire_at(other.expire_at),
         cas(other.cas),
+        stored_at(other.stored_at),
         last_used(other.last_used.load(std::memory_order_relaxed)) {}
 
   CacheValue& operator=(const CacheValue& other) {
@@ -50,6 +78,7 @@ struct CacheValue {
       flags = other.flags;
       expire_at = other.expire_at;
       cas = other.cas;
+      stored_at = other.stored_at;
       last_used.store(other.last_used.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
     }
@@ -61,6 +90,7 @@ struct CacheValue {
         flags(other.flags),
         expire_at(other.expire_at),
         cas(other.cas),
+        stored_at(other.stored_at),
         last_used(other.last_used.load(std::memory_order_relaxed)) {}
 
   CacheValue& operator=(CacheValue&& other) noexcept {
@@ -68,11 +98,20 @@ struct CacheValue {
     flags = other.flags;
     expire_at = other.expire_at;
     cas = other.cas;
+    stored_at = other.stored_at;
     last_used.store(other.last_used.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
     return *this;
   }
 };
+
+// Combined liveness check: an item is dead when its TTL has lapsed or when
+// a (possibly delayed) flush_all deadline has overtaken it.
+inline bool IsLive(const CacheValue& value, std::int64_t flush_at,
+                   std::int64_t now) {
+  return !IsExpired(value.expire_at, now) &&
+         !IsFlushed(value.stored_at, flush_at, now);
+}
 
 // What a GET hands back to the protocol layer (copied out of the engine).
 struct StoredValue {

@@ -28,7 +28,7 @@ LockedEngine::Map::iterator LockedEngine::FindLiveLocked(const std::string& key,
   if (it == map_.end()) {
     return map_.end();
   }
-  if (IsExpired(it->second.value.expire_at, now)) {
+  if (!IsLive(it->second.value, flush_at_, now)) {
     ++stats_.expired_reclaims;
     EraseLocked(it);
     return map_.end();
@@ -41,6 +41,7 @@ void LockedEngine::TouchLruLocked(Map::iterator it) {
 }
 
 void LockedEngine::EraseLocked(Map::iterator it) {
+  bytes_ -= ChargedBytes(it->first.size(), it->second.value.data.size());
   lru_.erase(it->second.lru_it);
   map_.erase(it);
 }
@@ -48,26 +49,35 @@ void LockedEngine::EraseLocked(Map::iterator it) {
 void LockedEngine::StoreLocked(const std::string& key, std::string data,
                                std::uint32_t flags, std::int64_t exptime) {
   const std::int64_t now = NowSeconds();
+  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
   CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
                    next_cas_++);
+  value.stored_at = now;
   value.last_used.store(now, std::memory_order_relaxed);
   auto it = map_.find(key);
   if (it != map_.end()) {
+    bytes_ += new_charge - ChargedBytes(key.size(), it->second.value.data.size());
     it->second.value = std::move(value);
     TouchLruLocked(it);
   } else {
     lru_.push_front(key);
     map_.emplace(key, Entry{std::move(value), lru_.begin()});
-    EvictIfNeededLocked();
+    bytes_ += new_charge;
+    ++stats_.total_items;
   }
+  EvictIfNeededLocked();
   ++stats_.sets;
 }
 
 void LockedEngine::EvictIfNeededLocked() {
-  if (config_.max_items == 0) {
+  if (config_.max_items == 0 && config_.max_bytes == 0) {
     return;
   }
-  while (map_.size() > config_.max_items && !lru_.empty()) {
+  const auto over = [&] {
+    return (config_.max_items != 0 && map_.size() > config_.max_items) ||
+           (config_.max_bytes != 0 && bytes_ > config_.max_bytes);
+  };
+  while (over() && !lru_.empty()) {
     auto victim = map_.find(lru_.back());
     if (victim != map_.end()) {
       EraseLocked(victim);
@@ -135,7 +145,9 @@ StoreResult LockedEngine::Append(const std::string& key, const std::string& data
   }
   it->second.value.data.append(data);
   it->second.value.cas = next_cas_++;
+  bytes_ += data.size();
   TouchLruLocked(it);
+  EvictIfNeededLocked();
   ++stats_.sets;
   return StoreResult::kStored;
 }
@@ -149,7 +161,9 @@ StoreResult LockedEngine::Prepend(const std::string& key, const std::string& dat
   }
   it->second.value.data.insert(0, data);
   it->second.value.cas = next_cas_++;
+  bytes_ += data.size();
   TouchLruLocked(it);
+  EvictIfNeededLocked();
   ++stats_.sets;
   return StoreResult::kStored;
 }
@@ -194,9 +208,12 @@ ArithResult LockedEngine::ArithLocked(const std::string& key,
   }
   const std::uint64_t next =
       increment ? current + delta : (current >= delta ? current - delta : 0);
-  it->second.value.data = std::to_string(next);
+  std::string serialized = std::to_string(next);
+  bytes_ += serialized.size() - it->second.value.data.size();
+  it->second.value.data = std::move(serialized);
   it->second.value.cas = next_cas_++;
   TouchLruLocked(it);
+  EvictIfNeededLocked();
   return {ArithStatus::kOk, next};
 }
 
@@ -222,10 +239,19 @@ bool LockedEngine::Touch(const std::string& key, std::int64_t exptime) {
   return true;
 }
 
-void LockedEngine::FlushAll() {
+void LockedEngine::FlushAll(std::int64_t delay_seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (delay_seconds > 0) {
+    // Logical flush: items stored before the deadline die once it passes
+    // and are reclaimed lazily by FindLiveLocked. The delay follows the
+    // protocol's exptime conventions (<= 30 days relative, else absolute).
+    flush_at_ = ResolveExptime(delay_seconds, NowSeconds());
+    return;
+  }
   map_.clear();
   lru_.clear();
+  bytes_ = 0;
+  flush_at_ = kNoFlush;
 }
 
 std::size_t LockedEngine::ItemCount() const {
@@ -237,6 +263,8 @@ EngineStats LockedEngine::Stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   EngineStats stats = stats_;
   stats.items = map_.size();
+  stats.bytes = bytes_;
+  stats.limit_maxbytes = config_.max_bytes;
   return stats;
 }
 

@@ -39,7 +39,8 @@ class LockedEngine final : public CacheEngine {
   ArithResult Incr(const std::string& key, std::uint64_t delta) override;
   ArithResult Decr(const std::string& key, std::uint64_t delta) override;
   bool Touch(const std::string& key, std::int64_t exptime) override;
-  void FlushAll() override;
+  using CacheEngine::FlushAll;
+  void FlushAll(std::int64_t delay_seconds) override;
 
   std::size_t ItemCount() const override;
   EngineStats Stats() const override;
@@ -68,6 +69,13 @@ class LockedEngine final : public CacheEngine {
   Map map_;
   std::list<std::string> lru_;  // front = MRU, back = LRU victim
   std::uint64_t next_cas_ = 1;
+  // Byte-accurate accounting, same charge formula as the RP engine so the
+  // fig5 baseline stays comparable. Guarded by mutex_ like everything else
+  // here — this engine models the global cache lock, sharding included.
+  std::uint64_t bytes_ = 0;
+  // flush_all deadline (kNoFlush = none pending); items stored before it
+  // are logically expired once it passes.
+  std::int64_t flush_at_ = kNoFlush;
   EngineStats stats_;
 };
 

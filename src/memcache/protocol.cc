@@ -240,8 +240,20 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     return ParseStatus::kOk;
   }
   if (cmd == "flush_all") {
+    // flush_all [delay] [noreply]: the optional delay postpones the flush;
+    // items stored before the deadline expire once it passes.
     req.op = Op::kFlushAll;
-    if (tokens.size() >= 2 && tokens.back() == "noreply") {
+    std::size_t next_token = 1;
+    if (next_token < tokens.size() && tokens[next_token] != "noreply") {
+      if (!ParseInt(tokens[next_token], &req.exptime) || req.exptime < 0) {
+        return Fail("invalid flush_all delay", /*resync=*/false);
+      }
+      ++next_token;
+    }
+    if (next_token < tokens.size()) {
+      if (tokens[next_token] != "noreply" || tokens.size() > next_token + 1) {
+        return Fail("bad flush_all command", /*resync=*/false);
+      }
       req.noreply = true;
     }
     *out = std::move(req);

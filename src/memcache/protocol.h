@@ -41,7 +41,7 @@ struct Request {
   std::vector<std::string> keys;  // 1+ for get/gets; exactly 1 otherwise
   std::string data;               // storage commands' data block
   std::uint32_t flags = 0;
-  std::int64_t exptime = 0;
+  std::int64_t exptime = 0;       // storage/touch exptime; flush_all delay
   std::uint64_t delta = 0;        // incr/decr
   std::uint64_t cas = 0;          // cas command
   bool noreply = false;

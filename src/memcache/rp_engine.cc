@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <charconv>
+#include <deque>
+#include <mutex>
+
+#include "src/core/hash.h"
+#include "src/core/resize_worker.h"
+#include "src/core/rp_hash_map.h"
+#include "src/rcu/reclaimer.h"
 
 namespace rp::memcache {
 
@@ -18,38 +25,143 @@ bool ParseUint64(const std::string& s, std::uint64_t* out) {
 }
 
 // The engine owns resize policy: the table never resizes inline (writers
-// would absorb grace-period waits); the background worker does it instead.
+// would absorb grace-period waits); each shard's background worker does it
+// instead.
 core::RpHashMapOptions TableOptions() {
   core::RpHashMapOptions options;
   options.auto_resize = false;
   return options;
 }
 
-core::ResizeWorkerOptions WorkerOptions(const EngineConfig& config) {
+core::ResizeWorkerOptions WorkerOptions(std::size_t shard_buckets,
+                                        std::size_t shard_count) {
   core::ResizeWorkerOptions options;
   // Never shrink below the operator-provisioned initial capacity.
-  options.min_buckets = std::max<std::size_t>(config.initial_buckets, 16);
-  options.poll_interval = std::chrono::milliseconds(10);
+  options.min_buckets = std::max<std::size_t>(shard_buckets, 16);
+  // Growth is nudge-driven (stores/deletes wake the worker immediately);
+  // the poll is only a shrink backstop. Scale it by the shard count so the
+  // engine-wide wakeup rate stays constant as shards multiply — 8 idle
+  // workers each polling at 10ms would burn ~1% of a small box on context
+  // switches alone.
+  options.poll_interval = std::chrono::milliseconds(10 * shard_count);
   return options;
+}
+
+std::size_t ShardCountFor(const EngineConfig& config) {
+  // Each shard costs a table plus a resize-worker thread, and the config
+  // may come from a command line: clamp before rounding so a bogus value
+  // (including a negative cast to size_t) can neither hang CeilPowerOfTwo
+  // nor spawn an unbounded thread army.
+  constexpr std::size_t kMaxShards = 4096;
+  return core::CeilPowerOfTwo(
+      std::min(std::max<std::size_t>(config.shards, 1), kMaxShards));
+}
+
+// Engine-provisioned capacity is split across shards: per-shard tables
+// start (and floor) at an even slice of initial_buckets.
+std::size_t ShardBucketsFor(const EngineConfig& config, std::size_t shards) {
+  return core::CeilPowerOfTwo(
+      std::max<std::size_t>(config.initial_buckets / shards, 8));
+}
+
+// Evenly split budget, rounded up so the shard caps sum to >= the global
+// cap (never exceeding it matters per shard; the sum staying close to the
+// configured total matters for capacity planning).
+std::size_t PerShard(std::size_t global, std::size_t shards) {
+  return global == 0 ? 0 : std::max<std::size_t>((global + shards - 1) / shards, 1);
 }
 
 }  // namespace
 
-RpEngine::RpEngine(EngineConfig config)
-    : config_(config),
-      table_(config.initial_buckets, TableOptions()),
-      resize_worker_(table_, WorkerOptions(config)) {}
+// One keyspace partition: the full engine column — table, resize worker,
+// store mutex, eviction queue, flush deadline, byte gauge, stats. Shards
+// are heap-allocated (unique_ptr) so their hot atomics never share a cache
+// line across shards.
+struct RpEngine::Shard {
+  // Concurrent-writer configuration: striped writer locks (the table
+  // default) and deferred reclamation, spelled out so the engine's choice
+  // survives a change of table defaults.
+  using Table =
+      core::RpHashMap<std::string, CacheValue, core::MixedHash<std::string>,
+                      std::equal_to<std::string>, rcu::Epoch,
+                      rcu::DeferredReclaimer<rcu::Epoch>>;
+
+  Shard(std::size_t buckets, std::size_t shard_count)
+      : table(buckets, TableOptions()),
+        resize_worker(table, WorkerOptions(buckets, shard_count)) {}
+
+  Table table;
+
+  // Serializes the insert/eviction bookkeeping ops of this shard. The
+  // table's striped locks already serialize per-key updates; this mutex
+  // exists because eviction state (fifo) must change atomically with
+  // table membership — but it is per shard, so SETs to different shards
+  // never contend.
+  std::mutex store_mutex;
+  // Approximate LRU: insertion-ordered queue scanned with a second-chance
+  // test against the GET path's relaxed last_used stamps. Exact LRU would
+  // reintroduce a shared write per GET — the very serialization the RP
+  // port removes — so eviction precision is traded for reader scalability.
+  std::deque<std::string> fifo;
+
+  // flush_all deadline for this shard's items (kNoFlush = none pending).
+  std::atomic<std::int64_t> flush_at{kNoFlush};
+  // Charged bytes resident in this shard. Every delta is applied either
+  // under the store mutex (insert/evict/flush) or inside a table callback
+  // under the key's stripe (size-changing updates, conditional erases), so
+  // the gauge tracks table membership exactly.
+  std::atomic<std::uint64_t> bytes{0};
+
+  std::atomic<std::uint64_t> get_hits{0};
+  std::atomic<std::uint64_t> get_misses{0};
+  std::atomic<std::uint64_t> sets{0};
+  std::atomic<std::uint64_t> evictions{0};
+  std::atomic<std::uint64_t> expired_reclaims{0};
+  std::atomic<std::uint64_t> total_items{0};
+
+  // Deferred (rhashtable-style) resizes: stores and deletes nudge the
+  // worker instead of absorbing resize cost inline. Declared after the
+  // table so it stops before the table is destroyed.
+  core::ResizeWorker<Table> resize_worker;
+};
+
+RpEngine::RpEngine(EngineConfig config) : config_(config) {
+  const std::size_t shard_count = ShardCountFor(config_);
+  const std::size_t shard_buckets = ShardBucketsFor(config_, shard_count);
+  max_items_per_shard_ = PerShard(config_.max_items, shard_count);
+  max_bytes_per_shard_ = PerShard(config_.max_bytes, shard_count);
+  track_eviction_ = config_.max_items != 0 || config_.max_bytes != 0;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(shard_buckets, shard_count));
+  }
+  shard_mask_ = shard_count - 1;
+}
 
 RpEngine::~RpEngine() = default;
 
+// Shard routing uses the high hash bits; the table's bucket index uses the
+// low bits of the same mixed hash, so a shard's keys still spread evenly
+// over its buckets.
+std::size_t RpEngine::ShardIndex(const std::string& key) const {
+  const std::size_t h = core::MixedHash<std::string>{}(key);
+  return (h >> 32) & shard_mask_;
+}
+
+RpEngine::Shard& RpEngine::ShardFor(const std::string& key) const {
+  return *shards_[ShardIndex(key)];
+}
+
 bool RpEngine::Get(const std::string& key, StoredValue* out) {
+  Shard& shard = ShardFor(key);
   const std::int64_t now = NowSeconds();
-  bool expired = false;
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  bool dead = false;
   // Fast path: relativistic lookup; value copied inside the read-side
   // critical section, so the node may be reclaimed the instant we return.
-  const bool found = table_.With(key, [&](const CacheValue& value) {
-    if (IsExpired(value.expire_at, now)) {
-      expired = true;
+  const bool found = shard.table.With(key, [&](const CacheValue& value) {
+    if (!IsLive(value, flush_at, now)) {
+      dead = true;
       return;
     }
     out->data = value.data;
@@ -59,157 +171,259 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
     // is the only write a GET performs, and it is per-item, not global.
     value.last_used.store(now, std::memory_order_relaxed);
   });
-  if (found && !expired) {
-    get_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (found && !dead) {
+    shard.get_hits.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
-  if (expired) {
-    ReclaimExpired(key);
+  if (dead) {
+    ReclaimDead(shard, key);
   }
-  get_misses_.fetch_add(1, std::memory_order_relaxed);
+  shard.get_misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
-void RpEngine::ReclaimExpired(const std::string& key) {
+void RpEngine::ReclaimDead(Shard& shard, const std::string& key) {
   const std::int64_t now = NowSeconds();
-  // Conditional erase: the still-expired re-check and the unlink are atomic
-  // under the key's stripe, so a racing Set/Touch that refreshes the TTL
-  // can never have its freshly-revived entry reclaimed.
-  const bool erased = table_.EraseIf(key, [&](const CacheValue& value) {
-    return IsExpired(value.expire_at, now);
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  // Conditional erase: the still-dead re-check, the byte refund and the
+  // unlink are atomic under the key's stripe, so a racing Set/Touch that
+  // refreshes the TTL can never have its freshly-revived entry reclaimed.
+  const bool erased = shard.table.EraseIf(key, [&](const CacheValue& value) {
+    if (IsLive(value, flush_at, now)) {
+      return false;
+    }
+    shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
+                          std::memory_order_relaxed);
+    return true;
   });
   if (erased) {
-    expired_reclaims_.fetch_add(1, std::memory_order_relaxed);
-    resize_worker_.Nudge();
+    shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
+    shard.resize_worker.Nudge();
   }
 }
 
-void RpEngine::NoteInsertLocked(const std::string& key) {
-  fifo_.push_back(key);
-  EvictIfNeededLocked();
-  resize_worker_.Nudge();
+bool RpEngine::OverLimit(const Shard& shard) const {
+  return (max_items_per_shard_ != 0 &&
+          shard.table.Size() > max_items_per_shard_) ||
+         (max_bytes_per_shard_ != 0 &&
+          shard.bytes.load(std::memory_order_relaxed) > max_bytes_per_shard_);
 }
 
-void RpEngine::EvictIfNeededLocked() {
-  if (config_.max_items == 0) {
+void RpEngine::NoteInsertLocked(Shard& shard, const std::string& key) {
+  // Unlimited caches skip recency tracking entirely: with no cap the
+  // eviction sweep never drains the queue, so feeding it would grow memory
+  // without bound under set/delete churn. (The caller runs the sweep.)
+  if (track_eviction_) {
+    shard.fifo.push_back(key);
+  }
+  shard.resize_worker.Nudge();
+}
+
+void RpEngine::EvictLocked(Shard& shard) {
+  if (!track_eviction_) {
     return;
   }
   const std::int64_t now = NowSeconds();
-  // Second-chance sweep: items touched within the last second get one
-  // reprieve (re-queued); everything else in FIFO order is evicted.
-  std::size_t chances = fifo_.size();
-  while (table_.Size() > config_.max_items && !fifo_.empty()) {
-    std::string victim = std::move(fifo_.front());
-    fifo_.pop_front();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  // Second-chance sweep: live items touched within the last second get one
+  // reprieve (re-queued); everything else in FIFO order is evicted. Dead
+  // items (expired / overtaken by a flush deadline) are reclaimed on sight
+  // regardless of recency.
+  std::size_t chances = shard.fifo.size();
+  while (OverLimit(shard) && !shard.fifo.empty()) {
+    std::string victim = std::move(shard.fifo.front());
+    shard.fifo.pop_front();
     bool recently_used = false;
-    const bool present = table_.With(victim, [&](const CacheValue& value) {
-      recently_used =
-          value.last_used.load(std::memory_order_relaxed) >= now;
+    bool was_dead = false;
+    const bool erased = shard.table.EraseIf(victim, [&](const CacheValue& value) {
+      was_dead = !IsLive(value, flush_at, now);
+      if (!was_dead && chances > 0 &&
+          value.last_used.load(std::memory_order_relaxed) >= now) {
+        recently_used = true;
+        return false;
+      }
+      shard.bytes.fetch_sub(ChargedBytes(victim.size(), value.data.size()),
+                            std::memory_order_relaxed);
+      return true;
     });
-    if (!present) {
-      continue;  // stale queue entry (deleted or already evicted)
-    }
-    if (recently_used && chances > 0) {
-      --chances;
-      fifo_.push_back(std::move(victim));
+    if (erased) {
+      if (was_dead) {
+        shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      }
       continue;
     }
-    if (table_.Erase(victim)) {
-      evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (recently_used) {
+      --chances;
+      shard.fifo.push_back(std::move(victim));
     }
+    // else: stale queue entry (deleted or already evicted) — drop it.
   }
+}
+
+void RpEngine::MaybeEvict(Shard& shard) {
+  if (!track_eviction_ || !OverLimit(shard)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(shard.store_mutex);
+  EvictLocked(shard);
 }
 
 StoreResult RpEngine::Set(const std::string& key, std::string data,
                           std::uint32_t flags, std::int64_t exptime) {
+  Shard& shard = ShardFor(key);
   const std::int64_t now = NowSeconds();
+  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
   CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
                    next_cas_.fetch_add(1, std::memory_order_relaxed));
+  value.stored_at = now;
   value.last_used.store(now, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  const bool inserted = table_.InsertOrAssign(key, std::move(value));
+  std::lock_guard<std::mutex> lock(shard.store_mutex);
+  // One stripe-atomic insert-or-assign: on a replacement the byte delta
+  // against the old value is applied inside the table callback, under the
+  // key's stripe, so a concurrent size-changing update of the same key can
+  // never skew the gauge — and the old payload is never cloned.
+  const bool inserted = shard.table.InsertOrAssign(
+      key, std::move(value), [&](const CacheValue& old) {
+        shard.bytes.fetch_add(
+            new_charge - ChargedBytes(key.size(), old.data.size()),
+            std::memory_order_relaxed);
+      });
   if (inserted) {
-    NoteInsertLocked(key);
+    shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
+    shard.total_items.fetch_add(1, std::memory_order_relaxed);
+    NoteInsertLocked(shard, key);
   }
-  sets_.fetch_add(1, std::memory_order_relaxed);
+  EvictLocked(shard);
+  shard.sets.fetch_add(1, std::memory_order_relaxed);
   return StoreResult::kStored;
 }
 
 StoreResult RpEngine::Add(const std::string& key, std::string data,
                           std::uint32_t flags, std::int64_t exptime) {
+  Shard& shard = ShardFor(key);
   const std::int64_t now = NowSeconds();
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
+  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+                   next_cas_.fetch_add(1, std::memory_order_relaxed));
+  value.stored_at = now;
+  value.last_used.store(now, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.store_mutex);
   bool live = false;
-  table_.With(key, [&](const CacheValue& value) {
-    live = !IsExpired(value.expire_at, now);
-  });
+  // A dead entry (expired or flushed) may be overwritten in place; the
+  // liveness check and the overwrite are atomic under the stripe. As in
+  // Set, a missed overwrite makes Insert infallible under the store mutex.
+  const bool replaced = shard.table.UpdateIf(
+      key,
+      [&](const CacheValue& old) {
+        if (IsLive(old, flush_at, now)) {
+          live = true;
+          return false;
+        }
+        return true;
+      },
+      [&](CacheValue& old) {
+        shard.bytes.fetch_add(
+            new_charge - ChargedBytes(key.size(), old.data.size()),
+            std::memory_order_relaxed);
+        old = std::move(value);
+        // Overwriting a dead entry is a reclaim plus a fresh link, so the
+        // stats match the locked engine's erase-then-insert for the same
+        // traffic (add-over-dead is the one store that proves liveness).
+        shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
+        shard.total_items.fetch_add(1, std::memory_order_relaxed);
+      });
   if (live) {
     return StoreResult::kNotStored;
   }
-  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
-                   next_cas_.fetch_add(1, std::memory_order_relaxed));
-  value.last_used.store(now, std::memory_order_relaxed);
-  const bool inserted = table_.InsertOrAssign(key, std::move(value));
-  if (inserted) {
-    NoteInsertLocked(key);
+  if (!replaced && shard.table.Insert(key, std::move(value))) {
+    shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
+    shard.total_items.fetch_add(1, std::memory_order_relaxed);
+    NoteInsertLocked(shard, key);
   }
-  sets_.fetch_add(1, std::memory_order_relaxed);
+  EvictLocked(shard);
+  shard.sets.fetch_add(1, std::memory_order_relaxed);
   return StoreResult::kStored;
 }
 
 // Replace-only-if-live as one conditional per-key update: the liveness
 // check and the overwrite are atomic under the stripe, so a concurrent
 // DELETE can never be resurrected by a REPLACE that passed a stale check
-// (and a replace never inserts, so fifo_ bookkeeping is untouched).
+// (and a replace never inserts, so eviction bookkeeping is untouched).
 StoreResult RpEngine::Replace(const std::string& key, std::string data,
                               std::uint32_t flags, std::int64_t exptime) {
+  Shard& shard = ShardFor(key);
   const std::int64_t now = NowSeconds();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  const std::size_t new_size = data.size();
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
-  const bool replaced = table_.UpdateIf(
+  const bool replaced = shard.table.UpdateIf(
       key,
-      [&](const CacheValue& value) {
-        return !IsExpired(value.expire_at, now);
-      },
+      [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
       [&](CacheValue& value) {
+        shard.bytes.fetch_add(new_size - value.data.size(),
+                              std::memory_order_relaxed);
         value.data = std::move(data);
         value.flags = flags;
         value.expire_at = ResolveExptime(exptime, now);
         value.cas = cas;
+        value.stored_at = now;
         value.last_used.store(now, std::memory_order_relaxed);
       });
   if (!replaced) {
     return StoreResult::kNotStored;
   }
-  sets_.fetch_add(1, std::memory_order_relaxed);
+  shard.sets.fetch_add(1, std::memory_order_relaxed);
+  MaybeEvict(shard);
   return StoreResult::kStored;
 }
 
 // Append/Prepend are per-key read-modify-writes: the table's striped
 // writer lock already makes the clone-mutate-publish atomic against any
 // concurrent update of the same key, so no engine-wide lock is needed.
+// Dead (expired/flushed) items reject the concatenation — stored_at is
+// preserved, so a flushed item can never be revived through its tail.
 StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
+  Shard& shard = ShardFor(key);
+  const std::int64_t now = NowSeconds();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
-  const bool updated = table_.Update(key, [&](CacheValue& value) {
-    value.data.append(data);
-    value.cas = cas;
-  });
+  const bool updated = shard.table.UpdateIf(
+      key,
+      [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
+      [&](CacheValue& value) {
+        shard.bytes.fetch_add(data.size(), std::memory_order_relaxed);
+        value.data.append(data);
+        value.cas = cas;
+      });
   if (!updated) {
     return StoreResult::kNotStored;
   }
-  sets_.fetch_add(1, std::memory_order_relaxed);
+  shard.sets.fetch_add(1, std::memory_order_relaxed);
+  MaybeEvict(shard);
   return StoreResult::kStored;
 }
 
 StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
+  Shard& shard = ShardFor(key);
+  const std::int64_t now = NowSeconds();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
-  const bool updated = table_.Update(key, [&](CacheValue& value) {
-    value.data.insert(0, data);
-    value.cas = cas;
-  });
+  const bool updated = shard.table.UpdateIf(
+      key,
+      [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
+      [&](CacheValue& value) {
+        shard.bytes.fetch_add(data.size(), std::memory_order_relaxed);
+        value.data.insert(0, data);
+        value.cas = cas;
+      });
   if (!updated) {
     return StoreResult::kNotStored;
   }
-  sets_.fetch_add(1, std::memory_order_relaxed);
+  shard.sets.fetch_add(1, std::memory_order_relaxed);
+  MaybeEvict(shard);
   return StoreResult::kStored;
 }
 
@@ -221,14 +435,17 @@ StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
 StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
                                   std::uint32_t flags, std::int64_t exptime,
                                   std::uint64_t expected_cas) {
+  Shard& shard = ShardFor(key);
   const std::int64_t now = NowSeconds();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  const std::size_t new_size = data.size();
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   bool live = false;
   bool matched = false;
-  table_.UpdateIf(
+  shard.table.UpdateIf(
       key,
       [&](const CacheValue& value) {
-        if (IsExpired(value.expire_at, now)) {
+        if (!IsLive(value, flush_at, now)) {
           return false;
         }
         live = true;
@@ -236,10 +453,13 @@ StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
         return matched;
       },
       [&](CacheValue& value) {
+        shard.bytes.fetch_add(new_size - value.data.size(),
+                              std::memory_order_relaxed);
         value.data = std::move(data);
         value.flags = flags;
         value.expire_at = ResolveExptime(exptime, now);
         value.cas = cas;
+        value.stored_at = now;
         value.last_used.store(now, std::memory_order_relaxed);
       });
   if (!live) {
@@ -248,35 +468,45 @@ StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
   if (!matched) {
     return StoreResult::kExists;
   }
-  sets_.fetch_add(1, std::memory_order_relaxed);
+  shard.sets.fetch_add(1, std::memory_order_relaxed);
+  MaybeEvict(shard);
   return StoreResult::kStored;
 }
 
-// DELETE is a pure table erase: fifo_ tolerates stale keys (the eviction
-// sweep re-checks presence), so no engine-wide lock is needed.
+// DELETE is a per-key conditional erase: the byte refund happens under the
+// key's stripe, and the eviction queue tolerates stale keys (the sweep
+// re-checks presence), so no shard-wide lock is needed.
 bool RpEngine::Delete(const std::string& key) {
-  if (!table_.Erase(key)) {
+  Shard& shard = ShardFor(key);
+  const bool erased = shard.table.EraseIf(key, [&](const CacheValue& value) {
+    shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
+                          std::memory_order_relaxed);
+    return true;
+  });
+  if (!erased) {
     return false;
   }
-  resize_worker_.Nudge();
+  shard.resize_worker.Nudge();
   return true;
 }
 
 // INCR/DECR as one atomic per-key update: parse, bump and re-serialize
 // inside the table's conditional clone-and-swing, under that key's stripe.
-// A non-numeric or expired value aborts the update — nothing is published
+// A non-numeric or dead value aborts the update — nothing is published
 // and nothing goes through reclamation. The predicate distinguishes
-// expired (NOT_FOUND on the wire) from non-numeric (CLIENT_ERROR).
+// dead (NOT_FOUND on the wire) from non-numeric (CLIENT_ERROR).
 ArithResult RpEngine::Arith(const std::string& key, std::uint64_t delta,
                             bool increment) {
+  Shard& shard = ShardFor(key);
   const std::int64_t now = NowSeconds();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   ArithStatus status = ArithStatus::kNotFound;  // stays if the key is absent
   std::uint64_t next = 0;
-  table_.UpdateIf(
+  shard.table.UpdateIf(
       key,
       [&](const CacheValue& value) {
-        if (IsExpired(value.expire_at, now)) {
+        if (!IsLive(value, flush_at, now)) {
           status = ArithStatus::kNotFound;
           return false;
         }
@@ -291,12 +521,16 @@ ArithResult RpEngine::Arith(const std::string& key, std::uint64_t delta,
         return true;
       },
       [&](CacheValue& value) {
-        value.data = std::to_string(next);
+        std::string serialized = std::to_string(next);
+        shard.bytes.fetch_add(serialized.size() - value.data.size(),
+                              std::memory_order_relaxed);
+        value.data = std::move(serialized);
         value.cas = cas;
       });
   if (status != ArithStatus::kOk) {
     return {status, 0};
   }
+  MaybeEvict(shard);  // "9" -> "10" and friends grow the gauge too
   return {ArithStatus::kOk, next};
 }
 
@@ -308,37 +542,86 @@ ArithResult RpEngine::Decr(const std::string& key, std::uint64_t delta) {
   return Arith(key, delta, /*increment=*/false);
 }
 
-// Expired entries count as absent (as for GET/ADD/REPLACE): touching one
+// Dead entries count as absent (as for GET/ADD/REPLACE): touching one
 // aborts, so TOUCH can never revive a logically-dead item under a racing
 // ADD that already observed it dead.
 bool RpEngine::Touch(const std::string& key, std::int64_t exptime) {
+  Shard& shard = ShardFor(key);
   const std::int64_t now = NowSeconds();
-  return table_.UpdateIf(
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  return shard.table.UpdateIf(
       key,
-      [&](const CacheValue& value) {
-        return !IsExpired(value.expire_at, now);
-      },
+      [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
       [&](CacheValue& value) {
         value.expire_at = ResolveExptime(exptime, now);
       });
 }
 
-void RpEngine::FlushAll() {
-  std::lock_guard<std::mutex> lock(slow_path_mutex_);
-  table_.Clear();
-  fifo_.clear();
+// Flush fans out across shards. An immediate flush physically clears each
+// shard under its store mutex (Clear syncs on every stripe, so all byte
+// deltas from in-flight per-key updates land before the gauge resets). A
+// delayed flush just arms each shard's deadline; items die logically when
+// it passes and are reclaimed lazily (GET path, eviction sweep).
+void RpEngine::FlushAll(std::int64_t delay_seconds) {
+  const std::int64_t now = NowSeconds();
+  if (delay_seconds > 0) {
+    // The delay follows the protocol's exptime conventions (<= 30 days is
+    // relative, larger is an absolute unix time) — which also keeps a
+    // wire-supplied huge value from overflowing `now + delay`.
+    const std::int64_t at = ResolveExptime(delay_seconds, now);
+    for (auto& shard : shards_) {
+      shard->flush_at.store(at, std::memory_order_relaxed);
+    }
+    return;
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->store_mutex);
+    shard->table.Clear();
+    shard->fifo.clear();
+    shard->bytes.store(0, std::memory_order_relaxed);
+    shard->flush_at.store(kNoFlush, std::memory_order_relaxed);
+  }
 }
 
-std::size_t RpEngine::ItemCount() const { return table_.Size(); }
+std::size_t RpEngine::ItemCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->table.Size();
+  }
+  return total;
+}
+
+std::size_t RpEngine::BucketCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->table.BucketCount();
+  }
+  return total;
+}
+
+std::size_t RpEngine::EvictionQueueDepth() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->store_mutex);
+    total += shard->fifo.size();
+  }
+  return total;
+}
 
 EngineStats RpEngine::Stats() const {
   EngineStats stats;
-  stats.get_hits = get_hits_.load(std::memory_order_relaxed);
-  stats.get_misses = get_misses_.load(std::memory_order_relaxed);
-  stats.sets = sets_.load(std::memory_order_relaxed);
-  stats.evictions = evictions_.load(std::memory_order_relaxed);
-  stats.expired_reclaims = expired_reclaims_.load(std::memory_order_relaxed);
-  stats.items = table_.Size();
+  stats.limit_maxbytes = config_.max_bytes;
+  for (const auto& shard : shards_) {
+    stats.get_hits += shard->get_hits.load(std::memory_order_relaxed);
+    stats.get_misses += shard->get_misses.load(std::memory_order_relaxed);
+    stats.sets += shard->sets.load(std::memory_order_relaxed);
+    stats.evictions += shard->evictions.load(std::memory_order_relaxed);
+    stats.expired_reclaims +=
+        shard->expired_reclaims.load(std::memory_order_relaxed);
+    stats.total_items += shard->total_items.load(std::memory_order_relaxed);
+    stats.bytes += shard->bytes.load(std::memory_order_relaxed);
+    stats.items += shard->table.Size();
+  }
   return stats;
 }
 

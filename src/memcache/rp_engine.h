@@ -1,33 +1,44 @@
-// RpEngine: the paper's relativistic memcached port.
+// RpEngine: the paper's relativistic memcached port, sharded.
 //
-// GET takes the fast path: a relativistic lookup in the resizable RP hash
-// table, copying the value out while still inside the read-side critical
-// section — no lock, no shared-line write beyond a relaxed recency stamp.
+// The keyspace is partitioned into EngineConfig::shards independent shards
+// (power of two). Each shard owns the whole engine column for its slice of
+// the keyspace: an RpHashMap, a background ResizeWorker, a store mutex, a
+// second-chance eviction queue, byte accounting and stats counters. Keys
+// route to shards by the high bits of the same mixed hash the table uses
+// for buckets (low bits), so shard membership and bucket placement stay
+// uncorrelated. SET-heavy traffic to different shards never contends on
+// any lock; GETs stay wait-free everywhere.
 //
-// The update side runs in the table's concurrent-writer configuration:
-// per-key operations (DELETE, TOUCH, APPEND/PREPEND, INCR/DECR, REPLACE,
-// CAS, expiry reclamation) go straight to the table, whose striped writer
-// locks serialize them per bucket while different keys proceed in parallel
-// — conditional forms (UpdateIf/EraseIf) make their check-then-act atomic
-// under the key's stripe. Removed values are reclaimed via the deferred
-// (call_rcu-style) policy so no update waits for a grace period. Only
-// operations that must change eviction bookkeeping atomically with table
-// membership (SET/ADD, flush) still serialize on the engine mutex. Resizes
-// are off the writer path entirely: the table runs with auto_resize off
-// and a background ResizeWorker (nudged by stores and deletes) absorbs
-// resize cost, kernel-rhashtable style.
+// Within a shard, GET takes the fast path: a relativistic lookup copying
+// the value out inside the read-side critical section — no lock, no shared
+// write beyond a relaxed recency stamp. Per-key updates (DELETE, TOUCH,
+// APPEND/PREPEND, INCR/DECR, REPLACE, CAS, expiry reclamation) go straight
+// to the shard's table, whose striped writer locks serialize them per
+// bucket; conditional forms (UpdateIf/EraseIf) make their check-then-act
+// atomic under the key's stripe. Removed values are reclaimed via the
+// deferred (call_rcu-style) policy so no update waits for a grace period.
+// Only operations that must change eviction bookkeeping atomically with
+// table membership (SET/ADD insert path, eviction, immediate flush)
+// serialize on the shard's store mutex. Resizes are off the writer path
+// entirely: each table runs with auto_resize off and its shard's
+// background ResizeWorker absorbs resize cost, kernel-rhashtable style.
+//
+// Memory accounting is byte-accurate: every resident item is charged
+// ChargedBytes(key, data) against its shard's atomic byte gauge; every
+// path that changes a value's size adjusts the gauge inside the table
+// callback (under the key's stripe), so the gauge and table membership
+// never drift. A configured max_bytes is split evenly across shards and
+// enforced by the per-shard eviction sweep.
 #ifndef RP_MEMCACHE_RP_ENGINE_H_
 #define RP_MEMCACHE_RP_ENGINE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <mutex>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "src/core/resize_worker.h"
-#include "src/core/rp_hash_map.h"
-#include "src/rcu/reclaimer.h"
 #include "src/memcache/engine.h"
 
 namespace rp::memcache {
@@ -53,59 +64,54 @@ class RpEngine final : public CacheEngine {
   ArithResult Incr(const std::string& key, std::uint64_t delta) override;
   ArithResult Decr(const std::string& key, std::uint64_t delta) override;
   bool Touch(const std::string& key, std::int64_t exptime) override;
-  void FlushAll() override;
+  using CacheEngine::FlushAll;
+  void FlushAll(std::int64_t delay_seconds) override;
 
   std::size_t ItemCount() const override;
   EngineStats Stats() const override;
   const char* Name() const override { return "rp"; }
 
-  // The underlying table resizes automatically with load; exposed for the
-  // resize-focused tests and benches.
-  std::size_t BucketCount() const { return table_.BucketCount(); }
+  // Shard geometry, exposed for the sharding tests and benches.
+  std::size_t ShardCount() const { return shards_.size(); }
+  std::size_t ShardIndex(const std::string& key) const;
+
+  // Aggregate bucket count across shards; the underlying tables resize
+  // automatically with load (resize-focused tests and benches).
+  std::size_t BucketCount() const;
+
+  // Total entries across the shards' eviction queues. Test hook for the
+  // bounded-memory regression: an unlimited cache (max_items == 0 and
+  // max_bytes == 0) must keep this at zero forever.
+  std::size_t EvictionQueueDepth() const;
 
  private:
-  // Concurrent-writer configuration: striped writer locks (the table
-  // default) and deferred reclamation, spelled out so the engine's choice
-  // survives a change of table defaults.
-  using Table =
-      core::RpHashMap<std::string, CacheValue, core::MixedHash<std::string>,
-                      std::equal_to<std::string>, rcu::Epoch,
-                      rcu::DeferredReclaimer<rcu::Epoch>>;
+  struct Shard;
 
-  // Reclaims an expired entry via a conditional erase: the still-expired
-  // re-check and the unlink are atomic under the key's stripe (a racing
-  // Set/Touch that refreshed the key wins).
-  void ReclaimExpired(const std::string& key);
-  // Caller must hold slow_path_mutex_.
-  void NoteInsertLocked(const std::string& key);
-  void EvictIfNeededLocked();
+  Shard& ShardFor(const std::string& key) const;
+  // True when this shard is over its item or byte budget.
+  bool OverLimit(const Shard& shard) const;
+  // Caller must hold shard.store_mutex.
+  void NoteInsertLocked(Shard& shard, const std::string& key);
+  void EvictLocked(Shard& shard);
+  // Cheap over-budget check for update paths that grow a value outside the
+  // store mutex (append/replace/cas/incr); takes the mutex only when over.
+  void MaybeEvict(Shard& shard);
+  void ReclaimDead(Shard& shard, const std::string& key);
   ArithResult Arith(const std::string& key, std::uint64_t delta,
                     bool increment);
 
   const EngineConfig config_;
-  Table table_;
+  // Per-shard budgets derived from config_ (0 = unlimited).
+  std::size_t max_items_per_shard_ = 0;
+  std::size_t max_bytes_per_shard_ = 0;
+  // Whether inserts feed the eviction queue at all: an unlimited cache
+  // skips recency tracking entirely so the queue cannot grow without
+  // bound under set/delete churn.
+  bool track_eviction_ = false;
 
-  // Serializes the store/eviction bookkeeping ops. The table's striped
-  // locks already serialize per-key updates; this mutex exists because
-  // eviction state (fifo_) must change atomically with table membership.
-  mutable std::mutex slow_path_mutex_;
-  // Approximate LRU: insertion-ordered queue scanned with a second-chance
-  // test against the GET path's relaxed last_used stamps. Exact LRU would
-  // reintroduce a shared write per GET — the very serialization the RP port
-  // removes — so eviction precision is traded for reader scalability.
-  std::deque<std::string> fifo_;
-  std::atomic<std::uint64_t> next_cas_{1};
-
-  // Deferred (rhashtable-style) resizes: stores and deletes nudge the
-  // worker instead of absorbing resize cost inline. Declared after the
-  // table so it stops before the table is destroyed.
-  core::ResizeWorker<Table> resize_worker_;
-
-  mutable std::atomic<std::uint64_t> get_hits_{0};
-  mutable std::atomic<std::uint64_t> get_misses_{0};
-  std::atomic<std::uint64_t> sets_{0};
-  std::atomic<std::uint64_t> evictions_{0};
-  std::atomic<std::uint64_t> expired_reclaims_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t shard_mask_ = 0;
+  std::atomic<std::uint64_t> next_cas_{1};  // CAS values unique engine-wide
 };
 
 }  // namespace rp::memcache

@@ -11,7 +11,9 @@
 #include <thread>
 #include <vector>
 
+#include "src/memcache/locked_engine.h"
 #include "src/memcache/protocol.h"
+#include "src/memcache/rp_engine.h"
 #include "src/memcache/server.h"
 #include "src/util/affinity.h"
 #include "src/util/rng.h"
@@ -23,6 +25,17 @@ namespace rp::memcache {
 
 std::string WorkloadKey(std::size_t i) {
   return "memtier-" + std::to_string(i);
+}
+
+std::unique_ptr<CacheEngine> MakeEngine(std::string_view name,
+                                        const EngineConfig& config) {
+  if (name == "rp") {
+    return std::make_unique<RpEngine>(config);
+  }
+  if (name == "locked") {
+    return std::make_unique<LockedEngine>(config);
+  }
+  return nullptr;
 }
 
 namespace {

@@ -11,7 +11,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/memcache/engine.h"
 
@@ -58,6 +60,12 @@ WorkloadResult RunSocketWorkload(std::uint16_t port,
 
 // Key name for index i, mc-benchmark style ("memtier-<i>").
 std::string WorkloadKey(std::size_t i);
+
+// Builds a cache engine by name — "rp" (relativistic, sharded) or "locked"
+// (global-lock baseline). One construction point shared by the benches,
+// the example server and the tests; returns nullptr for an unknown name.
+std::unique_ptr<CacheEngine> MakeEngine(std::string_view name,
+                                        const EngineConfig& config);
 
 }  // namespace rp::memcache
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -169,8 +171,116 @@ TEST_P(EngineTest, FlushAllEmptiesCache) {
   }
   engine->FlushAll();
   EXPECT_EQ(engine->ItemCount(), 0u);
+  EXPECT_EQ(engine->Stats().bytes, 0u);
   StoredValue out;
   EXPECT_FALSE(engine->Get("k5", &out));
+}
+
+TEST_P(EngineTest, FlushAllWithFutureDelayKeepsItemsLive) {
+  auto engine = Make();
+  engine->Set("k", "v", 0, 0);
+  // An absurd wire-supplied delay must saturate, not overflow now+delay.
+  engine->FlushAll(std::numeric_limits<std::int64_t>::max());
+  StoredValue out;
+  EXPECT_TRUE(engine->Get("k", &out));
+  engine->FlushAll(30);  // deadline far in the future
+  EXPECT_TRUE(engine->Get("k", &out));
+  // An immediate flush overrides the armed deadline and clears now.
+  engine->FlushAll(0);
+  EXPECT_FALSE(engine->Get("k", &out));
+  // Items stored after the (cancelled) deadline behave normally.
+  engine->Set("k2", "w", 0, 0);
+  EXPECT_TRUE(engine->Get("k2", &out));
+}
+
+TEST_P(EngineTest, FlushAllDelayExpiresOnceDeadlinePasses) {
+  auto engine = Make();
+  engine->Set("before", "v", 0, 0);
+  engine->FlushAll(1);
+  // Stored after the command but before the deadline: dies too (the
+  // memcached oldest_live rule — only items stored at/after the deadline
+  // survive).
+  engine->Set("pre-deadline", "v", 0, 0);
+  StoredValue out;
+  EXPECT_TRUE(engine->Get("before", &out));  // deadline not reached yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(2100));
+  EXPECT_FALSE(engine->Get("before", &out));
+  EXPECT_FALSE(engine->Get("pre-deadline", &out));
+  // A flushed item cannot be revived through partial mutations...
+  EXPECT_EQ(engine->Append("before", "x"), StoreResult::kNotStored);
+  EXPECT_EQ(engine->Incr("before", 1).status, ArithStatus::kNotFound);
+  EXPECT_FALSE(engine->Touch("before", 100));
+  // ...but a full store after the deadline survives.
+  engine->Set("after", "w", 0, 0);
+  EXPECT_TRUE(engine->Get("after", &out));
+  EXPECT_EQ(engine->Add("before", "fresh", 0, 0), StoreResult::kStored);
+  EXPECT_TRUE(engine->Get("before", &out));
+  EXPECT_EQ(out.data, "fresh");
+}
+
+TEST_P(EngineTest, BytesTrackStoresUpdatesAndDeletes) {
+  auto engine = Make();
+  const auto charge = [](const std::string& key, const std::string& data) {
+    return static_cast<std::uint64_t>(ChargedBytes(key.size(), data.size()));
+  };
+  engine->Set("alpha", "12345", 0, 0);
+  EXPECT_EQ(engine->Stats().bytes, charge("alpha", "12345"));
+  // Overwrite re-charges the new size, not old + new.
+  engine->Set("alpha", "123456789", 0, 0);
+  EXPECT_EQ(engine->Stats().bytes, charge("alpha", "123456789"));
+  engine->Append("alpha", "xx");
+  EXPECT_EQ(engine->Stats().bytes, charge("alpha", "123456789xx"));
+  engine->Set("beta", "1", 0, 0);
+  EXPECT_EQ(engine->Stats().bytes,
+            charge("alpha", "123456789xx") + charge("beta", "1"));
+  engine->Incr("beta", 99);  // "1" -> "100": one byte wider twice over
+  EXPECT_EQ(engine->Stats().bytes,
+            charge("alpha", "123456789xx") + charge("beta", "100"));
+  EXPECT_TRUE(engine->Delete("alpha"));
+  EXPECT_EQ(engine->Stats().bytes, charge("beta", "100"));
+  EXPECT_TRUE(engine->Delete("beta"));
+  EXPECT_EQ(engine->Stats().bytes, 0u);
+}
+
+TEST_P(EngineTest, ByteCapIsNeverExceeded) {
+  EngineConfig config;
+  config.max_bytes = 64 * 1024;
+  auto engine = Make(config);
+  EXPECT_EQ(engine->Stats().limit_maxbytes, config.max_bytes);
+  Xoshiro256 rng(7);
+  const std::string blob(900, 'b');
+  for (int i = 0; i < 600; ++i) {
+    const std::string key = "k" + std::to_string(rng.NextBounded(256));
+    switch (rng.NextBounded(4)) {
+      case 0:
+        engine->Append(key, "-tail");
+        break;
+      case 1:
+        engine->Replace(key, blob + blob, 0, 0);
+        break;
+      default:
+        engine->Set(key, blob, 0, 0);
+        break;
+    }
+    ASSERT_LE(engine->Stats().bytes, config.max_bytes) << "op " << i;
+  }
+  EXPECT_GT(engine->Stats().evictions, 0u);
+}
+
+TEST_P(EngineTest, StatsReportTotalItems) {
+  auto engine = Make();
+  engine->Set("a", "1", 0, 0);
+  engine->Set("a", "2", 0, 0);  // overwrite: not a new item
+  engine->Set("b", "1", 0, 0);
+  EXPECT_EQ(engine->Stats().total_items, 2u);
+  engine->Delete("a");
+  engine->Set("a", "3", 0, 0);  // re-linked after delete: counts again
+  EXPECT_EQ(engine->Stats().total_items, 3u);
+  // add over an expired entry is a reclaim plus a fresh link — both
+  // engines must agree on the count for identical traffic.
+  engine->Set("dead", "x", 0, -1);
+  EXPECT_EQ(engine->Add("dead", "y", 0, 0), StoreResult::kStored);
+  EXPECT_EQ(engine->Stats().total_items, 5u);
 }
 
 TEST_P(EngineTest, EvictionRespectsItemCap) {
@@ -253,6 +363,36 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 // --- RP-engine specifics ---------------------------------------------------------
+
+// Regression: with no item or byte cap, the eviction queue must not be fed
+// at all — it used to accumulate one entry per insert (and never drain,
+// because the sweep early-returns when unlimited), growing memory without
+// bound under set/delete churn.
+TEST(RpEngineSpecific, UnlimitedCacheKeepsEvictionQueueEmpty) {
+  RpEngine engine;  // max_items == 0 && max_bytes == 0: unlimited
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = "churn-" + std::to_string(i);
+    engine.Set(key, "v", 0, 0);
+    engine.Delete(key);
+  }
+  EXPECT_EQ(engine.EvictionQueueDepth(), 0u);
+  EXPECT_EQ(engine.ItemCount(), 0u);
+  EXPECT_EQ(engine.Stats().bytes, 0u);
+}
+
+// Contrast: a capped cache does track, but the sweep keeps the queue near
+// the live-item population instead of the insert count.
+TEST(RpEngineSpecific, CappedCacheBoundsEvictionQueue) {
+  EngineConfig config;
+  config.max_items = 64;
+  RpEngine engine(config);
+  for (int i = 0; i < 20000; ++i) {
+    engine.Set("churn-" + std::to_string(i), "v", 0, 0);
+  }
+  // Per-shard cap is ceil(64/8) = 8; stale entries are dropped by the
+  // sweep, so the queue can never hold more than the caps plus slack.
+  EXPECT_LE(engine.EvictionQueueDepth(), 128u);
+}
 
 TEST(RpEngineSpecific, TableResizesWithPopulation) {
   EngineConfig config;

@@ -105,6 +105,39 @@ TEST(Protocol, ParsesAdministrative) {
   EXPECT_EQ(MustParse("quit\r\n").op, Op::kQuit);
 }
 
+TEST(Protocol, ParsesFlushAllVariants) {
+  // Bare form: no delay, no noreply.
+  Request r = MustParse("flush_all\r\n");
+  EXPECT_EQ(r.exptime, 0);
+  EXPECT_FALSE(r.noreply);
+  // Optional delay rides in exptime.
+  r = MustParse("flush_all 30\r\n");
+  EXPECT_EQ(r.op, Op::kFlushAll);
+  EXPECT_EQ(r.exptime, 30);
+  EXPECT_FALSE(r.noreply);
+  // noreply with and without a delay.
+  r = MustParse("flush_all noreply\r\n");
+  EXPECT_EQ(r.exptime, 0);
+  EXPECT_TRUE(r.noreply);
+  r = MustParse("flush_all 5 noreply\r\n");
+  EXPECT_EQ(r.exptime, 5);
+  EXPECT_TRUE(r.noreply);
+}
+
+TEST(Protocol, RejectsMalformedFlushAll) {
+  const auto expect_error = [](std::string_view wire) {
+    RequestParser parser;
+    parser.Feed(wire);
+    Request request;
+    EXPECT_EQ(parser.Next(&request), ParseStatus::kError) << wire;
+    EXPECT_FALSE(parser.error_message().empty());
+  };
+  expect_error("flush_all soon\r\n");       // non-numeric delay
+  expect_error("flush_all -5\r\n");         // negative delay
+  expect_error("flush_all 5 5\r\n");        // duplicate delay
+  expect_error("flush_all 5 noreply x\r\n");  // trailing junk
+}
+
 TEST(Protocol, IncrementalFeedAcrossBoundaries) {
   RequestParser parser;
   Request request;

@@ -268,6 +268,40 @@ TEST_F(ServerTest, StatsReportEngineAndConnections) {
   EXPECT_NE(response.find("STAT total_connections "), std::string::npos);
 }
 
+TEST_F(ServerTest, StatsReportMemoryAccountingOverWire) {
+  TestClient client(server_->port());
+  client.Send("set m 0 0 4\r\nmmmm\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "STORED\r\n");
+  client.Send("stats\r\n");
+  const std::string response = client.ReadUntil("END\r\n");
+  const std::string expected_bytes =
+      "STAT bytes " + std::to_string(ChargedBytes(1, 4)) + "\r\n";
+  EXPECT_NE(response.find(expected_bytes), std::string::npos) << response;
+  EXPECT_NE(response.find("STAT limit_maxbytes 0\r\n"), std::string::npos);
+  EXPECT_NE(response.find("STAT total_items 1\r\n"), std::string::npos);
+  EXPECT_NE(response.find("STAT evictions 0\r\n"), std::string::npos);
+}
+
+TEST_F(ServerTest, FlushAllDelayOverWire) {
+  TestClient client(server_->port());
+  client.Send("set k 0 0 1\r\nv\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "STORED\r\n");
+  // Delayed flush answers OK and leaves the item live until the deadline.
+  client.Send("flush_all 30\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "OK\r\n");
+  client.Send("get k\r\n");
+  EXPECT_EQ(client.ReadUntil("END\r\n"), "VALUE k 0 1\r\nv\r\nEND\r\n");
+  // A malformed delay is a CLIENT_ERROR, and the connection stays usable.
+  client.Send("flush_all never\r\n");
+  const std::string err = client.ReadUntil("\r\n");
+  EXPECT_EQ(err.rfind("CLIENT_ERROR", 0), 0u) << err;
+  // Immediate flush still works and clears the armed deadline.
+  client.Send("flush_all\r\n");
+  EXPECT_EQ(client.ReadUntil("\r\n"), "OK\r\n");
+  client.Send("get k\r\n");
+  EXPECT_EQ(client.ReadUntil("END\r\n"), "END\r\n");
+}
+
 TEST_F(ServerTest, VersionAndQuit) {
   TestClient client(server_->port());
   client.Send("version\r\n");
@@ -628,6 +662,44 @@ TEST(ExecuteRequest, StatsIncludesConnectionGaugesWhenProvided) {
   ExecuteRequest(engine, stats, &with, &quit, &conn);
   EXPECT_NE(with.find("STAT curr_connections 3\r\n"), std::string::npos);
   EXPECT_NE(with.find("STAT total_connections 99\r\n"), std::string::npos);
+}
+
+TEST(ExecuteRequest, StatsReportsMemoryAccounting) {
+  EngineConfig config;
+  config.max_bytes = 1 << 20;
+  LockedEngine engine(config);
+  engine.Set("k", "0123456789", 0, 0);
+  bool quit = false;
+  Request stats;
+  stats.op = Op::kStats;
+  std::string out;
+  ExecuteRequest(engine, stats, &out, &quit);
+  const std::string expected_bytes =
+      "STAT bytes " + std::to_string(ChargedBytes(1, 10)) + "\r\n";
+  EXPECT_NE(out.find(expected_bytes), std::string::npos) << out;
+  EXPECT_NE(out.find("STAT limit_maxbytes 1048576\r\n"), std::string::npos);
+  EXPECT_NE(out.find("STAT total_items 1\r\n"), std::string::npos);
+}
+
+TEST(ExecuteRequest, FlushAllDelayIsForwardedToTheEngine) {
+  LockedEngine engine;
+  engine.Set("k", "v", 0, 0);
+  bool quit = false;
+  Request flush;
+  flush.op = Op::kFlushAll;
+  flush.exptime = 30;  // far-future deadline: nothing dies yet
+  std::string out;
+  ExecuteRequest(engine, flush, &out, &quit);
+  EXPECT_EQ(out, "OK\r\n");
+  StoredValue stored;
+  EXPECT_TRUE(engine.Get("k", &stored));  // delayed, not immediate
+
+  Request flush_now;
+  flush_now.op = Op::kFlushAll;
+  out.clear();
+  ExecuteRequest(engine, flush_now, &out, &quit);
+  EXPECT_EQ(out, "OK\r\n");
+  EXPECT_FALSE(engine.Get("k", &stored));
 }
 
 TEST(ExecuteRequest, NoreplyReturnsEmpty) {

@@ -1,0 +1,215 @@
+// Sharded-engine suite: routing geometry, cross-shard conformance (the
+// same op mix must land in the same final state no matter how many shards
+// the keyspace is split over), and a concurrent torture run with writers
+// pinned to distinct shards racing stats snapshots and flushes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/memcache/rp_engine.h"
+#include "src/util/rng.h"
+
+namespace rp::memcache {
+namespace {
+
+EngineConfig ConfigWithShards(std::size_t shards) {
+  EngineConfig config;
+  config.initial_buckets = 256;
+  config.shards = shards;
+  return config;
+}
+
+TEST(Sharding, GeometryRoundsToPowerOfTwo) {
+  EXPECT_EQ(RpEngine(ConfigWithShards(0)).ShardCount(), 1u);
+  EXPECT_EQ(RpEngine(ConfigWithShards(1)).ShardCount(), 1u);
+  EXPECT_EQ(RpEngine(ConfigWithShards(3)).ShardCount(), 4u);
+  EXPECT_EQ(RpEngine(ConfigWithShards(8)).ShardCount(), 8u);
+}
+
+TEST(Sharding, RoutingIsStableAndCoversEveryShard) {
+  RpEngine engine(ConfigWithShards(8));
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const std::size_t index = engine.ShardIndex(key);
+    ASSERT_LT(index, engine.ShardCount());
+    EXPECT_EQ(engine.ShardIndex(key), index);  // deterministic
+    seen.insert(index);
+  }
+  EXPECT_EQ(seen.size(), engine.ShardCount());  // no dead shards
+}
+
+// The existing table-conformance idea lifted to the engine layer: run one
+// deterministic op mix against a 1-shard and an 8-shard engine and compare
+// the full final state. Sharding must be invisible to protocol semantics.
+TEST(Sharding, CrossShardConformance) {
+  RpEngine one(ConfigWithShards(1));
+  RpEngine eight(ConfigWithShards(8));
+  constexpr std::size_t kKeys = 512;
+  const auto key_name = [](std::size_t i) {
+    return "conf-" + std::to_string(i);
+  };
+
+  Xoshiro256 rng(1234);
+  for (int op = 0; op < 30000; ++op) {
+    const std::string key = key_name(rng.NextBounded(kKeys));
+    const std::string payload = "v" + std::to_string(rng.NextBounded(1000));
+    StoreResult r1{};
+    StoreResult r8{};
+    switch (rng.NextBounded(8)) {
+      case 0:
+        r1 = one.Set(key, payload, 3, 0);
+        r8 = eight.Set(key, payload, 3, 0);
+        break;
+      case 1:
+        r1 = one.Add(key, payload, 0, 0);
+        r8 = eight.Add(key, payload, 0, 0);
+        break;
+      case 2:
+        r1 = one.Replace(key, payload, 1, 0);
+        r8 = eight.Replace(key, payload, 1, 0);
+        break;
+      case 3:
+        r1 = one.Append(key, "+");
+        r8 = eight.Append(key, "+");
+        break;
+      case 4:
+        r1 = one.Prepend(key, "-");
+        r8 = eight.Prepend(key, "-");
+        break;
+      case 5:
+        EXPECT_EQ(one.Delete(key), eight.Delete(key)) << key;
+        continue;
+      case 6: {
+        const ArithResult a1 = one.Incr(key, 7);
+        const ArithResult a8 = eight.Incr(key, 7);
+        EXPECT_EQ(a1.status, a8.status) << key;
+        if (a1.ok() && a8.ok()) {
+          EXPECT_EQ(a1.value, a8.value) << key;
+        }
+        continue;
+      }
+      default: {
+        StoredValue v1;
+        StoredValue v8;
+        const bool h1 = one.Get(key, &v1);
+        const bool h8 = eight.Get(key, &v8);
+        EXPECT_EQ(h1, h8) << key;
+        if (h1 && h8) {
+          EXPECT_EQ(v1.data, v8.data) << key;
+          EXPECT_EQ(v1.flags, v8.flags) << key;
+        }
+        continue;
+      }
+    }
+    EXPECT_EQ(r1, r8) << key;
+  }
+
+  // Full final-state comparison, not just sampled agreement.
+  EXPECT_EQ(one.ItemCount(), eight.ItemCount());
+  EXPECT_EQ(one.Stats().bytes, eight.Stats().bytes);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = key_name(i);
+    StoredValue v1;
+    StoredValue v8;
+    const bool h1 = one.Get(key, &v1);
+    const bool h8 = eight.Get(key, &v8);
+    ASSERT_EQ(h1, h8) << key;
+    if (h1) {
+      EXPECT_EQ(v1.data, v8.data) << key;
+      EXPECT_EQ(v1.flags, v8.flags) << key;
+    }
+  }
+}
+
+// Writers pinned to distinct shards must never block each other on engine
+// state, even while other threads hammer Stats() and flush_all (immediate
+// and delayed) — the operations that fan out across every shard.
+TEST(Sharding, ConcurrentShardPinnedWritersRacingStatsAndFlush) {
+  EngineConfig config = ConfigWithShards(8);
+  config.max_bytes = 1 << 20;  // keep the eviction path in play too
+  RpEngine engine(config);
+
+  // Pre-sort a key universe by home shard so each writer stays on its own
+  // shard (the "pinned" part of the contract under test).
+  constexpr int kWriters = 4;
+  constexpr std::size_t kKeysPerWriter = 200;
+  std::vector<std::vector<std::string>> keys_by_writer(kWriters);
+  for (int i = 0, full = 0; full < kWriters && i < 100000; ++i) {
+    const std::string key = "pin-" + std::to_string(i);
+    const std::size_t shard = engine.ShardIndex(key);
+    if (shard < static_cast<std::size_t>(kWriters) &&
+        keys_by_writer[shard].size() < kKeysPerWriter) {
+      keys_by_writer[shard].push_back(key);
+      if (keys_by_writer[shard].size() == kKeysPerWriter) {
+        ++full;
+      }
+    }
+  }
+  for (const auto& keys : keys_by_writer) {
+    ASSERT_EQ(keys.size(), kKeysPerWriter);
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      Xoshiro256 rng(w + 1);
+      const auto& keys = keys_by_writer[w];
+      for (int op = 0; op < 30000; ++op) {
+        const std::string& key = keys[rng.NextBounded(keys.size())];
+        switch (rng.NextBounded(4)) {
+          case 0:
+            engine.Set(key, "value-" + std::to_string(op), 0, 0);
+            break;
+          case 1:
+            engine.Append(key, "x");
+            break;
+          case 2:
+            engine.Delete(key);
+            break;
+          default: {
+            StoredValue out;
+            engine.Get(key, &out);
+            break;
+          }
+        }
+      }
+    });
+  }
+
+  std::thread disturber([&] {
+    Xoshiro256 rng(99);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const EngineStats stats = engine.Stats();
+      (void)stats.bytes;
+      if (rng.NextBounded(4) == 0) {
+        engine.FlushAll(rng.NextBounded(2) == 0 ? 0 : 5);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true);
+  disturber.join();
+
+  // Final invariant: a terminal immediate flush leaves nothing behind —
+  // no items, no charged bytes, no armed deadline keeping later sets dead.
+  engine.FlushAll(0);
+  EXPECT_EQ(engine.ItemCount(), 0u);
+  EXPECT_EQ(engine.Stats().bytes, 0u);
+  engine.Set("alive", "again", 0, 0);
+  StoredValue out;
+  EXPECT_TRUE(engine.Get("alive", &out));
+}
+
+}  // namespace
+}  // namespace rp::memcache

@@ -53,6 +53,22 @@ TEST(RpHashMapBasic, InsertOrAssignReplaces) {
   EXPECT_EQ(map.Size(), 1u);
 }
 
+TEST(RpHashMapBasic, InsertOrAssignReportsReplacedValue) {
+  IntMap map;
+  std::uint64_t observed = 0;
+  int calls = 0;
+  const auto observe = [&](const std::uint64_t& old) {
+    observed = old;
+    ++calls;
+  };
+  EXPECT_TRUE(map.InsertOrAssign(1, 100, observe));
+  EXPECT_EQ(calls, 0);  // fresh insert: nothing replaced
+  EXPECT_FALSE(map.InsertOrAssign(1, 200, observe));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(observed, 100u);  // saw the value being swapped out
+  EXPECT_EQ(*map.Get(1), 200u);
+}
+
 TEST(RpHashMapBasic, EraseRemoves) {
   IntMap map;
   map.Insert(1, 100);
