@@ -24,6 +24,7 @@ class ReaderPool {
       threads_.emplace_back([this, qsbr] {
         if (qsbr) {
           rp::rcu::Qsbr::RegisterThread();
+          started_.fetch_add(1, std::memory_order_release);
           std::uint64_t n = 0;
           while (!stop_.load(std::memory_order_relaxed)) {
             rp::rcu::Qsbr::ReadLock();
@@ -35,12 +36,23 @@ class ReaderPool {
           }
           rp::rcu::Qsbr::Offline();
         } else {
+          rp::rcu::Epoch::RegisterThread();
+          started_.fetch_add(1, std::memory_order_release);
           while (!stop_.load(std::memory_order_relaxed)) {
             rp::rcu::ReadGuard<rp::rcu::Epoch> guard;
             benchmark::DoNotOptimize(this);
           }
         }
       });
+    }
+    // Wait until every reader is registered before the first measured
+    // Synchronize. Without this, google-benchmark's calibration samples a
+    // grace period over a still-empty registry (microseconds), extrapolates
+    // tens of thousands of iterations from it, and then pays real
+    // multi-millisecond grace periods for each — the former "minutes per
+    // case on 1 core" mode that kept these cases filtered out of CI.
+    while (started_.load(std::memory_order_acquire) != count) {
+      std::this_thread::yield();
     }
   }
   ~ReaderPool() {
@@ -52,6 +64,7 @@ class ReaderPool {
 
  private:
   std::atomic<bool> stop_{false};
+  std::atomic<int> started_{0};
   std::vector<std::thread> threads_;
 };
 

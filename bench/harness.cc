@@ -138,4 +138,65 @@ void SeriesTable::Print() const {
   std::fflush(stdout);
 }
 
+namespace {
+
+// Titles and series names are plain ASCII; quotes and backslashes are the
+// only characters that could break the framing.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SeriesTable::JsonString() const {
+  std::string json = "{\"title\":\"" + EscapeJson(title_) + "\",\"x\":[";
+  for (std::size_t i = 0; i < thread_counts_.size(); ++i) {
+    if (i != 0) {
+      json += ',';
+    }
+    json += std::to_string(thread_counts_[i]);
+  }
+  json += "],\"series\":{";
+  for (std::size_t s = 0; s < series_order_.size(); ++s) {
+    if (s != 0) {
+      json += ',';
+    }
+    json += '"' + EscapeJson(series_order_[s]) + "\":[";
+    for (std::size_t i = 0; i < thread_counts_.size(); ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%s%.1f", i == 0 ? "" : ",",
+                    At(series_order_[s], thread_counts_[i]));
+      json += buf;
+    }
+    json += ']';
+  }
+  json += "}}";
+  return json;
+}
+
+bool WriteJsonTables(const std::string& path,
+                     const std::vector<const SeriesTable*>& tables) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::perror(("bench json: " + path).c_str());
+    return false;
+  }
+  std::fputs("[\n", f);
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    std::fputs(tables[i]->JsonString().c_str(), f);
+    std::fputs(i + 1 < tables.size() ? ",\n" : "\n", f);
+  }
+  std::fputs("]\n", f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace rp::bench

@@ -51,6 +51,12 @@ class SeriesTable {
   // Prints the paper-style aligned table plus machine-readable CSV.
   void Print() const;
 
+  // The table as a JSON object:
+  //   {"title": ..., "x": [...], "series": {"name": [ops_per_sec, ...]}}
+  // (the harness-bench analogue of google-benchmark's --benchmark_format=
+  // json, consumed by scripts/bench_record.sh).
+  std::string JsonString() const;
+
   double At(const std::string& series, int threads) const;
 
  private:
@@ -59,6 +65,13 @@ class SeriesTable {
   std::vector<std::string> series_order_;
   std::map<std::string, std::map<int, double>> data_;
 };
+
+// Writes the tables as one JSON array to `path` (overwriting). Returns
+// false (after perror) when the file cannot be written. Benches call this
+// when the RP_BENCH_JSON env var names a destination, so a recording run
+// leaves a machine-readable artifact next to the human-readable tables.
+bool WriteJsonTables(const std::string& path,
+                     const std::vector<const SeriesTable*>& tables);
 
 }  // namespace rp::bench
 

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Bench record: run the perf-tracking benchmark set and write machine-
+# readable results to BENCH_<name>.json at the repo root, so the perf
+# trajectory of the hot path is recorded in-tree run over run.
+#
+#   * google-benchmark benches (abl6 lookup micro, abl11 hot-path overhead)
+#     emit their native --benchmark_format=json;
+#   * harness benches (fig5 memcached) emit the SeriesTable JSON the
+#     harness writes when RP_BENCH_JSON names a destination.
+#
+# Usage: scripts/bench_record.sh [build_dir]   (default: build)
+# Env:   RP_BENCH_RECORD_SECONDS  per-point / min-time budget (default 0.2)
+#        RP_BENCH_RECORD_CLIENTS  fig5 client sweep (default "1,2,4")
+set -u
+
+BUILD_DIR="${1:-build}"
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "bench_record: build dir '${BUILD_DIR}' not found" >&2
+  exit 2
+fi
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SECONDS_PER_POINT="${RP_BENCH_RECORD_SECONDS:-0.2}"
+FIG5_CLIENTS="${RP_BENCH_RECORD_CLIENTS:-1,2,4}"
+
+failures=0
+
+record_gbench() {
+  local name="$1"
+  local out="${REPO_ROOT}/BENCH_${name}.json"
+  if [[ ! -x "${BUILD_DIR}/${name}" ]]; then
+    echo "--- ${name} not built (google-benchmark absent); skipping"
+    return
+  fi
+  echo "=== bench record: ${name} -> $(basename "${out}")"
+  # benchmark >= 1.8 wants a unit suffix on min_time; older releases want a
+  # bare number. Try the new spelling, and fall back to the old one ONLY on
+  # the unrecognized-flag complaint — any other failure is real and its
+  # stderr must reach the operator, not be eaten by a 10-minute rerun.
+  local errlog
+  errlog="$(mktemp)"
+  if ! timeout 600 "${BUILD_DIR}/${name}" \
+      --benchmark_min_time="${SECONDS_PER_POINT}s" \
+      --benchmark_out="${out}" --benchmark_out_format=json \
+      > /dev/null 2> "${errlog}"; then
+    if grep -qiE 'unrecognized command-line flag|expected to be a double' \
+        "${errlog}"; then
+      if ! timeout 600 "${BUILD_DIR}/${name}" \
+          --benchmark_min_time="${SECONDS_PER_POINT}" \
+          --benchmark_out="${out}" --benchmark_out_format=json \
+          > /dev/null; then
+        echo "!!! ${name} FAILED" >&2
+        failures=$((failures + 1))
+        rm -f "${out}"
+      fi
+    else
+      cat "${errlog}" >&2
+      echo "!!! ${name} FAILED" >&2
+      failures=$((failures + 1))
+      rm -f "${out}"
+    fi
+  fi
+  rm -f "${errlog}"
+}
+
+record_harness() {
+  local name="$1"
+  local out="${REPO_ROOT}/BENCH_${name}.json"
+  if [[ ! -x "${BUILD_DIR}/${name}" ]]; then
+    echo "!!! ${name} missing from ${BUILD_DIR}" >&2
+    failures=$((failures + 1))
+    return
+  fi
+  echo "=== bench record: ${name} -> $(basename "${out}")"
+  if ! RP_BENCH_JSON="${out}" \
+      RP_BENCH_SECONDS="${SECONDS_PER_POINT}" \
+      RP_BENCH_THREADS="${FIG5_CLIENTS}" \
+      timeout 600 "${BUILD_DIR}/${name}" > /dev/null; then
+    echo "!!! ${name} FAILED" >&2
+    failures=$((failures + 1))
+    rm -f "${out}"
+  fi
+}
+
+record_gbench abl6_lookup_micro
+record_gbench abl11_hotpath_overhead
+record_harness fig5_memcached
+
+if [[ ${failures} -ne 0 ]]; then
+  echo "bench record: ${failures} benchmark(s) failed" >&2
+  exit 1
+fi
+echo "bench record: wrote $(ls "${REPO_ROOT}"/BENCH_*.json 2>/dev/null | xargs -n1 basename | tr '\n' ' ')"

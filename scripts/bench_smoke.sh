@@ -33,8 +33,8 @@ HARNESS_BENCHES=(
 )
 
 # google-benchmark benches; gated on the library at configure time, so
-# they may legitimately be absent. Each gets a case filter that keeps the
-# smoke to the 0/1-thread variants: the multi-reader cases spin-contend and
+# they may legitimately be absent. Some get a case filter that keeps the
+# smoke to the 0/1-thread variants: multi-reader cases spin-contend and
 # can take minutes on a 1-core runner, and completion — not scaling — is
 # what a smoke verifies.
 GBENCH_BENCHES=(
@@ -42,16 +42,16 @@ GBENCH_BENCHES=(
   abl2_grace_period
   abl3_resize_cost
   abl6_lookup_micro
+  abl11_hotpath_overhead
 )
 gbench_filter() {
   case "$1" in
     abl1_readside_cost) echo 'threads:1$' ;;
-    # QSBR synchronize with spinning readers is scheduler-luck-bound on a
-    # 1-core box (a single grace period can take minutes), so only the
-    # reader-free QSBR case runs here; epoch cases are cheap at 0/1 readers.
-    abl2_grace_period)
-      echo 'BM_EpochSynchronize/(0|1)|BM_QsbrSynchronize/0|BM_EpochRetireThroughput|BM_SynchronizePerUpdateVsBatched/1'
-      ;;
+    # abl2 runs unfiltered since two fixes landed: the QSBR domain's
+    # bounded-backoff reader hint (spinning readers yield to a waiting
+    # Synchronize, so grace periods stop being scheduler-luck-bound on 1
+    # core) and the ReaderPool start barrier (calibration no longer samples
+    # an empty registry and extrapolates a runaway iteration count).
     abl3_resize_cost) echo '/1$' ;;
     *) echo '.' ;;
   esac

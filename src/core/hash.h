@@ -1,16 +1,25 @@
-// Hash mixing for bucket indexing.
+// Hash mixing for bucket indexing, and the precomputed-hash plumbing.
 //
 // Bucket selection masks the low bits of the hash, and std::hash of an
 // integer is the identity on every mainstream standard library — masking it
 // directly would make "key % table_size" patterns catastrophically
 // unbalanced. All tables therefore run the raw hash through a strong
 // finalizer first.
+//
+// The one-hash invariant: a hot-path operation hashes its key exactly once,
+// at the dispatch boundary (engine request entry). The full 64-bit hash then
+// flows down — high bits route the shard, low bits pick the bucket — via the
+// `Prehashed` token the table's hash-accepting overloads consume. The
+// thread-local invocation counter below exists to *prove* that invariant in
+// tests; it is a private-cacheline increment, not a shared write.
 #ifndef RP_CORE_HASH_H_
 #define RP_CORE_HASH_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <string_view>
 
 namespace rp::core {
 
@@ -24,6 +33,52 @@ constexpr std::uint64_t Mix64(std::uint64_t x) {
   return x;
 }
 
+// FNV-1a over the bytes. One multiply per byte, fully inlinable (unlike the
+// out-of-line libstdc++ MurmurHash behind std::hash<std::string>), constexpr
+// for compile-time keys. FNV's low bits avalanche poorly, so users below run
+// the result through Mix64 before masking.
+constexpr std::uint64_t Fnv1a64(const char* data, std::size_t size) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Count of string hashes computed by this thread (see StringHash). The test
+// hook behind the one-hash invariant: an engine op's delta must be exactly
+// one. Owned by the counting thread; never shared.
+inline thread_local std::uint64_t tls_string_hash_count = 0;
+
+inline std::uint64_t StringHashCount() { return tls_string_hash_count; }
+
+// The default string hasher for the whole stack: FNV-1a + Mix64 finalizer.
+// Transparent (hashes string_views without materializing a std::string) so
+// parsers can hash straight out of their input buffer.
+struct StringHash {
+  using is_transparent = void;
+
+  [[nodiscard]] std::size_t operator()(std::string_view s) const {
+    ++tls_string_hash_count;
+    return static_cast<std::size_t>(Mix64(Fnv1a64(s.data(), s.size())));
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const {
+    return (*this)(std::string_view(s));
+  }
+  [[nodiscard]] std::size_t operator()(const char* s) const {
+    return (*this)(std::string_view(s));
+  }
+};
+
+// A hash value computed by the caller, passed in place of rehashing the key.
+// A distinct type (not std::size_t) so hash-accepting overloads can never be
+// confused with key arguments for integer-keyed tables. The caller must have
+// produced it with the same hash functor the receiving table uses.
+struct Prehashed {
+  std::size_t value;
+};
+
 // Hash functor adapter: applies the base hash, then the finalizer.
 template <typename Key, typename BaseHash = std::hash<Key>>
 struct MixedHash {
@@ -31,6 +86,12 @@ struct MixedHash {
     return static_cast<std::size_t>(Mix64(static_cast<std::uint64_t>(BaseHash{}(key))));
   }
 };
+
+// Strings take the FNV-1a fast path (already finalized) instead of the
+// std::hash detour: MixedHash<std::string> is the hasher the engines and
+// string tables name, so the whole stack switches in one place.
+template <>
+struct MixedHash<std::string, std::hash<std::string>> : StringHash {};
 
 // True if n is a power of two (and nonzero).
 constexpr bool IsPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }

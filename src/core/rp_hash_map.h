@@ -86,6 +86,11 @@ class RpHashMap {
   using key_type = Key;
   using mapped_type = T;
   using reclaimer_type = ReclaimPolicy;
+  using hasher = HashFn;
+  // Exposed so callers batching several lookups can open one read-side
+  // critical section around them (nested sections degenerate to a counter
+  // increment): rcu::ReadGuard<Map::domain_type> guard; then Prehashed ops.
+  using domain_type = Domain;
 
   explicit RpHashMap(std::size_t initial_buckets = 16,
                      RpHashMapOptions options = {})
@@ -123,17 +128,31 @@ class RpHashMap {
 
   // ---------------------------------------------------------------------
   // Read side — wait-free, safe during any concurrent update or resize.
+  //
+  // Every operation has two spellings: the plain one hashes the key and
+  // forwards, and a Prehashed one that trusts a caller-computed hash (the
+  // one-hash hot path: engines hash once at dispatch, route a shard on the
+  // high bits and hand the full hash down here). A Prehashed value MUST
+  // come from this map's HashFn applied to this key.
   // ---------------------------------------------------------------------
 
   [[nodiscard]] bool Contains(const Key& key) const {
+    return Contains(Prehashed{Hash()(key)}, key);
+  }
+
+  [[nodiscard]] bool Contains(Prehashed hash, const Key& key) const {
     rcu::ReadGuard<Domain> guard;
-    return FindNode(key) != nullptr;
+    return FindNode(hash.value, key) != nullptr;
   }
 
   // Returns a copy of the mapped value.
   [[nodiscard]] std::optional<T> Get(const Key& key) const {
+    return Get(Prehashed{Hash()(key)}, key);
+  }
+
+  [[nodiscard]] std::optional<T> Get(Prehashed hash, const Key& key) const {
     rcu::ReadGuard<Domain> guard;
-    const Node* node = FindNode(key);
+    const Node* node = FindNode(hash.value, key);
     if (node == nullptr) {
       return std::nullopt;
     }
@@ -145,8 +164,13 @@ class RpHashMap {
   // block and must not retain references past its return.
   template <typename Fn>
   bool With(const Key& key, Fn&& fn) const {
+    return With(Prehashed{Hash()(key)}, key, std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  bool With(Prehashed hash, const Key& key, Fn&& fn) const {
     rcu::ReadGuard<Domain> guard;
-    const Node* node = FindNode(key);
+    const Node* node = FindNode(hash.value, key);
     if (node == nullptr) {
       return false;
     }
@@ -195,7 +219,11 @@ class RpHashMap {
 
   // Inserts; returns false (leaving the map unchanged) if the key exists.
   bool Insert(const Key& key, T value) {
-    auto* node = new Node(Hash()(key), key, std::move(value));
+    return Insert(Prehashed{Hash()(key)}, key, std::move(value));
+  }
+
+  bool Insert(Prehashed hash, const Key& key, T value) {
+    auto* node = new Node(hash.value, key, std::move(value));
     {
       StripeGuard guard(*this, node->hash);
       if (FindNodeWriter(node->hash, key) != nullptr) {
@@ -216,6 +244,10 @@ class RpHashMap {
     return InsertOrAssign(key, std::move(value), [](const T&) {});
   }
 
+  bool InsertOrAssign(Prehashed hash, const Key& key, T value) {
+    return InsertOrAssign(hash, key, std::move(value), [](const T&) {});
+  }
+
   // InsertOrAssign variant that reports a replacement: on_replace(const T&)
   // runs against the live value, under the key's stripe, just before the
   // swing — without cloning the old node (unlike UpdateIf). Lets callers
@@ -223,7 +255,14 @@ class RpHashMap {
   // exactly in step with table membership at no extra allocation.
   template <typename Fn>
   bool InsertOrAssign(const Key& key, T value, Fn&& on_replace) {
-    auto* node = new Node(Hash()(key), key, std::move(value));
+    return InsertOrAssign(Prehashed{Hash()(key)}, key, std::move(value),
+                          std::forward<Fn>(on_replace));
+  }
+
+  template <typename Fn>
+  bool InsertOrAssign(Prehashed hash, const Key& key, T value,
+                      Fn&& on_replace) {
+    auto* node = new Node(hash.value, key, std::move(value));
     bool inserted;
     {
       StripeGuard guard(*this, node->hash);
@@ -249,7 +288,12 @@ class RpHashMap {
   // the key is absent.
   template <typename Fn>
   bool Update(const Key& key, Fn&& fn) {
-    return UpdateIf(key, [&fn](T& value) {
+    return Update(Prehashed{Hash()(key)}, key, std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  bool Update(Prehashed hash, const Key& key, Fn&& fn) {
+    return UpdateIf(hash, key, [&fn](T& value) {
       std::forward<Fn>(fn)(value);
       return true;
     });
@@ -263,13 +307,17 @@ class RpHashMap {
   // only when a replacement was published.
   template <typename Fn>
   bool UpdateIf(const Key& key, Fn&& fn) {
-    const std::size_t hash = Hash()(key);
-    StripeGuard guard(*this, hash);
-    Node* existing = FindNodeWriter(hash, key);
+    return UpdateIf(Prehashed{Hash()(key)}, key, std::forward<Fn>(fn));
+  }
+
+  template <typename Fn>
+  bool UpdateIf(Prehashed hash, const Key& key, Fn&& fn) {
+    StripeGuard guard(*this, hash.value);
+    Node* existing = FindNodeWriter(hash.value, key);
     if (existing == nullptr) {
       return false;
     }
-    auto* replacement = new Node(hash, existing->key, existing->value);
+    auto* replacement = new Node(hash.value, existing->key, existing->value);
     if (!std::forward<Fn>(fn)(replacement->value)) {
       delete replacement;  // never published: no grace period needed
       return false;
@@ -286,14 +334,19 @@ class RpHashMap {
   // every other writer. Returns true only when a replacement was published.
   template <typename Pred, typename Fn>
   bool UpdateIf(const Key& key, Pred&& pred, Fn&& fn) {
-    const std::size_t hash = Hash()(key);
-    StripeGuard guard(*this, hash);
-    Node* existing = FindNodeWriter(hash, key);
+    return UpdateIf(Prehashed{Hash()(key)}, key, std::forward<Pred>(pred),
+                    std::forward<Fn>(fn));
+  }
+
+  template <typename Pred, typename Fn>
+  bool UpdateIf(Prehashed hash, const Key& key, Pred&& pred, Fn&& fn) {
+    StripeGuard guard(*this, hash.value);
+    Node* existing = FindNodeWriter(hash.value, key);
     if (existing == nullptr ||
         !std::forward<Pred>(pred)(static_cast<const T&>(existing->value))) {
       return false;
     }
-    auto* replacement = new Node(hash, existing->key, existing->value);
+    auto* replacement = new Node(hash.value, existing->key, existing->value);
     std::forward<Fn>(fn)(replacement->value);
     ReplaceNode(existing, replacement);
     return true;
@@ -306,21 +359,29 @@ class RpHashMap {
     return EraseIf(key, [](const T&) { return true; });
   }
 
+  bool Erase(Prehashed hash, const Key& key) {
+    return EraseIf(hash, key, [](const T&) { return true; });
+  }
+
   // Conditional erase: unlinks the entry only when pred(const T&) holds,
   // with the check and the unlink atomic under the key's stripe (e.g.
   // "erase only if still expired", racing a writer refreshing the TTL).
   // Returns whether an entry was erased.
   template <typename Pred>
   bool EraseIf(const Key& key, Pred&& pred) {
-    const std::size_t hash = Hash()(key);
+    return EraseIf(Prehashed{Hash()(key)}, key, std::forward<Pred>(pred));
+  }
+
+  template <typename Pred>
+  bool EraseIf(Prehashed hash, const Key& key, Pred&& pred) {
     bool erased = false;
     {
-      StripeGuard guard(*this, hash);
+      StripeGuard guard(*this, hash.value);
       BucketArray* t = table_.load(std::memory_order_relaxed);
-      std::atomic<Node*>* slot = &t->bucket(hash & t->mask);
+      std::atomic<Node*>* slot = &t->bucket(hash.value & t->mask);
       Node* cur = slot->load(std::memory_order_relaxed);
       while (cur != nullptr) {
-        if (cur->hash == hash && KeyEqual{}(cur->key, key)) {
+        if (cur->hash == hash.value && KeyEqual{}(cur->key, key)) {
           if (!std::forward<Pred>(pred)(static_cast<const T&>(cur->value))) {
             return false;
           }
@@ -347,14 +408,17 @@ class RpHashMap {
   // transiently see both, which is harmless, but never neither.
   // Fails (returns false) if `from` is absent or `to` already exists.
   bool Move(const Key& from, const Key& to) {
-    const std::size_t from_hash = Hash()(from);
-    const std::size_t to_hash = Hash()(to);
-    TwoStripeGuard guard(*this, from_hash, to_hash);
-    Node* source = FindNodeWriter(from_hash, from);
-    if (source == nullptr || FindNodeWriter(to_hash, to) != nullptr) {
+    return Move(Prehashed{Hash()(from)}, from, Prehashed{Hash()(to)}, to);
+  }
+
+  bool Move(Prehashed from_hash, const Key& from, Prehashed to_hash,
+            const Key& to) {
+    TwoStripeGuard guard(*this, from_hash.value, to_hash.value);
+    Node* source = FindNodeWriter(from_hash.value, from);
+    if (source == nullptr || FindNodeWriter(to_hash.value, to) != nullptr) {
       return false;
     }
-    auto* dest = new Node(to_hash, to, source->value);
+    auto* dest = new Node(to_hash.value, to, source->value);
     InsertNode(dest);  // publish at destination first
     UnlinkNode(source);
     ReclaimPolicy::Retire(source);
@@ -450,6 +514,13 @@ class RpHashMap {
     const Key key;
     T value;
   };
+
+  // Resize moves nodes between buckets purely by re-masking this stored
+  // hash — never by rehashing the key. The const qualifier is the
+  // compile-time half of that guarantee (the counting-hasher regression
+  // test is the runtime half).
+  static_assert(std::is_same_v<decltype(Node::hash), const std::size_t>,
+                "Node must store its hash immutably for rehash-free resizes");
 
   // Bucket array with inline storage: exactly two dependent loads on the
   // lookup path (array pointer, bucket head).
@@ -613,8 +684,7 @@ class RpHashMap {
   };
 
   // -- Read-path helper. Caller must hold a read-side critical section. ---
-  const Node* FindNode(const Key& key) const {
-    const std::size_t hash = Hash()(key);
+  const Node* FindNode(std::size_t hash, const Key& key) const {
     const BucketArray* t = rcu::RcuDereference(table_);
     for (const Node* node = rcu::RcuDereference(t->bucket(hash & t->mask));
          node != nullptr; node = rcu::RcuDereference(node->next)) {

@@ -5,6 +5,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <vector>
 
 namespace rp::memcache {
 
@@ -22,10 +23,30 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
     case Op::kGet:
     case Op::kGets: {
       const bool with_cas = request.op == Op::kGets;
-      StoredValue value;
-      for (const std::string& key : request.keys) {
-        if (engine.Get(key, &value)) {
-          AppendValueResponse(out, key, value, with_cas);
+      if (request.keys.size() == 1) {
+        StoredValue value;
+        if (engine.Get(request.keys[0], &value)) {
+          AppendValueResponse(out, request.keys[0], value, with_cas);
+        }
+      } else {
+        // Batched multi-get: one engine call for the whole key list lets
+        // the engine amortize per-op costs (the RP engine opens a single
+        // read-side critical section per shard group). Responses still go
+        // out in request order, misses silently skipped, per protocol.
+        // Thread-local scratch: slots (and their strings' capacity) are
+        // reused across requests, so steady-state batches allocate nothing
+        // here. Safe because ExecuteRequest never re-enters itself.
+        static thread_local std::vector<MultiGetResult> results;
+        if (results.size() < request.keys.size()) {
+          results.resize(request.keys.size());
+        }
+        engine.GetMany(request.keys.data(), request.keys.size(),
+                       results.data());
+        for (std::size_t i = 0; i < request.keys.size(); ++i) {
+          if (results[i].hit) {
+            AppendValueResponse(out, request.keys[i], results[i].value,
+                                with_cas);
+          }
         }
       }
       out->append(kResponseEnd);

@@ -5,6 +5,7 @@
 #ifndef RP_MEMCACHE_ENGINE_H_
 #define RP_MEMCACHE_ENGINE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -72,6 +73,12 @@ struct EngineStats {
   std::uint64_t limit_maxbytes = 0;
 };
 
+// One slot of a multi-get answer: out[i] describes keys[i] (miss = !hit).
+struct MultiGetResult {
+  StoredValue value;
+  bool hit = false;
+};
+
 class CacheEngine {
  public:
   virtual ~CacheEngine() = default;
@@ -79,6 +86,19 @@ class CacheEngine {
   // Copies the live value for `key` into *out. Expired items count as
   // misses (and are lazily reclaimed).
   virtual bool Get(const std::string& key, StoredValue* out) = 0;
+
+  // Batched multi-get: fills out[0..count) for keys[0..count), semantics
+  // identical to per-key Get (expired items miss and are lazily reclaimed,
+  // stats count per key). Engines override to amortize per-op costs across
+  // the batch — the relativistic engine runs each shard's keys inside ONE
+  // read-side critical section instead of one per key. The default is the
+  // unbatched loop.
+  virtual void GetMany(const std::string* keys, std::size_t count,
+                       MultiGetResult* out) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i].hit = Get(keys[i], &out[i].value);
+    }
+  }
 
   virtual StoreResult Set(const std::string& key, std::string data,
                           std::uint32_t flags, std::int64_t exptime) = 0;

@@ -48,23 +48,37 @@ void LockedEngine::EraseLocked(Map::iterator it) {
 
 void LockedEngine::StoreLocked(const std::string& key, std::string data,
                                std::uint32_t flags, std::int64_t exptime) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    StoreAtLocked(it, std::move(data), flags, exptime);
+    return;
+  }
   const std::int64_t now = NowSeconds();
   const std::size_t new_charge = ChargedBytes(key.size(), data.size());
   CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
                    next_cas_++);
   value.stored_at = now;
   value.last_used.store(now, std::memory_order_relaxed);
-  auto it = map_.find(key);
-  if (it != map_.end()) {
-    bytes_ += new_charge - ChargedBytes(key.size(), it->second.value.data.size());
-    it->second.value = std::move(value);
-    TouchLruLocked(it);
-  } else {
-    lru_.push_front(key);
-    map_.emplace(key, Entry{std::move(value), lru_.begin()});
-    bytes_ += new_charge;
-    ++stats_.total_items;
-  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{std::move(value), lru_.begin()});
+  bytes_ += new_charge;
+  ++stats_.total_items;
+  EvictIfNeededLocked();
+  ++stats_.sets;
+}
+
+void LockedEngine::StoreAtLocked(Map::iterator it, std::string data,
+                                 std::uint32_t flags, std::int64_t exptime) {
+  const std::int64_t now = NowSeconds();
+  const std::string& key = it->first;
+  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
+  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+                   next_cas_++);
+  value.stored_at = now;
+  value.last_used.store(now, std::memory_order_relaxed);
+  bytes_ += new_charge - ChargedBytes(key.size(), it->second.value.data.size());
+  it->second.value = std::move(value);
+  TouchLruLocked(it);
   EvictIfNeededLocked();
   ++stats_.sets;
 }
@@ -88,9 +102,8 @@ void LockedEngine::EvictIfNeededLocked() {
   }
 }
 
-bool LockedEngine::Get(const std::string& key, StoredValue* out) {
-  const std::int64_t now = NowSeconds();
-  std::lock_guard<std::mutex> lock(mutex_);
+bool LockedEngine::GetLocked(const std::string& key, std::int64_t now,
+                             StoredValue* out) {
   auto it = FindLiveLocked(key, now);
   if (it == map_.end()) {
     ++stats_.get_misses;
@@ -105,6 +118,21 @@ bool LockedEngine::Get(const std::string& key, StoredValue* out) {
   out->cas = it->second.value.cas;
   ++stats_.get_hits;
   return true;
+}
+
+bool LockedEngine::Get(const std::string& key, StoredValue* out) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetLocked(key, now, out);
+}
+
+void LockedEngine::GetMany(const std::string* keys, std::size_t count,
+                           MultiGetResult* out) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].hit = GetLocked(keys[i], now, &out[i].value);
+  }
 }
 
 StoreResult LockedEngine::Set(const std::string& key, std::string data,
@@ -129,10 +157,11 @@ StoreResult LockedEngine::Replace(const std::string& key, std::string data,
                                   std::uint32_t flags, std::int64_t exptime) {
   const std::int64_t now = NowSeconds();
   std::lock_guard<std::mutex> lock(mutex_);
-  if (FindLiveLocked(key, now) == map_.end()) {
+  auto it = FindLiveLocked(key, now);
+  if (it == map_.end()) {
     return StoreResult::kNotStored;
   }
-  StoreLocked(key, std::move(data), flags, exptime);
+  StoreAtLocked(it, std::move(data), flags, exptime);
   return StoreResult::kStored;
 }
 
@@ -180,7 +209,7 @@ StoreResult LockedEngine::CheckAndSet(const std::string& key, std::string data,
   if (it->second.value.cas != expected_cas) {
     return StoreResult::kExists;
   }
-  StoreLocked(key, std::move(data), flags, exptime);
+  StoreAtLocked(it, std::move(data), flags, exptime);
   return StoreResult::kStored;
 }
 

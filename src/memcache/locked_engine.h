@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/core/hash.h"
 #include "src/memcache/engine.h"
 
 namespace rp::memcache {
@@ -24,6 +25,11 @@ class LockedEngine final : public CacheEngine {
   ~LockedEngine() override = default;
 
   bool Get(const std::string& key, StoredValue* out) override;
+  // One mutex acquisition for the whole batch (the global-lock analogue of
+  // the RP engine's one-read-section-per-shard-group batching), so the
+  // fig5 multi-get contrast compares batching against batching.
+  void GetMany(const std::string* keys, std::size_t count,
+               MultiGetResult* out) override;
   StoreResult Set(const std::string& key, std::string data, std::uint32_t flags,
                   std::int64_t exptime) override;
   StoreResult Add(const std::string& key, std::string data, std::uint32_t flags,
@@ -52,14 +58,23 @@ class LockedEngine final : public CacheEngine {
     std::list<std::string>::iterator lru_it;
   };
 
-  using Map = std::unordered_map<std::string, Entry>;
+  // Same hash function as the RP stack (FNV-1a + Mix64) so the fig5
+  // baseline pays like-for-like hash cost: one string hash per container
+  // probe instead of libstdc++'s out-of-line std::hash.
+  using Map = std::unordered_map<std::string, Entry, core::MixedHash<std::string>>;
 
   // All helpers require mutex_ held.
   Map::iterator FindLiveLocked(const std::string& key, std::int64_t now);
+  bool GetLocked(const std::string& key, std::int64_t now, StoredValue* out);
   void TouchLruLocked(Map::iterator it);
   void EraseLocked(Map::iterator it);
   void StoreLocked(const std::string& key, std::string data,
                    std::uint32_t flags, std::int64_t exptime);
+  // Overwrite through an iterator the caller already holds (from
+  // FindLiveLocked): replace/cas reuse their lookup instead of paying a
+  // second find — the one-hash rule applied to the locked baseline.
+  void StoreAtLocked(Map::iterator it, std::string data, std::uint32_t flags,
+                     std::int64_t exptime);
   void EvictIfNeededLocked();
   ArithResult ArithLocked(const std::string& key, std::uint64_t delta,
                           bool increment);

@@ -144,22 +144,18 @@ RpEngine::~RpEngine() = default;
 // low bits of the same mixed hash, so a shard's keys still spread evenly
 // over its buckets.
 std::size_t RpEngine::ShardIndex(const std::string& key) const {
-  const std::size_t h = core::MixedHash<std::string>{}(key);
-  return (h >> 32) & shard_mask_;
-}
-
-RpEngine::Shard& RpEngine::ShardFor(const std::string& key) const {
-  return *shards_[ShardIndex(key)];
+  return ShardIndexForHash(Hasher{}(key));
 }
 
 bool RpEngine::Get(const std::string& key, StoredValue* out) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   bool dead = false;
   // Fast path: relativistic lookup; value copied inside the read-side
   // critical section, so the node may be reclaimed the instant we return.
-  const bool found = shard.table.With(key, [&](const CacheValue& value) {
+  const bool found = shard.table.With(hash, key, [&](const CacheValue& value) {
     if (!IsLive(value, flush_at, now)) {
       dead = true;
       return;
@@ -176,26 +172,135 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
     return true;
   }
   if (dead) {
-    ReclaimDead(shard, key);
+    ReclaimDead(shard, hash, key);
   }
   shard.get_misses.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
-void RpEngine::ReclaimDead(Shard& shard, const std::string& key) {
+void RpEngine::GetMany(const std::string* keys, std::size_t count,
+                       MultiGetResult* out) {
+  if (count == 0) {
+    return;
+  }
+  if (count == 1) {
+    out[0].hit = Get(keys[0], &out[0].value);
+    return;
+  }
+
+  // Hash every key exactly once up front. The shard index derives from the
+  // hash, so per key only the hash plus a marker byte need storage; batches
+  // up to kInlineKeys (the common pipelined multi-get) stay on the stack.
+  constexpr std::size_t kInlineKeys = 32;
+  constexpr unsigned char kProcessed = 1;
+  constexpr unsigned char kDead = 2;
+  std::size_t inline_hashes[kInlineKeys];
+  unsigned char inline_marks[kInlineKeys];
+  std::vector<std::size_t> heap_hashes;
+  std::vector<unsigned char> heap_marks;
+  std::size_t* hashes = inline_hashes;
+  unsigned char* marks = inline_marks;
+  if (count > kInlineKeys) {
+    heap_hashes.resize(count);
+    heap_marks.resize(count);
+    hashes = heap_hashes.data();
+    marks = heap_marks.data();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    hashes[i] = Hasher{}(keys[i]);
+    marks[i] = 0;
+    out[i].hit = false;
+  }
+
+  const std::int64_t now = NowSeconds();
+  bool any_dead = false;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (marks[i] & kProcessed) {
+      continue;  // already answered as part of an earlier shard group
+    }
+    const std::size_t shard_index = ShardIndexForHash(hashes[i]);
+    Shard& shard = *shards_[shard_index];
+    const std::int64_t flush_at =
+        shard.flush_at.load(std::memory_order_relaxed);
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    {
+      // ONE epoch enter/exit for the whole shard group: the guards the
+      // nested With() calls open see nesting > 0 and degrade to a local
+      // counter bump — no fences, no shared stores.
+      rcu::ReadGuard<Shard::Table::domain_type> section;
+      for (std::size_t j = i; j < count; ++j) {
+        if ((marks[j] & kProcessed) != 0 ||
+            ShardIndexForHash(hashes[j]) != shard_index) {
+          continue;
+        }
+        marks[j] |= kProcessed;
+        MultiGetResult& slot = out[j];
+        bool dead = false;
+        shard.table.With(core::Prehashed{hashes[j]}, keys[j],
+                         [&](const CacheValue& value) {
+                           if (!IsLive(value, flush_at, now)) {
+                             dead = true;
+                             return;
+                           }
+                           slot.value.data = value.data;
+                           slot.value.flags = value.flags;
+                           slot.value.cas = value.cas;
+                           value.last_used.store(now,
+                                                 std::memory_order_relaxed);
+                           slot.hit = true;
+                         });
+        if (slot.hit) {
+          ++hits;
+        } else {
+          ++misses;
+          if (dead) {
+            marks[j] |= kDead;
+            any_dead = true;
+          }
+        }
+      }
+    }
+    // Stats batched per group: one shared RMW per counter instead of one
+    // per key.
+    if (hits != 0) {
+      shard.get_hits.fetch_add(hits, std::memory_order_relaxed);
+    }
+    if (misses != 0) {
+      shard.get_misses.fetch_add(misses, std::memory_order_relaxed);
+    }
+  }
+
+  // Lazy reclamation strictly after every read section has closed:
+  // EraseIf blocks on the key's stripe, and a resize holds all stripes
+  // while it waits for readers — reclaiming inside a section would
+  // deadlock the two against each other.
+  if (any_dead) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (marks[i] & kDead) {
+        ReclaimDead(ShardForHash(hashes[i]), core::Prehashed{hashes[i]},
+                    keys[i]);
+      }
+    }
+  }
+}
+
+void RpEngine::ReclaimDead(Shard& shard, core::Prehashed hash,
+                           const std::string& key) {
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   // Conditional erase: the still-dead re-check, the byte refund and the
   // unlink are atomic under the key's stripe, so a racing Set/Touch that
   // refreshes the TTL can never have its freshly-revived entry reclaimed.
-  const bool erased = shard.table.EraseIf(key, [&](const CacheValue& value) {
-    if (IsLive(value, flush_at, now)) {
-      return false;
-    }
-    shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
-                          std::memory_order_relaxed);
-    return true;
-  });
+  const bool erased =
+      shard.table.EraseIf(hash, key, [&](const CacheValue& value) {
+        if (IsLive(value, flush_at, now)) {
+          return false;
+        }
+        shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
+                              std::memory_order_relaxed);
+        return true;
+      });
   if (erased) {
     shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
     shard.resize_worker.Nudge();
@@ -272,7 +377,8 @@ void RpEngine::MaybeEvict(Shard& shard) {
 
 StoreResult RpEngine::Set(const std::string& key, std::string data,
                           std::uint32_t flags, std::int64_t exptime) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::size_t new_charge = ChargedBytes(key.size(), data.size());
   CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
@@ -285,7 +391,7 @@ StoreResult RpEngine::Set(const std::string& key, std::string data,
   // key's stripe, so a concurrent size-changing update of the same key can
   // never skew the gauge — and the old payload is never cloned.
   const bool inserted = shard.table.InsertOrAssign(
-      key, std::move(value), [&](const CacheValue& old) {
+      hash, key, std::move(value), [&](const CacheValue& old) {
         shard.bytes.fetch_add(
             new_charge - ChargedBytes(key.size(), old.data.size()),
             std::memory_order_relaxed);
@@ -302,7 +408,8 @@ StoreResult RpEngine::Set(const std::string& key, std::string data,
 
 StoreResult RpEngine::Add(const std::string& key, std::string data,
                           std::uint32_t flags, std::int64_t exptime) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::size_t new_charge = ChargedBytes(key.size(), data.size());
@@ -316,7 +423,7 @@ StoreResult RpEngine::Add(const std::string& key, std::string data,
   // liveness check and the overwrite are atomic under the stripe. As in
   // Set, a missed overwrite makes Insert infallible under the store mutex.
   const bool replaced = shard.table.UpdateIf(
-      key,
+      hash, key,
       [&](const CacheValue& old) {
         if (IsLive(old, flush_at, now)) {
           live = true;
@@ -338,7 +445,7 @@ StoreResult RpEngine::Add(const std::string& key, std::string data,
   if (live) {
     return StoreResult::kNotStored;
   }
-  if (!replaced && shard.table.Insert(key, std::move(value))) {
+  if (!replaced && shard.table.Insert(hash, key, std::move(value))) {
     shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
     shard.total_items.fetch_add(1, std::memory_order_relaxed);
     NoteInsertLocked(shard, key);
@@ -354,13 +461,14 @@ StoreResult RpEngine::Add(const std::string& key, std::string data,
 // (and a replace never inserts, so eviction bookkeeping is untouched).
 StoreResult RpEngine::Replace(const std::string& key, std::string data,
                               std::uint32_t flags, std::int64_t exptime) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::size_t new_size = data.size();
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   const bool replaced = shard.table.UpdateIf(
-      key,
+      hash, key,
       [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
       [&](CacheValue& value) {
         shard.bytes.fetch_add(new_size - value.data.size(),
@@ -386,12 +494,13 @@ StoreResult RpEngine::Replace(const std::string& key, std::string data,
 // Dead (expired/flushed) items reject the concatenation — stored_at is
 // preserved, so a flushed item can never be revived through its tail.
 StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   const bool updated = shard.table.UpdateIf(
-      key,
+      hash, key,
       [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
       [&](CacheValue& value) {
         shard.bytes.fetch_add(data.size(), std::memory_order_relaxed);
@@ -407,12 +516,13 @@ StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
 }
 
 StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   const bool updated = shard.table.UpdateIf(
-      key,
+      hash, key,
       [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
       [&](CacheValue& value) {
         shard.bytes.fetch_add(data.size(), std::memory_order_relaxed);
@@ -435,7 +545,8 @@ StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
 StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
                                   std::uint32_t flags, std::int64_t exptime,
                                   std::uint64_t expected_cas) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::size_t new_size = data.size();
@@ -443,7 +554,7 @@ StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
   bool live = false;
   bool matched = false;
   shard.table.UpdateIf(
-      key,
+      hash, key,
       [&](const CacheValue& value) {
         if (!IsLive(value, flush_at, now)) {
           return false;
@@ -475,18 +586,31 @@ StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
 
 // DELETE is a per-key conditional erase: the byte refund happens under the
 // key's stripe, and the eviction queue tolerates stale keys (the sweep
-// re-checks presence), so no shard-wide lock is needed.
+// re-checks presence), so no shard-wide lock is needed. A dead (expired /
+// flushed) entry is still physically erased, but answers NOT_FOUND and
+// counts as a reclaim — memcached semantics (delete of an expired key is a
+// miss), and what the locked engine's lazy-reclaiming find already does.
 bool RpEngine::Delete(const std::string& key) {
-  Shard& shard = ShardFor(key);
-  const bool erased = shard.table.EraseIf(key, [&](const CacheValue& value) {
-    shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
-                          std::memory_order_relaxed);
-    return true;
-  });
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
+  const std::int64_t now = NowSeconds();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  bool was_live = false;
+  const bool erased =
+      shard.table.EraseIf(hash, key, [&](const CacheValue& value) {
+        was_live = IsLive(value, flush_at, now);
+        shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
+                              std::memory_order_relaxed);
+        return true;
+      });
   if (!erased) {
     return false;
   }
   shard.resize_worker.Nudge();
+  if (!was_live) {
+    shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   return true;
 }
 
@@ -497,14 +621,15 @@ bool RpEngine::Delete(const std::string& key) {
 // dead (NOT_FOUND on the wire) from non-numeric (CLIENT_ERROR).
 ArithResult RpEngine::Arith(const std::string& key, std::uint64_t delta,
                             bool increment) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   ArithStatus status = ArithStatus::kNotFound;  // stays if the key is absent
   std::uint64_t next = 0;
   shard.table.UpdateIf(
-      key,
+      hash, key,
       [&](const CacheValue& value) {
         if (!IsLive(value, flush_at, now)) {
           status = ArithStatus::kNotFound;
@@ -546,11 +671,12 @@ ArithResult RpEngine::Decr(const std::string& key, std::uint64_t delta) {
 // aborts, so TOUCH can never revive a logically-dead item under a racing
 // ADD that already observed it dead.
 bool RpEngine::Touch(const std::string& key, std::int64_t exptime) {
-  Shard& shard = ShardFor(key);
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   return shard.table.UpdateIf(
-      key,
+      hash, key,
       [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
       [&](CacheValue& value) {
         value.expire_at = ResolveExptime(exptime, now);

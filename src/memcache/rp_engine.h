@@ -6,7 +6,10 @@
 // second-chance eviction queue, byte accounting and stats counters. Keys
 // route to shards by the high bits of the same mixed hash the table uses
 // for buckets (low bits), so shard membership and bucket placement stay
-// uncorrelated. SET-heavy traffic to different shards never contends on
+// uncorrelated — and every request computes that hash exactly once, at the
+// dispatch boundary, handing it down as a core::Prehashed token so no key
+// is ever string-hashed twice (the one-hash invariant; see README "Hot
+// path anatomy"). SET-heavy traffic to different shards never contends on
 // any lock; GETs stay wait-free everywhere.
 //
 // Within a shard, GET takes the fast path: a relativistic lookup copying
@@ -39,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/hash.h"
 #include "src/memcache/engine.h"
 
 namespace rp::memcache {
@@ -49,6 +53,14 @@ class RpEngine final : public CacheEngine {
   ~RpEngine() override;
 
   bool Get(const std::string& key, StoredValue* out) override;
+  // Batched multi-get: keys are hashed once, grouped by shard, and each
+  // shard's group executes inside a single read-side critical section (one
+  // epoch enter/exit per group, not per key). Expired items are reclaimed
+  // after every section has closed — reclamation takes writer locks, which
+  // must never happen inside a read section (a resize holding the stripes
+  // waits for readers).
+  void GetMany(const std::string* keys, std::size_t count,
+               MultiGetResult* out) override;
   StoreResult Set(const std::string& key, std::string data, std::uint32_t flags,
                   std::int64_t exptime) override;
   StoreResult Add(const std::string& key, std::string data, std::uint32_t flags,
@@ -87,7 +99,17 @@ class RpEngine final : public CacheEngine {
  private:
   struct Shard;
 
-  Shard& ShardFor(const std::string& key) const;
+  // The engine's one string hash per request: computed at the dispatch
+  // boundary, high bits route the shard, and the full value flows into the
+  // table as a core::Prehashed token — no key is ever hashed twice.
+  using Hasher = core::MixedHash<std::string>;
+
+  std::size_t ShardIndexForHash(std::size_t hash) const {
+    return (hash >> 32) & shard_mask_;
+  }
+  Shard& ShardForHash(std::size_t hash) const {
+    return *shards_[ShardIndexForHash(hash)];
+  }
   // True when this shard is over its item or byte budget.
   bool OverLimit(const Shard& shard) const;
   // Caller must hold shard.store_mutex.
@@ -96,7 +118,7 @@ class RpEngine final : public CacheEngine {
   // Cheap over-budget check for update paths that grow a value outside the
   // store mutex (append/replace/cas/incr); takes the mutex only when over.
   void MaybeEvict(Shard& shard);
-  void ReclaimDead(Shard& shard, const std::string& key);
+  void ReclaimDead(Shard& shard, core::Prehashed hash, const std::string& key);
   ArithResult Arith(const std::string& key, std::uint64_t delta,
                     bool increment);
 

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <thread>
@@ -51,20 +52,24 @@ struct ClientTotals {
 // Formats one random operation in wire form into *wire (replacing its
 // contents). Returns whether it is a GET. Shared by the in-process and
 // socket client loops so both benchmark modes drive the same workload.
+// GETs carry config.keys_per_get keys ("get k1 k2 ...", each drawn
+// independently) to exercise the batched multi-get path.
 bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
                      ZipfGenerator& zipf, const std::string& value,
                      std::string* wire) {
-  const std::size_t key_index = zipf.Next(rng);
   const bool is_get = rng.NextDouble() < config.get_ratio;
-  const std::string key = WorkloadKey(key_index);
   wire->clear();
   if (is_get) {
-    *wire += "get ";
-    *wire += key;
+    *wire += "get";
+    const std::size_t keys = std::max<std::size_t>(config.keys_per_get, 1);
+    for (std::size_t k = 0; k < keys; ++k) {
+      *wire += ' ';
+      *wire += WorkloadKey(zipf.Next(rng));
+    }
     *wire += "\r\n";
   } else {
     *wire += "set ";
-    *wire += key;
+    *wire += WorkloadKey(zipf.Next(rng));
     *wire += " 0 0 ";
     *wire += std::to_string(value.size());
     *wire += "\r\n";
@@ -72,6 +77,18 @@ bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
     *wire += "\r\n";
   }
   return is_get;
+}
+
+// Hits in a (multi-)get response = its VALUE lines. Workload values are
+// runs of 'v' with no spaces or CRLFs, so a data block can never contain
+// the "VALUE " token.
+std::uint64_t CountValueLines(const std::string& response) {
+  std::uint64_t count = 0;
+  for (std::size_t pos = response.find("VALUE "); pos != std::string::npos;
+       pos = response.find("VALUE ", pos + 6)) {
+    ++count;
+  }
+  return count;
 }
 
 // One client's inner loop, protocol round trip included.
@@ -97,13 +114,12 @@ void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
     ExecuteRequest(engine, request, &response, &quit);
     ++totals.requests;
     if (is_get) {
-      ++totals.gets;
-      // "VALUE..." prefix = hit; bare "END" = miss.
-      if (response.size() > 5 && response[0] == 'V') {
-        ++totals.hits;
-      } else {
-        ++totals.misses;
-      }
+      const std::uint64_t keys =
+          std::max<std::size_t>(config.keys_per_get, 1);
+      const std::uint64_t hits = CountValueLines(response);
+      totals.gets += keys;
+      totals.hits += hits;
+      totals.misses += keys - hits;
     } else {
       ++totals.sets;
     }
@@ -117,13 +133,29 @@ void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
   Xoshiro256 rng(config.seed + id * 0x9E37);
   ZipfGenerator zipf(config.num_keys, config.zipf_theta);
   const std::string value(config.value_size, 'v');
+  const std::size_t keys_per_get =
+      std::max<std::size_t>(config.keys_per_get, 1);
+  std::vector<std::string> batch_keys(keys_per_get);
+  std::vector<MultiGetResult> batch_results(keys_per_get);
   StoredValue out;
 
   while (!stop.load(std::memory_order_relaxed)) {
-    const std::size_t key_index = zipf.Next(rng);
     const bool is_get = rng.NextDouble() < config.get_ratio;
-    const std::string key = WorkloadKey(key_index);
-    if (is_get) {
+    if (is_get && keys_per_get > 1) {
+      for (std::string& key : batch_keys) {
+        key = WorkloadKey(zipf.Next(rng));
+      }
+      engine.GetMany(batch_keys.data(), keys_per_get, batch_results.data());
+      totals.gets += keys_per_get;
+      for (const MultiGetResult& result : batch_results) {
+        if (result.hit) {
+          ++totals.hits;
+        } else {
+          ++totals.misses;
+        }
+      }
+    } else if (is_get) {
+      const std::string key = WorkloadKey(zipf.Next(rng));
       ++totals.gets;
       if (engine.Get(key, &out)) {
         ++totals.hits;
@@ -131,7 +163,7 @@ void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
         ++totals.misses;
       }
     } else {
-      engine.Set(key, value, 0, 0);
+      engine.Set(WorkloadKey(zipf.Next(rng)), value, 0, 0);
       ++totals.sets;
     }
     ++totals.requests;
@@ -225,12 +257,12 @@ void RunSocketClient(std::uint16_t port, const WorkloadConfig& config,
     }
     ++totals.requests;
     if (is_get) {
-      ++totals.gets;
-      if (response.size() > 5 && response[0] == 'V') {
-        ++totals.hits;
-      } else {
-        ++totals.misses;
-      }
+      const std::uint64_t keys =
+          std::max<std::size_t>(config.keys_per_get, 1);
+      const std::uint64_t hits = CountValueLines(response);
+      totals.gets += keys;
+      totals.hits += hits;
+      totals.misses += keys - hits;
     } else {
       ++totals.sets;
     }

@@ -42,6 +42,7 @@ class Epoch {
   RP_ALWAYS_INLINE static void ReadLock() {
     ThreadRecord* self = Self();
     if (self->nesting++ == 0) {
+      ++self->read_sections;  // private cacheline; the batching test hook
       const std::uint64_t snapshot = gp_.load(std::memory_order_relaxed);
       // Release (free on x86: plain store) rather than relaxed so the
       // writer's acquire scan gets a happens-before edge covering this
@@ -64,6 +65,12 @@ class Epoch {
   }
 
   static bool InReadSection() { return Self()->nesting > 0; }
+
+  // Outermost read-side sections this thread has entered so far. Nested
+  // ReadLocks don't count — which is exactly the point: batched readers
+  // (e.g. a multi-get executing a whole shard group inside one section)
+  // advance this once per batch, and tests assert precisely that.
+  static std::uint64_t ThreadReadSections() { return Self()->read_sections; }
 
   // -- Update side ---------------------------------------------------------
 

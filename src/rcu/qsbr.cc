@@ -34,12 +34,29 @@ Qsbr::TlsGuard::~TlsGuard() {
   }
 }
 
+void Qsbr::BackoffForWriter(ThreadRecord* self) {
+  // Three announcements under a waiting writer ≈ the writer has been
+  // starved for at least that long; hand over the rest of the timeslice.
+  // The counter resets on yield (and whenever no writer waits), so a
+  // healthy multicore run where the writer progresses between our
+  // announcements yields rarely or never.
+  constexpr std::uint32_t kWaiterPollLimit = 3;
+  if (++self->waiter_polls >= kWaiterPollLimit) {
+    self->waiter_polls = 0;
+    std::this_thread::yield();
+  }
+}
+
 void Qsbr::Synchronize() {
   assert((tls_record_ == nullptr || tls_record_->nesting == 0) &&
          "Synchronize() called from within a read-side critical section");
 
   ThreadRegistry& reg = registry();
   std::lock_guard<std::mutex> gp_lock(reg.mutex());
+
+  // Visible before the counter bump so a reader announcing against the new
+  // period already sees a waiter and starts backing off.
+  sync_waiters_.fetch_add(1, std::memory_order_relaxed);
 
   const std::uint64_t new_gp = gp_.fetch_add(2, std::memory_order_seq_cst) + 2;
 
@@ -65,6 +82,7 @@ void Qsbr::Synchronize() {
       }
     }
   }
+  sync_waiters_.fetch_sub(1, std::memory_order_relaxed);
   SmpMb();
 
   if (gp_completed_.load(std::memory_order_relaxed) < new_gp) {

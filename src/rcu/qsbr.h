@@ -59,6 +59,18 @@ class Qsbr {
     const std::uint64_t gp = gp_.load(std::memory_order_acquire);
     SmpMb();  // order prior reference use before the announcement
     self->ctr.store(gp, std::memory_order_release);
+    // Bounded-backoff writer hint: when a Synchronize() is waiting, a
+    // spinning reader that keeps burning its timeslice can starve the
+    // writer of CPU on a small (1-core CI) box — the grace period then
+    // completes on scheduler luck. After a few quiescent states announced
+    // under a waiting writer, donate the timeslice. The check is a relaxed
+    // load of a read-mostly word (cached shared); the yield lives in the
+    // out-of-line slow path and only runs while a writer actually waits.
+    if (RP_UNLIKELY(sync_waiters_.load(std::memory_order_relaxed) != 0)) {
+      BackoffForWriter(self);
+    } else {
+      self->waiter_polls = 0;
+    }
   }
 
   // Marks the thread offline (parked in non-RCU code); writers skip it.
@@ -128,6 +140,10 @@ class Qsbr {
  private:
   friend class QsbrTestPeer;
 
+  // Out-of-line half of the QuiescentState() writer hint: yields after
+  // kWaiterPollLimit consecutive announcements made under a waiting writer.
+  static void BackoffForWriter(ThreadRecord* self);
+
   static void RetireErased(void* ptr, void (*deleter)(void*));
   static ThreadRegistry& registry();
   static RcuCallbackQueue& queue();
@@ -149,6 +165,9 @@ class Qsbr {
   static inline std::atomic<std::uint64_t> gp_{2};
   // Highest gp_ value known to have fully completed (all readers scanned).
   static inline std::atomic<std::uint64_t> gp_completed_{2};
+  // Number of Synchronize() calls currently scanning reader records. Read
+  // (relaxed) by every QuiescentState; written only at grace-period rate.
+  static inline std::atomic<std::uint32_t> sync_waiters_{0};
   static inline thread_local ThreadRecord* tls_record_ = nullptr;
   static inline thread_local TlsGuard tls_guard_;
 };

@@ -28,6 +28,14 @@ struct alignas(kCacheLineSize) ThreadRecord {
   std::atomic<std::uint64_t> ctr{0};
   // Read-side nesting depth; touched only by the owning thread.
   std::uint32_t nesting = 0;
+  // Consecutive quiescent states announced while a writer was waiting
+  // (QSBR bounded-backoff hint); touched only by the owning thread.
+  std::uint32_t waiter_polls = 0;
+  // Outermost read-side critical sections entered by this thread (Epoch
+  // flavour). A private-cacheline count, exposed through
+  // Epoch::ThreadReadSections() so tests can assert batching invariants
+  // ("one section per multi-get shard group").
+  std::uint64_t read_sections = 0;
 };
 
 class ThreadRegistry {

@@ -1,0 +1,226 @@
+// Cross-engine op × item-state conformance matrix.
+//
+// Every protocol op (get/gets/set/add/replace/append/prepend/cas/delete/
+// incr/decr/touch) runs against items in each of three states — live,
+// expired (TTL lapsed), and flushed-but-present (stored before a delayed
+// flush_all deadline that has since passed) — on both engines, through the
+// same ExecuteRequest dispatch the server uses. The wire responses must be
+// identical (cas numbers in `gets` output normalized: the RP engine
+// allocates cas values optimistically, the locked engine only on success),
+// and so must a follow-up `get`, so divergent state can't hide behind a
+// matching first answer.
+//
+// cas audit (memcached 1.6 semantics): `cas` on an expired or flushed key
+// answers NOT_FOUND — the item counts as absent even while physically
+// present awaiting lazy reclamation; both engines assert that explicitly.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/memcache/connection.h"
+#include "src/memcache/engine.h"
+#include "src/memcache/locked_engine.h"
+#include "src/memcache/protocol.h"
+#include "src/memcache/rp_engine.h"
+
+namespace {
+
+using namespace rp::memcache;
+
+struct OpSpec {
+  const char* name;
+  Op op;
+};
+
+const OpSpec kOps[] = {
+    {"get", Op::kGet},         {"gets", Op::kGets},
+    {"set", Op::kSet},         {"add", Op::kAdd},
+    {"replace", Op::kReplace}, {"append", Op::kAppend},
+    {"prepend", Op::kPrepend}, {"cas", Op::kCas},
+    {"delete", Op::kDelete},   {"incr", Op::kIncr},
+    {"decr", Op::kDecr},       {"touch", Op::kTouch},
+};
+
+const char* kStates[] = {"live", "expired", "flushed"};
+
+std::string CellKey(const char* state, const char* op) {
+  return std::string(state) + "-" + op;
+}
+
+// Replaces the cas token of VALUE lines with "X" so `gets` responses
+// compare across engines whose cas allocators run at different rates.
+std::string NormalizeCas(const std::string& response) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < response.size()) {
+    std::size_t eol = response.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      eol = response.size();
+    }
+    std::string line = response.substr(pos, eol - pos);
+    if (line.rfind("VALUE ", 0) == 0) {
+      // VALUE <key> <flags> <bytes> [<cas>] — blank out a 5th token.
+      std::size_t spaces = 0;
+      std::size_t cas_at = std::string::npos;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == ' ' && ++spaces == 4) {
+          cas_at = i + 1;
+        }
+      }
+      if (cas_at != std::string::npos) {
+        line.resize(cas_at);
+        line += 'X';
+      }
+    }
+    out += line;
+    if (eol < response.size()) {
+      out += "\r\n";
+    }
+    pos = eol + 2;
+  }
+  return out;
+}
+
+std::string Execute(CacheEngine& engine, const Request& request) {
+  std::string response;
+  bool quit = false;
+  ExecuteRequest(engine, request, &response, &quit);
+  return response;
+}
+
+// Current cas of `key` on this engine (via gets), or 42 when absent.
+std::uint64_t FetchCas(CacheEngine& engine, const std::string& key) {
+  Request gets;
+  gets.op = Op::kGets;
+  gets.keys = {key};
+  const std::string response = Execute(engine, gets);
+  // VALUE <key> <flags> <bytes> <cas>\r\n...
+  std::size_t line_end = response.find("\r\n");
+  if (response.rfind("VALUE ", 0) != 0 || line_end == std::string::npos) {
+    return 42;
+  }
+  const std::size_t cas_at = response.rfind(' ', line_end);
+  return std::stoull(response.substr(cas_at + 1, line_end - cas_at - 1));
+}
+
+Request BuildRequest(const OpSpec& spec, const std::string& key,
+                     std::uint64_t cas) {
+  Request request;
+  request.op = spec.op;
+  request.keys = {key};
+  switch (spec.op) {
+    case Op::kSet:
+      request.data = "200";
+      request.flags = 1;
+      break;
+    case Op::kAdd:
+      request.data = "201";
+      break;
+    case Op::kReplace:
+      request.data = "202";
+      break;
+    case Op::kAppend:
+      request.data = "9";
+      break;
+    case Op::kPrepend:
+      request.data = "1";
+      break;
+    case Op::kCas:
+      request.data = "203";
+      request.cas = cas;
+      break;
+    case Op::kIncr:
+      request.delta = 5;
+      break;
+    case Op::kDecr:
+      request.delta = 7;
+      break;
+    case Op::kTouch:
+      request.exptime = 500;
+      break;
+    default:
+      break;
+  }
+  return request;
+}
+
+// Stores every cell key in its target state. Live and expired items are
+// stored after the flush deadline passed, so only the "flushed" keys die
+// to it (memcached's oldest_live rule).
+void Prepare(CacheEngine& engine, std::int64_t* flush_deadline) {
+  for (const OpSpec& spec : kOps) {
+    ASSERT_EQ(engine.Set(CellKey("flushed", spec.name), "100", 5, 0),
+              StoreResult::kStored);
+  }
+  const std::int64_t armed_at = NowSeconds();
+  engine.FlushAll(1);
+  *flush_deadline = armed_at + 1;
+}
+
+void FinishPrepare(CacheEngine& engine) {
+  for (const OpSpec& spec : kOps) {
+    ASSERT_EQ(engine.Set(CellKey("live", spec.name), "100", 5, 0),
+              StoreResult::kStored);
+    ASSERT_EQ(engine.Set(CellKey("expired", spec.name), "100", 5, -1),
+              StoreResult::kStored);
+  }
+}
+
+TEST(ConformanceMatrix, EveryOpAgreesOnEveryItemState) {
+  EngineConfig config;
+  config.shards = 4;
+  LockedEngine locked{EngineConfig{}};
+  RpEngine rp_engine(config);
+
+  std::int64_t deadline_a = 0;
+  std::int64_t deadline_b = 0;
+  Prepare(locked, &deadline_a);
+  Prepare(rp_engine, &deadline_b);
+
+  // Let the delayed flush deadline pass (+1s of slack so items stored next
+  // land strictly after it and survive).
+  const std::int64_t resume_at = std::max(deadline_a, deadline_b) + 1;
+  while (NowSeconds() < resume_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  FinishPrepare(locked);
+  FinishPrepare(rp_engine);
+
+  for (const OpSpec& spec : kOps) {
+    for (const char* state : kStates) {
+      const std::string key = CellKey(state, spec.name);
+      // cas wants the current value's cas token, which is engine-local.
+      const Request locked_request =
+          BuildRequest(spec, key, FetchCas(locked, key));
+      const Request rp_request =
+          BuildRequest(spec, key, FetchCas(rp_engine, key));
+
+      const std::string locked_response = Execute(locked, locked_request);
+      const std::string rp_response = Execute(rp_engine, rp_request);
+      EXPECT_EQ(NormalizeCas(locked_response), NormalizeCas(rp_response))
+          << spec.name << " on " << state << " item";
+
+      if (spec.op == Op::kCas && std::string(state) != "live") {
+        // memcached 1.6: cas on an expired or flushed (dead-but-present)
+        // item is NOT_FOUND, never EXISTS.
+        EXPECT_EQ(locked_response, kResponseNotFound)
+            << "locked cas on " << state;
+        EXPECT_EQ(rp_response, kResponseNotFound) << "rp cas on " << state;
+      }
+
+      // The states the op left behind must agree too.
+      Request follow_up;
+      follow_up.op = Op::kGet;
+      follow_up.keys = {key};
+      EXPECT_EQ(Execute(locked, follow_up), Execute(rp_engine, follow_up))
+          << "post-" << spec.name << " state on " << state << " item";
+    }
+  }
+}
+
+}  // namespace
