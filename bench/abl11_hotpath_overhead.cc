@@ -197,7 +197,9 @@ void BM_EngineGetMany(benchmark::State& state) {
   rp::memcache::RpEngine& engine = PopulatedEngine();
   const std::vector<std::string> keys = MakeKeys();
   rp::Xoshiro256 rng(1);
-  std::vector<std::string> batch(kBatch);
+  // string_views straight over the key set — the wire path's shape (no
+  // per-key copies before the engine).
+  std::vector<std::string_view> batch(kBatch);
   std::vector<rp::memcache::MultiGetResult> results(kBatch);
   for (auto _ : state) {
     for (std::size_t k = 0; k < kBatch; ++k) {

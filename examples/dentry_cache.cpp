@@ -101,12 +101,13 @@ int main() {
         n = n * 6364136223846793005ULL + 1442695040888963407ULL;
         const std::uint64_t d = (n >> 16) % kDirs;
         const std::uint64_t f = (n >> 40) % kFilesPerDir;
-        const auto dir_ino = dcache.Get({1, "dir" + std::to_string(d)});
+        const auto dir_ino = dcache.Get(DentryKey{1, "dir" + std::to_string(d)});
         if (!dir_ino) {
           misses.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        const auto ino = dcache.Get({*dir_ino, "file" + std::to_string(f)});
+        const auto ino =
+            dcache.Get(DentryKey{*dir_ino, "file" + std::to_string(f)});
         if (!ino) {
           misses.fetch_add(1, std::memory_order_relaxed);
           continue;

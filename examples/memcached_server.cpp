@@ -4,12 +4,16 @@
 // event-loop server: --workers sizes the event-loop pool, --max-conns caps
 // concurrent connections, --idle-ms evicts idle ones. The cache itself is
 // tuned with --shards (keyspace partitions; power of two; rp engine only)
-// and --max-bytes (resident-byte cap, k/m/g suffixes accepted; 0 = off).
+// and --max-bytes (resident-byte cap, k/m/g suffixes accepted; 0 = off);
+// the payload slab allocator with --slab-growth (size-class factor,
+// memcached -f) and --slab-chunk-max (largest pooled chunk; 0 = no slabs).
 //
 // Run:   ./build/examples/memcached_server [--port=11211] [--engine=rp|locked]
 //                                          [--workers=N] [--max-conns=N]
 //                                          [--idle-ms=N] [--shards=N]
 //                                          [--max-bytes=N[k|m|g]]
+//                                          [--slab-growth=F]
+//                                          [--slab-chunk-max=N[k|m]]
 // Talk to it:
 //   printf 'set greeting 0 0 5\r\nhello\r\nget greeting\r\nquit\r\n' | nc 127.0.0.1 11211
 //
@@ -147,6 +151,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --max-bytes value: %s\n", argv[i] + 12);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--slab-growth=", 14) == 0) {
+      // memcached's -f: size-class growth factor. Out-of-band values are
+      // clamped by the allocator; reject only unparseable input here.
+      char* end = nullptr;
+      const double growth = std::strtod(argv[i] + 14, &end);
+      if (end == argv[i] + 14 || *end != '\0') {
+        std::fprintf(stderr, "bad --slab-growth value: %s\n", argv[i] + 14);
+        return 2;
+      }
+      config.slab_growth = growth;
+    } else if (std::strncmp(argv[i], "--slab-chunk-max=", 17) == 0) {
+      // Largest pooled chunk (k/m suffixes accepted); 0 disables slab
+      // pooling entirely (every payload is an exact-size heap block).
+      if (!ParseBytes(argv[i] + 17, &config.slab_chunk_max)) {
+        std::fprintf(stderr, "bad --slab-chunk-max value: %s\n", argv[i] + 17);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
       port = 0;  // ephemeral
@@ -154,7 +175,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--engine=rp|locked] [--workers=N] "
                    "[--max-conns=N] [--idle-ms=N] [--shards=N] "
-                   "[--max-bytes=N[k|m|g]] [--demo]\n",
+                   "[--max-bytes=N[k|m|g]] [--slab-growth=F] "
+                   "[--slab-chunk-max=N[k|m]] [--demo]\n",
                    argv[0]);
       return 2;
     }

@@ -43,10 +43,14 @@ GBENCH_BENCHES=(
   abl3_resize_cost
   abl6_lookup_micro
   abl11_hotpath_overhead
+  abl12_slab_alloc
 )
 gbench_filter() {
   case "$1" in
     abl1_readside_cost) echo 'threads:1$' ;;
+    # abl12's threads:2 contention cases spin on 1-core runners; the
+    # allocation-cost measurement itself is single-threaded.
+    abl12_slab_alloc) echo 'threads:1$' ;;
     # abl2 runs unfiltered since two fixes landed: the QSBR domain's
     # bounded-backoff reader hint (spinning readers yield to a waiting
     # Synchronize, so grace periods stop being scheduler-luck-bound on 1

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Markdown link check: every relative link in README.md and docs/ must
+# resolve to a file or directory in the repo. Keeps the docs subsystem
+# honest as files move — CI runs this on every push (no network: external
+# http(s) links are deliberately not fetched).
+#
+# Usage: scripts/check_markdown_links.sh [repo_root]   (default: script's repo)
+set -u
+
+ROOT="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+cd "${ROOT}" || exit 2
+
+# The documentation surface under check: the README plus everything in docs/.
+mapfile -t FILES < <(ls README.md 2>/dev/null; find docs -name '*.md' 2>/dev/null | sort)
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  echo "link check: no markdown files found under ${ROOT}" >&2
+  exit 2
+fi
+
+failures=0
+checked=0
+
+for md in "${FILES[@]}"; do
+  dir="$(dirname "${md}")"
+  # Extract inline link targets: [text](target). Reference-style links and
+  # images share the same (target) shape, so they are covered too.
+  while IFS= read -r target; do
+    # External and in-page links are out of scope (no network in CI).
+    case "${target}" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip a trailing #anchor from file links.
+    path="${target%%#*}"
+    [[ -z "${path}" ]] && continue
+    checked=$((checked + 1))
+    if [[ ! -e "${dir}/${path}" && ! -e "${path}" ]]; then
+      echo "BROKEN: ${md}: (${target})" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "${md}" | sed -E 's/^\]\(//; s/\)$//; s/ "[^"]*"$//')
+done
+
+if [[ ${failures} -ne 0 ]]; then
+  echo "link check: ${failures} broken link(s) across ${#FILES[@]} file(s)" >&2
+  exit 1
+fi
+echo "link check: ${checked} relative links OK across ${#FILES[@]} file(s)"

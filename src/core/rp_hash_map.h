@@ -134,23 +134,33 @@ class RpHashMap {
   // one-hash hot path: engines hash once at dispatch, route a shard on the
   // high bits and hand the full hash down here). A Prehashed value MUST
   // come from this map's HashFn applied to this key.
+  //
+  // Lookups (and conditional erases below) are heterogeneous: the key
+  // parameter is a template, so a table with transparent HashFn/KeyEqual
+  // (e.g. the engines' string tables) can be probed with a
+  // std::string_view straight out of a parsed request, never
+  // materializing a std::string per lookup.
   // ---------------------------------------------------------------------
 
-  [[nodiscard]] bool Contains(const Key& key) const {
+  template <typename K>
+  [[nodiscard]] bool Contains(const K& key) const {
     return Contains(Prehashed{Hash()(key)}, key);
   }
 
-  [[nodiscard]] bool Contains(Prehashed hash, const Key& key) const {
+  template <typename K>
+  [[nodiscard]] bool Contains(Prehashed hash, const K& key) const {
     rcu::ReadGuard<Domain> guard;
     return FindNode(hash.value, key) != nullptr;
   }
 
   // Returns a copy of the mapped value.
-  [[nodiscard]] std::optional<T> Get(const Key& key) const {
+  template <typename K>
+  [[nodiscard]] std::optional<T> Get(const K& key) const {
     return Get(Prehashed{Hash()(key)}, key);
   }
 
-  [[nodiscard]] std::optional<T> Get(Prehashed hash, const Key& key) const {
+  template <typename K>
+  [[nodiscard]] std::optional<T> Get(Prehashed hash, const K& key) const {
     rcu::ReadGuard<Domain> guard;
     const Node* node = FindNode(hash.value, key);
     if (node == nullptr) {
@@ -162,13 +172,13 @@ class RpHashMap {
   // Invokes fn(const T&) on the mapped value inside the read-side critical
   // section (no copy). Returns whether the key was found. `fn` must not
   // block and must not retain references past its return.
-  template <typename Fn>
-  bool With(const Key& key, Fn&& fn) const {
+  template <typename K, typename Fn>
+  bool With(const K& key, Fn&& fn) const {
     return With(Prehashed{Hash()(key)}, key, std::forward<Fn>(fn));
   }
 
-  template <typename Fn>
-  bool With(Prehashed hash, const Key& key, Fn&& fn) const {
+  template <typename K, typename Fn>
+  bool With(Prehashed hash, const K& key, Fn&& fn) const {
     rcu::ReadGuard<Domain> guard;
     const Node* node = FindNode(hash.value, key);
     if (node == nullptr) {
@@ -366,14 +376,17 @@ class RpHashMap {
   // Conditional erase: unlinks the entry only when pred(const T&) holds,
   // with the check and the unlink atomic under the key's stripe (e.g.
   // "erase only if still expired", racing a writer refreshing the TTL).
-  // Returns whether an entry was erased.
-  template <typename Pred>
-  bool EraseIf(const Key& key, Pred&& pred) {
+  // Returns whether an entry was erased. Heterogeneous like the lookups:
+  // erasing never stores the probe key, so a string_view works here too
+  // (the engines' lazy dead-item reclamation runs off parsed request
+  // keys).
+  template <typename K, typename Pred>
+  bool EraseIf(const K& key, Pred&& pred) {
     return EraseIf(Prehashed{Hash()(key)}, key, std::forward<Pred>(pred));
   }
 
-  template <typename Pred>
-  bool EraseIf(Prehashed hash, const Key& key, Pred&& pred) {
+  template <typename K, typename Pred>
+  bool EraseIf(Prehashed hash, const K& key, Pred&& pred) {
     bool erased = false;
     {
       StripeGuard guard(*this, hash.value);
@@ -683,8 +696,11 @@ class RpHashMap {
     RpHashMap& map_;
   };
 
-  // -- Read-path helper. Caller must hold a read-side critical section. ---
-  const Node* FindNode(std::size_t hash, const Key& key) const {
+  // -- Read-path helper. Caller must hold a read-side critical section.
+  // Heterogeneous: `key` may be any type the (transparent) KeyEqual can
+  // compare against the stored Key. ------------------------------------
+  template <typename K>
+  const Node* FindNode(std::size_t hash, const K& key) const {
     const BucketArray* t = rcu::RcuDereference(table_);
     for (const Node* node = rcu::RcuDereference(t->bucket(hash & t->mask));
          node != nullptr; node = rcu::RcuDereference(node->next)) {

@@ -31,17 +31,24 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
       } else {
         // Batched multi-get: one engine call for the whole key list lets
         // the engine amortize per-op costs (the RP engine opens a single
-        // read-side critical section per shard group). Responses still go
-        // out in request order, misses silently skipped, per protocol.
-        // Thread-local scratch: slots (and their strings' capacity) are
-        // reused across requests, so steady-state batches allocate nothing
-        // here. Safe because ExecuteRequest never re-enters itself.
+        // read-side critical section per shard group). Keys go down as
+        // string_views over the parsed request — the engines' hashers and
+        // table lookups are transparent, so no key is copied per lookup.
+        // Responses still go out in request order, misses silently
+        // skipped, per protocol. Thread-local scratch: slots (and their
+        // strings' capacity) are reused across requests, so steady-state
+        // batches allocate nothing here. Safe because ExecuteRequest
+        // never re-enters itself.
+        static thread_local std::vector<std::string_view> key_views;
         static thread_local std::vector<MultiGetResult> results;
+        key_views.clear();
+        for (const std::string& key : request.keys) {
+          key_views.push_back(key);
+        }
         if (results.size() < request.keys.size()) {
           results.resize(request.keys.size());
         }
-        engine.GetMany(request.keys.data(), request.keys.size(),
-                       results.data());
+        engine.GetMany(key_views.data(), key_views.size(), results.data());
         for (std::size_t i = 0; i < request.keys.size(); ++i) {
           if (results[i].hit) {
             AppendValueResponse(out, request.keys[i], results[i].value,
@@ -66,6 +73,12 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
       AppendStat(out, "curr_items", stats.items);
       AppendStat(out, "total_items", stats.total_items);
       AppendStat(out, "bytes", stats.bytes);
+      // Exact-accounting extras: the slab-fragmentation share of `bytes`,
+      // page memory the slab arenas hold, and how often the pool was dry
+      // enough to fall back to the heap.
+      AppendStat(out, "bytes_wasted", stats.bytes_wasted);
+      AppendStat(out, "slab_reserved", stats.slab_reserved);
+      AppendStat(out, "slab_fallbacks", stats.slab_fallbacks);
       AppendStat(out, "limit_maxbytes", stats.limit_maxbytes);
       if (conn_stats != nullptr) {
         AppendStat(out, "curr_connections", conn_stats->curr_connections);

@@ -8,8 +8,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/memcache/item.h"
+#include "src/memcache/slab.h"
 
 namespace rp::memcache {
 
@@ -25,9 +27,10 @@ struct EngineConfig {
   // Item cap; inserting beyond it evicts (approximately) least-recently
   // used items. 0 = unlimited.
   std::size_t max_items = 0;
-  // Byte cap over the charged size of every resident item (key + data +
-  // kItemOverheadBytes). 0 = unlimited. Sharded engines split the budget
-  // evenly (max_bytes / shards) and evict per shard.
+  // Byte cap over the charged size of every resident item (key + actual
+  // slab-chunk footprint + kItemOverheadBytes). 0 = unlimited. Sharded
+  // engines split the budget evenly (max_bytes / shards) and evict per
+  // shard; the same split sizes each shard's slab arena.
   std::size_t max_bytes = 0;
   // Keyspace partitions for engines that shard their cache state (rounded
   // up to a power of two, clamped to [1, 4096]; 0 and 1 both mean
@@ -36,7 +39,38 @@ struct EngineConfig {
   // different shards never contend. Engines modelling a single global
   // cache lock (LockedEngine) ignore this.
   std::size_t shards = 8;
+  // Slab size-class tuning (see src/memcache/slab.h): payload chunks grow
+  // geometrically by `slab_growth` (memcached -f) up to `slab_chunk_max`
+  // bytes; larger values (and everything, when slab_chunk_max = 0) take
+  // exact-size tracked heap allocations — the per-item-malloc baseline.
+  double slab_growth = 1.25;
+  std::size_t slab_chunk_max = 8 * 1024;
 };
+
+// The slab geometry an engine derives from its config for each of
+// `shard_count` shards (LockedEngine passes 1). Exposed so tests and
+// capacity planning can predict exact charges via SlabFootprintFor.
+inline SlabPolicy SlabPolicyFor(const EngineConfig& config,
+                                std::size_t shard_count) {
+  SlabPolicy policy;
+  policy.growth = config.slab_growth;
+  policy.chunk_max = config.slab_chunk_max;
+  if (config.max_bytes != 0 && shard_count != 0) {
+    policy.arena_bytes =
+        (config.max_bytes + shard_count - 1) / shard_count;
+  }
+  return policy;
+}
+
+// What the byte gauge charges for a key/data pair stored under `config`
+// (deterministic: slab class capacities depend only on the policy, not on
+// shard placement). The prediction half of the exact-accounting tests.
+inline std::size_t ModelChargedBytes(const EngineConfig& config,
+                                     std::size_t key_size,
+                                     std::size_t data_size) {
+  return key_size + SlabFootprintFor(SlabPolicyFor(config, 1), data_size) +
+         kItemOverheadBytes;
+}
 
 // Outcome of incr/decr. The protocol distinguishes a missing key
 // (NOT_FOUND on the wire) from a present-but-non-numeric value
@@ -67,8 +101,17 @@ struct EngineStats {
   std::uint64_t items = 0;
   // Cumulative count of items ever linked into the cache (new keys).
   std::uint64_t total_items = 0;
-  // Charged bytes currently resident (key + data + overhead per item).
+  // Charged bytes currently resident: key + actual chunk footprint +
+  // overhead per item. Exact against the allocator, not a model.
   std::uint64_t bytes = 0;
+  // Share of `bytes` that is slab-class internal fragmentation (chunk
+  // footprint minus stored payload bytes), summed over resident items.
+  std::uint64_t bytes_wasted = 0;
+  // Slab page memory currently carved from the heap, across shards.
+  std::uint64_t slab_reserved = 0;
+  // Cumulative allocations served by the exact-size heap fallback (pool
+  // exhausted or value larger than slab_chunk_max).
+  std::uint64_t slab_fallbacks = 0;
   // Configured max_bytes (0 = unlimited); the `stats` wire field.
   std::uint64_t limit_maxbytes = 0;
 };
@@ -89,26 +132,31 @@ class CacheEngine {
 
   // Batched multi-get: fills out[0..count) for keys[0..count), semantics
   // identical to per-key Get (expired items miss and are lazily reclaimed,
-  // stats count per key). Engines override to amortize per-op costs across
-  // the batch — the relativistic engine runs each shard's keys inside ONE
-  // read-side critical section instead of one per key. The default is the
-  // unbatched loop.
-  virtual void GetMany(const std::string* keys, std::size_t count,
+  // stats count per key). Keys arrive as string_views over the parsed
+  // request so the hot path never materializes per-key std::strings — the
+  // stack's hashers and table lookups are transparent end-to-end. Engines
+  // override to amortize per-op costs across the batch — the relativistic
+  // engine runs each shard's keys inside ONE read-side critical section
+  // instead of one per key. The default is the unbatched loop.
+  virtual void GetMany(const std::string_view* keys, std::size_t count,
                        MultiGetResult* out) {
     for (std::size_t i = 0; i < count; ++i) {
-      out[i].hit = Get(keys[i], &out[i].value);
+      out[i].hit = Get(std::string(keys[i]), &out[i].value);
     }
   }
 
-  virtual StoreResult Set(const std::string& key, std::string data,
+  // Storage commands take the payload as a string_view over the parsed
+  // request: engines copy it straight into a slab chunk, so no
+  // intermediate owning std::string is ever allocated for the data block.
+  virtual StoreResult Set(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime) = 0;
-  virtual StoreResult Add(const std::string& key, std::string data,
+  virtual StoreResult Add(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime) = 0;
-  virtual StoreResult Replace(const std::string& key, std::string data,
+  virtual StoreResult Replace(const std::string& key, std::string_view data,
                               std::uint32_t flags, std::int64_t exptime) = 0;
-  virtual StoreResult Append(const std::string& key, const std::string& data) = 0;
-  virtual StoreResult Prepend(const std::string& key, const std::string& data) = 0;
-  virtual StoreResult CheckAndSet(const std::string& key, std::string data,
+  virtual StoreResult Append(const std::string& key, std::string_view data) = 0;
+  virtual StoreResult Prepend(const std::string& key, std::string_view data) = 0;
+  virtual StoreResult CheckAndSet(const std::string& key, std::string_view data,
                                   std::uint32_t flags, std::int64_t exptime,
                                   std::uint64_t expected_cas) = 0;
   virtual bool Delete(const std::string& key) = 0;

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/memcache/slab.h"
+
 namespace rp::memcache {
 
 // Seconds since the unix epoch, as memcached reckons time.
@@ -35,22 +37,39 @@ constexpr bool IsFlushed(std::int64_t stored_at, std::int64_t flush_at,
   return flush_at != kNoFlush && now >= flush_at && stored_at < flush_at;
 }
 
-// Per-item memory charge: key + data + a fixed overhead approximating the
-// node, hash/cas/expiry fields and eviction bookkeeping. Both engines use
-// the same formula so byte accounting stays comparable across the fig5
-// series.
+// Fixed per-item overhead approximating the table node, hash/cas/expiry
+// fields and eviction bookkeeping. Both engines use the same constant so
+// byte accounting stays comparable across the fig5 series.
 constexpr std::size_t kItemOverheadBytes = 64;
 
-constexpr std::size_t ChargedBytes(std::size_t key_size,
-                                   std::size_t data_size) {
-  return key_size + data_size + kItemOverheadBytes;
+// Hard ceiling on a stored value's size, enforced by both engines on the
+// append/prepend growth paths (a single data block is already capped at
+// this by the protocol parser — RequestParser::kMaxValueLength — but
+// appends accumulate). memcached's item_size_max plays the same role;
+// it also keeps value sizes comfortably inside the slab header's 32-bit
+// capacity field.
+constexpr std::size_t kMaxItemBytes = 1024 * 1024;
+
+// Per-item memory charge: the key, the fixed node overhead, and the
+// *actual* heap footprint of the payload's slab chunk (header + chunk
+// capacity — internal fragmentation included), not a modelled data size.
+// The `waste` share (footprint minus stored bytes) is tracked separately
+// so `stats` can report `bytes_wasted`.
+inline std::size_t ChargedBytes(std::size_t key_size, const SlabBuffer& data) {
+  return key_size + data.footprint() + kItemOverheadBytes;
+}
+
+inline std::size_t WastedBytes(const SlabBuffer& data) {
+  return data.footprint() - data.size();
 }
 
 // The value record stored in the hash tables. Copyable (the relativistic
-// engine's updates are copy-on-write); `last_used` is mutable+atomic so the
-// lock-free GET fast path can stamp recency without a writer lock.
+// engine's updates are copy-on-write; the copy lands in a fresh slab chunk
+// so readers of the original are undisturbed); `last_used` is mutable +
+// atomic so the lock-free GET fast path can stamp recency without a
+// writer lock.
 struct CacheValue {
-  std::string data;
+  SlabBuffer data;
   std::uint32_t flags = 0;
   std::int64_t expire_at = kNeverExpires;
   std::uint64_t cas = 0;
@@ -61,7 +80,7 @@ struct CacheValue {
   mutable std::atomic<std::int64_t> last_used{0};
 
   CacheValue() = default;
-  CacheValue(std::string d, std::uint32_t f, std::int64_t e, std::uint64_t c)
+  CacheValue(SlabBuffer d, std::uint32_t f, std::int64_t e, std::uint64_t c)
       : data(std::move(d)), flags(f), expire_at(e), cas(c) {}
 
   CacheValue(const CacheValue& other)

@@ -1,12 +1,13 @@
 #include "src/memcache/locked_engine.h"
 
 #include <charconv>
+#include <iterator>
 
 namespace rp::memcache {
 
 namespace {
 
-bool ParseUint64(const std::string& s, std::uint64_t* out) {
+bool ParseUint64(std::string_view s, std::uint64_t* out) {
   if (s.empty()) {
     return false;
   }
@@ -18,11 +19,13 @@ bool ParseUint64(const std::string& s, std::uint64_t* out) {
 
 }  // namespace
 
-LockedEngine::LockedEngine(EngineConfig config) : config_(config) {
+LockedEngine::LockedEngine(EngineConfig config)
+    : config_(config), slab_(SlabPolicyFor(config_, 1)) {
   map_.reserve(config_.initial_buckets);
 }
 
-LockedEngine::Map::iterator LockedEngine::FindLiveLocked(const std::string& key,
+template <typename K>
+LockedEngine::Map::iterator LockedEngine::FindLiveLocked(const K& key,
                                                          std::int64_t now) {
   auto it = map_.find(key);
   if (it == map_.end()) {
@@ -41,44 +44,105 @@ void LockedEngine::TouchLruLocked(Map::iterator it) {
 }
 
 void LockedEngine::EraseLocked(Map::iterator it) {
-  bytes_ -= ChargedBytes(it->first.size(), it->second.value.data.size());
+  bytes_ -= ChargedBytes(it->first.size(), it->second.value.data);
+  bytes_wasted_ -= WastedBytes(it->second.value.data);
   lru_.erase(it->second.lru_it);
-  map_.erase(it);
+  map_.erase(it);  // frees the slab chunk immediately — global lock held
 }
 
-void LockedEngine::StoreLocked(const std::string& key, std::string data,
+void LockedEngine::RechargeLocked(std::size_t old_footprint,
+                                  std::size_t old_size,
+                                  const CacheValue& value) {
+  bytes_ += value.data.footprint() - old_footprint;
+  bytes_wasted_ +=
+      (value.data.footprint() - value.data.size()) - (old_footprint - old_size);
+}
+
+void LockedEngine::EvictForChunkLocked(std::size_t data_size,
+                                       const std::string* keep) {
+  if (slab_.HasAvailable(data_size)) {
+    return;
+  }
+  // Class-targeted (memcached's "evict to make room in the slab class"
+  // under the global lock): scan coldest-first for items whose chunk
+  // belongs to the dry class — evicting anything else frees chunks the
+  // needy class can never receive. Frees recycle immediately here (no
+  // grace period), so one matching victim is enough; the scan is bounded
+  // because a single LRU (unlike memcached's per-class LRUs) has no index
+  // by class. `keep` protects the item an in-place overwrite is about to
+  // mutate (its iterator must survive). If no match is in reach the
+  // allocation falls back to the heap, still charged exactly.
+  constexpr std::size_t kScanBound = 128;
+  const std::size_t needed = slab_.FootprintFor(data_size);
+  std::size_t scanned = 0;
+  auto it = lru_.end();
+  while (it != lru_.begin() && scanned < kScanBound &&
+         !slab_.HasAvailable(data_size)) {
+    --it;  // walk coldest-first
+    ++scanned;
+    if (keep != nullptr && *it == *keep) {
+      continue;
+    }
+    auto victim = map_.find(*it);
+    if (victim == map_.end() ||
+        victim->second.value.data.footprint() != needed) {
+      continue;
+    }
+    // Erasing invalidates the node `it` points at; resume from its
+    // successor so the next step lands on the element before it.
+    auto resume = std::next(it);
+    EraseLocked(victim);
+    ++stats_.evictions;
+    it = resume;
+  }
+}
+
+void LockedEngine::StoreLocked(const std::string& key, std::string_view data,
                                std::uint32_t flags, std::int64_t exptime) {
   auto it = map_.find(key);
   if (it != map_.end()) {
-    StoreAtLocked(it, std::move(data), flags, exptime);
+    StoreAtLocked(it, data, flags, exptime);
     return;
   }
   const std::int64_t now = NowSeconds();
-  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
-  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+  EvictForChunkLocked(data.size());
+  CacheValue value(SlabBuffer(&slab_, data), flags, ResolveExptime(exptime, now),
                    next_cas_++);
   value.stored_at = now;
   value.last_used.store(now, std::memory_order_relaxed);
+  bytes_ += ChargedBytes(key.size(), value.data);
+  bytes_wasted_ += WastedBytes(value.data);
   lru_.push_front(key);
   map_.emplace(key, Entry{std::move(value), lru_.begin()});
-  bytes_ += new_charge;
   ++stats_.total_items;
   EvictIfNeededLocked();
   ++stats_.sets;
 }
 
-void LockedEngine::StoreAtLocked(Map::iterator it, std::string data,
+void LockedEngine::StoreAtLocked(Map::iterator it, std::string_view data,
                                  std::uint32_t flags, std::int64_t exptime) {
   const std::int64_t now = NowSeconds();
-  const std::string& key = it->first;
-  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
-  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
-                   next_cas_++);
+  // MRU first: the class-exhaustion sweep below must never evict the item
+  // this iterator points at.
+  TouchLruLocked(it);
+  // Assign reuses the current chunk in place exactly when the new size
+  // stays in its class (equal footprints); only a class change actually
+  // allocates, so only then is the exhaustion sweep allowed to evict.
+  if (slab_.FootprintFor(data.size()) != it->second.value.data.footprint()) {
+    EvictForChunkLocked(data.size(), &it->first);
+  }
+  CacheValue& value = it->second.value;
+  const std::size_t old_footprint = value.data.footprint();
+  const std::size_t old_size = value.data.size();
+  // In-place overwrite under the global lock (no reader can hold a
+  // reference): reuses the chunk when the new size stays in its class.
+  value.data.Assign(&slab_, data);
+  RechargeLocked(old_footprint, old_size, value);
+  value.flags = flags;
+  value.expire_at = ResolveExptime(exptime, now);
+  value.cas = next_cas_++;
   value.stored_at = now;
   value.last_used.store(now, std::memory_order_relaxed);
-  bytes_ += new_charge - ChargedBytes(key.size(), it->second.value.data.size());
-  it->second.value = std::move(value);
-  TouchLruLocked(it);
   EvictIfNeededLocked();
   ++stats_.sets;
 }
@@ -102,7 +166,8 @@ void LockedEngine::EvictIfNeededLocked() {
   }
 }
 
-bool LockedEngine::GetLocked(const std::string& key, std::int64_t now,
+template <typename K>
+bool LockedEngine::GetLocked(const K& key, std::int64_t now,
                              StoredValue* out) {
   auto it = FindLiveLocked(key, now);
   if (it == map_.end()) {
@@ -113,7 +178,8 @@ bool LockedEngine::GetLocked(const std::string& key, std::int64_t now,
   // memcached cannot drop the lock here.
   TouchLruLocked(it);
   it->second.value.last_used.store(now, std::memory_order_relaxed);
-  out->data = it->second.value.data;
+  const std::string_view data = it->second.value.data.view();
+  out->data.assign(data.data(), data.size());
   out->flags = it->second.value.flags;
   out->cas = it->second.value.cas;
   ++stats_.get_hits;
@@ -126,7 +192,7 @@ bool LockedEngine::Get(const std::string& key, StoredValue* out) {
   return GetLocked(key, now, out);
 }
 
-void LockedEngine::GetMany(const std::string* keys, std::size_t count,
+void LockedEngine::GetMany(const std::string_view* keys, std::size_t count,
                            MultiGetResult* out) {
   const std::int64_t now = NowSeconds();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -135,25 +201,25 @@ void LockedEngine::GetMany(const std::string* keys, std::size_t count,
   }
 }
 
-StoreResult LockedEngine::Set(const std::string& key, std::string data,
+StoreResult LockedEngine::Set(const std::string& key, std::string_view data,
                               std::uint32_t flags, std::int64_t exptime) {
   std::lock_guard<std::mutex> lock(mutex_);
-  StoreLocked(key, std::move(data), flags, exptime);
+  StoreLocked(key, data, flags, exptime);
   return StoreResult::kStored;
 }
 
-StoreResult LockedEngine::Add(const std::string& key, std::string data,
+StoreResult LockedEngine::Add(const std::string& key, std::string_view data,
                               std::uint32_t flags, std::int64_t exptime) {
   const std::int64_t now = NowSeconds();
   std::lock_guard<std::mutex> lock(mutex_);
   if (FindLiveLocked(key, now) != map_.end()) {
     return StoreResult::kNotStored;
   }
-  StoreLocked(key, std::move(data), flags, exptime);
+  StoreLocked(key, data, flags, exptime);
   return StoreResult::kStored;
 }
 
-StoreResult LockedEngine::Replace(const std::string& key, std::string data,
+StoreResult LockedEngine::Replace(const std::string& key, std::string_view data,
                                   std::uint32_t flags, std::int64_t exptime) {
   const std::int64_t now = NowSeconds();
   std::lock_guard<std::mutex> lock(mutex_);
@@ -161,43 +227,58 @@ StoreResult LockedEngine::Replace(const std::string& key, std::string data,
   if (it == map_.end()) {
     return StoreResult::kNotStored;
   }
-  StoreAtLocked(it, std::move(data), flags, exptime);
+  StoreAtLocked(it, data, flags, exptime);
   return StoreResult::kStored;
 }
 
-StoreResult LockedEngine::Append(const std::string& key, const std::string& data) {
+StoreResult LockedEngine::Append(const std::string& key,
+                                 std::string_view data) {
   const std::int64_t now = NowSeconds();
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = FindLiveLocked(key, now);
   if (it == map_.end()) {
     return StoreResult::kNotStored;
   }
-  it->second.value.data.append(data);
-  it->second.value.cas = next_cas_++;
-  bytes_ += data.size();
+  if (it->second.value.data.size() + data.size() > kMaxItemBytes) {
+    return StoreResult::kNotStored;  // would exceed item_size_max
+  }
+  CacheValue& value = it->second.value;
+  const std::size_t old_footprint = value.data.footprint();
+  const std::size_t old_size = value.data.size();
+  value.data.Append(&slab_, data);
+  RechargeLocked(old_footprint, old_size, value);
+  value.cas = next_cas_++;
   TouchLruLocked(it);
   EvictIfNeededLocked();
   ++stats_.sets;
   return StoreResult::kStored;
 }
 
-StoreResult LockedEngine::Prepend(const std::string& key, const std::string& data) {
+StoreResult LockedEngine::Prepend(const std::string& key,
+                                  std::string_view data) {
   const std::int64_t now = NowSeconds();
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = FindLiveLocked(key, now);
   if (it == map_.end()) {
     return StoreResult::kNotStored;
   }
-  it->second.value.data.insert(0, data);
-  it->second.value.cas = next_cas_++;
-  bytes_ += data.size();
+  if (it->second.value.data.size() + data.size() > kMaxItemBytes) {
+    return StoreResult::kNotStored;  // would exceed item_size_max
+  }
+  CacheValue& value = it->second.value;
+  const std::size_t old_footprint = value.data.footprint();
+  const std::size_t old_size = value.data.size();
+  value.data.Prepend(&slab_, data);
+  RechargeLocked(old_footprint, old_size, value);
+  value.cas = next_cas_++;
   TouchLruLocked(it);
   EvictIfNeededLocked();
   ++stats_.sets;
   return StoreResult::kStored;
 }
 
-StoreResult LockedEngine::CheckAndSet(const std::string& key, std::string data,
+StoreResult LockedEngine::CheckAndSet(const std::string& key,
+                                      std::string_view data,
                                       std::uint32_t flags, std::int64_t exptime,
                                       std::uint64_t expected_cas) {
   const std::int64_t now = NowSeconds();
@@ -209,7 +290,7 @@ StoreResult LockedEngine::CheckAndSet(const std::string& key, std::string data,
   if (it->second.value.cas != expected_cas) {
     return StoreResult::kExists;
   }
-  StoreAtLocked(it, std::move(data), flags, exptime);
+  StoreAtLocked(it, data, flags, exptime);
   return StoreResult::kStored;
 }
 
@@ -232,15 +313,21 @@ ArithResult LockedEngine::ArithLocked(const std::string& key,
     return {ArithStatus::kNotFound, 0};
   }
   std::uint64_t current = 0;
-  if (!ParseUint64(it->second.value.data, &current)) {
+  if (!ParseUint64(it->second.value.data.view(), &current)) {
     return {ArithStatus::kNonNumeric, 0};
   }
   const std::uint64_t next =
       increment ? current + delta : (current >= delta ? current - delta : 0);
-  std::string serialized = std::to_string(next);
-  bytes_ += serialized.size() - it->second.value.data.size();
-  it->second.value.data = std::move(serialized);
-  it->second.value.cas = next_cas_++;
+  char digits[20];
+  auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), next);
+  (void)ec;  // a uint64 always fits 20 digits
+  CacheValue& value = it->second.value;
+  const std::size_t old_footprint = value.data.footprint();
+  const std::size_t old_size = value.data.size();
+  value.data.Assign(
+      &slab_, std::string_view(digits, static_cast<std::size_t>(end - digits)));
+  RechargeLocked(old_footprint, old_size, value);
+  value.cas = next_cas_++;
   TouchLruLocked(it);
   EvictIfNeededLocked();
   return {ArithStatus::kOk, next};
@@ -280,6 +367,7 @@ void LockedEngine::FlushAll(std::int64_t delay_seconds) {
   map_.clear();
   lru_.clear();
   bytes_ = 0;
+  bytes_wasted_ = 0;
   flush_at_ = kNoFlush;
 }
 
@@ -293,7 +381,11 @@ EngineStats LockedEngine::Stats() const {
   EngineStats stats = stats_;
   stats.items = map_.size();
   stats.bytes = bytes_;
+  stats.bytes_wasted = bytes_wasted_;
   stats.limit_maxbytes = config_.max_bytes;
+  const SlabStats slab = slab_.Stats();
+  stats.slab_reserved = slab.bytes_reserved;
+  stats.slab_fallbacks = slab.fallback_allocs;
   return stats;
 }
 

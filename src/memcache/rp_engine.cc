@@ -8,13 +8,14 @@
 #include "src/core/hash.h"
 #include "src/core/resize_worker.h"
 #include "src/core/rp_hash_map.h"
+#include "src/memcache/slab.h"
 #include "src/rcu/reclaimer.h"
 
 namespace rp::memcache {
 
 namespace {
 
-bool ParseUint64(const std::string& s, std::uint64_t* out) {
+bool ParseUint64(std::string_view s, std::uint64_t* out) {
   if (s.empty()) {
     return false;
   }
@@ -71,24 +72,44 @@ std::size_t PerShard(std::size_t global, std::size_t shards) {
   return global == 0 ? 0 : std::max<std::size_t>((global + shards - 1) / shards, 1);
 }
 
+// Victim bounds for the class-exhaustion sweep. The sweep is
+// class-targeted (only items whose chunk belongs to the dry class are
+// evicted — freed chunks return to their own class, so evicting anything
+// else is pure collateral), and chunks freed here return only after a
+// grace period, so it cannot run "until a chunk is free": it unlinks a
+// couple of matching victims and lets the caller drain the reclaimer.
+constexpr std::size_t kClassEvictBatch = 2;
+constexpr std::size_t kClassEvictPops = 64;
+
 }  // namespace
 
-// One keyspace partition: the full engine column — table, resize worker,
-// store mutex, eviction queue, flush deadline, byte gauge, stats. Shards
-// are heap-allocated (unique_ptr) so their hot atomics never share a cache
-// line across shards.
+// One keyspace partition: the full engine column — slab arena, table,
+// resize worker, store mutex, eviction queue, flush deadline, byte gauge,
+// stats. Shards are heap-allocated (unique_ptr) so their hot atomics never
+// share a cache line across shards.
 struct RpEngine::Shard {
   // Concurrent-writer configuration: striped writer locks (the table
   // default) and deferred reclamation, spelled out so the engine's choice
-  // survives a change of table defaults.
+  // survives a change of table defaults. The transparent KeyEqual lets
+  // lookups and conditional erases probe with string_views straight out
+  // of a parsed request (the hasher is transparent already).
   using Table =
       core::RpHashMap<std::string, CacheValue, core::MixedHash<std::string>,
-                      std::equal_to<std::string>, rcu::Epoch,
+                      std::equal_to<>, rcu::Epoch,
                       rcu::DeferredReclaimer<rcu::Epoch>>;
 
-  Shard(std::size_t buckets, std::size_t shard_count)
-      : table(buckets, TableOptions()),
+  Shard(const SlabPolicy& slab_policy, std::size_t buckets,
+        std::size_t shard_count)
+      : slab(slab_policy),
+        table(buckets, TableOptions()),
         resize_worker(table, WorkerOptions(buckets, shard_count)) {}
+
+  // Payload chunks for this shard's values. Declared before the table:
+  // the table's destructor drains deferred reclamation (destroying every
+  // retired value, whose chunks flow back here) and then deletes the
+  // still-linked nodes, so the allocator must be destroyed strictly after
+  // the table.
+  SlabAllocator slab;
 
   Table table;
 
@@ -106,11 +127,15 @@ struct RpEngine::Shard {
 
   // flush_all deadline for this shard's items (kNoFlush = none pending).
   std::atomic<std::int64_t> flush_at{kNoFlush};
-  // Charged bytes resident in this shard. Every delta is applied either
-  // under the store mutex (insert/evict/flush) or inside a table callback
-  // under the key's stripe (size-changing updates, conditional erases), so
-  // the gauge tracks table membership exactly.
+  // Charged bytes resident in this shard: key + actual chunk footprint +
+  // overhead per item. Every delta is applied either under the store
+  // mutex (insert/evict/flush) or inside a table callback under the key's
+  // stripe (size-changing updates, conditional erases), so the gauge
+  // tracks table membership exactly.
   std::atomic<std::uint64_t> bytes{0};
+  // Slab internal fragmentation share of `bytes` (chunk footprint minus
+  // stored payload), maintained at the same points as the gauge.
+  std::atomic<std::uint64_t> bytes_wasted{0};
 
   std::atomic<std::uint64_t> get_hits{0};
   std::atomic<std::uint64_t> get_misses{0};
@@ -123,6 +148,34 @@ struct RpEngine::Shard {
   // worker instead of absorbing resize cost inline. Declared after the
   // table so it stops before the table is destroyed.
   core::ResizeWorker<Table> resize_worker;
+
+  // Gauge helpers: every size-changing path funnels through these so the
+  // charge formula (and the waste share) cannot drift between paths.
+  void ChargeValue(std::size_t key_size, const CacheValue& value) {
+    bytes.fetch_add(ChargedBytes(key_size, value.data),
+                    std::memory_order_relaxed);
+    bytes_wasted.fetch_add(WastedBytes(value.data), std::memory_order_relaxed);
+  }
+  void RefundValue(std::size_t key_size, const CacheValue& value) {
+    bytes.fetch_sub(ChargedBytes(key_size, value.data),
+                    std::memory_order_relaxed);
+    bytes_wasted.fetch_sub(WastedBytes(value.data), std::memory_order_relaxed);
+  }
+  // Delta form for value overwrites. The old pair MUST come from the
+  // ORIGINAL stored value (captured in an UpdateIf predicate, which runs
+  // on it under the stripe) — never from the update clone, whose freshly
+  // allocated chunk can have a different footprint when pooled and
+  // fallback allocations mix. (Unsigned wraparound is fine: the gauge
+  // only ever sums matched charge/refund pairs.)
+  void RechargeValue(std::size_t old_footprint, std::size_t old_size,
+                     const CacheValue& value) {
+    bytes.fetch_add(value.data.footprint() - old_footprint,
+                    std::memory_order_relaxed);
+    bytes_wasted.fetch_add(
+        (value.data.footprint() - value.data.size()) -
+            (old_footprint - old_size),
+        std::memory_order_relaxed);
+  }
 };
 
 RpEngine::RpEngine(EngineConfig config) : config_(config) {
@@ -131,9 +184,11 @@ RpEngine::RpEngine(EngineConfig config) : config_(config) {
   max_items_per_shard_ = PerShard(config_.max_items, shard_count);
   max_bytes_per_shard_ = PerShard(config_.max_bytes, shard_count);
   track_eviction_ = config_.max_items != 0 || config_.max_bytes != 0;
+  const SlabPolicy slab_policy = SlabPolicyFor(config_, shard_count);
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(std::make_unique<Shard>(shard_buckets, shard_count));
+    shards_.push_back(
+        std::make_unique<Shard>(slab_policy, shard_buckets, shard_count));
   }
   shard_mask_ = shard_count - 1;
 }
@@ -154,13 +209,15 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   bool dead = false;
   // Fast path: relativistic lookup; value copied inside the read-side
-  // critical section, so the node may be reclaimed the instant we return.
+  // critical section, so the node (and its slab chunk) may be reclaimed
+  // the instant we return.
   const bool found = shard.table.With(hash, key, [&](const CacheValue& value) {
     if (!IsLive(value, flush_at, now)) {
       dead = true;
       return;
     }
-    out->data = value.data;
+    const std::string_view data = value.data.view();
+    out->data.assign(data.data(), data.size());
     out->flags = value.flags;
     out->cas = value.cas;
     // Relaxed recency stamp feeding the second-chance eviction scan. This
@@ -178,19 +235,17 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
   return false;
 }
 
-void RpEngine::GetMany(const std::string* keys, std::size_t count,
+void RpEngine::GetMany(const std::string_view* keys, std::size_t count,
                        MultiGetResult* out) {
   if (count == 0) {
     return;
   }
-  if (count == 1) {
-    out[0].hit = Get(keys[0], &out[0].value);
-    return;
-  }
 
-  // Hash every key exactly once up front. The shard index derives from the
-  // hash, so per key only the hash plus a marker byte need storage; batches
-  // up to kInlineKeys (the common pipelined multi-get) stay on the stack.
+  // Hash every key exactly once up front (the transparent hasher reads
+  // the string_views in place — no per-key std::string materializes
+  // anywhere on this path). The shard index derives from the hash, so per
+  // key only the hash plus a marker byte need storage; batches up to
+  // kInlineKeys (the common pipelined multi-get) stay on the stack.
   constexpr std::size_t kInlineKeys = 32;
   constexpr unsigned char kProcessed = 1;
   constexpr unsigned char kDead = 2;
@@ -243,7 +298,8 @@ void RpEngine::GetMany(const std::string* keys, std::size_t count,
                              dead = true;
                              return;
                            }
-                           slot.value.data = value.data;
+                           const std::string_view data = value.data.view();
+                           slot.value.data.assign(data.data(), data.size());
                            slot.value.flags = value.flags;
                            slot.value.cas = value.cas;
                            value.last_used.store(now,
@@ -286,7 +342,7 @@ void RpEngine::GetMany(const std::string* keys, std::size_t count,
 }
 
 void RpEngine::ReclaimDead(Shard& shard, core::Prehashed hash,
-                           const std::string& key) {
+                           std::string_view key) {
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   // Conditional erase: the still-dead re-check, the byte refund and the
@@ -297,8 +353,7 @@ void RpEngine::ReclaimDead(Shard& shard, core::Prehashed hash,
         if (IsLive(value, flush_at, now)) {
           return false;
         }
-        shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
-                              std::memory_order_relaxed);
+        shard.RefundValue(key.size(), value);
         return true;
       });
   if (erased) {
@@ -347,8 +402,7 @@ void RpEngine::EvictLocked(Shard& shard) {
         recently_used = true;
         return false;
       }
-      shard.bytes.fetch_sub(ChargedBytes(victim.size(), value.data.size()),
-                            std::memory_order_relaxed);
+      shard.RefundValue(victim.size(), value);
       return true;
     });
     if (erased) {
@@ -367,6 +421,53 @@ void RpEngine::EvictLocked(Shard& shard) {
   }
 }
 
+void RpEngine::EvictForClassLocked(Shard& shard,
+                                   std::size_t needed_footprint) {
+  if (!track_eviction_) {
+    return;
+  }
+  const std::int64_t now = NowSeconds();
+  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
+  // Class-targeted, no second chance: only victims whose chunk footprint
+  // matches the dry class are evicted (their chunks are the only ones the
+  // reclaimer drain can hand back to it); wrong-class live items are
+  // spared and requeued. Dead items are reclaimed on sight regardless —
+  // pool pressure is a fine moment for hygiene.
+  std::size_t pops = std::min(shard.fifo.size(), kClassEvictPops);
+  std::size_t matches = kClassEvictBatch;
+  while (pops-- > 0 && matches > 0 && !shard.fifo.empty()) {
+    std::string victim = std::move(shard.fifo.front());
+    shard.fifo.pop_front();
+    bool was_dead = false;
+    bool matched = false;
+    bool examined = false;
+    const bool erased =
+        shard.table.EraseIf(victim, [&](const CacheValue& value) {
+          examined = true;
+          was_dead = !IsLive(value, flush_at, now);
+          matched = value.data.footprint() == needed_footprint;
+          if (!was_dead && !matched) {
+            return false;  // wrong class: evicting it cannot help
+          }
+          shard.RefundValue(victim.size(), value);
+          return true;
+        });
+    if (erased) {
+      if (matched) {
+        --matches;
+      }
+      if (was_dead) {
+        shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        shard.evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (examined) {
+      shard.fifo.push_back(std::move(victim));  // spared, keep tracking it
+    }
+    // else: stale queue entry (deleted or already evicted) — drop it.
+  }
+}
+
 void RpEngine::MaybeEvict(Shard& shard) {
   if (!track_eviction_ || !OverLimit(shard)) {
     return;
@@ -375,29 +476,63 @@ void RpEngine::MaybeEvict(Shard& shard) {
   EvictLocked(shard);
 }
 
-StoreResult RpEngine::Set(const std::string& key, std::string data,
+void RpEngine::EnsureChunkAvailable(Shard& shard, std::size_t data_size) {
+  if (data_size == 0 || shard.slab.HasAvailable(data_size)) {
+    return;
+  }
+  // Freed chunks only ever return to their own class: if the arena never
+  // carved this class a page, neither eviction nor a reclaimer drain can
+  // produce one — go straight to the heap fallback (still charged
+  // exactly; the byte-cap sweep keeps total memory bounded).
+  if (!shard.slab.HasChunksOf(data_size)) {
+    return;
+  }
+  // The class is dry against the arena cap. Evict a couple of matching
+  // victims (under the store mutex — never while holding a stripe), then
+  // drain the deferred reclaimer with no locks held so their chunks (and
+  // any same-class retirements from ordinary churn) actually return to
+  // the pool. Holding no engine lock here is what makes the drain safe:
+  // callbacks free chunks into the slab mutex, and the grace period only
+  // waits on read-side sections, never on writers.
+  {
+    std::lock_guard<std::mutex> lock(shard.store_mutex);
+    EvictForClassLocked(shard, shard.slab.FootprintFor(data_size));
+  }
+  Shard::Table::reclaimer_type::Drain();
+}
+
+StoreResult RpEngine::Set(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
-  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
-  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+  EnsureChunkAvailable(shard, data.size());
+  // Payload goes straight from the parsed request into a slab chunk; no
+  // owning string is ever allocated for it.
+  CacheValue value(SlabBuffer(&shard.slab, data), flags,
+                   ResolveExptime(exptime, now),
                    next_cas_.fetch_add(1, std::memory_order_relaxed));
   value.stored_at = now;
   value.last_used.store(now, std::memory_order_relaxed);
+  const std::size_t new_charge = ChargedBytes(key.size(), value.data);
+  const std::size_t new_waste = WastedBytes(value.data);
   std::lock_guard<std::mutex> lock(shard.store_mutex);
   // One stripe-atomic insert-or-assign: on a replacement the byte delta
   // against the old value is applied inside the table callback, under the
   // key's stripe, so a concurrent size-changing update of the same key can
-  // never skew the gauge — and the old payload is never cloned.
+  // never skew the gauge — and the old payload is never cloned (the
+  // callback sees the ORIGINAL value, so its footprint is the real one).
   const bool inserted = shard.table.InsertOrAssign(
       hash, key, std::move(value), [&](const CacheValue& old) {
         shard.bytes.fetch_add(
-            new_charge - ChargedBytes(key.size(), old.data.size()),
+            new_charge - ChargedBytes(key.size(), old.data),
             std::memory_order_relaxed);
+        shard.bytes_wasted.fetch_add(new_waste - WastedBytes(old.data),
+                                     std::memory_order_relaxed);
       });
   if (inserted) {
     shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
+    shard.bytes_wasted.fetch_add(new_waste, std::memory_order_relaxed);
     shard.total_items.fetch_add(1, std::memory_order_relaxed);
     NoteInsertLocked(shard, key);
   }
@@ -406,19 +541,30 @@ StoreResult RpEngine::Set(const std::string& key, std::string data,
   return StoreResult::kStored;
 }
 
-StoreResult RpEngine::Add(const std::string& key, std::string data,
+StoreResult RpEngine::Add(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  const std::size_t new_charge = ChargedBytes(key.size(), data.size());
-  CacheValue value(std::move(data), flags, ResolveExptime(exptime, now),
+  // Evict-for-class only when the add can actually store (key absent or
+  // dead): an add answered NOT_STORED must not evict live data. Advisory
+  // and race-tolerant, like the Replace-side gate.
+  if (!shard.slab.HasAvailable(data.size()) &&
+      !shard.table.Contains(hash, key)) {
+    EnsureChunkAvailable(shard, data.size());
+  }
+  CacheValue value(SlabBuffer(&shard.slab, data), flags,
+                   ResolveExptime(exptime, now),
                    next_cas_.fetch_add(1, std::memory_order_relaxed));
   value.stored_at = now;
   value.last_used.store(now, std::memory_order_relaxed);
+  const std::size_t new_charge = ChargedBytes(key.size(), value.data);
+  const std::size_t new_waste = WastedBytes(value.data);
   std::lock_guard<std::mutex> lock(shard.store_mutex);
   bool live = false;
+  std::size_t old_footprint = 0;  // captured from the original, not the clone
+  std::size_t old_size = 0;
   // A dead entry (expired or flushed) may be overwritten in place; the
   // liveness check and the overwrite are atomic under the stripe. As in
   // Set, a missed overwrite makes Insert infallible under the store mutex.
@@ -429,12 +575,16 @@ StoreResult RpEngine::Add(const std::string& key, std::string data,
           live = true;
           return false;
         }
+        old_footprint = old.data.footprint();
+        old_size = old.data.size();
         return true;
       },
       [&](CacheValue& old) {
         shard.bytes.fetch_add(
-            new_charge - ChargedBytes(key.size(), old.data.size()),
+            new_charge - (key.size() + old_footprint + kItemOverheadBytes),
             std::memory_order_relaxed);
+        shard.bytes_wasted.fetch_add(new_waste - (old_footprint - old_size),
+                                     std::memory_order_relaxed);
         old = std::move(value);
         // Overwriting a dead entry is a reclaim plus a fresh link, so the
         // stats match the locked engine's erase-then-insert for the same
@@ -447,6 +597,7 @@ StoreResult RpEngine::Add(const std::string& key, std::string data,
   }
   if (!replaced && shard.table.Insert(hash, key, std::move(value))) {
     shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
+    shard.bytes_wasted.fetch_add(new_waste, std::memory_order_relaxed);
     shard.total_items.fetch_add(1, std::memory_order_relaxed);
     NoteInsertLocked(shard, key);
   }
@@ -459,21 +610,45 @@ StoreResult RpEngine::Add(const std::string& key, std::string data,
 // check and the overwrite are atomic under the stripe, so a concurrent
 // DELETE can never be resurrected by a REPLACE that passed a stale check
 // (and a replace never inserts, so eviction bookkeeping is untouched).
-StoreResult RpEngine::Replace(const std::string& key, std::string data,
+StoreResult RpEngine::Replace(const std::string& key, std::string_view data,
                               std::uint32_t flags, std::int64_t exptime) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  const std::size_t new_size = data.size();
+  // Gate the exhaustion slow path on the key being present at all: a
+  // replace of a missing key stores nothing, and evicting live items for
+  // it would be pure collateral. (Advisory and race-tolerant — liveness
+  // is re-checked under the stripe; a wrong guess only means one heap
+  // fallback.)
+  if (!shard.slab.HasAvailable(data.size()) &&
+      shard.table.Contains(hash, key)) {
+    EnsureChunkAvailable(shard, data.size());
+  }
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  // The gauge delta must be computed against the ORIGINAL value's
+  // footprint (captured in the predicate, which runs on the stored value
+  // under the stripe) — the clone handed to the mutate callback sits in a
+  // freshly allocated chunk whose footprint can differ from the
+  // original's whenever pooled and fallback allocations mix.
+  std::size_t old_footprint = 0;
+  std::size_t old_size = 0;
   const bool replaced = shard.table.UpdateIf(
       hash, key,
-      [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
+      [&](const CacheValue& value) {
+        if (!IsLive(value, flush_at, now)) {
+          return false;
+        }
+        old_footprint = value.data.footprint();
+        old_size = value.data.size();
+        return true;
+      },
       [&](CacheValue& value) {
-        shard.bytes.fetch_add(new_size - value.data.size(),
-                              std::memory_order_relaxed);
-        value.data = std::move(data);
+        // `value` is the writer's private clone: overwriting its buffer
+        // in place (or swapping chunks — Assign frees only never-published
+        // chunks here) is invisible to readers of the original node.
+        value.data.Assign(&shard.slab, data);
+        shard.RechargeValue(old_footprint, old_size, value);
         value.flags = flags;
         value.expire_at = ResolveExptime(exptime, now);
         value.cas = cas;
@@ -493,18 +668,29 @@ StoreResult RpEngine::Replace(const std::string& key, std::string data,
 // concurrent update of the same key, so no engine-wide lock is needed.
 // Dead (expired/flushed) items reject the concatenation — stored_at is
 // preserved, so a flushed item can never be revived through its tail.
-StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
+// Growth past kMaxItemBytes (memcached's item_size_max) is rejected too.
+StoreResult RpEngine::Append(const std::string& key, std::string_view data) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t old_footprint = 0;  // captured from the original, not the clone
+  std::size_t old_size = 0;
   const bool updated = shard.table.UpdateIf(
       hash, key,
-      [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
+      [&](const CacheValue& value) {
+        if (!IsLive(value, flush_at, now) ||
+            value.data.size() + data.size() > kMaxItemBytes) {
+          return false;  // dead, or the result would exceed item_size_max
+        }
+        old_footprint = value.data.footprint();
+        old_size = value.data.size();
+        return true;
+      },
       [&](CacheValue& value) {
-        shard.bytes.fetch_add(data.size(), std::memory_order_relaxed);
-        value.data.append(data);
+        value.data.Append(&shard.slab, data);
+        shard.RechargeValue(old_footprint, old_size, value);
         value.cas = cas;
       });
   if (!updated) {
@@ -515,18 +701,28 @@ StoreResult RpEngine::Append(const std::string& key, const std::string& data) {
   return StoreResult::kStored;
 }
 
-StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
+StoreResult RpEngine::Prepend(const std::string& key, std::string_view data) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t old_footprint = 0;  // captured from the original, not the clone
+  std::size_t old_size = 0;
   const bool updated = shard.table.UpdateIf(
       hash, key,
-      [&](const CacheValue& value) { return IsLive(value, flush_at, now); },
+      [&](const CacheValue& value) {
+        if (!IsLive(value, flush_at, now) ||
+            value.data.size() + data.size() > kMaxItemBytes) {
+          return false;  // dead, or the result would exceed item_size_max
+        }
+        old_footprint = value.data.footprint();
+        old_size = value.data.size();
+        return true;
+      },
       [&](CacheValue& value) {
-        shard.bytes.fetch_add(data.size(), std::memory_order_relaxed);
-        value.data.insert(0, data);
+        value.data.Prepend(&shard.slab, data);
+        shard.RechargeValue(old_footprint, old_size, value);
         value.cas = cas;
       });
   if (!updated) {
@@ -542,17 +738,25 @@ StoreResult RpEngine::Prepend(const std::string& key, const std::string& data) {
 // the cas under the same stripe) either lands before the comparison — CAS
 // returns kExists — or after the whole CAS; it can never be silently
 // overwritten between a passed check and the store.
-StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
+StoreResult RpEngine::CheckAndSet(const std::string& key, std::string_view data,
                                   std::uint32_t flags, std::int64_t exptime,
                                   std::uint64_t expected_cas) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  const std::size_t new_size = data.size();
+  // As in Replace: evict-for-class only when the key exists — a cas that
+  // will answer NOT_FOUND (or EXISTS) must not evict live data for a
+  // store that never happens.
+  if (!shard.slab.HasAvailable(data.size()) &&
+      shard.table.Contains(hash, key)) {
+    EnsureChunkAvailable(shard, data.size());
+  }
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   bool live = false;
   bool matched = false;
+  std::size_t old_footprint = 0;  // captured from the original, not the clone
+  std::size_t old_size = 0;
   shard.table.UpdateIf(
       hash, key,
       [&](const CacheValue& value) {
@@ -561,12 +765,15 @@ StoreResult RpEngine::CheckAndSet(const std::string& key, std::string data,
         }
         live = true;
         matched = value.cas == expected_cas;
+        if (matched) {
+          old_footprint = value.data.footprint();
+          old_size = value.data.size();
+        }
         return matched;
       },
       [&](CacheValue& value) {
-        shard.bytes.fetch_add(new_size - value.data.size(),
-                              std::memory_order_relaxed);
-        value.data = std::move(data);
+        value.data.Assign(&shard.slab, data);
+        shard.RechargeValue(old_footprint, old_size, value);
         value.flags = flags;
         value.expire_at = ResolveExptime(exptime, now);
         value.cas = cas;
@@ -599,8 +806,7 @@ bool RpEngine::Delete(const std::string& key) {
   const bool erased =
       shard.table.EraseIf(hash, key, [&](const CacheValue& value) {
         was_live = IsLive(value, flush_at, now);
-        shard.bytes.fetch_sub(ChargedBytes(key.size(), value.data.size()),
-                              std::memory_order_relaxed);
+        shard.RefundValue(key.size(), value);
         return true;
       });
   if (!erased) {
@@ -628,6 +834,8 @@ ArithResult RpEngine::Arith(const std::string& key, std::uint64_t delta,
   const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
   ArithStatus status = ArithStatus::kNotFound;  // stays if the key is absent
   std::uint64_t next = 0;
+  std::size_t old_footprint = 0;  // captured from the original, not the clone
+  std::size_t old_size = 0;
   shard.table.UpdateIf(
       hash, key,
       [&](const CacheValue& value) {
@@ -636,20 +844,25 @@ ArithResult RpEngine::Arith(const std::string& key, std::uint64_t delta,
           return false;
         }
         std::uint64_t current = 0;
-        if (!ParseUint64(value.data, &current)) {
+        if (!ParseUint64(value.data.view(), &current)) {
           status = ArithStatus::kNonNumeric;
           return false;
         }
         next = increment ? current + delta
                          : (current >= delta ? current - delta : 0);
         status = ArithStatus::kOk;
+        old_footprint = value.data.footprint();
+        old_size = value.data.size();
         return true;
       },
       [&](CacheValue& value) {
-        std::string serialized = std::to_string(next);
-        shard.bytes.fetch_add(serialized.size() - value.data.size(),
-                              std::memory_order_relaxed);
-        value.data = std::move(serialized);
+        char digits[20];
+        auto [end, ec] = std::to_chars(digits, digits + sizeof(digits), next);
+        (void)ec;  // a uint64 always fits 20 digits
+        value.data.Assign(&shard.slab, std::string_view(
+                                           digits,
+                                           static_cast<std::size_t>(end - digits)));
+        shard.RechargeValue(old_footprint, old_size, value);
         value.cas = cas;
       });
   if (status != ArithStatus::kOk) {
@@ -687,7 +900,9 @@ bool RpEngine::Touch(const std::string& key, std::int64_t exptime) {
 // shard under its store mutex (Clear syncs on every stripe, so all byte
 // deltas from in-flight per-key updates land before the gauge resets). A
 // delayed flush just arms each shard's deadline; items die logically when
-// it passes and are reclaimed lazily (GET path, eviction sweep).
+// it passes and are reclaimed lazily (GET path, eviction sweep). The
+// cleared nodes' slab chunks flow back through deferred reclamation —
+// readers mid-section keep seeing valid data.
 void RpEngine::FlushAll(std::int64_t delay_seconds) {
   const std::int64_t now = NowSeconds();
   if (delay_seconds > 0) {
@@ -705,6 +920,7 @@ void RpEngine::FlushAll(std::int64_t delay_seconds) {
     shard->table.Clear();
     shard->fifo.clear();
     shard->bytes.store(0, std::memory_order_relaxed);
+    shard->bytes_wasted.store(0, std::memory_order_relaxed);
     shard->flush_at.store(kNoFlush, std::memory_order_relaxed);
   }
 }
@@ -746,7 +962,11 @@ EngineStats RpEngine::Stats() const {
         shard->expired_reclaims.load(std::memory_order_relaxed);
     stats.total_items += shard->total_items.load(std::memory_order_relaxed);
     stats.bytes += shard->bytes.load(std::memory_order_relaxed);
+    stats.bytes_wasted += shard->bytes_wasted.load(std::memory_order_relaxed);
     stats.items += shard->table.Size();
+    const SlabStats slab = shard->slab.Stats();
+    stats.slab_reserved += slab.bytes_reserved;
+    stats.slab_fallbacks += slab.fallback_allocs;
   }
   return stats;
 }

@@ -3,14 +3,15 @@
 // The keyspace is partitioned into EngineConfig::shards independent shards
 // (power of two). Each shard owns the whole engine column for its slice of
 // the keyspace: an RpHashMap, a background ResizeWorker, a store mutex, a
-// second-chance eviction queue, byte accounting and stats counters. Keys
-// route to shards by the high bits of the same mixed hash the table uses
-// for buckets (low bits), so shard membership and bucket placement stay
-// uncorrelated — and every request computes that hash exactly once, at the
-// dispatch boundary, handing it down as a core::Prehashed token so no key
-// is ever string-hashed twice (the one-hash invariant; see README "Hot
-// path anatomy"). SET-heavy traffic to different shards never contends on
-// any lock; GETs stay wait-free everywhere.
+// second-chance eviction queue, a slab allocator for value payloads, byte
+// accounting and stats counters. Keys route to shards by the high bits of
+// the same mixed hash the table uses for buckets (low bits), so shard
+// membership and bucket placement stay uncorrelated — and every request
+// computes that hash exactly once, at the dispatch boundary, handing it
+// down as a core::Prehashed token so no key is ever string-hashed twice
+// (the one-hash invariant; see docs/ARCHITECTURE.md). SET-heavy traffic
+// to different shards never contends on any lock; GETs stay wait-free
+// everywhere.
 //
 // Within a shard, GET takes the fast path: a relativistic lookup copying
 // the value out inside the read-side critical section — no lock, no shared
@@ -26,12 +27,19 @@
 // entirely: each table runs with auto_resize off and its shard's
 // background ResizeWorker absorbs resize cost, kernel-rhashtable style.
 //
-// Memory accounting is byte-accurate: every resident item is charged
-// ChargedBytes(key, data) against its shard's atomic byte gauge; every
-// path that changes a value's size adjusts the gauge inside the table
-// callback (under the key's stripe), so the gauge and table membership
-// never drift. A configured max_bytes is split evenly across shards and
-// enforced by the per-shard eviction sweep.
+// Value payloads live in per-shard slab chunks (src/memcache/slab.h), not
+// per-item heap strings: a steady-state SET recycles a chunk instead of
+// calling malloc, and the byte gauge charges the chunk's actual footprint
+// (waste tracked as bytes_wasted) instead of a modelled constant — exact
+// accounting against allocator overhead. Chunks are recycled strictly
+// through value destruction inside nodes the DeferredReclaimer retires,
+// so a reader inside an epoch section can never observe a reused chunk.
+// When a size class runs dry against the shard's arena (max_bytes /
+// shards), the store path evicts for that class and drains the reclaimer
+// so retired chunks actually return; if the class is still dry (deferred
+// frees cannot be conjured synchronously) the allocation falls back to an
+// exact-size tracked heap block, keeping the cache serving and the gauge
+// honest.
 #ifndef RP_MEMCACHE_RP_ENGINE_H_
 #define RP_MEMCACHE_RP_ENGINE_H_
 
@@ -40,6 +48,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/hash.h"
@@ -53,23 +62,25 @@ class RpEngine final : public CacheEngine {
   ~RpEngine() override;
 
   bool Get(const std::string& key, StoredValue* out) override;
-  // Batched multi-get: keys are hashed once, grouped by shard, and each
-  // shard's group executes inside a single read-side critical section (one
-  // epoch enter/exit per group, not per key). Expired items are reclaimed
-  // after every section has closed — reclamation takes writer locks, which
-  // must never happen inside a read section (a resize holding the stripes
-  // waits for readers).
-  void GetMany(const std::string* keys, std::size_t count,
+  // Batched multi-get: keys (string_views over the parsed request — the
+  // whole lookup path is transparent, nothing is copied per key) are
+  // hashed once, grouped by shard, and each shard's group executes inside
+  // a single read-side critical section (one epoch enter/exit per group,
+  // not per key). Expired items are reclaimed after every section has
+  // closed — reclamation takes writer locks, which must never happen
+  // inside a read section (a resize holding the stripes waits for
+  // readers).
+  void GetMany(const std::string_view* keys, std::size_t count,
                MultiGetResult* out) override;
-  StoreResult Set(const std::string& key, std::string data, std::uint32_t flags,
-                  std::int64_t exptime) override;
-  StoreResult Add(const std::string& key, std::string data, std::uint32_t flags,
-                  std::int64_t exptime) override;
-  StoreResult Replace(const std::string& key, std::string data,
+  StoreResult Set(const std::string& key, std::string_view data,
+                  std::uint32_t flags, std::int64_t exptime) override;
+  StoreResult Add(const std::string& key, std::string_view data,
+                  std::uint32_t flags, std::int64_t exptime) override;
+  StoreResult Replace(const std::string& key, std::string_view data,
                       std::uint32_t flags, std::int64_t exptime) override;
-  StoreResult Append(const std::string& key, const std::string& data) override;
-  StoreResult Prepend(const std::string& key, const std::string& data) override;
-  StoreResult CheckAndSet(const std::string& key, std::string data,
+  StoreResult Append(const std::string& key, std::string_view data) override;
+  StoreResult Prepend(const std::string& key, std::string_view data) override;
+  StoreResult CheckAndSet(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime,
                           std::uint64_t expected_cas) override;
   bool Delete(const std::string& key) override;
@@ -118,7 +129,22 @@ class RpEngine final : public CacheEngine {
   // Cheap over-budget check for update paths that grow a value outside the
   // store mutex (append/replace/cas/incr); takes the mutex only when over.
   void MaybeEvict(Shard& shard);
-  void ReclaimDead(Shard& shard, core::Prehashed hash, const std::string& key);
+  // Slab-exhaustion slow path, called with NO locks held before a store
+  // that needs a chunk of `data_size`: when the size class is dry against
+  // the arena cap (and the arena has actually carved chunks of it), evict
+  // a couple of matching victims and drain the deferred reclaimer so
+  // retired chunks return to the pool. Purely advisory — the allocation
+  // itself still falls back to the heap if the class stays dry.
+  void EnsureChunkAvailable(Shard& shard, std::size_t data_size);
+  // Bounded class-targeted eviction sweep run when a slab class is
+  // exhausted: only victims whose chunk footprint matches the dry class
+  // are evicted (freed chunks return to their own class, so anything else
+  // is collateral damage); wrong-class live items are requeued. Unlinks
+  // regardless of the byte gauge — the chunks come back only after a
+  // grace period, so sweeping "until a chunk is free" would empty the
+  // shard. Caller must hold shard.store_mutex.
+  void EvictForClassLocked(Shard& shard, std::size_t needed_footprint);
+  void ReclaimDead(Shard& shard, core::Prehashed hash, std::string_view key);
   ArithResult Arith(const std::string& key, std::uint64_t delta,
                     bool increment);
 

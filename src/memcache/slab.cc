@@ -1,0 +1,408 @@
+#include "src/memcache/slab.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <new>
+
+namespace rp::memcache {
+
+namespace {
+
+constexpr std::size_t AlignUp(std::size_t n, std::size_t a) {
+  return (n + a - 1) & ~(a - 1);
+}
+
+// Chunk capacities are 8-byte multiples so every chunk start (and the
+// intrusive free-list pointer stored in the payload) stays aligned.
+constexpr std::size_t kChunkAlign = 8;
+
+// Growth factors outside this band either stop making progress (<= 1) or
+// degenerate into one class per power (> 4); both come from operator
+// command lines, so clamp instead of asserting.
+double ClampGrowth(double growth) {
+  return std::min(std::max(growth, 1.05), 4.0);
+}
+
+// The next rung on the geometric ladder: grow by the factor, realign, and
+// always advance by at least one alignment step so the ladder terminates.
+std::size_t NextClassSize(std::size_t size, double growth) {
+  const auto scaled = static_cast<std::size_t>(static_cast<double>(size) * growth);
+  return std::max(AlignUp(scaled, kChunkAlign), size + kChunkAlign);
+}
+
+std::size_t FallbackFootprint(std::size_t size) {
+  return SlabAllocator::kHeaderBytes + AlignUp(size, kChunkAlign);
+}
+
+}  // namespace
+
+// The 16 bytes preceding every payload. `owner` is null for untracked
+// heap blocks; `cls` is kFallbackClass for any non-pooled allocation.
+struct SlabAllocator::Header {
+  SlabAllocator* owner;
+  std::uint32_t capacity;
+  std::uint32_t cls;
+};
+static_assert(sizeof(SlabAllocator::Header) == SlabAllocator::kHeaderBytes);
+static_assert(alignof(SlabAllocator::Header) <= kChunkAlign);
+
+namespace {
+
+SlabAllocator::Header* HeaderOf(char* payload) {
+  return reinterpret_cast<SlabAllocator::Header*>(payload -
+                                                  SlabAllocator::kHeaderBytes);
+}
+
+const SlabAllocator::Header* HeaderOf(const char* payload) {
+  return reinterpret_cast<const SlabAllocator::Header*>(
+      payload - SlabAllocator::kHeaderBytes);
+}
+
+}  // namespace
+
+SlabAllocator::SlabAllocator(SlabPolicy policy) : policy_(policy) {
+  policy_.growth = ClampGrowth(policy_.growth);
+  if (policy_.arena_bytes != 0) {
+    // A page must not swallow a whole small arena: with a 64 KiB page and
+    // a 64 KiB arena the first class to allocate would take everything
+    // and every other class would live off the heap fallback forever.
+    // Capping pages at 1/8th of the arena spreads it across classes.
+    policy_.page_bytes =
+        std::min(policy_.page_bytes,
+                 std::max<std::size_t>(policy_.arena_bytes / 8, 4096));
+  }
+  if (policy_.chunk_max != 0) {
+    const std::size_t max_cap = AlignUp(
+        std::max(policy_.chunk_max, std::max(policy_.chunk_min, kChunkAlign)),
+        kChunkAlign);
+    std::size_t cap =
+        AlignUp(std::max(policy_.chunk_min, kChunkAlign), kChunkAlign);
+    while (cap < max_cap) {
+      class_capacity_.push_back(cap);
+      cap = NextClassSize(cap, policy_.growth);
+    }
+    class_capacity_.push_back(max_cap);
+  }
+  free_lists_.assign(class_capacity_.size(), nullptr);
+  class_chunks_.assign(class_capacity_.size(), 0);
+}
+
+SlabAllocator::~SlabAllocator() {
+  // Pages are freed wholesale; the engines destroy every value (draining
+  // deferred reclamation first) before their shard's allocator, so no
+  // live chunk can outlast us. Outstanding fallbacks would be individual
+  // leaks the engines' ownership discipline also rules out.
+  for (void* page : pages_) {
+    ::operator delete(page);
+  }
+}
+
+std::size_t SlabAllocator::ClassIndexFor(std::size_t size) const {
+  const auto it =
+      std::lower_bound(class_capacity_.begin(), class_capacity_.end(), size);
+  return static_cast<std::size_t>(it - class_capacity_.begin());
+}
+
+bool SlabAllocator::GrowClassLocked(std::size_t cls) {
+  const std::size_t stride = kHeaderBytes + class_capacity_[cls];
+  std::size_t page = std::max(policy_.page_bytes, stride);
+  if (policy_.arena_bytes != 0) {
+    if (bytes_reserved_ + stride > policy_.arena_bytes) {
+      return false;  // not even one chunk of headroom left
+    }
+    page = std::min(page, policy_.arena_bytes - bytes_reserved_);
+  }
+  const std::size_t chunks = page / stride;
+  page = chunks * stride;  // trim the tail the carve could not use
+  char* mem = static_cast<char*>(::operator new(page));
+  pages_.push_back(mem);
+  bytes_reserved_ += page;
+  class_chunks_[cls] += chunks;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    char* payload = mem + i * stride + kHeaderBytes;
+    *HeaderOf(payload) = Header{this, static_cast<std::uint32_t>(
+                                           class_capacity_[cls]),
+                                static_cast<std::uint32_t>(cls)};
+    *reinterpret_cast<char**>(payload) = free_lists_[cls];
+    free_lists_[cls] = payload;
+  }
+  return true;
+}
+
+char* SlabAllocator::TryAllocate(std::size_t size) {
+  if (size == 0) {
+    return nullptr;
+  }
+  const std::size_t cls = ClassIndexFor(size);
+  if (cls >= class_capacity_.size()) {
+    return nullptr;  // pooling disabled or size > chunk_max
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_lists_[cls] == nullptr && !GrowClassLocked(cls)) {
+    ++class_exhausted_;
+    return nullptr;
+  }
+  char* payload = free_lists_[cls];
+  free_lists_[cls] = *reinterpret_cast<char**>(payload);
+  ++chunks_in_use_;
+  return payload;
+}
+
+char* SlabAllocator::Allocate(std::size_t size) {
+  if (size == 0) {
+    return nullptr;
+  }
+  if (char* payload = TryAllocate(size)) {
+    return payload;
+  }
+  const std::size_t capacity = AlignUp(size, kChunkAlign);
+  char* payload =
+      static_cast<char*>(::operator new(kHeaderBytes + capacity)) +
+      kHeaderBytes;
+  *HeaderOf(payload) =
+      Header{this, static_cast<std::uint32_t>(capacity), kFallbackClass};
+  std::lock_guard<std::mutex> lock(mu_);
+  ++fallback_allocs_;
+  fallback_bytes_ += kHeaderBytes + capacity;
+  return payload;
+}
+
+char* SlabAllocator::AllocateUntracked(std::size_t size) {
+  if (size == 0) {
+    return nullptr;
+  }
+  const std::size_t capacity = AlignUp(size, kChunkAlign);
+  char* payload =
+      static_cast<char*>(::operator new(kHeaderBytes + capacity)) +
+      kHeaderBytes;
+  *HeaderOf(payload) =
+      Header{nullptr, static_cast<std::uint32_t>(capacity), kFallbackClass};
+  return payload;
+}
+
+void SlabAllocator::Free(char* payload) {
+  if (payload == nullptr) {
+    return;
+  }
+  Header* header = HeaderOf(payload);
+  SlabAllocator* owner = header->owner;
+  if (owner == nullptr) {
+    ::operator delete(payload - kHeaderBytes);
+    return;
+  }
+  if (header->cls == kFallbackClass) {
+    const std::size_t footprint = kHeaderBytes + header->capacity;
+    {
+      std::lock_guard<std::mutex> lock(owner->mu_);
+      owner->fallback_bytes_ -= footprint;
+    }
+    ::operator delete(payload - kHeaderBytes);
+    return;
+  }
+  const std::size_t cls = header->cls;
+  std::lock_guard<std::mutex> lock(owner->mu_);
+  *reinterpret_cast<char**>(payload) = owner->free_lists_[cls];
+  owner->free_lists_[cls] = payload;
+  --owner->chunks_in_use_;
+}
+
+std::size_t SlabAllocator::FootprintOf(const char* payload) {
+  return payload == nullptr ? 0 : kHeaderBytes + HeaderOf(payload)->capacity;
+}
+
+std::size_t SlabAllocator::CapacityOf(const char* payload) {
+  return payload == nullptr ? 0 : HeaderOf(payload)->capacity;
+}
+
+SlabAllocator* SlabAllocator::OwnerOf(const char* payload) {
+  return payload == nullptr ? nullptr : HeaderOf(payload)->owner;
+}
+
+bool SlabAllocator::HasChunksOf(std::size_t size) const {
+  if (size == 0) {
+    return false;
+  }
+  const std::size_t cls = ClassIndexFor(size);
+  if (cls >= class_capacity_.size()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return class_chunks_[cls] != 0;
+}
+
+bool SlabAllocator::HasAvailable(std::size_t size) const {
+  if (size == 0) {
+    return true;
+  }
+  const std::size_t cls = ClassIndexFor(size);
+  if (cls >= class_capacity_.size()) {
+    return true;  // fallback territory: eviction cannot help
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_lists_[cls] != nullptr) {
+    return true;
+  }
+  const std::size_t stride = kHeaderBytes + class_capacity_[cls];
+  return policy_.arena_bytes == 0 ||
+         bytes_reserved_ + stride <= policy_.arena_bytes;
+}
+
+std::size_t SlabAllocator::FootprintFor(std::size_t size) const {
+  if (size == 0) {
+    return 0;
+  }
+  const std::size_t cls = ClassIndexFor(size);
+  if (cls >= class_capacity_.size()) {
+    return FallbackFootprint(size);
+  }
+  return kHeaderBytes + class_capacity_[cls];
+}
+
+SlabStats SlabAllocator::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SlabStats stats;
+  stats.bytes_reserved = bytes_reserved_;
+  stats.chunks_in_use = chunks_in_use_;
+  stats.fallback_bytes = fallback_bytes_;
+  stats.fallback_allocs = fallback_allocs_;
+  stats.class_exhausted = class_exhausted_;
+  return stats;
+}
+
+std::size_t SlabFootprintFor(const SlabPolicy& policy, std::size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  if (policy.chunk_max == 0) {
+    return FallbackFootprint(size);
+  }
+  const double growth = ClampGrowth(policy.growth);
+  const std::size_t max_cap = AlignUp(
+      std::max(policy.chunk_max, std::max(policy.chunk_min, kChunkAlign)),
+      kChunkAlign);
+  if (size > max_cap) {
+    return FallbackFootprint(size);
+  }
+  std::size_t cap =
+      AlignUp(std::max(policy.chunk_min, kChunkAlign), kChunkAlign);
+  while (cap < size && cap < max_cap) {
+    cap = std::min(NextClassSize(cap, growth), max_cap);
+  }
+  return SlabAllocator::kHeaderBytes + cap;
+}
+
+SlabBuffer::SlabBuffer(const SlabBuffer& other) {
+  if (other.payload_ != nullptr) {
+    SlabAllocator* owner = SlabAllocator::OwnerOf(other.payload_);
+    payload_ = owner != nullptr
+                   ? owner->Allocate(other.size_)
+                   : SlabAllocator::AllocateUntracked(other.size_);
+    std::memcpy(payload_, other.payload_, other.size_);
+    size_ = other.size_;
+  }
+}
+
+SlabBuffer& SlabBuffer::operator=(const SlabBuffer& other) {
+  if (this != &other) {
+    Assign(SlabAllocator::OwnerOf(other.payload_), other.view());
+  }
+  return *this;
+}
+
+SlabBuffer& SlabBuffer::operator=(SlabBuffer&& other) noexcept {
+  if (this != &other) {
+    SlabAllocator::Free(payload_);
+    payload_ = other.payload_;
+    size_ = other.size_;
+    other.payload_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void SlabBuffer::Assign(SlabAllocator* slab, std::string_view contents) {
+  // Reuse the chunk only when the new contents land in the same size
+  // class (footprint unchanged). A looser fits-in-capacity rule would let
+  // shrinking overwrites squat in oversized chunks, making the resulting
+  // footprint depend on the value's history — this strict rule keeps
+  // footprint() == FootprintFor(size()) an invariant, so byte accounting
+  // stays deterministic across engines and shard counts.
+  const std::size_t want =
+      slab != nullptr ? slab->FootprintFor(contents.size())
+                      : (contents.empty()
+                             ? 0
+                             : FallbackFootprint(contents.size()));
+  if (payload_ != nullptr && want == footprint() &&
+      contents.size() <= capacity()) {
+    // In-place overwrite of a value no concurrent reader can observe (see
+    // header comment). memmove: Append-style callers may pass a view into
+    // this very chunk.
+    if (!contents.empty()) {
+      std::memmove(payload_, contents.data(), contents.size());
+    }
+    size_ = static_cast<std::uint32_t>(contents.size());
+    return;
+  }
+  char* fresh = nullptr;
+  if (!contents.empty()) {
+    fresh = slab != nullptr
+                ? slab->Allocate(contents.size())
+                : SlabAllocator::AllocateUntracked(contents.size());
+    std::memcpy(fresh, contents.data(), contents.size());
+  }
+  SlabAllocator::Free(payload_);
+  payload_ = fresh;
+  size_ = static_cast<std::uint32_t>(contents.size());
+}
+
+void SlabBuffer::Append(SlabAllocator* slab, std::string_view tail) {
+  if (tail.empty()) {
+    return;
+  }
+  const std::size_t total = size_ + tail.size();
+  if (total <= capacity()) {
+    std::memcpy(payload_ + size_, tail.data(), tail.size());
+    size_ = static_cast<std::uint32_t>(total);
+    return;
+  }
+  char* fresh = slab != nullptr ? slab->Allocate(total)
+                                : SlabAllocator::AllocateUntracked(total);
+  if (size_ != 0) {
+    std::memcpy(fresh, payload_, size_);
+  }
+  std::memcpy(fresh + size_, tail.data(), tail.size());
+  SlabAllocator::Free(payload_);
+  payload_ = fresh;
+  size_ = static_cast<std::uint32_t>(total);
+}
+
+void SlabBuffer::Prepend(SlabAllocator* slab, std::string_view head) {
+  if (head.empty()) {
+    return;
+  }
+  const std::size_t total = size_ + head.size();
+  if (total <= capacity()) {
+    std::memmove(payload_ + head.size(), payload_, size_);
+    std::memcpy(payload_, head.data(), head.size());
+    size_ = static_cast<std::uint32_t>(total);
+    return;
+  }
+  char* fresh = slab != nullptr ? slab->Allocate(total)
+                                : SlabAllocator::AllocateUntracked(total);
+  std::memcpy(fresh, head.data(), head.size());
+  if (size_ != 0) {
+    std::memcpy(fresh + head.size(), payload_, size_);
+  }
+  SlabAllocator::Free(payload_);
+  payload_ = fresh;
+  size_ = static_cast<std::uint32_t>(total);
+}
+
+void SlabBuffer::Clear() {
+  SlabAllocator::Free(payload_);
+  payload_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace rp::memcache

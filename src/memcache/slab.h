@@ -1,0 +1,224 @@
+// Per-shard slab allocation for cache payloads (memcached's slab classes).
+//
+// Why: the engines previously heap-allocated a std::string per stored value
+// — one malloc/free round trip per SET on the hottest write path, and a
+// byte gauge that charged a *modelled* key+data+64 constant rather than
+// what the allocator actually handed out. A slab allocator kills both: it
+// carves geometric size-class chunks out of large pages owned by the
+// shard, so a steady-state SET recycles a chunk instead of calling the
+// heap, and the chunk size is a known quantity the byte gauge can charge
+// exactly (internal fragmentation included, reported as `bytes_wasted`).
+//
+// Reclamation discipline (the part memcached does not have to solve): the
+// relativistic engine's readers copy values inside an epoch read-side
+// critical section with no locks held, so a chunk must never be recycled
+// while a reader may still dereference it. Chunk lifetime is therefore
+// tied to value lifetime: a SlabBuffer frees its chunk only from its
+// destructor, and the RP engine's values die inside table nodes retired
+// through the DeferredReclaimer — i.e. strictly after a grace period.
+// A freed chunk re-enters the free list only once no read-side critical
+// section that could have observed it remains open. Buffers that were
+// never published (clones being built under a stripe lock) may free
+// immediately; nobody else ever saw them.
+//
+// Exhaustion policy: TryAllocate returns nullptr when a size class is dry
+// and the arena cap (EngineConfig::max_bytes / shards) forbids another
+// page — the engine reacts by evicting for that class and draining the
+// deferred reclaimer so retired chunks actually come back. Allocate()
+// falls back to a tracked exact-size heap allocation when the pool stays
+// dry (deferred frees mean eviction cannot synchronously produce a chunk),
+// so the cache keeps serving; fallbacks are counted and still charged
+// exactly. Values larger than `chunk_max` always take the fallback path
+// (memcached similarly special-cases large items).
+#ifndef RP_MEMCACHE_SLAB_H_
+#define RP_MEMCACHE_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace rp::memcache {
+
+// Size-class geometry and arena budget. The defaults mirror memcached's
+// shape: classes grow geometrically (`growth`, memcached -f) from
+// `chunk_min` up to `chunk_max`, pages of `page_bytes` are carved into
+// chunks of one class, and `arena_bytes` caps total page memory
+// (0 = uncapped). `chunk_max = 0` disables pooling entirely: every
+// allocation is an exact-size tracked heap block — the per-item-malloc
+// baseline the abl12 bench compares against.
+struct SlabPolicy {
+  double growth = 1.25;
+  std::size_t chunk_min = 16;
+  std::size_t chunk_max = 8 * 1024;
+  std::size_t page_bytes = 64 * 1024;
+  std::size_t arena_bytes = 0;
+};
+
+// Gauges and counters an allocator exposes to the engine `stats` plumbing.
+struct SlabStats {
+  std::uint64_t bytes_reserved = 0;   // page bytes carved from the heap
+  std::uint64_t chunks_in_use = 0;    // slab chunks currently handed out
+  std::uint64_t fallback_bytes = 0;   // live tracked heap-fallback bytes
+  std::uint64_t fallback_allocs = 0;  // cumulative fallback allocations
+  std::uint64_t class_exhausted = 0;  // cumulative dry-pool TryAllocate calls
+};
+
+// Every allocation (slab chunk or heap fallback) is preceded by a 16-byte
+// header recording its owner and capacity, so freeing and footprint
+// queries need only the payload pointer — values carry no allocator back
+// reference of their own.
+class SlabAllocator {
+ public:
+  static constexpr std::size_t kHeaderBytes = 16;
+  static constexpr std::uint32_t kFallbackClass = 0xFFFFFFFFu;
+
+  explicit SlabAllocator(SlabPolicy policy = {});
+  ~SlabAllocator();
+
+  SlabAllocator(const SlabAllocator&) = delete;
+  SlabAllocator& operator=(const SlabAllocator&) = delete;
+
+  // Slab-pool-only allocation: returns nullptr when `size` has no pooled
+  // class (pooling disabled or size > chunk_max) or the class is dry and
+  // the arena cap forbids another page. Never touches the heap fallback.
+  char* TryAllocate(std::size_t size);
+
+  // TryAllocate, falling back to a tracked exact-size heap allocation so
+  // the cache keeps serving under pool exhaustion. size == 0 returns
+  // nullptr (empty values own no chunk).
+  char* Allocate(std::size_t size);
+
+  // Heap allocation with a null-owner header, for buffers that live
+  // without an allocator (default-constructed values in tests).
+  static char* AllocateUntracked(std::size_t size);
+
+  // Returns the allocation behind `payload` to its owner: slab chunks
+  // re-enter their class free list, fallbacks go back to the heap. The
+  // caller must guarantee no concurrent reader can still dereference the
+  // payload (see the reclamation discipline above). nullptr is a no-op.
+  static void Free(char* payload);
+
+  // Total heap footprint of the allocation behind `payload` (header +
+  // chunk capacity); what byte accounting charges. 0 for nullptr.
+  static std::size_t FootprintOf(const char* payload);
+
+  // Usable capacity behind `payload` (0 for nullptr).
+  static std::size_t CapacityOf(const char* payload);
+
+  static SlabAllocator* OwnerOf(const char* payload);
+
+  // True when an immediate TryAllocate(size) could succeed (free chunk or
+  // arena headroom for a page) — the engine's eviction trigger. Sizes the
+  // pool does not manage (0, oversize, pooling disabled) report true:
+  // eviction cannot help the fallback path.
+  bool HasAvailable(std::size_t size) const;
+
+  // True when the arena has carved at least one chunk of `size`'s class.
+  // The engine's "is eviction even worth trying" gate: freed chunks only
+  // ever return to their own class, so a class the arena never carved can
+  // not be helped by evicting — or by draining the reclaimer.
+  bool HasChunksOf(std::size_t size) const;
+
+  // Deterministic footprint an Allocate(size) of this policy produces —
+  // identical across allocators with the same policy, which keeps byte
+  // accounting comparable across shard counts and engines. Matches
+  // FootprintOf on the returned payload.
+  std::size_t FootprintFor(std::size_t size) const;
+
+  std::size_t ClassCount() const { return class_capacity_.size(); }
+  std::size_t ClassCapacity(std::size_t index) const {
+    return class_capacity_[index];
+  }
+  const SlabPolicy& policy() const { return policy_; }
+
+  SlabStats Stats() const;
+
+  // The per-allocation header layout; defined in slab.cc (public so the
+  // file-local header helpers there can name it).
+  struct Header;
+
+ private:
+  // Index of the smallest class with capacity >= size; class count when
+  // the size is unpooled.
+  std::size_t ClassIndexFor(std::size_t size) const;
+  // Carves one more page for `cls`; false when the arena cap forbids it.
+  // Requires mu_ held.
+  bool GrowClassLocked(std::size_t cls);
+
+  SlabPolicy policy_;
+  std::vector<std::size_t> class_capacity_;  // ascending, immutable
+
+  mutable std::mutex mu_;
+  std::vector<char*> free_lists_;  // per class, intrusive via payload bytes
+  std::vector<std::size_t> class_chunks_;  // chunks ever carved, per class
+  std::vector<void*> pages_;
+  std::size_t bytes_reserved_ = 0;
+
+  std::uint64_t chunks_in_use_ = 0;
+  std::uint64_t fallback_bytes_ = 0;
+  std::uint64_t fallback_allocs_ = 0;
+  std::uint64_t class_exhausted_ = 0;
+};
+
+// Pure form of SlabAllocator::FootprintFor for callers (tests, capacity
+// planning) that have a policy but no allocator instance.
+std::size_t SlabFootprintFor(const SlabPolicy& policy, std::size_t size);
+
+// The value-payload buffer stored in CacheValue: a chunk from a
+// SlabAllocator (or a tracked heap fallback) plus a length. Copyable —
+// the relativistic engine's updates clone values — with the copy placed
+// in a fresh chunk from the same owner, so the original stays untouched
+// for concurrent readers. Mutating operations take the allocator
+// explicitly (the engine always has the shard's at hand) and never evict
+// or block: under a stripe lock the only legal slow path is the heap
+// fallback.
+class SlabBuffer {
+ public:
+  SlabBuffer() = default;
+  // Copies `contents` into a chunk from `slab` (nullptr = untracked heap).
+  SlabBuffer(SlabAllocator* slab, std::string_view contents) {
+    Assign(slab, contents);
+  }
+  ~SlabBuffer() { SlabAllocator::Free(payload_); }
+
+  SlabBuffer(const SlabBuffer& other);
+  SlabBuffer& operator=(const SlabBuffer& other);
+  SlabBuffer(SlabBuffer&& other) noexcept
+      : payload_(other.payload_), size_(other.size_) {
+    other.payload_ = nullptr;
+    other.size_ = 0;
+  }
+  SlabBuffer& operator=(SlabBuffer&& other) noexcept;
+
+  std::string_view view() const {
+    // Chunkless buffers hand out a valid (static) pointer so callers can
+    // feed data()/size() straight into memcpy-style sinks.
+    return payload_ == nullptr ? std::string_view{""}
+                               : std::string_view{payload_, size_};
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return SlabAllocator::CapacityOf(payload_); }
+  // Heap footprint of the backing allocation; what byte accounting
+  // charges. 0 for an empty buffer.
+  std::size_t footprint() const { return SlabAllocator::FootprintOf(payload_); }
+
+  // Replaces the contents. Reuses the current chunk when the new size
+  // fits its capacity (legal only on values no concurrent reader can see:
+  // clones under a stripe lock, or any value under the locked engine's
+  // global lock — the engines' update discipline guarantees exactly that).
+  void Assign(SlabAllocator* slab, std::string_view contents);
+  void Append(SlabAllocator* slab, std::string_view tail);
+  void Prepend(SlabAllocator* slab, std::string_view head);
+  void Clear();
+
+ private:
+  char* payload_ = nullptr;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace rp::memcache
+
+#endif  // RP_MEMCACHE_SLAB_H_

@@ -49,13 +49,32 @@ struct ClientTotals {
   std::uint64_t misses = 0;
 };
 
+// Backing store for workload values: one buffer of the largest size the
+// config can draw; per-op values are prefixes of it.
+std::string ValueBuffer(const WorkloadConfig& config) {
+  return std::string(std::max(config.value_size, config.value_size_max), 'v');
+}
+
+// The value for one SET: a fixed value_size, or (when value_size_max
+// extends the range) a size drawn uniformly from [value_size,
+// value_size_max] — which walks stores across slab size classes, the
+// workload the allocator tuning cares about.
+std::string_view NextValue(const WorkloadConfig& config, Xoshiro256& rng,
+                           const std::string& buffer) {
+  if (config.value_size_max <= config.value_size) {
+    return {buffer.data(), config.value_size};
+  }
+  const std::size_t span = config.value_size_max - config.value_size + 1;
+  return {buffer.data(), config.value_size + rng.NextBounded(span)};
+}
+
 // Formats one random operation in wire form into *wire (replacing its
 // contents). Returns whether it is a GET. Shared by the in-process and
 // socket client loops so both benchmark modes drive the same workload.
 // GETs carry config.keys_per_get keys ("get k1 k2 ...", each drawn
 // independently) to exercise the batched multi-get path.
 bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
-                     ZipfGenerator& zipf, const std::string& value,
+                     ZipfGenerator& zipf, const std::string& value_buffer,
                      std::string* wire) {
   const bool is_get = rng.NextDouble() < config.get_ratio;
   wire->clear();
@@ -68,6 +87,7 @@ bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
     }
     *wire += "\r\n";
   } else {
+    const std::string_view value = NextValue(config, rng, value_buffer);
     *wire += "set ";
     *wire += WorkloadKey(zipf.Next(rng));
     *wire += " 0 0 ";
@@ -97,7 +117,7 @@ void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
                        ClientTotals& totals) {
   Xoshiro256 rng(config.seed + id * 0x9E37);
   ZipfGenerator zipf(config.num_keys, config.zipf_theta);
-  const std::string value(config.value_size, 'v');
+  const std::string value = ValueBuffer(config);
   RequestParser parser;
   std::string wire;
   std::string response;
@@ -132,20 +152,22 @@ void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
                      ClientTotals& totals) {
   Xoshiro256 rng(config.seed + id * 0x9E37);
   ZipfGenerator zipf(config.num_keys, config.zipf_theta);
-  const std::string value(config.value_size, 'v');
+  const std::string value_buffer = ValueBuffer(config);
   const std::size_t keys_per_get =
       std::max<std::size_t>(config.keys_per_get, 1);
   std::vector<std::string> batch_keys(keys_per_get);
+  std::vector<std::string_view> batch_views(keys_per_get);
   std::vector<MultiGetResult> batch_results(keys_per_get);
   StoredValue out;
 
   while (!stop.load(std::memory_order_relaxed)) {
     const bool is_get = rng.NextDouble() < config.get_ratio;
     if (is_get && keys_per_get > 1) {
-      for (std::string& key : batch_keys) {
-        key = WorkloadKey(zipf.Next(rng));
+      for (std::size_t k = 0; k < keys_per_get; ++k) {
+        batch_keys[k] = WorkloadKey(zipf.Next(rng));
+        batch_views[k] = batch_keys[k];
       }
-      engine.GetMany(batch_keys.data(), keys_per_get, batch_results.data());
+      engine.GetMany(batch_views.data(), keys_per_get, batch_results.data());
       totals.gets += keys_per_get;
       for (const MultiGetResult& result : batch_results) {
         if (result.hit) {
@@ -163,7 +185,8 @@ void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
         ++totals.misses;
       }
     } else {
-      engine.Set(WorkloadKey(zipf.Next(rng)), value, 0, 0);
+      engine.Set(WorkloadKey(zipf.Next(rng)),
+                 NextValue(config, rng, value_buffer), 0, 0);
       ++totals.sets;
     }
     ++totals.requests;
@@ -242,7 +265,7 @@ void RunSocketClient(std::uint16_t port, const WorkloadConfig& config,
   }
   Xoshiro256 rng(config.seed + id * 0x9E37);
   ZipfGenerator zipf(config.num_keys, config.zipf_theta);
-  const std::string value(config.value_size, 'v');
+  const std::string value = ValueBuffer(config);
   std::string wire;
   std::string response;
 

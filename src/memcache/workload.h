@@ -23,6 +23,11 @@ struct WorkloadConfig {
   std::size_t num_clients = 1;
   std::size_t num_keys = 10000;
   std::size_t value_size = 32;
+  // When > value_size, each SET's payload size is drawn uniformly from
+  // [value_size, value_size_max] instead of being fixed — walking stores
+  // across the engines' slab size classes (prepopulation still uses
+  // value_size). 0 keeps the classic fixed-size workload.
+  std::size_t value_size_max = 0;
   // Fraction of operations that are GETs (1.0 = pure GET, 0.0 = pure SET —
   // the paper's mc-benchmark runs are pure GET and pure SET).
   double get_ratio = 1.0;

@@ -220,8 +220,12 @@ TEST_P(EngineTest, FlushAllDelayExpiresOnceDeadlinePasses) {
 
 TEST_P(EngineTest, BytesTrackStoresUpdatesAndDeletes) {
   auto engine = Make();
+  // Exact accounting: the gauge charges the key, the fixed overhead, and
+  // the actual slab-chunk footprint of the payload — predicted here from
+  // the same (default) slab policy the engine derives from its config.
   const auto charge = [](const std::string& key, const std::string& data) {
-    return static_cast<std::uint64_t>(ChargedBytes(key.size(), data.size()));
+    return static_cast<std::uint64_t>(
+        ModelChargedBytes(EngineConfig{}, key.size(), data.size()));
   };
   engine->Set("alpha", "12345", 0, 0);
   EXPECT_EQ(engine->Stats().bytes, charge("alpha", "12345"));

@@ -31,6 +31,12 @@ using namespace rp::memcache;
 std::string Key(std::size_t i) { return "mget-" + std::to_string(i); }
 std::string Payload(std::size_t i) { return "value-" + std::to_string(i); }
 
+// GetMany takes string_views over the request's keys (the transparent
+// end-to-end path); tests hold owning strings and hand down views.
+std::vector<std::string_view> Views(const std::vector<std::string>& keys) {
+  return std::vector<std::string_view>(keys.begin(), keys.end());
+}
+
 void Prepopulate(CacheEngine& engine, std::size_t keys) {
   for (std::size_t i = 0; i < keys; ++i) {
     ASSERT_EQ(engine.Set(Key(i), Payload(i), static_cast<std::uint32_t>(i), 0),
@@ -60,8 +66,9 @@ void ExpectGetManyMatchesGetLoop(const EngineConfig& config) {
   Prepopulate(looped, 128);
 
   const std::vector<std::string> keys = MixedBatch();
+  const std::vector<std::string_view> views = Views(keys);
   std::vector<MultiGetResult> results(keys.size());
-  batched.GetMany(keys.data(), keys.size(), results.data());
+  batched.GetMany(views.data(), views.size(), results.data());
 
   StoredValue single;
   for (std::size_t i = 0; i < keys.size(); ++i) {
@@ -113,9 +120,10 @@ TEST(MultiGet, OneReadSectionPerShardGroup) {
     for (std::size_t i = 0; i < kBatch; ++i) {
       keys.push_back(Key(i));
     }
+    const std::vector<std::string_view> views = Views(keys);
     std::vector<MultiGetResult> results(kBatch);
     const std::uint64_t before = rp::rcu::Epoch::ThreadReadSections();
-    engine.GetMany(keys.data(), kBatch, results.data());
+    engine.GetMany(views.data(), kBatch, results.data());
     EXPECT_EQ(rp::rcu::Epoch::ThreadReadSections() - before, 1u)
         << "a single-shard multi-get must open exactly one epoch section";
     for (const MultiGetResult& r : results) {
@@ -136,9 +144,10 @@ TEST(MultiGet, OneReadSectionPerShardGroup) {
       keys.push_back(Key(i));
       shards_touched.insert(engine.ShardIndex(keys.back()));
     }
+    const std::vector<std::string_view> views = Views(keys);
     std::vector<MultiGetResult> results(kBatch);
     const std::uint64_t before = rp::rcu::Epoch::ThreadReadSections();
-    engine.GetMany(keys.data(), kBatch, results.data());
+    engine.GetMany(views.data(), kBatch, results.data());
     EXPECT_EQ(rp::rcu::Epoch::ThreadReadSections() - before,
               shards_touched.size())
         << "multi-get must open one epoch section per shard group";
@@ -176,9 +185,10 @@ TEST(MultiGet, NoOpHashesAKeyTwice) {
 
   // A multi-get hashes each key exactly once, duplicates included.
   std::vector<std::string> keys = {Key(1), Key(2), Key(1), "absent", "seed"};
+  const std::vector<std::string_view> views = Views(keys);
   std::vector<MultiGetResult> results(keys.size());
   EXPECT_EQ(delta([&] {
-              engine.GetMany(keys.data(), keys.size(), results.data());
+              engine.GetMany(views.data(), views.size(), results.data());
             }),
             keys.size())
       << "multi-get";
@@ -221,12 +231,14 @@ TEST(MultiGet, GetManyRacingWritersAndResizeTorture) {
   threads.emplace_back([&] {
     rp::Xoshiro256 rng(321);
     std::vector<std::string> keys(kBatch);
+    std::vector<std::string_view> views(kBatch);
     std::vector<MultiGetResult> results(kBatch);
     for (int batch = 0; batch < 3000; ++batch) {
       for (std::size_t i = 0; i < kBatch; ++i) {
         keys[i] = Key(rng.NextBounded(kKeySpace));
+        views[i] = keys[i];
       }
-      engine.GetMany(keys.data(), kBatch, results.data());
+      engine.GetMany(views.data(), kBatch, results.data());
       for (std::size_t i = 0; i < kBatch; ++i) {
         if (results[i].hit) {
           // A hit must carry the exact payload some Set published — a torn

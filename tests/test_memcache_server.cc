@@ -275,8 +275,19 @@ TEST_F(ServerTest, StatsReportMemoryAccountingOverWire) {
   client.Send("stats\r\n");
   const std::string response = client.ReadUntil("END\r\n");
   const std::string expected_bytes =
-      "STAT bytes " + std::to_string(ChargedBytes(1, 4)) + "\r\n";
+      "STAT bytes " + std::to_string(ModelChargedBytes(EngineConfig{}, 1, 4)) +
+      "\r\n";
   EXPECT_NE(response.find(expected_bytes), std::string::npos) << response;
+  // One 4-byte value in a minimum-size chunk: the fragmentation share is
+  // exactly chunk footprint minus payload, reported on the wire.
+  const std::string expected_wasted =
+      "STAT bytes_wasted " +
+      std::to_string(SlabFootprintFor(SlabPolicyFor(EngineConfig{}, 1), 4) -
+                     4) +
+      "\r\n";
+  EXPECT_NE(response.find(expected_wasted), std::string::npos) << response;
+  EXPECT_NE(response.find("STAT slab_reserved "), std::string::npos);
+  EXPECT_NE(response.find("STAT slab_fallbacks 0\r\n"), std::string::npos);
   EXPECT_NE(response.find("STAT limit_maxbytes 0\r\n"), std::string::npos);
   EXPECT_NE(response.find("STAT total_items 1\r\n"), std::string::npos);
   EXPECT_NE(response.find("STAT evictions 0\r\n"), std::string::npos);
@@ -675,7 +686,7 @@ TEST(ExecuteRequest, StatsReportsMemoryAccounting) {
   std::string out;
   ExecuteRequest(engine, stats, &out, &quit);
   const std::string expected_bytes =
-      "STAT bytes " + std::to_string(ChargedBytes(1, 10)) + "\r\n";
+      "STAT bytes " + std::to_string(ModelChargedBytes(config, 1, 10)) + "\r\n";
   EXPECT_NE(out.find(expected_bytes), std::string::npos) << out;
   EXPECT_NE(out.find("STAT limit_maxbytes 1048576\r\n"), std::string::npos);
   EXPECT_NE(out.find("STAT total_items 1\r\n"), std::string::npos);
