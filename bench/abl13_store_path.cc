@@ -1,0 +1,291 @@
+// abl13: the overwrite store path — clone-and-swing vs in-place-publish.
+//
+// PR 6 gives the RP engine a combined item layout (table node + key bytes
+// in one slab chunk, memcached-style) and batched stores. The design
+// question this bench settles: when a SET overwrites a live key, should
+// the engine
+//
+//   (a) clone-and-swing — build a fresh combined node (chunk from the
+//       node slab, key bytes copied, new value) and atomically swing the
+//       bucket pointer, retiring the old node through the deferred
+//       reclaimer; or
+//   (b) in-place-publish — keep the node and swap an atomic pointer to a
+//       freshly allocated value record inside it, retiring the old record.
+//
+// (a) recycles everything through slab free lists: a steady-state
+// overwrite performs ZERO heap allocations (node chunk, key bytes and
+// payload chunk all come back through the reclaimer after a grace
+// period). (b) keeps the node but must heap-allocate a value record per
+// overwrite — the record cannot be reused in place while epoch readers
+// may still dereference it — so it pays one malloc plus one deferred
+// free per op, and splits each item across two separate allocations.
+// The engine keeps (a); this bench records the margin (see
+// docs/BENCHMARKS.md).
+//
+// Measured via the same thread-local operator-new hook as abl12: each
+// case reports heap_allocs/op and heap_B/op observed by the calling
+// thread (reclaimer-thread frees are irrelevant to SET-path cost).
+// Cases: RP engine overwrite (expect 0 allocs/op), RP batched overwrite
+// via StoreMany (expect 0 and fewer ns/op), the modelled in-place-publish
+// box (expect 1 alloc/op), and the locked engine as the baseline.
+//
+// Single-threaded except the /threads:2 contention variants
+// (bench_smoke runs only the threads:1 cases; see scripts/bench_smoke.sh).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "src/memcache/engine.h"
+#include "src/memcache/locked_engine.h"
+#include "src/memcache/rp_engine.h"
+#include "src/rcu/epoch.h"
+#include "src/rcu/reclaimer.h"
+#include "src/util/rng.h"
+
+// -- Global allocation hook (same shape as abl12) -----------------------------
+
+namespace {
+thread_local std::uint64_t tls_heap_bytes = 0;
+thread_local std::uint64_t tls_heap_calls = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  tls_heap_bytes += size;
+  ++tls_heap_calls;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  tls_heap_bytes += size;
+  ++tls_heap_calls;
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using rp::memcache::CacheEngine;
+using rp::memcache::EngineConfig;
+using rp::memcache::LockedEngine;
+using rp::memcache::RpEngine;
+using rp::memcache::StoreKind;
+using rp::memcache::StoreOp;
+using rp::memcache::StoreResult;
+
+constexpr std::size_t kKeys = 256;
+constexpr std::size_t kValueSize = 64;
+constexpr std::size_t kBatch = 16;
+
+EngineConfig OverwriteConfig() {
+  EngineConfig config;
+  config.shards = 1;  // isolate the store path, not shard routing
+  config.initial_buckets = 4096;
+  // Unlimited: no eviction bookkeeping in the loop, the slab arenas are
+  // bounded by the fixed key set, and every overwrite is pure churn.
+  return config;
+}
+
+std::vector<std::string> MakeKeys() {
+  std::vector<std::string> keys;
+  keys.reserve(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    keys.push_back("abl13-key-" + std::to_string(i));
+  }
+  return keys;
+}
+
+// Steady state: every key stored several times over, then the deferred
+// reclaimer fully drained so node/payload chunks are back on their free
+// lists and the callback queue's buffers have reached their high-water
+// capacity. Everything after this recycles.
+void WarmUp(CacheEngine& engine, const std::vector<std::string>& keys,
+            const std::string& payload) {
+  for (int round = 0; round < 8; ++round) {
+    for (const std::string& key : keys) {
+      engine.Set(key, std::string_view(payload.data(), kValueSize), 0, 0);
+    }
+  }
+  rp::rcu::DeferredReclaimer<rp::rcu::Epoch>::Drain();
+}
+
+// Per-iteration alloc accounting shared by the engine cases.
+struct HookWindow {
+  std::uint64_t bytes = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t calls_before = 0;
+
+  void Begin() {
+    bytes_before = tls_heap_bytes;
+    calls_before = tls_heap_calls;
+  }
+  void End(std::uint64_t batch_ops) {
+    bytes += tls_heap_bytes - bytes_before;
+    calls += tls_heap_calls - calls_before;
+    ops += batch_ops;
+  }
+  void Report(benchmark::State& state) const {
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+    state.counters["heap_B/op"] = benchmark::Counter(
+        static_cast<double>(bytes) / static_cast<double>(ops));
+    state.counters["heap_allocs/op"] = benchmark::Counter(
+        static_cast<double>(calls) / static_cast<double>(ops));
+  }
+};
+
+// Case 1: the engine's real overwrite path — clone-and-swing over the
+// combined item layout. Expect heap_allocs/op == 0.
+void BM_RpOverwrite(benchmark::State& state) {
+  static RpEngine engine(OverwriteConfig());
+  static const std::vector<std::string> keys = MakeKeys();
+  static const std::string payload(kValueSize, 'v');
+  if (state.thread_index() == 0) {
+    WarmUp(engine, keys, payload);
+  }
+
+  rp::Xoshiro256 rng(13 + static_cast<std::uint64_t>(state.thread_index()));
+  HookWindow window;
+  for (auto _ : state) {
+    const std::string& key = keys[rng.NextBounded(kKeys)];
+    window.Begin();
+    engine.Set(key, std::string_view(payload.data(), kValueSize), 0, 0);
+    window.End(1);
+  }
+  window.Report(state);
+}
+
+// Case 2: the same churn through StoreMany in 16-op bursts — the batched
+// path the server connection uses for pipelined SET runs. Expect 0
+// allocs/op and fewer ns/op than case 1 (one store-mutex acquisition and
+// one resize nudge per burst instead of 16).
+void BM_RpOverwriteBatched(benchmark::State& state) {
+  static RpEngine engine(OverwriteConfig());
+  static const std::vector<std::string> keys = MakeKeys();
+  static const std::string payload(kValueSize, 'v');
+  if (state.thread_index() == 0) {
+    WarmUp(engine, keys, payload);
+  }
+
+  rp::Xoshiro256 rng(17 + static_cast<std::uint64_t>(state.thread_index()));
+  StoreOp ops[kBatch];
+  StoreResult results[kBatch];
+  HookWindow window;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ops[i] = StoreOp{};
+      ops[i].kind = StoreKind::kSet;
+      ops[i].key = keys[rng.NextBounded(kKeys)];
+      ops[i].data = std::string_view(payload.data(), kValueSize);
+    }
+    window.Begin();
+    engine.StoreMany(ops, kBatch, results);
+    window.End(kBatch);
+  }
+  window.Report(state);
+}
+
+// Case 3: modelled in-place-publish. The node survives the overwrite; a
+// heap-allocated value record is swapped in through an atomic pointer and
+// the old record is retired through the same deferred reclaimer the
+// engine uses (it cannot be reused in place while epoch readers may hold
+// it). This is the per-overwrite cost floor of the design the engine
+// rejected: one heap allocation per op, by construction.
+struct ValueRecord {
+  std::uint32_t size;
+  char data[kValueSize];
+};
+
+void BM_InPlacePublish(benchmark::State& state) {
+  static std::vector<std::atomic<ValueRecord*>> boxes = [] {
+    std::vector<std::atomic<ValueRecord*>> v(kKeys);
+    for (auto& box : v) {
+      auto* record = new ValueRecord{};
+      record->size = kValueSize;
+      std::memset(record->data, 'v', kValueSize);
+      box.store(record, std::memory_order_release);
+    }
+    return v;
+  }();
+  static const std::string payload(kValueSize, 'v');
+
+  rp::Xoshiro256 rng(19 + static_cast<std::uint64_t>(state.thread_index()));
+  HookWindow window;
+  for (auto _ : state) {
+    const std::size_t slot = rng.NextBounded(kKeys);
+    window.Begin();
+    auto* record = new ValueRecord;
+    record->size = kValueSize;
+    std::memcpy(record->data, payload.data(), kValueSize);
+    ValueRecord* old =
+        boxes[slot].exchange(record, std::memory_order_acq_rel);
+    rp::rcu::DeferredReclaimer<rp::rcu::Epoch>::Retire(old);
+    window.End(1);
+  }
+  window.Report(state);
+}
+
+// Case 4: the locked baseline's overwrite (global mutex, slab-backed
+// value reused in place — legal under the global lock).
+void BM_LockedOverwrite(benchmark::State& state) {
+  static LockedEngine engine(OverwriteConfig());
+  static const std::vector<std::string> keys = MakeKeys();
+  static const std::string payload(kValueSize, 'v');
+  if (state.thread_index() == 0) {
+    WarmUp(engine, keys, payload);
+  }
+
+  rp::Xoshiro256 rng(23 + static_cast<std::uint64_t>(state.thread_index()));
+  HookWindow window;
+  for (auto _ : state) {
+    const std::string& key = keys[rng.NextBounded(kKeys)];
+    window.Begin();
+    engine.Set(key, std::string_view(payload.data(), kValueSize), 0, 0);
+    window.End(1);
+  }
+  window.Report(state);
+}
+
+BENCHMARK(BM_RpOverwrite)->Threads(1)->UseRealTime();
+BENCHMARK(BM_RpOverwriteBatched)->Threads(1)->UseRealTime();
+BENCHMARK(BM_InPlacePublish)->Threads(1)->UseRealTime();
+BENCHMARK(BM_LockedOverwrite)->Threads(1)->UseRealTime();
+// Contention variants (skipped by bench_smoke on 1-core boxes).
+BENCHMARK(BM_RpOverwrite)->Threads(2)->UseRealTime();
+BENCHMARK(BM_RpOverwriteBatched)->Threads(2)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -45,13 +45,15 @@ bool UseInProcess() {
 
 rp::memcache::WorkloadConfig PointConfig(int clients, double get_ratio,
                                          double seconds,
-                                         std::size_t keys_per_get = 1) {
+                                         std::size_t keys_per_get = 1,
+                                         std::size_t sets_per_request = 1) {
   rp::memcache::WorkloadConfig config;
   config.num_clients = static_cast<std::size_t>(clients);
   config.num_keys = 10000;
   config.value_size = 32;
   config.get_ratio = get_ratio;
   config.keys_per_get = keys_per_get;
+  config.sets_per_request = sets_per_request;
   config.duration_seconds = seconds;
   config.use_protocol = true;
   config.prepopulate = true;
@@ -75,19 +77,25 @@ int main() {
     bool rp;
     double get_ratio;
     std::size_t keys_per_get;
+    std::size_t sets_per_request;
   };
   // The MGET8 series are the multi-get-heavy variant: every GET carries 8
   // keys, so the RP engine answers each request with (at most) one read
   // section per shard group instead of 8 epoch enter/exits. Their table
   // values are keys fetched per second, directly comparable with the
-  // single-key GET series.
+  // single-key GET series. PSET8 is the write-side analogue: each round
+  // trip pipelines 8 sets (7 noreply + 1 replied), which the server
+  // connection executes as a single batched StoreMany — one store-mutex
+  // acquisition per shard group. Table values are stores per second.
   const Series series[] = {
-      {"RP GET", true, 1.0, 1},
-      {"default GET", false, 1.0, 1},
-      {"default SET", false, 0.0, 1},
-      {"RP SET", true, 0.0, 1},
-      {"RP MGET8", true, 1.0, 8},
-      {"default MGET8", false, 1.0, 8},
+      {"RP GET", true, 1.0, 1, 1},
+      {"default GET", false, 1.0, 1, 1},
+      {"default SET", false, 0.0, 1, 1},
+      {"RP SET", true, 0.0, 1, 1},
+      {"RP MGET8", true, 1.0, 8, 1},
+      {"default MGET8", false, 1.0, 8, 1},
+      {"RP PSET8", true, 0.0, 1, 8},
+      {"default PSET8", false, 0.0, 1, 8},
   };
 
   for (const Series& s : series) {
@@ -98,8 +106,8 @@ int main() {
       config.initial_buckets = 16384;
       std::unique_ptr<rp::memcache::CacheEngine> engine =
           rp::memcache::MakeEngine(s.rp ? "rp" : "locked", config);
-      const rp::memcache::WorkloadConfig point =
-          PointConfig(c, s.get_ratio, seconds, s.keys_per_get);
+      const rp::memcache::WorkloadConfig point = PointConfig(
+          c, s.get_ratio, seconds, s.keys_per_get, s.sets_per_request);
       rp::memcache::WorkloadResult result;
       if (in_process) {
         result = RunWorkload(*engine, point);
@@ -118,10 +126,14 @@ int main() {
         result = RunSocketWorkload(server.port(), point);
         server.Stop();
       }
-      // Pure-GET series record keys fetched per second (= requests/s when
-      // keys_per_get is 1) so single-key and multi-get series compare.
+      // Batched series record ops (keys fetched / stores) per second
+      // (= requests/s when the batch factor is 1) so single-op and
+      // batched series compare. Each series is pure GET or pure SET, so
+      // exactly one factor applies.
+      const double batch_factor = static_cast<double>(
+          s.keys_per_get > 1 ? s.keys_per_get : s.sets_per_request);
       const double ops_per_second =
-          result.requests_per_second * static_cast<double>(s.keys_per_get);
+          result.requests_per_second * batch_factor;
       table.Record(s.name, c, ops_per_second);
       std::printf("  %-12s %2d clients: %9.0f Kreq/s (hits=%llu misses=%llu)\n",
                   s.name, c, result.requests_per_second / 1e3,
@@ -137,25 +149,32 @@ int main() {
   // In-process protocol workload (the kernel socket path would mask the
   // engine-lock contrast): 4 writer-heavy clients hammer each engine
   // configured with 1, 4 and 8 shards. The x-axis is the shard count.
+  // Each engine runs twice: singleton stores ("SET") and pipelined
+  // 8-store bursts ("PSET8", batched into one StoreMany per burst).
   const std::vector<int> shard_counts = {1, 4, 8};
   rp::bench::SeriesTable shard_table(
       "F5b: SET-heavy requests/s vs engine shards (4 clients, in-process)",
       shard_counts);
   for (const char* engine_name : {"rp", "locked"}) {
-    for (int shards : shard_counts) {
-      rp::memcache::EngineConfig config;
-      config.initial_buckets = 16384;
-      config.shards = static_cast<std::size_t>(shards);
-      std::unique_ptr<rp::memcache::CacheEngine> engine =
-          rp::memcache::MakeEngine(engine_name, config);
-      rp::memcache::WorkloadConfig point =
-          PointConfig(/*clients=*/4, /*get_ratio=*/0.1, seconds);
-      const rp::memcache::WorkloadResult result = RunWorkload(*engine, point);
-      const std::string series_name = std::string(engine_name) + " SET";
-      shard_table.Record(series_name, shards, result.requests_per_second);
-      std::printf("  %-12s %2d shards:  %9.0f Kreq/s\n", series_name.c_str(),
-                  shards, result.requests_per_second / 1e3);
-      std::fflush(stdout);
+    for (std::size_t sets_per_request : {std::size_t{1}, std::size_t{8}}) {
+      for (int shards : shard_counts) {
+        rp::memcache::EngineConfig config;
+        config.initial_buckets = 16384;
+        config.shards = static_cast<std::size_t>(shards);
+        std::unique_ptr<rp::memcache::CacheEngine> engine =
+            rp::memcache::MakeEngine(engine_name, config);
+        rp::memcache::WorkloadConfig point =
+            PointConfig(/*clients=*/4, /*get_ratio=*/0.1, seconds,
+                        /*keys_per_get=*/1, sets_per_request);
+        const rp::memcache::WorkloadResult result = RunWorkload(*engine, point);
+        const std::string series_name =
+            std::string(engine_name) +
+            (sets_per_request > 1 ? " PSET8" : " SET");
+        shard_table.Record(series_name, shards, result.requests_per_second);
+        std::printf("  %-12s %2d shards:  %9.0f Kreq/s\n", series_name.c_str(),
+                    shards, result.requests_per_second / 1e3);
+        std::fflush(stdout);
+      }
     }
   }
   shard_table.Print();

@@ -76,11 +76,11 @@ int main() {
   constexpr std::uint64_t kFilesPerDir = 256;
   for (std::uint64_t d = 0; d < kDirs; ++d) {
     const std::uint64_t dir_ino = next_ino.fetch_add(1);
-    dcache.Insert({1, "dir" + std::to_string(d)}, dir_ino);
+    dcache.Insert(DentryKey{1, "dir" + std::to_string(d)}, dir_ino);
     inodes.Insert(dir_ino, {dir_ino, 4096, 0});
     for (std::uint64_t f = 0; f < kFilesPerDir; ++f) {
       const std::uint64_t ino = next_ino.fetch_add(1);
-      dcache.Insert({dir_ino, "file" + std::to_string(f)}, ino);
+      dcache.Insert(DentryKey{dir_ino, "file" + std::to_string(f)}, ino);
       inodes.Insert(ino, {ino, f * 512, 0});
     }
   }
@@ -133,11 +133,11 @@ int main() {
     while (std::chrono::steady_clock::now() < deadline) {
       // Burst-create a temp directory's worth of files...
       const std::uint64_t dir_ino = next_ino.fetch_add(1);
-      dcache.Insert({1, "tmp" + std::to_string(round)}, dir_ino);
+      dcache.Insert(DentryKey{1, "tmp" + std::to_string(round)}, dir_ino);
       inodes.Insert(dir_ino, {dir_ino, 4096, round});
       for (std::uint64_t f = 0; f < 512; ++f) {
         const std::uint64_t ino = next_ino.fetch_add(1);
-        dcache.Insert({dir_ino, "t" + std::to_string(f)}, ino);
+        dcache.Insert(DentryKey{dir_ino, "t" + std::to_string(f)}, ino);
         inodes.Insert(ino, {ino, 0, round});
         ++created;
       }
@@ -150,7 +150,7 @@ int main() {
           inodes.Erase(*ino);
         }
       }
-      dcache.Erase({1, "tmp" + std::to_string(round)});
+      dcache.Erase(DentryKey{1, "tmp" + std::to_string(round)});
       inodes.Erase(dir_ino);
       resizer.Nudge();
       ++round;

@@ -44,6 +44,7 @@ GBENCH_BENCHES=(
   abl6_lookup_micro
   abl11_hotpath_overhead
   abl12_slab_alloc
+  abl13_store_path
 )
 gbench_filter() {
   case "$1" in
@@ -51,6 +52,9 @@ gbench_filter() {
     # abl12's threads:2 contention cases spin on 1-core runners; the
     # allocation-cost measurement itself is single-threaded.
     abl12_slab_alloc) echo 'threads:1$' ;;
+    # abl13's threads:2 store-path cases contend two writers on one core;
+    # the allocation-count invariant is single-threaded.
+    abl13_store_path) echo 'threads:1$' ;;
     # abl2 runs unfiltered since two fixes landed: the QSBR domain's
     # bounded-backoff reader hint (spinning readers yield to a waiting
     # Synchronize, so grace periods stop being scheduler-luck-bound on 1

@@ -30,7 +30,10 @@
 //
 // Template parameters mirror std::unordered_map, plus the RCU Domain
 // (rcu::Epoch for general-purpose use, rcu::Qsbr for zero-cost readers in
-// cooperative threads) and the Reclaimer policy.
+// cooperative threads), the Reclaimer policy, and a NodeAlloc policy that
+// controls where node memory lives (HeapNodeAlloc by default; the memcache
+// engine carves nodes — key bytes included — from slab chunks for a
+// zero-heap-allocation store path).
 #ifndef RP_CORE_RP_HASH_MAP_H_
 #define RP_CORE_RP_HASH_MAP_H_
 
@@ -75,9 +78,39 @@ struct RpHashMapOptions {
   std::size_t writer_stripes = 64;
 };
 
+// Node-storage policy: where table nodes live. The default allocates each
+// node on the heap. A custom policy can carve node memory from any source
+// (e.g. a slab chunk that also holds the key bytes — memcached's combined
+// item layout) as long as it satisfies:
+//
+//   Node* Create<Node>(std::size_t hash, const K& key, V&& value)
+//       — construct a node (any K the Node's templated constructor takes);
+//   Node* Clone(const Node& node)
+//       — construct a copy for the clone-and-swing update paths;
+//   static void Deallocate(void* p) noexcept
+//       — release memory Create/Clone produced. Static because it runs
+//         from Node::operator delete, including on the deferred-reclaim
+//         path where only the pointer is available.
+//
+// Every `delete node` inside the map (and inside the reclaimer's deferred
+// callbacks) dispatches through Node::operator delete to Deallocate, so a
+// policy-allocated node is always released back to its policy.
+struct HeapNodeAlloc {
+  template <typename Node, typename K, typename V>
+  Node* Create(std::size_t hash, const K& key, V&& value) const {
+    return new Node(hash, key, std::forward<V>(value));
+  }
+  template <typename Node>
+  Node* Clone(const Node& node) const {
+    return new Node(node.hash, node.key, node.value);
+  }
+  static void Deallocate(void* p) noexcept { ::operator delete(p); }
+};
+
 template <typename Key, typename T, typename HashFn = MixedHash<Key>,
           typename KeyEqual = std::equal_to<Key>, typename Domain = rcu::Epoch,
-          typename ReclaimPolicy = rcu::DeferredReclaimer<Domain>>
+          typename ReclaimPolicy = rcu::DeferredReclaimer<Domain>,
+          typename NodeAlloc = HeapNodeAlloc>
 class RpHashMap {
   static_assert(rcu::Reclaimer<ReclaimPolicy>,
                 "ReclaimPolicy must satisfy rp::rcu::Reclaimer");
@@ -87,14 +120,16 @@ class RpHashMap {
   using mapped_type = T;
   using reclaimer_type = ReclaimPolicy;
   using hasher = HashFn;
+  using node_alloc_type = NodeAlloc;
   // Exposed so callers batching several lookups can open one read-side
   // critical section around them (nested sections degenerate to a counter
   // increment): rcu::ReadGuard<Map::domain_type> guard; then Prehashed ops.
   using domain_type = Domain;
 
   explicit RpHashMap(std::size_t initial_buckets = 16,
-                     RpHashMapOptions options = {})
-      : options_(options),
+                     RpHashMapOptions options = {}, NodeAlloc node_alloc = {})
+      : node_alloc_(std::move(node_alloc)),
+        options_(options),
         stripe_count_(ClampStripes(options.writer_stripes)),
         stripes_(std::make_unique<Stripe[]>(stripe_count_)) {
     const std::size_t n =
@@ -228,12 +263,19 @@ class RpHashMap {
   // ---------------------------------------------------------------------
 
   // Inserts; returns false (leaving the map unchanged) if the key exists.
-  bool Insert(const Key& key, T value) {
+  // The write side is heterogeneous like the lookups: `key` may be any
+  // type the transparent HashFn/KeyEqual handle and the NodeAlloc can
+  // build a stored Key from (e.g. a std::string_view over a parsed
+  // request) — only a successful insert materializes the stored key.
+  template <typename K>
+  bool Insert(const K& key, T value) {
     return Insert(Prehashed{Hash()(key)}, key, std::move(value));
   }
 
-  bool Insert(Prehashed hash, const Key& key, T value) {
-    auto* node = new Node(hash.value, key, std::move(value));
+  template <typename K>
+  bool Insert(Prehashed hash, const K& key, T value) {
+    Node* node =
+        node_alloc_.template Create<Node>(hash.value, key, std::move(value));
     {
       StripeGuard guard(*this, node->hash);
       if (FindNodeWriter(node->hash, key) != nullptr) {
@@ -250,11 +292,13 @@ class RpHashMap {
   // Inserts or replaces. Returns true if a new key was inserted. A replace
   // swaps in a fresh node with one pointer swing, so readers atomically see
   // either the old or the new value, never a torn one.
-  bool InsertOrAssign(const Key& key, T value) {
+  template <typename K>
+  bool InsertOrAssign(const K& key, T value) {
     return InsertOrAssign(key, std::move(value), [](const T&) {});
   }
 
-  bool InsertOrAssign(Prehashed hash, const Key& key, T value) {
+  template <typename K>
+  bool InsertOrAssign(Prehashed hash, const K& key, T value) {
     return InsertOrAssign(hash, key, std::move(value), [](const T&) {});
   }
 
@@ -263,23 +307,25 @@ class RpHashMap {
   // swing — without cloning the old node (unlike UpdateIf). Lets callers
   // keep external accounting (e.g. a byte gauge keyed on the value's size)
   // exactly in step with table membership at no extra allocation.
-  template <typename Fn>
-  bool InsertOrAssign(const Key& key, T value, Fn&& on_replace) {
+  template <typename K, typename Fn>
+  bool InsertOrAssign(const K& key, T value, Fn&& on_replace) {
     return InsertOrAssign(Prehashed{Hash()(key)}, key, std::move(value),
                           std::forward<Fn>(on_replace));
   }
 
-  template <typename Fn>
-  bool InsertOrAssign(Prehashed hash, const Key& key, T value,
+  template <typename K, typename Fn>
+  bool InsertOrAssign(Prehashed hash, const K& key, T value,
                       Fn&& on_replace) {
-    auto* node = new Node(hash.value, key, std::move(value));
+    Node* node =
+        node_alloc_.template Create<Node>(hash.value, key, std::move(value));
     bool inserted;
     {
       StripeGuard guard(*this, node->hash);
-      Node* existing = FindNodeWriter(node->hash, key);
+      std::atomic<Node*>* slot = nullptr;
+      Node* existing = FindSlotWriter(node->hash, key, &slot);
       if (existing != nullptr) {
         std::forward<Fn>(on_replace)(static_cast<const T&>(existing->value));
-        ReplaceNode(existing, node);
+        ReplaceNodeAt(slot, existing, node);
         inserted = false;
       } else {
         InsertNode(node);
@@ -296,13 +342,13 @@ class RpHashMap {
   // Copy-updates the value for `key`: clones the node, applies fn(T&) to
   // the clone, and publishes it with one pointer swing. Returns false if
   // the key is absent.
-  template <typename Fn>
-  bool Update(const Key& key, Fn&& fn) {
+  template <typename K, typename Fn>
+  bool Update(const K& key, Fn&& fn) {
     return Update(Prehashed{Hash()(key)}, key, std::forward<Fn>(fn));
   }
 
-  template <typename Fn>
-  bool Update(Prehashed hash, const Key& key, Fn&& fn) {
+  template <typename K, typename Fn>
+  bool Update(Prehashed hash, const K& key, Fn&& fn) {
     return UpdateIf(hash, key, [&fn](T& value) {
       std::forward<Fn>(fn)(value);
       return true;
@@ -315,24 +361,25 @@ class RpHashMap {
   // key's stripe, so callers get per-key check-then-act semantics against
   // every other writer (the table-level CAS building block). Returns true
   // only when a replacement was published.
-  template <typename Fn>
-  bool UpdateIf(const Key& key, Fn&& fn) {
+  template <typename K, typename Fn>
+  bool UpdateIf(const K& key, Fn&& fn) {
     return UpdateIf(Prehashed{Hash()(key)}, key, std::forward<Fn>(fn));
   }
 
-  template <typename Fn>
-  bool UpdateIf(Prehashed hash, const Key& key, Fn&& fn) {
+  template <typename K, typename Fn>
+  bool UpdateIf(Prehashed hash, const K& key, Fn&& fn) {
     StripeGuard guard(*this, hash.value);
-    Node* existing = FindNodeWriter(hash.value, key);
+    std::atomic<Node*>* slot = nullptr;
+    Node* existing = FindSlotWriter(hash.value, key, &slot);
     if (existing == nullptr) {
       return false;
     }
-    auto* replacement = new Node(hash.value, existing->key, existing->value);
+    Node* replacement = node_alloc_.Clone(*existing);
     if (!std::forward<Fn>(fn)(replacement->value)) {
       delete replacement;  // never published: no grace period needed
       return false;
     }
-    ReplaceNode(existing, replacement);
+    ReplaceNodeAt(slot, existing, replacement);
     return true;
   }
 
@@ -342,34 +389,37 @@ class RpHashMap {
   // TTL): a rejected call costs one predicate evaluation, no allocation.
   // Both phases run under the key's stripe, so they are atomic against
   // every other writer. Returns true only when a replacement was published.
-  template <typename Pred, typename Fn>
-  bool UpdateIf(const Key& key, Pred&& pred, Fn&& fn) {
+  template <typename K, typename Pred, typename Fn>
+  bool UpdateIf(const K& key, Pred&& pred, Fn&& fn) {
     return UpdateIf(Prehashed{Hash()(key)}, key, std::forward<Pred>(pred),
                     std::forward<Fn>(fn));
   }
 
-  template <typename Pred, typename Fn>
-  bool UpdateIf(Prehashed hash, const Key& key, Pred&& pred, Fn&& fn) {
+  template <typename K, typename Pred, typename Fn>
+  bool UpdateIf(Prehashed hash, const K& key, Pred&& pred, Fn&& fn) {
     StripeGuard guard(*this, hash.value);
-    Node* existing = FindNodeWriter(hash.value, key);
+    std::atomic<Node*>* slot = nullptr;
+    Node* existing = FindSlotWriter(hash.value, key, &slot);
     if (existing == nullptr ||
         !std::forward<Pred>(pred)(static_cast<const T&>(existing->value))) {
       return false;
     }
-    auto* replacement = new Node(hash.value, existing->key, existing->value);
+    Node* replacement = node_alloc_.Clone(*existing);
     std::forward<Fn>(fn)(replacement->value);
-    ReplaceNode(existing, replacement);
+    ReplaceNodeAt(slot, existing, replacement);
     return true;
   }
 
   // Erases; the node is reclaimed per the Reclaimer policy (deferred, by
   // default, so this never waits for readers). Returns whether the key was
   // present.
-  bool Erase(const Key& key) {
+  template <typename K>
+  bool Erase(const K& key) {
     return EraseIf(key, [](const T&) { return true; });
   }
 
-  bool Erase(Prehashed hash, const Key& key) {
+  template <typename K>
+  bool Erase(Prehashed hash, const K& key) {
     return EraseIf(hash, key, [](const T&) { return true; });
   }
 
@@ -420,18 +470,21 @@ class RpHashMap {
   // new entry is published before the old one is unlinked; a reader may
   // transiently see both, which is harmless, but never neither.
   // Fails (returns false) if `from` is absent or `to` already exists.
-  bool Move(const Key& from, const Key& to) {
+  template <typename K1, typename K2>
+  bool Move(const K1& from, const K2& to) {
     return Move(Prehashed{Hash()(from)}, from, Prehashed{Hash()(to)}, to);
   }
 
-  bool Move(Prehashed from_hash, const Key& from, Prehashed to_hash,
-            const Key& to) {
+  template <typename K1, typename K2>
+  bool Move(Prehashed from_hash, const K1& from, Prehashed to_hash,
+            const K2& to) {
     TwoStripeGuard guard(*this, from_hash.value, to_hash.value);
     Node* source = FindNodeWriter(from_hash.value, from);
     if (source == nullptr || FindNodeWriter(to_hash.value, to) != nullptr) {
       return false;
     }
-    auto* dest = new Node(to_hash.value, to, source->value);
+    Node* dest =
+        node_alloc_.template Create<Node>(to_hash.value, to, source->value);
     InsertNode(dest);  // publish at destination first
     UnlinkNode(source);
     ReclaimPolicy::Retire(source);
@@ -440,6 +493,17 @@ class RpHashMap {
 
   // Removes every element. One unlink per bucket; reclamation per policy.
   void Clear() {
+    Clear([](const Key&, const T&) {});
+  }
+
+  // Clear with a per-element visitor: `visit(key, value)` runs for each
+  // removed element while all stripes are held, before the node is
+  // retired. Callers that maintain external gauges use this to refund
+  // per-element deltas — an absolute reset would clobber contributions
+  // from writers that run without any shard-wide lock and have already
+  // passed their stripe.
+  template <typename Visitor>
+  void Clear(Visitor&& visit) {
     AllStripesGuard guard(*this);
     BucketArray* t = table_.load(std::memory_order_relaxed);
     std::size_t removed = 0;
@@ -447,6 +511,7 @@ class RpHashMap {
       Node* node = t->bucket(i).exchange(nullptr, std::memory_order_release);
       while (node != nullptr) {
         Node* next = node->next.load(std::memory_order_relaxed);
+        visit(node->key, node->value);
         ReclaimPolicy::Retire(node);
         node = next;
         ++removed;
@@ -520,8 +585,17 @@ class RpHashMap {
   using Hash = HashFn;
 
   struct Node {
-    Node(std::size_t h, const Key& k, T v)
+    // The key parameter is templated so a NodeAlloc can construct the
+    // stored Key from whatever probe type reached the write path (e.g. an
+    // inline-key descriptor pointing into the node's own chunk) without a
+    // conversion round trip through Key.
+    template <typename K>
+    Node(std::size_t h, const K& k, T v)
         : hash(h), key(k), value(std::move(v)) {}
+    // Funnel every `delete node` — including the deleter the deferred
+    // reclaimer captures in Retire — into the node-storage policy, so
+    // policy-carved nodes are released to their policy, never to the heap.
+    static void operator delete(void* p) noexcept { NodeAlloc::Deallocate(p); }
     std::atomic<Node*> next{nullptr};
     const std::size_t hash;
     const Key key;
@@ -715,7 +789,8 @@ class RpHashMap {
   // -- Writer-path helpers. Caller must hold the stripe covering the hash
   // (or all stripes). ------------------------------------------------------
 
-  Node* FindNodeWriter(std::size_t hash, const Key& key) {
+  template <typename K>
+  Node* FindNodeWriter(std::size_t hash, const K& key) {
     BucketArray* t = table_.load(std::memory_order_relaxed);
     for (Node* node = t->bucket(hash & t->mask).load(std::memory_order_relaxed);
          node != nullptr; node = node->next.load(std::memory_order_relaxed)) {
@@ -732,6 +807,28 @@ class RpHashMap {
     node->next.store(head.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
     rcu::RcuAssignPointer(head, node);
+  }
+
+  // One-walk find for the replace/unlink paths: returns the node for `key`
+  // (nullptr when absent) and, through `slot`, the pointer slot (bucket
+  // head or predecessor's next) referencing it — so a subsequent pointer
+  // swing needs no second traversal of a potentially cache-cold chain.
+  // Must run under the key's stripe, like every writer-side find.
+  template <typename K>
+  Node* FindSlotWriter(std::size_t hash, const K& key,
+                       std::atomic<Node*>** slot) {
+    BucketArray* t = table_.load(std::memory_order_relaxed);
+    std::atomic<Node*>* where = &t->bucket(hash & t->mask);
+    for (Node* node = where->load(std::memory_order_relaxed); node != nullptr;
+         node = where->load(std::memory_order_relaxed)) {
+      if (node->hash == hash && KeyEqual{}(node->key, key)) {
+        *slot = where;
+        return node;
+      }
+      where = &node->next;
+    }
+    *slot = nullptr;
+    return nullptr;
   }
 
   // Finds the slot (bucket head or predecessor's next) pointing at `node`.
@@ -754,9 +851,16 @@ class RpHashMap {
 
   // Replaces `victim` with `replacement` (same key) by one pointer swing.
   void ReplaceNode(Node* victim, Node* replacement) {
+    ReplaceNodeAt(SlotOf(victim), victim, replacement);
+  }
+
+  // ReplaceNode when the caller already holds the slot from a one-walk
+  // find (FindSlotWriter) — no re-traversal.
+  void ReplaceNodeAt(std::atomic<Node*>* slot, Node* victim,
+                     Node* replacement) {
     replacement->next.store(victim->next.load(std::memory_order_relaxed),
                             std::memory_order_relaxed);
-    SlotOf(victim)->store(replacement, std::memory_order_release);
+    slot->store(replacement, std::memory_order_release);
     ReclaimPolicy::Retire(victim);
   }
 
@@ -949,6 +1053,10 @@ class RpHashMap {
     BucketArray::Destroy(old_table);
   }
 
+  // Node-storage policy instance; all node creation funnels through it
+  // (deallocation goes through Node::operator delete so the deferred
+  // reclaimer's type-erased deleter reaches the policy too).
+  NodeAlloc node_alloc_;
   std::atomic<BucketArray*> table_{nullptr};
   std::atomic<std::size_t> count_{0};
   std::atomic<std::uint64_t> resize_count_{0};

@@ -9,6 +9,27 @@
 
 namespace rp::memcache {
 
+namespace {
+
+StoreKind StoreKindOf(Op op) {
+  switch (op) {
+    case Op::kSet:
+      return StoreKind::kSet;
+    case Op::kAdd:
+      return StoreKind::kAdd;
+    case Op::kReplace:
+      return StoreKind::kReplace;
+    case Op::kAppend:
+      return StoreKind::kAppend;
+    case Op::kPrepend:
+      return StoreKind::kPrepend;
+    default:
+      return StoreKind::kCas;
+  }
+}
+
+}  // namespace
+
 std::int64_t MonotonicMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -79,6 +100,10 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
       AppendStat(out, "bytes_wasted", stats.bytes_wasted);
       AppendStat(out, "slab_reserved", stats.slab_reserved);
       AppendStat(out, "slab_fallbacks", stats.slab_fallbacks);
+      // Batched-store observability: StoreMany calls that carried 2+ ops,
+      // and the ops they carried (see docs/PROTOCOL.md).
+      AppendStat(out, "store_batches", stats.store_batches);
+      AppendStat(out, "store_batched_ops", stats.store_batched_ops);
       AppendStat(out, "limit_maxbytes", stats.limit_maxbytes);
       if (conn_stats != nullptr) {
         AppendStat(out, "curr_connections", conn_stats->curr_connections);
@@ -180,6 +205,79 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
   }
 }
 
+bool IsBatchableStore(const Request& request) {
+  switch (request.op) {
+    case Op::kSet:
+    case Op::kAdd:
+    case Op::kReplace:
+    case Op::kAppend:
+    case Op::kPrepend:
+    case Op::kCas:
+      return request.keys.size() == 1;
+    default:
+      return false;
+  }
+}
+
+void ExecuteStoreBatch(CacheEngine& engine, const Request* requests,
+                       std::size_t count, std::string* out) {
+  // Typical bursts fit the stack; only pathological pipelines spill.
+  constexpr std::size_t kInline = 64;
+  StoreOp inline_ops[kInline];
+  StoreResult inline_results[kInline];
+  std::vector<StoreOp> heap_ops;
+  std::vector<StoreResult> heap_results;
+  StoreOp* ops = inline_ops;
+  StoreResult* results = inline_results;
+  if (count > kInline) {
+    heap_ops.resize(count);
+    heap_results.resize(count);
+    ops = heap_ops.data();
+    results = heap_results.data();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const Request& request = requests[i];
+    StoreOp& op = ops[i];
+    op.kind = StoreKindOf(request.op);
+    op.key = request.keys[0];
+    op.data = request.data;
+    op.flags = request.flags;
+    op.exptime = request.exptime;
+    op.cas = request.cas;
+  }
+  engine.StoreMany(ops, count, results);
+  // Wire responses, identical to the per-op ExecuteRequest paths: set
+  // always reports STORED, cas distinguishes EXISTS from NOT_FOUND, the
+  // rest map kStored/!kStored to STORED/NOT_STORED.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (requests[i].noreply) {
+      continue;
+    }
+    switch (ops[i].kind) {
+      case StoreKind::kSet:
+        out->append(kResponseStored);
+        break;
+      case StoreKind::kCas:
+        switch (results[i]) {
+          case StoreResult::kStored:
+            out->append(kResponseStored);
+            break;
+          case StoreResult::kExists:
+            out->append(kResponseExists);
+            break;
+          default:
+            out->append(kResponseNotFound);
+            break;
+        }
+        break;
+      default:
+        out->append(results[i] == StoreResult::kStored ? kResponseStored
+                                                       : kResponseNotStored);
+        break;
+    }
+  }
+}
+
 Connection::Connection(int fd, CacheEngine& engine,
                        std::size_t write_high_water,
                        ConnectionCounters* counters)
@@ -261,6 +359,7 @@ bool Connection::ExecuteBuffered() {
       // Backpressure applies between pipelined requests too, or one read
       // chunk full of multi-gets could buffer responses without bound.
       // (A single response still buffers whole, however large.)
+      FlushStoreBatch();  // the parser already consumed these; answer them
       UpdateBackpressure();
       return true;
     }
@@ -270,9 +369,20 @@ bool Connection::ExecuteBuffered() {
       break;
     }
     if (status == ParseStatus::kError) {
+      FlushStoreBatch();  // burst responses precede the error, in order
       AppendClientError(&out_, parser_.error_message());
       continue;
     }
+    if (IsBatchableStore(request)) {
+      // Collect the pipelined store burst; it executes as one StoreMany
+      // (one store-mutex acquisition per shard group) when it ends.
+      store_batch_.push_back(std::move(request));
+      if (store_batch_.size() >= kMaxStoreBatch) {
+        FlushStoreBatch();
+      }
+      continue;
+    }
+    FlushStoreBatch();  // a non-store request ends the burst
     const ServerConnectionStats* conn_stats = nullptr;
     if (request.op == Op::kStats && counters_ != nullptr) {
       snapshot.curr_connections =
@@ -289,8 +399,24 @@ bool Connection::ExecuteBuffered() {
       close_after_flush_ = true;
     }
   }
+  FlushStoreBatch();  // input exhausted (or quit): answer what we have
   UpdateBackpressure();
   return false;
+}
+
+void Connection::FlushStoreBatch() {
+  if (store_batch_.empty()) {
+    return;
+  }
+  if (store_batch_.size() == 1) {
+    // A lone store skips the batch machinery entirely.
+    bool quit = false;
+    ExecuteRequest(engine_, store_batch_.front(), &out_, &quit);
+  } else {
+    ExecuteStoreBatch(engine_, store_batch_.data(), store_batch_.size(),
+                      &out_);
+  }
+  store_batch_.clear();
 }
 
 bool Connection::FlushOutput() {

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/memcache/engine.h"
 #include "src/memcache/protocol.h"
@@ -40,6 +41,20 @@ struct ServerConnectionStats {
 void ExecuteRequest(CacheEngine& engine, const Request& request,
                     std::string* out, bool* quit,
                     const ServerConnectionStats* conn_stats = nullptr);
+
+// True for a storage request StoreMany can carry: one of the six storage
+// commands with its single key (the parser guarantees one key, but the
+// check keeps this safe on hand-built requests too).
+bool IsBatchableStore(const Request& request);
+
+// Executes a burst of storage requests as one engine.StoreMany call and
+// appends each request's wire response (noreply suppressed per op) to
+// *out, byte-identical to running ExecuteRequest per request. The
+// connection uses this for pipelined store runs so the engine pays its
+// per-batch costs (one store-mutex acquisition per shard group) once.
+// Every request must satisfy IsBatchableStore.
+void ExecuteStoreBatch(CacheEngine& engine, const Request* requests,
+                       std::size_t count, std::string* out);
 
 class Connection {
  public:
@@ -87,6 +102,12 @@ class Connection {
   // On quit, stops executing (remaining pipelined requests are dropped
   // per protocol) but keeps earlier responses so they flush before close.
   bool ExecuteBuffered();
+  // Executes the pending store burst (if any): one request goes down the
+  // plain per-op path, two or more become a single ExecuteStoreBatch.
+  // Called whenever the burst ends — a non-store request, a parse error,
+  // a backpressure pause, the batch cap, or the end of buffered input —
+  // so responses always leave in request order.
+  void FlushStoreBatch();
   // Alternates flushing and executing backpressure-deferred requests
   // until the socket stops taking bytes or no deferred work remains.
   // False = fatal socket error.
@@ -110,7 +131,13 @@ class Connection {
   const std::size_t write_high_water_;
   ConnectionCounters* const counters_;
 
+  // Largest store burst handed to one StoreMany call. Bounds the batch
+  // buffer (and each engine lock hold) while staying well past the depth
+  // a pipelined client keeps in flight.
+  static constexpr std::size_t kMaxStoreBatch = 64;
+
   RequestParser parser_;
+  std::vector<Request> store_batch_;  // pending pipelined store burst
   std::string out_;        // response bytes not yet handed to the kernel
   std::size_t out_sent_ = 0;  // prefix of out_ already written
   bool close_after_flush_ = false;  // quit seen: flush, then close

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -20,6 +21,58 @@ enum class StoreResult {
   kNotStored,  // add on existing / replace on missing
   kExists,     // cas mismatch
   kNotFound,   // cas on missing key
+};
+
+// A std::mutex that counts this thread's acquisitions in thread-local
+// storage — the store-path analogue of Epoch::ThreadReadSections(). Both
+// engines guard their store bookkeeping with it, so tests can pin the
+// one-lock-per-batch invariant ("a k-store shard group takes exactly one
+// store-mutex acquisition") by delta, with zero shared-state cost on the
+// hot path (the counter lives on the acquiring thread's own cache line).
+class StoreMutex {
+ public:
+  void lock() {
+    ++tls_acquisitions_;
+    mu_.lock();
+  }
+  void unlock() { mu_.unlock(); }
+  bool try_lock() {
+    if (!mu_.try_lock()) {
+      return false;
+    }
+    ++tls_acquisitions_;
+    return true;
+  }
+
+  // Store-mutex acquisitions performed by the calling thread, across every
+  // StoreMutex instance in the process.
+  static std::uint64_t ThreadAcquisitions() { return tls_acquisitions_; }
+
+ private:
+  std::mutex mu_;
+  static inline thread_local std::uint64_t tls_acquisitions_ = 0;
+};
+
+// One element of a batched store (StoreMany below). All six storage
+// commands batch — not just SET — so a pipelined burst of mixed stores
+// still executes as one shard group per shard. Views point into the parsed
+// requests; they must stay valid for the duration of the StoreMany call.
+enum class StoreKind : std::uint8_t {
+  kSet,
+  kAdd,
+  kReplace,
+  kAppend,
+  kPrepend,
+  kCas,
+};
+
+struct StoreOp {
+  StoreKind kind = StoreKind::kSet;
+  std::string_view key;
+  std::string_view data;
+  std::uint32_t flags = 0;
+  std::int64_t exptime = 0;
+  std::uint64_t cas = 0;  // kCas only
 };
 
 struct EngineConfig {
@@ -114,6 +167,12 @@ struct EngineStats {
   std::uint64_t slab_fallbacks = 0;
   // Configured max_bytes (0 = unlimited); the `stats` wire field.
   std::uint64_t limit_maxbytes = 0;
+  // Batched-store observability (mirror of the GetMany accounting):
+  // StoreMany calls that actually batched (2+ ops), and the ops they
+  // carried. Singleton stores touch neither, so batching effectiveness is
+  // store_batched_ops / cmd_set.
+  std::uint64_t store_batches = 0;
+  std::uint64_t store_batched_ops = 0;
 };
 
 // One slot of a multi-get answer: out[i] describes keys[i] (miss = !hit).
@@ -159,6 +218,44 @@ class CacheEngine {
   virtual StoreResult CheckAndSet(const std::string& key, std::string_view data,
                                   std::uint32_t flags, std::int64_t exptime,
                                   std::uint64_t expected_cas) = 0;
+
+  // Batched stores: executes ops[0..count) in order, filling
+  // results[0..count), semantics identical to issuing the per-op calls
+  // back to back (wire responses, CAS included, must not change). The
+  // connection collects each pipelined readiness event's storage burst
+  // into one call so engines can amortize per-op costs — the relativistic
+  // engine groups ops by shard and pays one store-mutex acquisition, one
+  // resize nudge and at most one reclaimer pump per shard group; the
+  // locked engine takes its global mutex once for the whole batch. The
+  // default is the unbatched loop.
+  virtual void StoreMany(const StoreOp* ops, std::size_t count,
+                         StoreResult* results) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const StoreOp& op = ops[i];
+      const std::string key(op.key);
+      switch (op.kind) {
+        case StoreKind::kSet:
+          results[i] = Set(key, op.data, op.flags, op.exptime);
+          break;
+        case StoreKind::kAdd:
+          results[i] = Add(key, op.data, op.flags, op.exptime);
+          break;
+        case StoreKind::kReplace:
+          results[i] = Replace(key, op.data, op.flags, op.exptime);
+          break;
+        case StoreKind::kAppend:
+          results[i] = Append(key, op.data);
+          break;
+        case StoreKind::kPrepend:
+          results[i] = Prepend(key, op.data);
+          break;
+        case StoreKind::kCas:
+          results[i] = CheckAndSet(key, op.data, op.flags, op.exptime, op.cas);
+          break;
+      }
+    }
+  }
+
   virtual bool Delete(const std::string& key) = 0;
 
   // Returns the post-op value on kOk; distinguishes a missing/expired key

@@ -6,10 +6,37 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/memcache/slab.h"
 
 namespace rp::memcache {
+
+// Key descriptor for the combined item layout (memcached's single-
+// allocation item): the key bytes live in the trailing region of the same
+// slab chunk that holds the table node, so this is just a pointer + length
+// into that chunk — storing a key performs no allocation of its own. The
+// descriptor is only ever compared/hashed through its string_view
+// conversion, and the bytes it points at live exactly as long as the node
+// that embeds it (chunks recycle only through deferred reclamation, so a
+// reader inside an epoch section can never observe a reused key region).
+struct ItemKey {
+  const char* data = nullptr;
+  std::uint32_t size = 0;
+
+  operator std::string_view() const { return {data, size}; }
+};
+
+// Transparent equality over anything string_view-convertible: probes
+// (std::string, std::string_view) and stored ItemKeys all funnel through
+// one comparison, sidestepping C++20 rewritten-candidate ambiguity that a
+// member operator== on ItemKey would invite.
+struct ItemKeyEqual {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
 
 // Seconds since the unix epoch, as memcached reckons time.
 std::int64_t NowSeconds();
@@ -121,6 +148,21 @@ struct CacheValue {
     last_used.store(other.last_used.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
     return *this;
+  }
+
+  // Copy of the bookkeeping fields with an *empty* payload buffer. The
+  // combined-item clone path stages the payload bytes for embedding in
+  // the new node's own chunk, so copying them through a temporary chunk
+  // here would be a wasted allocate/copy/free round trip.
+  static CacheValue MetadataCopy(const CacheValue& other) {
+    CacheValue copy;
+    copy.flags = other.flags;
+    copy.expire_at = other.expire_at;
+    copy.cas = other.cas;
+    copy.stored_at = other.stored_at;
+    copy.last_used.store(other.last_used.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    return copy;
   }
 };
 

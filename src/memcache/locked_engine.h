@@ -52,6 +52,13 @@ class LockedEngine final : public CacheEngine {
   StoreResult CheckAndSet(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime,
                           std::uint64_t expected_cas) override;
+  // One mutex acquisition for the whole storage burst — the symmetric
+  // counterpart of the RP engine's one-lock-per-shard-group batching, so
+  // the fig5 pipelined-SET contrast compares batching against batching.
+  // Keys are probed as string_views via the map's transparent hasher; an
+  // owning std::string materializes only when a new key is linked.
+  void StoreMany(const StoreOp* ops, std::size_t count,
+                 StoreResult* results) override;
   bool Delete(const std::string& key) override;
   ArithResult Incr(const std::string& key, std::uint64_t delta) override;
   ArithResult Decr(const std::string& key, std::uint64_t delta) override;
@@ -86,8 +93,27 @@ class LockedEngine final : public CacheEngine {
   bool GetLocked(const K& key, std::int64_t now, StoredValue* out);
   void TouchLruLocked(Map::iterator it);
   void EraseLocked(Map::iterator it);
-  void StoreLocked(const std::string& key, std::string_view data,
-                   std::uint32_t flags, std::int64_t exptime);
+  template <typename K>
+  void StoreLocked(const K& key, std::string_view data, std::uint32_t flags,
+                   std::int64_t exptime);
+  // Per-kind store cores, shared by the per-op entry points and StoreMany
+  // (which runs them all under one mutex_ acquisition). Each is exactly
+  // the corresponding public op minus the lock.
+  template <typename K>
+  StoreResult AddOpLocked(const K& key, std::string_view data,
+                          std::uint32_t flags, std::int64_t exptime,
+                          std::int64_t now);
+  template <typename K>
+  StoreResult ReplaceOpLocked(const K& key, std::string_view data,
+                              std::uint32_t flags, std::int64_t exptime,
+                              std::int64_t now);
+  template <typename K>
+  StoreResult ConcatOpLocked(const K& key, std::string_view data, bool prepend,
+                             std::int64_t now);
+  template <typename K>
+  StoreResult CasOpLocked(const K& key, std::string_view data,
+                          std::uint32_t flags, std::int64_t exptime,
+                          std::uint64_t expected_cas, std::int64_t now);
   // Overwrite through an iterator the caller already holds (from
   // FindLiveLocked): replace/cas reuse their lookup instead of paying a
   // second find — the one-hash rule applied to the locked baseline.
@@ -108,7 +134,9 @@ class LockedEngine final : public CacheEngine {
                           bool increment);
 
   const EngineConfig config_;
-  mutable std::mutex mutex_;
+  // StoreMutex (a counting std::mutex) so tests can pin StoreMany's
+  // one-acquisition-per-batch promise on this engine too.
+  mutable StoreMutex mutex_;
   // Declared before map_ so chunks freed by the map's destruction land in
   // a live allocator.
   SlabAllocator slab_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <charconv>
+#include <cstring>
 #include <deque>
 #include <mutex>
+#include <new>
 
 #include "src/core/hash.h"
 #include "src/core/resize_worker.h"
@@ -72,6 +74,127 @@ std::size_t PerShard(std::size_t global, std::size_t shards) {
   return global == 0 ? 0 : std::max<std::size_t>((global + shards - 1) / shards, 1);
 }
 
+// Values up to this size are EMBEDDED in the node's own chunk (the full
+// combined item layout: node + key + value bytes in ONE allocation). 256
+// keeps the worst case — a 250-byte key plus the 256-byte payload class —
+// inside the node slab's 1024-byte chunk_max, so an embedded item can
+// never be forced onto the heap fallback by its own geometry.
+constexpr std::size_t kEmbedMaxData = 256;
+
+// Whether the combined layout will embed a payload of `size`. Pooling
+// disabled (chunk_max == 0 — the abl12 per-payload-malloc baseline) keeps
+// the separate exact-size allocation so that baseline still measures what
+// it claims to.
+bool ShouldEmbedPayload(const SlabAllocator& value_slab, std::size_t size) {
+  return size != 0 && size <= kEmbedMaxData &&
+         value_slab.policy().chunk_max != 0;
+}
+
+// Payload bytes staged for the next CombinedNodeAlloc::Create on this
+// thread. The table's Create signature carries exactly (hash, key, value),
+// so the engine hands the to-be-embedded bytes through this side channel
+// (set immediately before the table call, consumed — and cleared — first
+// thing inside Create). When set, the accompanying CacheValue's buffer is
+// empty; Create copies the staged bytes into the node chunk's trailing
+// region instead of the value ever owning a separate chunk.
+thread_local std::string_view g_staged_payload;
+
+// Node allocation policy for the combined item layout (memcached's single-
+// allocation item): each table node, its key bytes, and — for payloads up
+// to kEmbedMaxData — its value bytes are carved from ONE chunk of the
+// shard's node slab. The node occupies the front, the key bytes follow,
+// and the embedded payload sits in the aligned tail behind a slab header
+// of its own (stamped kEmbeddedClass: footprint/capacity queries behave
+// like a pooled chunk, Free is a no-op — the node chunk owns the bytes).
+// The embedded capacity mirrors the value slab's class capacity for the
+// size, so byte accounting is bit-identical whether a payload is embedded
+// or pooled. A steady-state overwrite therefore touches the heap zero
+// times and the allocator exactly once: one node-slab chunk out, one
+// retired chunk back after a grace period (Deallocate runs from the
+// deferred reclaimer), so readers mid-section can never observe a reused
+// node, key, or value region.
+struct CombinedNodeAlloc {
+  SlabAllocator* node_slab = nullptr;
+  SlabAllocator* value_slab = nullptr;
+
+  template <typename Node, typename K, typename V>
+  Node* Create(std::size_t hash, const K& key, V&& value) const {
+    // Slab payloads are 8-byte aligned (kChunkAlign); that covers the node.
+    static_assert(alignof(Node) <= 8, "node must fit slab chunk alignment");
+    const std::string_view k(key);
+    const std::string_view data = g_staged_payload;
+    g_staged_payload = {};
+    const std::size_t key_end = sizeof(Node) + k.size();
+    std::size_t embed_off = 0;
+    std::size_t total = key_end;
+    if (!data.empty()) {
+      // Reserve the value slab's class footprint (header included) so the
+      // embedded region is indistinguishable from a pooled payload chunk:
+      // footprint() == FootprintFor(size()) stays an invariant and the
+      // in-place Assign rule sees the same capacity either way.
+      const std::size_t fp = value_slab->FootprintFor(data.size());
+      embed_off = ((key_end + SlabAllocator::kChunkAlign - 1) &
+                   ~(SlabAllocator::kChunkAlign - 1)) +
+                  SlabAllocator::kHeaderBytes;
+      total = embed_off + (fp - SlabAllocator::kHeaderBytes);
+    }
+    char* mem = node_slab->Allocate(total);
+    char* key_bytes = mem + sizeof(Node);
+    if (!k.empty()) {
+      std::memcpy(key_bytes, k.data(), k.size());
+    }
+    Node* node = new (mem)
+        Node(hash, ItemKey{key_bytes, static_cast<std::uint32_t>(k.size())},
+             std::forward<V>(value));
+    if (!data.empty()) {
+      char* payload = mem + embed_off;
+      SlabAllocator::StampEmbedded(payload, total - embed_off, value_slab);
+      node->value.data = SlabBuffer::FromChunk(payload, data);
+    }
+    return node;
+  }
+
+  template <typename Node>
+  Node* Clone(const Node& node) const {
+    // Embeddable payloads are staged and re-embedded in the new node's
+    // chunk — copying them through a temporary value-slab chunk first
+    // would waste an allocate/copy/free triple per update. The source
+    // node stays alive (the caller holds its stripe) until Create has
+    // copied the staged bytes out.
+    const SlabBuffer& data = node.value.data;
+    if (ShouldEmbedPayload(*value_slab, data.size())) {
+      g_staged_payload = data.view();
+      return Create<Node>(node.hash, node.key,
+                          CacheValue::MetadataCopy(node.value));
+    }
+    return Create<Node>(node.hash, node.key, node.value);
+  }
+
+  // Every `delete node` inside the table (and the deferred reclaimer's
+  // type-erased deleter) dispatches here through the node's class-scope
+  // operator delete; the 16-byte slab header in front of the chunk routes
+  // the free back to the owning shard's node slab, heap fallbacks
+  // included — no instance state needed. Embedded payload sub-headers
+  // free as part of the chunk (their own Free is a no-op).
+  static void Deallocate(void* p) noexcept {
+    SlabAllocator::Free(static_cast<char*>(p));
+  }
+};
+
+// Geometry for the node slab: combined node+key+embedded-value allocations
+// run from sizeof(Node) (~100 bytes) up to sizeof(Node) + kMaxKeyLength
+// (250) + header + the kEmbedMaxData payload class (~320), so classes span
+// 64..1024 and the arena is uncapped — its footprint is bounded by the
+// item caps (every chunk backs exactly one linked or in-flight node), not
+// by a byte budget of its own.
+SlabPolicy NodeSlabPolicy() {
+  SlabPolicy policy;
+  policy.chunk_min = 64;
+  policy.chunk_max = 1024;
+  policy.arena_bytes = 0;
+  return policy;
+}
+
 // Victim bounds for the class-exhaustion sweep. The sweep is
 // class-targeted (only items whose chunk belongs to the dry class are
 // evicted — freed chunks return to their own class, so evicting anything
@@ -90,18 +213,24 @@ constexpr std::size_t kClassEvictPops = 64;
 struct RpEngine::Shard {
   // Concurrent-writer configuration: striped writer locks (the table
   // default) and deferred reclamation, spelled out so the engine's choice
-  // survives a change of table defaults. The transparent KeyEqual lets
-  // lookups and conditional erases probe with string_views straight out
-  // of a parsed request (the hasher is transparent already).
+  // survives a change of table defaults. Keys are stored as ItemKeys
+  // pointing into the node's own slab chunk (combined item layout — see
+  // CombinedNodeAlloc above); the transparent KeyEqual compares them
+  // against string/string_view probes straight out of a parsed request,
+  // and the transparent hasher never rehashes a stored key (the node
+  // carries its hash).
   using Table =
-      core::RpHashMap<std::string, CacheValue, core::MixedHash<std::string>,
-                      std::equal_to<>, rcu::Epoch,
-                      rcu::DeferredReclaimer<rcu::Epoch>>;
+      core::RpHashMap<ItemKey, CacheValue, core::MixedHash<std::string>,
+                      ItemKeyEqual, rcu::Epoch,
+                      rcu::DeferredReclaimer<rcu::Epoch>, CombinedNodeAlloc>;
 
   Shard(const SlabPolicy& slab_policy, std::size_t buckets,
-        std::size_t shard_count)
+        std::size_t shard_index, std::size_t shard_count)
       : slab(slab_policy),
-        table(buckets, TableOptions()),
+        node_slab(NodeSlabPolicy()),
+        table(buckets, TableOptions(), CombinedNodeAlloc{&node_slab, &slab}),
+        next_cas(shard_index + 1),
+        cas_step(shard_count),
         resize_worker(table, WorkerOptions(buckets, shard_count)) {}
 
   // Payload chunks for this shard's values. Declared before the table:
@@ -110,6 +239,10 @@ struct RpEngine::Shard {
   // still-linked nodes, so the allocator must be destroyed strictly after
   // the table.
   SlabAllocator slab;
+  // Combined node+key chunks (CombinedNodeAlloc). Same destruction-order
+  // constraint as the payload slab: every node the table deletes frees
+  // into it.
+  SlabAllocator node_slab;
 
   Table table;
 
@@ -117,8 +250,9 @@ struct RpEngine::Shard {
   // table's striped locks already serialize per-key updates; this mutex
   // exists because eviction state (fifo) must change atomically with
   // table membership — but it is per shard, so SETs to different shards
-  // never contend.
-  std::mutex store_mutex;
+  // never contend. StoreMutex counts acquisitions in TLS so tests can pin
+  // the one-lock-per-batch invariant.
+  StoreMutex store_mutex;
   // Approximate LRU: insertion-ordered queue scanned with a second-chance
   // test against the GET path's relaxed last_used stamps. Exact LRU would
   // reintroduce a shared write per GET — the very serialization the RP
@@ -143,6 +277,12 @@ struct RpEngine::Shard {
   std::atomic<std::uint64_t> evictions{0};
   std::atomic<std::uint64_t> expired_reclaims{0};
   std::atomic<std::uint64_t> total_items{0};
+
+  // Per-shard CAS source: stepped by the shard count and seeded with
+  // shard_index + 1, so values stay nonzero and unique engine-wide without
+  // a single engine-global atomic on every store.
+  std::atomic<std::uint64_t> next_cas;
+  const std::uint64_t cas_step;
 
   // Deferred (rhashtable-style) resizes: stores and deletes nudge the
   // worker instead of absorbing resize cost inline. Declared after the
@@ -188,12 +328,16 @@ RpEngine::RpEngine(EngineConfig config) : config_(config) {
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(
-        std::make_unique<Shard>(slab_policy, shard_buckets, shard_count));
+        std::make_unique<Shard>(slab_policy, shard_buckets, i, shard_count));
   }
   shard_mask_ = shard_count - 1;
 }
 
 RpEngine::~RpEngine() = default;
+
+std::uint64_t RpEngine::NextCas(Shard& shard) {
+  return shard.next_cas.fetch_add(shard.cas_step, std::memory_order_relaxed);
+}
 
 // Shard routing uses the high hash bits; the table's bucket index uses the
 // low bits of the same mixed hash, so a shard's keys still spread evenly
@@ -369,16 +513,6 @@ bool RpEngine::OverLimit(const Shard& shard) const {
           shard.bytes.load(std::memory_order_relaxed) > max_bytes_per_shard_);
 }
 
-void RpEngine::NoteInsertLocked(Shard& shard, const std::string& key) {
-  // Unlimited caches skip recency tracking entirely: with no cap the
-  // eviction sweep never drains the queue, so feeding it would grow memory
-  // without bound under set/delete churn. (The caller runs the sweep.)
-  if (track_eviction_) {
-    shard.fifo.push_back(key);
-  }
-  shard.resize_worker.Nudge();
-}
-
 void RpEngine::EvictLocked(Shard& shard) {
   if (!track_eviction_) {
     return;
@@ -472,7 +606,7 @@ void RpEngine::MaybeEvict(Shard& shard) {
   if (!track_eviction_ || !OverLimit(shard)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(shard.store_mutex);
+  std::lock_guard<StoreMutex> lock(shard.store_mutex);
   EvictLocked(shard);
 }
 
@@ -495,28 +629,27 @@ void RpEngine::EnsureChunkAvailable(Shard& shard, std::size_t data_size) {
   // callbacks free chunks into the slab mutex, and the grace period only
   // waits on read-side sections, never on writers.
   {
-    std::lock_guard<std::mutex> lock(shard.store_mutex);
+    std::lock_guard<StoreMutex> lock(shard.store_mutex);
     EvictForClassLocked(shard, shard.slab.FootprintFor(data_size));
   }
   Shard::Table::reclaimer_type::Drain();
 }
 
-StoreResult RpEngine::Set(const std::string& key, std::string_view data,
-                          std::uint32_t flags, std::int64_t exptime) {
-  const core::Prehashed hash{Hasher{}(key)};
-  Shard& shard = ShardForHash(hash.value);
-  const std::int64_t now = NowSeconds();
-  EnsureChunkAvailable(shard, data.size());
-  // Payload goes straight from the parsed request into a slab chunk; no
-  // owning string is ever allocated for it.
-  CacheValue value(SlabBuffer(&shard.slab, data), flags,
-                   ResolveExptime(exptime, now),
-                   next_cas_.fetch_add(1, std::memory_order_relaxed));
-  value.stored_at = now;
-  value.last_used.store(now, std::memory_order_relaxed);
-  const std::size_t new_charge = ChargedBytes(key.size(), value.data);
-  const std::size_t new_waste = WastedBytes(value.data);
-  std::lock_guard<std::mutex> lock(shard.store_mutex);
+bool RpEngine::PublishValueLocked(Shard& shard, core::Prehashed hash,
+                                  std::string_view key, CacheValue&& value) {
+  // A staged (to-be-embedded) payload is not in value.data yet; charge
+  // what the embedded region will occupy — by construction exactly the
+  // value slab's class footprint for the staged size, so the gauge cannot
+  // tell embedded and pooled payloads apart.
+  const std::string_view staged = g_staged_payload;
+  const std::size_t data_footprint =
+      staged.empty() ? value.data.footprint()
+                     : shard.slab.FootprintFor(staged.size());
+  const std::size_t data_size =
+      staged.empty() ? value.data.size() : staged.size();
+  const std::size_t new_charge =
+      key.size() + data_footprint + kItemOverheadBytes;
+  const std::size_t new_waste = data_footprint - data_size;
   // One stripe-atomic insert-or-assign: on a replacement the byte delta
   // against the old value is applied inside the table callback, under the
   // key's stripe, so a concurrent size-changing update of the same key can
@@ -534,10 +667,57 @@ StoreResult RpEngine::Set(const std::string& key, std::string_view data,
     shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
     shard.bytes_wasted.fetch_add(new_waste, std::memory_order_relaxed);
     shard.total_items.fetch_add(1, std::memory_order_relaxed);
-    NoteInsertLocked(shard, key);
+    if (track_eviction_) {
+      shard.fifo.push_back(std::string(key));
+    }
   }
+  return inserted;
+}
+
+StoreResult RpEngine::Set(const std::string& key, std::string_view data,
+                          std::uint32_t flags, std::int64_t exptime) {
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
+  const std::int64_t now = NowSeconds();
+  // Embeddable payloads go straight from the parsed request into the new
+  // node's own chunk (staged below — the payload slab is never consulted);
+  // larger ones go into a payload slab chunk, TryAllocate-first: the
+  // common case (the class has a free chunk) pays one allocator lock
+  // instead of a HasAvailable + Allocate pair; only exhaustion or an
+  // unpooled size takes the evict-and-drain / heap-fallback slow path.
+  // Either way, no owning string is ever allocated for the bytes.
+  const bool embed = ShouldEmbedPayload(shard.slab, data.size());
+  SlabBuffer payload;
+  if (!data.empty() && !embed) {
+    if (char* chunk = shard.slab.TryAllocate(data.size())) {
+      payload = SlabBuffer::FromChunk(chunk, data);
+    } else {
+      EnsureChunkAvailable(shard, data.size());
+      payload = SlabBuffer(&shard.slab, data);
+    }
+  }
+  CacheValue value(std::move(payload), flags, ResolveExptime(exptime, now),
+                   NextCas(shard));
+  value.stored_at = now;
+  value.last_used.store(now, std::memory_order_relaxed);
+  // Capped caches serialize stores on the shard's store mutex so the
+  // gauge check and eviction sweep are atomic against the publish.
+  // Uncapped caches (no eviction bookkeeping at all) publish lock-free:
+  // the insert-or-assign is stripe-atomic, every gauge moves by
+  // fetch-add deltas, and there is no FIFO state to guard.
+  std::unique_lock<StoreMutex> lock(shard.store_mutex, std::defer_lock);
+  if (track_eviction_) {
+    lock.lock();
+  }
+  if (embed) {
+    g_staged_payload = data;
+  }
+  const bool inserted = PublishValueLocked(shard, hash, key, std::move(value));
   EvictLocked(shard);
   shard.sets.fetch_add(1, std::memory_order_relaxed);
+  if (inserted) {
+    shard.resize_worker.Nudge();
+  }
   return StoreResult::kStored;
 }
 
@@ -545,8 +725,6 @@ StoreResult RpEngine::Add(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
-  const std::int64_t now = NowSeconds();
-  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
   // Evict-for-class only when the add can actually store (key absent or
   // dead): an add answered NOT_STORED must not evict live data. Advisory
   // and race-tolerant, like the Replace-side gate.
@@ -554,78 +732,47 @@ StoreResult RpEngine::Add(const std::string& key, std::string_view data,
       !shard.table.Contains(hash, key)) {
     EnsureChunkAvailable(shard, data.size());
   }
-  CacheValue value(SlabBuffer(&shard.slab, data), flags,
-                   ResolveExptime(exptime, now),
-                   next_cas_.fetch_add(1, std::memory_order_relaxed));
-  value.stored_at = now;
-  value.last_used.store(now, std::memory_order_relaxed);
-  const std::size_t new_charge = ChargedBytes(key.size(), value.data);
-  const std::size_t new_waste = WastedBytes(value.data);
-  std::lock_guard<std::mutex> lock(shard.store_mutex);
-  bool live = false;
-  std::size_t old_footprint = 0;  // captured from the original, not the clone
-  std::size_t old_size = 0;
-  // A dead entry (expired or flushed) may be overwritten in place; the
-  // liveness check and the overwrite are atomic under the stripe. As in
-  // Set, a missed overwrite makes Insert infallible under the store mutex.
-  const bool replaced = shard.table.UpdateIf(
-      hash, key,
-      [&](const CacheValue& old) {
-        if (IsLive(old, flush_at, now)) {
-          live = true;
-          return false;
-        }
-        old_footprint = old.data.footprint();
-        old_size = old.data.size();
-        return true;
-      },
-      [&](CacheValue& old) {
-        shard.bytes.fetch_add(
-            new_charge - (key.size() + old_footprint + kItemOverheadBytes),
-            std::memory_order_relaxed);
-        shard.bytes_wasted.fetch_add(new_waste - (old_footprint - old_size),
-                                     std::memory_order_relaxed);
-        old = std::move(value);
-        // Overwriting a dead entry is a reclaim plus a fresh link, so the
-        // stats match the locked engine's erase-then-insert for the same
-        // traffic (add-over-dead is the one store that proves liveness).
-        shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
-        shard.total_items.fetch_add(1, std::memory_order_relaxed);
-      });
-  if (live) {
-    return StoreResult::kNotStored;
+  StoreOp op;
+  op.kind = StoreKind::kAdd;
+  op.key = key;
+  op.data = data;
+  op.flags = flags;
+  op.exptime = exptime;
+  const std::int64_t now = NowSeconds();
+  bool inserted = false;
+  // Same locking rule as Set: store mutex only when eviction bookkeeping
+  // exists. The lock-free add is safe because StoreOneLocked's kAdd core
+  // answers an insert race with kNotStored instead of assuming the store
+  // mutex made Insert infallible.
+  std::unique_lock<StoreMutex> lock(shard.store_mutex, std::defer_lock);
+  if (track_eviction_) {
+    lock.lock();
   }
-  if (!replaced && shard.table.Insert(hash, key, std::move(value))) {
-    shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
-    shard.bytes_wasted.fetch_add(new_waste, std::memory_order_relaxed);
-    shard.total_items.fetch_add(1, std::memory_order_relaxed);
-    NoteInsertLocked(shard, key);
+  const StoreResult result = StoreOneLocked(shard, hash, op, now, &inserted);
+  if (result != StoreResult::kStored) {
+    return result;
   }
   EvictLocked(shard);
   shard.sets.fetch_add(1, std::memory_order_relaxed);
-  return StoreResult::kStored;
+  if (inserted) {
+    shard.resize_worker.Nudge();
+  }
+  return result;
 }
 
 // Replace-only-if-live as one conditional per-key update: the liveness
 // check and the overwrite are atomic under the stripe, so a concurrent
 // DELETE can never be resurrected by a REPLACE that passed a stale check
 // (and a replace never inserts, so eviction bookkeeping is untouched).
-StoreResult RpEngine::Replace(const std::string& key, std::string_view data,
-                              std::uint32_t flags, std::int64_t exptime) {
-  const core::Prehashed hash{Hasher{}(key)};
-  Shard& shard = ShardForHash(hash.value);
-  const std::int64_t now = NowSeconds();
+// The core touches only the stripe locks (safe with or without the store
+// mutex held — StoreMany runs it inside its one batch acquisition) and
+// leaves `sets` counting and eviction to the caller.
+StoreResult RpEngine::ReplaceCore(Shard& shard, core::Prehashed hash,
+                                  std::string_view key, std::string_view data,
+                                  std::uint32_t flags, std::int64_t exptime,
+                                  std::int64_t now) {
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  // Gate the exhaustion slow path on the key being present at all: a
-  // replace of a missing key stores nothing, and evicting live items for
-  // it would be pure collateral. (Advisory and race-tolerant — liveness
-  // is re-checked under the stripe; a wrong guess only means one heap
-  // fallback.)
-  if (!shard.slab.HasAvailable(data.size()) &&
-      shard.table.Contains(hash, key)) {
-    EnsureChunkAvailable(shard, data.size());
-  }
-  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t cas = NextCas(shard);
   // The gauge delta must be computed against the ORIGINAL value's
   // footprint (captured in the predicate, which runs on the stored value
   // under the stripe) — the clone handed to the mutate callback sits in a
@@ -655,12 +802,30 @@ StoreResult RpEngine::Replace(const std::string& key, std::string_view data,
         value.stored_at = now;
         value.last_used.store(now, std::memory_order_relaxed);
       });
-  if (!replaced) {
-    return StoreResult::kNotStored;
+  return replaced ? StoreResult::kStored : StoreResult::kNotStored;
+}
+
+StoreResult RpEngine::Replace(const std::string& key, std::string_view data,
+                              std::uint32_t flags, std::int64_t exptime) {
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
+  // Gate the exhaustion slow path on the key being present at all: a
+  // replace of a missing key stores nothing, and evicting live items for
+  // it would be pure collateral. (Advisory and race-tolerant — liveness
+  // is re-checked under the stripe; a wrong guess only means one heap
+  // fallback.)
+  if (!shard.slab.HasAvailable(data.size()) &&
+      shard.table.Contains(hash, key)) {
+    EnsureChunkAvailable(shard, data.size());
+  }
+  const StoreResult result =
+      ReplaceCore(shard, hash, key, data, flags, exptime, NowSeconds());
+  if (result != StoreResult::kStored) {
+    return result;
   }
   shard.sets.fetch_add(1, std::memory_order_relaxed);
   MaybeEvict(shard);
-  return StoreResult::kStored;
+  return result;
 }
 
 // Append/Prepend are per-key read-modify-writes: the table's striped
@@ -669,12 +834,11 @@ StoreResult RpEngine::Replace(const std::string& key, std::string_view data,
 // Dead (expired/flushed) items reject the concatenation — stored_at is
 // preserved, so a flushed item can never be revived through its tail.
 // Growth past kMaxItemBytes (memcached's item_size_max) is rejected too.
-StoreResult RpEngine::Append(const std::string& key, std::string_view data) {
-  const core::Prehashed hash{Hasher{}(key)};
-  Shard& shard = ShardForHash(hash.value);
-  const std::int64_t now = NowSeconds();
+StoreResult RpEngine::ConcatCore(Shard& shard, core::Prehashed hash,
+                                 std::string_view key, std::string_view data,
+                                 bool prepend, std::int64_t now) {
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t cas = NextCas(shard);
   std::size_t old_footprint = 0;  // captured from the original, not the clone
   std::size_t old_size = 0;
   const bool updated = shard.table.UpdateIf(
@@ -689,48 +853,41 @@ StoreResult RpEngine::Append(const std::string& key, std::string_view data) {
         return true;
       },
       [&](CacheValue& value) {
-        value.data.Append(&shard.slab, data);
+        if (prepend) {
+          value.data.Prepend(&shard.slab, data);
+        } else {
+          value.data.Append(&shard.slab, data);
+        }
         shard.RechargeValue(old_footprint, old_size, value);
         value.cas = cas;
       });
-  if (!updated) {
-    return StoreResult::kNotStored;
+  return updated ? StoreResult::kStored : StoreResult::kNotStored;
+}
+
+StoreResult RpEngine::Append(const std::string& key, std::string_view data) {
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
+  const StoreResult result =
+      ConcatCore(shard, hash, key, data, /*prepend=*/false, NowSeconds());
+  if (result != StoreResult::kStored) {
+    return result;
   }
   shard.sets.fetch_add(1, std::memory_order_relaxed);
   MaybeEvict(shard);
-  return StoreResult::kStored;
+  return result;
 }
 
 StoreResult RpEngine::Prepend(const std::string& key, std::string_view data) {
   const core::Prehashed hash{Hasher{}(key)};
   Shard& shard = ShardForHash(hash.value);
-  const std::int64_t now = NowSeconds();
-  const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
-  std::size_t old_footprint = 0;  // captured from the original, not the clone
-  std::size_t old_size = 0;
-  const bool updated = shard.table.UpdateIf(
-      hash, key,
-      [&](const CacheValue& value) {
-        if (!IsLive(value, flush_at, now) ||
-            value.data.size() + data.size() > kMaxItemBytes) {
-          return false;  // dead, or the result would exceed item_size_max
-        }
-        old_footprint = value.data.footprint();
-        old_size = value.data.size();
-        return true;
-      },
-      [&](CacheValue& value) {
-        value.data.Prepend(&shard.slab, data);
-        shard.RechargeValue(old_footprint, old_size, value);
-        value.cas = cas;
-      });
-  if (!updated) {
-    return StoreResult::kNotStored;
+  const StoreResult result =
+      ConcatCore(shard, hash, key, data, /*prepend=*/true, NowSeconds());
+  if (result != StoreResult::kStored) {
+    return result;
   }
   shard.sets.fetch_add(1, std::memory_order_relaxed);
   MaybeEvict(shard);
-  return StoreResult::kStored;
+  return result;
 }
 
 // CAS as one conditional per-key update: the cas comparison and the store
@@ -738,21 +895,12 @@ StoreResult RpEngine::Prepend(const std::string& key, std::string_view data) {
 // the cas under the same stripe) either lands before the comparison — CAS
 // returns kExists — or after the whole CAS; it can never be silently
 // overwritten between a passed check and the store.
-StoreResult RpEngine::CheckAndSet(const std::string& key, std::string_view data,
-                                  std::uint32_t flags, std::int64_t exptime,
-                                  std::uint64_t expected_cas) {
-  const core::Prehashed hash{Hasher{}(key)};
-  Shard& shard = ShardForHash(hash.value);
-  const std::int64_t now = NowSeconds();
+StoreResult RpEngine::CasCore(Shard& shard, core::Prehashed hash,
+                              std::string_view key, std::string_view data,
+                              std::uint32_t flags, std::int64_t exptime,
+                              std::uint64_t expected_cas, std::int64_t now) {
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  // As in Replace: evict-for-class only when the key exists — a cas that
-  // will answer NOT_FOUND (or EXISTS) must not evict live data for a
-  // store that never happens.
-  if (!shard.slab.HasAvailable(data.size()) &&
-      shard.table.Contains(hash, key)) {
-    EnsureChunkAvailable(shard, data.size());
-  }
-  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t cas = NextCas(shard);
   bool live = false;
   bool matched = false;
   std::size_t old_footprint = 0;  // captured from the original, not the clone
@@ -783,12 +931,272 @@ StoreResult RpEngine::CheckAndSet(const std::string& key, std::string_view data,
   if (!live) {
     return StoreResult::kNotFound;
   }
-  if (!matched) {
-    return StoreResult::kExists;
+  return matched ? StoreResult::kStored : StoreResult::kExists;
+}
+
+StoreResult RpEngine::CheckAndSet(const std::string& key, std::string_view data,
+                                  std::uint32_t flags, std::int64_t exptime,
+                                  std::uint64_t expected_cas) {
+  const core::Prehashed hash{Hasher{}(key)};
+  Shard& shard = ShardForHash(hash.value);
+  // As in Replace: evict-for-class only when the key exists — a cas that
+  // will answer NOT_FOUND (or EXISTS) must not evict live data for a
+  // store that never happens.
+  if (!shard.slab.HasAvailable(data.size()) &&
+      shard.table.Contains(hash, key)) {
+    EnsureChunkAvailable(shard, data.size());
+  }
+  const StoreResult result = CasCore(shard, hash, key, data, flags, exptime,
+                                     expected_cas, NowSeconds());
+  if (result != StoreResult::kStored) {
+    return result;
   }
   shard.sets.fetch_add(1, std::memory_order_relaxed);
   MaybeEvict(shard);
-  return StoreResult::kStored;
+  return result;
+}
+
+StoreResult RpEngine::StoreOneLocked(Shard& shard, core::Prehashed hash,
+                                     const StoreOp& op, std::int64_t now,
+                                     bool* inserted) {
+  *inserted = false;
+  switch (op.kind) {
+    case StoreKind::kSet: {
+      // Same staging rule as the singleton Set: embeddable payloads land
+      // in the node's own chunk, only larger ones take a payload chunk.
+      const bool embed = ShouldEmbedPayload(shard.slab, op.data.size());
+      SlabBuffer payload;
+      if (!op.data.empty() && !embed) {
+        payload = SlabBuffer(&shard.slab, op.data);
+      }
+      CacheValue value(std::move(payload), op.flags,
+                       ResolveExptime(op.exptime, now), NextCas(shard));
+      value.stored_at = now;
+      value.last_used.store(now, std::memory_order_relaxed);
+      if (embed) {
+        g_staged_payload = op.data;
+      }
+      *inserted = PublishValueLocked(shard, hash, op.key, std::move(value));
+      return StoreResult::kStored;
+    }
+    case StoreKind::kAdd: {
+      const std::int64_t flush_at =
+          shard.flush_at.load(std::memory_order_relaxed);
+      CacheValue value(SlabBuffer(&shard.slab, op.data), op.flags,
+                       ResolveExptime(op.exptime, now), NextCas(shard));
+      value.stored_at = now;
+      value.last_used.store(now, std::memory_order_relaxed);
+      const std::size_t new_charge = ChargedBytes(op.key.size(), value.data);
+      const std::size_t new_waste = WastedBytes(value.data);
+      bool live = false;
+      std::size_t old_footprint = 0;  // from the original, not the clone
+      std::size_t old_size = 0;
+      // A dead entry (expired or flushed) may be overwritten in place; the
+      // liveness check and the overwrite are atomic under the stripe.
+      const bool replaced = shard.table.UpdateIf(
+          hash, op.key,
+          [&](const CacheValue& old) {
+            if (IsLive(old, flush_at, now)) {
+              live = true;
+              return false;
+            }
+            old_footprint = old.data.footprint();
+            old_size = old.data.size();
+            return true;
+          },
+          [&](CacheValue& old) {
+            shard.bytes.fetch_add(
+                new_charge -
+                    (op.key.size() + old_footprint + kItemOverheadBytes),
+                std::memory_order_relaxed);
+            shard.bytes_wasted.fetch_add(
+                new_waste - (old_footprint - old_size),
+                std::memory_order_relaxed);
+            old = std::move(value);
+            // Overwriting a dead entry is a reclaim plus a fresh link, so
+            // the stats match the locked engine's erase-then-insert for the
+            // same traffic (add-over-dead is the one store that proves
+            // liveness).
+            shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
+            shard.total_items.fetch_add(1, std::memory_order_relaxed);
+          });
+      if (live) {
+        return StoreResult::kNotStored;
+      }
+      if (replaced) {
+        return StoreResult::kStored;
+      }
+      if (shard.table.Insert(hash, op.key, std::move(value))) {
+        shard.bytes.fetch_add(new_charge, std::memory_order_relaxed);
+        shard.bytes_wasted.fetch_add(new_waste, std::memory_order_relaxed);
+        shard.total_items.fetch_add(1, std::memory_order_relaxed);
+        if (track_eviction_) {
+          shard.fifo.push_back(std::string(op.key));
+        }
+        *inserted = true;
+        return StoreResult::kStored;
+      }
+      // Insert race: a concurrent lock-free add of the same key published
+      // first (only possible on an uncapped cache, where adds skip the
+      // store mutex). That add stored; this one did not.
+      return StoreResult::kNotStored;
+    }
+    case StoreKind::kReplace:
+      return ReplaceCore(shard, hash, op.key, op.data, op.flags, op.exptime,
+                         now);
+    case StoreKind::kAppend:
+      return ConcatCore(shard, hash, op.key, op.data, /*prepend=*/false, now);
+    case StoreKind::kPrepend:
+      return ConcatCore(shard, hash, op.key, op.data, /*prepend=*/true, now);
+    case StoreKind::kCas:
+      return CasCore(shard, hash, op.key, op.data, op.flags, op.exptime,
+                     op.cas, now);
+  }
+  return StoreResult::kNotStored;  // unreachable: all kinds handled above
+}
+
+void RpEngine::StoreMany(const StoreOp* ops, std::size_t count,
+                         StoreResult* results) {
+  if (count < 2) {
+    CacheEngine::StoreMany(ops, count, results);  // singletons: per-op path
+    return;
+  }
+
+  // Hash every key exactly once up front; the shard index derives from the
+  // hash, mirroring GetMany (and batches up to kInlineOps — the largest
+  // burst the connection collects — stay off the heap).
+  constexpr std::size_t kInlineOps = 64;
+  std::size_t inline_hashes[kInlineOps];
+  unsigned char inline_done[kInlineOps];
+  std::vector<std::size_t> heap_hashes;
+  std::vector<unsigned char> heap_done;
+  std::size_t* hashes = inline_hashes;
+  unsigned char* done = inline_done;
+  if (count > kInlineOps) {
+    heap_hashes.resize(count);
+    heap_done.resize(count);
+    hashes = heap_hashes.data();
+    done = heap_done.data();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    hashes[i] = Hasher{}(ops[i].key);
+    done[i] = 0;
+  }
+
+  const std::int64_t now = NowSeconds();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (done[i] != 0) {
+      continue;  // already executed as part of an earlier shard group
+    }
+    const std::size_t shard_index = ShardIndexForHash(hashes[i]);
+    Shard& shard = *shards_[shard_index];
+
+    // Chunk pre-pass for the whole group, no locks held: find the size
+    // classes this group needs that are dry against the arena, deduped by
+    // footprint so a burst of same-sized sets checks its class once. Ops
+    // that cannot store (add on a present key, replace/cas on a missing
+    // one) don't get to trigger eviction — same gating as the per-op
+    // paths. All dry classes share ONE eviction sweep under ONE store-
+    // mutex acquisition and at most ONE reclaimer pump for the group.
+    constexpr std::size_t kMaxClasses = 8;
+    std::size_t seen[kMaxClasses];
+    std::size_t dry[kMaxClasses];
+    std::size_t n_seen = 0;
+    std::size_t n_dry = 0;
+    for (std::size_t j = i; j < count; ++j) {
+      if (done[j] != 0 || ShardIndexForHash(hashes[j]) != shard_index) {
+        continue;
+      }
+      const StoreOp& op = ops[j];
+      if (op.data.empty()) {
+        continue;
+      }
+      bool wants = false;
+      switch (op.kind) {
+        case StoreKind::kSet:
+          // Embeddable payloads live inside the node chunk and never
+          // consult the payload slab.
+          wants = !ShouldEmbedPayload(shard.slab, op.data.size());
+          break;
+        case StoreKind::kAdd:
+          wants = !shard.table.Contains(core::Prehashed{hashes[j]}, op.key);
+          break;
+        case StoreKind::kReplace:
+        case StoreKind::kCas:
+          wants = shard.table.Contains(core::Prehashed{hashes[j]}, op.key);
+          break;
+        default:
+          break;  // append/prepend grow through SlabBuffer, never pre-ensure
+      }
+      if (!wants) {
+        continue;
+      }
+      const std::size_t footprint = shard.slab.FootprintFor(op.data.size());
+      bool known = false;
+      for (std::size_t k = 0; k < n_seen; ++k) {
+        if (seen[k] == footprint) {
+          known = true;
+          break;
+        }
+      }
+      if (known || n_seen == kMaxClasses) {
+        // Overflowing kMaxClasses distinct classes in one burst is
+        // pathological; the unchecked ops just risk a (charged, counted)
+        // heap fallback.
+        continue;
+      }
+      seen[n_seen++] = footprint;
+      if (!shard.slab.HasAvailable(op.data.size()) &&
+          shard.slab.HasChunksOf(op.data.size())) {
+        dry[n_dry++] = footprint;
+      }
+    }
+    if (n_dry != 0) {
+      {
+        std::lock_guard<StoreMutex> lock(shard.store_mutex);
+        for (std::size_t k = 0; k < n_dry; ++k) {
+          EvictForClassLocked(shard, dry[k]);
+        }
+      }
+      Shard::Table::reclaimer_type::Drain();  // the group's one pump
+    }
+
+    // Execute the group in request order under AT MOST ONE store-mutex
+    // acquisition (stripe locks nest under it exactly as on the per-op
+    // paths; uncapped caches take zero, the same rule as the singleton
+    // paths), with per-op eviction preserved and the counters batched.
+    std::uint64_t stored = 0;
+    bool inserted_any = false;
+    {
+      std::unique_lock<StoreMutex> lock(shard.store_mutex, std::defer_lock);
+      if (track_eviction_) {
+        lock.lock();
+      }
+      for (std::size_t j = i; j < count; ++j) {
+        if (done[j] != 0 || ShardIndexForHash(hashes[j]) != shard_index) {
+          continue;
+        }
+        done[j] = 1;
+        bool inserted = false;
+        results[j] = StoreOneLocked(shard, core::Prehashed{hashes[j]}, ops[j],
+                                    now, &inserted);
+        if (results[j] == StoreResult::kStored) {
+          ++stored;
+          EvictLocked(shard);
+        }
+        inserted_any = inserted_any || inserted;
+      }
+    }
+    if (stored != 0) {
+      shard.sets.fetch_add(stored, std::memory_order_relaxed);
+    }
+    if (inserted_any) {
+      shard.resize_worker.Nudge();
+    }
+  }
+
+  store_batches_.fetch_add(1, std::memory_order_relaxed);
+  store_batched_ops_.fetch_add(count, std::memory_order_relaxed);
 }
 
 // DELETE is a per-key conditional erase: the byte refund happens under the
@@ -831,7 +1239,7 @@ ArithResult RpEngine::Arith(const std::string& key, std::uint64_t delta,
   Shard& shard = ShardForHash(hash.value);
   const std::int64_t now = NowSeconds();
   const std::int64_t flush_at = shard.flush_at.load(std::memory_order_relaxed);
-  const std::uint64_t cas = next_cas_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t cas = NextCas(shard);
   ArithStatus status = ArithStatus::kNotFound;  // stays if the key is absent
   std::uint64_t next = 0;
   std::size_t old_footprint = 0;  // captured from the original, not the clone
@@ -916,11 +1324,16 @@ void RpEngine::FlushAll(std::int64_t delay_seconds) {
     return;
   }
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->store_mutex);
-    shard->table.Clear();
+    std::lock_guard<StoreMutex> lock(shard->store_mutex);
+    // Refund gauges per cleared node instead of resetting them: on an
+    // uncapped cache, stores run lock-free past the store mutex, so a
+    // concurrent SET that already passed its stripe may apply its charge
+    // after this flush — an absolute reset would strand that delta
+    // forever, while per-node refunds compose with it exactly.
+    shard->table.Clear([&shard](const ItemKey& key, const CacheValue& value) {
+      shard->RefundValue(key.size, value);
+    });
     shard->fifo.clear();
-    shard->bytes.store(0, std::memory_order_relaxed);
-    shard->bytes_wasted.store(0, std::memory_order_relaxed);
     shard->flush_at.store(kNoFlush, std::memory_order_relaxed);
   }
 }
@@ -944,7 +1357,7 @@ std::size_t RpEngine::BucketCount() const {
 std::size_t RpEngine::EvictionQueueDepth() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->store_mutex);
+    std::lock_guard<StoreMutex> lock(shard->store_mutex);
     total += shard->fifo.size();
   }
   return total;
@@ -953,6 +1366,9 @@ std::size_t RpEngine::EvictionQueueDepth() const {
 EngineStats RpEngine::Stats() const {
   EngineStats stats;
   stats.limit_maxbytes = config_.max_bytes;
+  stats.store_batches = store_batches_.load(std::memory_order_relaxed);
+  stats.store_batched_ops =
+      store_batched_ops_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     stats.get_hits += shard->get_hits.load(std::memory_order_relaxed);
     stats.get_misses += shard->get_misses.load(std::memory_order_relaxed);
@@ -967,6 +1383,12 @@ EngineStats RpEngine::Stats() const {
     const SlabStats slab = shard->slab.Stats();
     stats.slab_reserved += slab.bytes_reserved;
     stats.slab_fallbacks += slab.fallback_allocs;
+    // The combined-item node slab is real reserved memory too; its arena
+    // is uncapped, so fallbacks only ever come from node+key sizes beyond
+    // its chunk_max (impossible through the protocol's 250-byte key cap).
+    const SlabStats nodes = shard->node_slab.Stats();
+    stats.slab_reserved += nodes.bytes_reserved;
+    stats.slab_fallbacks += nodes.fallback_allocs;
   }
   return stats;
 }

@@ -83,6 +83,15 @@ class RpEngine final : public CacheEngine {
   StoreResult CheckAndSet(const std::string& key, std::string_view data,
                           std::uint32_t flags, std::int64_t exptime,
                           std::uint64_t expected_cas) override;
+  // Batched stores, shard-grouped like GetMany: ops are hashed once up
+  // front and grouped by shard; each shard group pre-ensures slab chunks
+  // (one eviction sweep + at most ONE reclaimer pump for the whole group),
+  // then executes its ops in request order under ONE store_mutex
+  // acquisition, with one resize nudge and one batched `sets` update at
+  // the end. Per-op wire semantics (results, CAS, eviction bookkeeping)
+  // are identical to the per-op calls.
+  void StoreMany(const StoreOp* ops, std::size_t count,
+                 StoreResult* results) override;
   bool Delete(const std::string& key) override;
   ArithResult Incr(const std::string& key, std::uint64_t delta) override;
   ArithResult Decr(const std::string& key, std::uint64_t delta) override;
@@ -124,7 +133,6 @@ class RpEngine final : public CacheEngine {
   // True when this shard is over its item or byte budget.
   bool OverLimit(const Shard& shard) const;
   // Caller must hold shard.store_mutex.
-  void NoteInsertLocked(Shard& shard, const std::string& key);
   void EvictLocked(Shard& shard);
   // Cheap over-budget check for update paths that grow a value outside the
   // store mutex (append/replace/cas/incr); takes the mutex only when over.
@@ -147,6 +155,35 @@ class RpEngine final : public CacheEngine {
   void ReclaimDead(Shard& shard, core::Prehashed hash, std::string_view key);
   ArithResult Arith(const std::string& key, std::uint64_t delta,
                     bool increment);
+  // Executes one store op with shard.store_mutex HELD, in-lock value build
+  // included. Returns the wire result; *inserted reports whether a new key
+  // was linked (caller nudges the resize worker once per lock section).
+  StoreResult StoreOneLocked(Shard& shard, core::Prehashed hash,
+                             const StoreOp& op, std::int64_t now,
+                             bool* inserted);
+  // Publishes a fully built value for `key` (insert-or-assign + byte-gauge
+  // and eviction bookkeeping). Caller must hold shard.store_mutex. Returns
+  // true when a new key was inserted (vs overwritten).
+  bool PublishValueLocked(Shard& shard, core::Prehashed hash,
+                          std::string_view key, CacheValue&& value);
+  // Update-path cores shared by the per-op calls and StoreMany: they touch
+  // only the table's stripe locks (safe with or without the store mutex
+  // held) and do NOT count `sets` or trigger eviction — callers do.
+  StoreResult ReplaceCore(Shard& shard, core::Prehashed hash,
+                          std::string_view key, std::string_view data,
+                          std::uint32_t flags, std::int64_t exptime,
+                          std::int64_t now);
+  StoreResult ConcatCore(Shard& shard, core::Prehashed hash,
+                         std::string_view key, std::string_view data,
+                         bool prepend, std::int64_t now);
+  StoreResult CasCore(Shard& shard, core::Prehashed hash,
+                      std::string_view key, std::string_view data,
+                      std::uint32_t flags, std::int64_t exptime,
+                      std::uint64_t expected_cas, std::int64_t now);
+  // Next CAS value for an item stored in `shard`: per-shard counters
+  // stepped by the shard count and salted by the shard index, so values
+  // stay unique engine-wide without a single contended atomic.
+  std::uint64_t NextCas(Shard& shard);
 
   const EngineConfig config_;
   // Per-shard budgets derived from config_ (0 = unlimited).
@@ -159,7 +196,10 @@ class RpEngine final : public CacheEngine {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t shard_mask_ = 0;
-  std::atomic<std::uint64_t> next_cas_{1};  // CAS values unique engine-wide
+  // Batched-store observability (engine-wide; bumped once per StoreMany
+  // call that actually batched).
+  std::atomic<std::uint64_t> store_batches_{0};
+  std::atomic<std::uint64_t> store_batched_ops_{0};
 };
 
 }  // namespace rp::memcache

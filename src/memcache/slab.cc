@@ -13,9 +13,7 @@ constexpr std::size_t AlignUp(std::size_t n, std::size_t a) {
   return (n + a - 1) & ~(a - 1);
 }
 
-// Chunk capacities are 8-byte multiples so every chunk start (and the
-// intrusive free-list pointer stored in the payload) stays aligned.
-constexpr std::size_t kChunkAlign = 8;
+constexpr std::size_t kChunkAlign = SlabAllocator::kChunkAlign;
 
 // Growth factors outside this band either stop making progress (<= 1) or
 // degenerate into one class per power (> 4); both come from operator
@@ -33,30 +31,6 @@ std::size_t NextClassSize(std::size_t size, double growth) {
 
 std::size_t FallbackFootprint(std::size_t size) {
   return SlabAllocator::kHeaderBytes + AlignUp(size, kChunkAlign);
-}
-
-}  // namespace
-
-// The 16 bytes preceding every payload. `owner` is null for untracked
-// heap blocks; `cls` is kFallbackClass for any non-pooled allocation.
-struct SlabAllocator::Header {
-  SlabAllocator* owner;
-  std::uint32_t capacity;
-  std::uint32_t cls;
-};
-static_assert(sizeof(SlabAllocator::Header) == SlabAllocator::kHeaderBytes);
-static_assert(alignof(SlabAllocator::Header) <= kChunkAlign);
-
-namespace {
-
-SlabAllocator::Header* HeaderOf(char* payload) {
-  return reinterpret_cast<SlabAllocator::Header*>(payload -
-                                                  SlabAllocator::kHeaderBytes);
-}
-
-const SlabAllocator::Header* HeaderOf(const char* payload) {
-  return reinterpret_cast<const SlabAllocator::Header*>(
-      payload - SlabAllocator::kHeaderBytes);
 }
 
 }  // namespace
@@ -86,6 +60,19 @@ SlabAllocator::SlabAllocator(SlabPolicy policy) : policy_(policy) {
   }
   free_lists_.assign(class_capacity_.size(), nullptr);
   class_chunks_.assign(class_capacity_.size(), 0);
+  // Flat size -> class table behind the inline ClassIndexFor: slot s
+  // covers payload sizes ((s-1)*align, s*align].
+  if (!class_capacity_.empty()) {
+    const std::size_t slots = class_capacity_.back() / kChunkAlign + 1;
+    class_lookup_.resize(slots);
+    std::size_t cls = 0;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      while (class_capacity_[cls] < slot * kChunkAlign) {
+        ++cls;
+      }
+      class_lookup_[slot] = static_cast<std::uint16_t>(cls);
+    }
+  }
 }
 
 SlabAllocator::~SlabAllocator() {
@@ -96,12 +83,6 @@ SlabAllocator::~SlabAllocator() {
   for (void* page : pages_) {
     ::operator delete(page);
   }
-}
-
-std::size_t SlabAllocator::ClassIndexFor(std::size_t size) const {
-  const auto it =
-      std::lower_bound(class_capacity_.begin(), class_capacity_.end(), size);
-  return static_cast<std::size_t>(it - class_capacity_.begin());
 }
 
 bool SlabAllocator::GrowClassLocked(std::size_t cls) {
@@ -186,6 +167,11 @@ void SlabAllocator::Free(char* payload) {
     return;
   }
   Header* header = HeaderOf(payload);
+  if (header->cls == kEmbeddedClass) {
+    // Region embedded in another allocation (combined item layout); the
+    // enclosing allocation owns the bytes and frees them as a whole.
+    return;
+  }
   SlabAllocator* owner = header->owner;
   if (owner == nullptr) {
     ::operator delete(payload - kHeaderBytes);
@@ -205,18 +191,6 @@ void SlabAllocator::Free(char* payload) {
   *reinterpret_cast<char**>(payload) = owner->free_lists_[cls];
   owner->free_lists_[cls] = payload;
   --owner->chunks_in_use_;
-}
-
-std::size_t SlabAllocator::FootprintOf(const char* payload) {
-  return payload == nullptr ? 0 : kHeaderBytes + HeaderOf(payload)->capacity;
-}
-
-std::size_t SlabAllocator::CapacityOf(const char* payload) {
-  return payload == nullptr ? 0 : HeaderOf(payload)->capacity;
-}
-
-SlabAllocator* SlabAllocator::OwnerOf(const char* payload) {
-  return payload == nullptr ? nullptr : HeaderOf(payload)->owner;
 }
 
 bool SlabAllocator::HasChunksOf(std::size_t size) const {

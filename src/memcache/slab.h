@@ -35,6 +35,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <mutex>
 #include <string_view>
 #include <vector>
@@ -73,6 +74,42 @@ class SlabAllocator {
  public:
   static constexpr std::size_t kHeaderBytes = 16;
   static constexpr std::uint32_t kFallbackClass = 0xFFFFFFFFu;
+  // Marks a buffer embedded inside ANOTHER allocation (the combined item
+  // layout places value bytes in the trailing region of the table node's
+  // chunk). Footprint/capacity queries work off the header as usual;
+  // Free() is a no-op — the enclosing allocation owns the bytes and is
+  // freed as a whole.
+  static constexpr std::uint32_t kEmbeddedClass = 0xFFFFFFFEu;
+  // Chunk capacities are 8-byte multiples so every chunk start (and the
+  // intrusive free-list pointer stored in the payload) stays aligned.
+  static constexpr std::size_t kChunkAlign = 8;
+
+  // The 16 bytes preceding every payload. `owner` is null for untracked
+  // heap blocks; `cls` is kFallbackClass for any non-pooled allocation.
+  struct Header {
+    SlabAllocator* owner;
+    std::uint32_t capacity;
+    std::uint32_t cls;
+  };
+
+  static Header* HeaderOf(char* payload) {
+    return reinterpret_cast<Header*>(payload - kHeaderBytes);
+  }
+  static const Header* HeaderOf(const char* payload) {
+    return reinterpret_cast<const Header*>(payload - kHeaderBytes);
+  }
+
+  // Stamps `payload` (a region inside another allocation, preceded by
+  // kHeaderBytes of reserved space) as an embedded sub-buffer of capacity
+  // `capacity`. Footprint/capacity queries behave like a pooled chunk;
+  // Free() on it is a no-op. `owner` is recorded so copies of the buffer
+  // (which allocate a chunk of their own) draw from the same pool and
+  // land in the same size class — byte accounting stays history-free.
+  static void StampEmbedded(char* payload, std::size_t capacity,
+                            SlabAllocator* owner) {
+    *HeaderOf(payload) =
+        Header{owner, static_cast<std::uint32_t>(capacity), kEmbeddedClass};
+  }
 
   explicit SlabAllocator(SlabPolicy policy = {});
   ~SlabAllocator();
@@ -102,12 +139,19 @@ class SlabAllocator {
 
   // Total heap footprint of the allocation behind `payload` (header +
   // chunk capacity); what byte accounting charges. 0 for nullptr.
-  static std::size_t FootprintOf(const char* payload);
+  // Inline header read: the store path queries this several times per op.
+  static std::size_t FootprintOf(const char* payload) {
+    return payload == nullptr ? 0 : kHeaderBytes + HeaderOf(payload)->capacity;
+  }
 
   // Usable capacity behind `payload` (0 for nullptr).
-  static std::size_t CapacityOf(const char* payload);
+  static std::size_t CapacityOf(const char* payload) {
+    return payload == nullptr ? 0 : HeaderOf(payload)->capacity;
+  }
 
-  static SlabAllocator* OwnerOf(const char* payload);
+  static SlabAllocator* OwnerOf(const char* payload) {
+    return payload == nullptr ? nullptr : HeaderOf(payload)->owner;
+  }
 
   // True when an immediate TryAllocate(size) could succeed (free chunk or
   // arena headroom for a page) — the engine's eviction trigger. Sizes the
@@ -135,20 +179,24 @@ class SlabAllocator {
 
   SlabStats Stats() const;
 
-  // The per-allocation header layout; defined in slab.cc (public so the
-  // file-local header helpers there can name it).
-  struct Header;
-
  private:
   // Index of the smallest class with capacity >= size; class count when
-  // the size is unpooled.
-  std::size_t ClassIndexFor(std::size_t size) const;
+  // the size is unpooled. O(1) via a flat lookup table indexed by the
+  // size rounded up to the chunk alignment — the geometric ladder tops
+  // out at a few KiB, so the table is a couple of KiB of uint16s and the
+  // hot store path skips a binary search per query.
+  std::size_t ClassIndexFor(std::size_t size) const {
+    const std::size_t slot = (size + kChunkAlign - 1) / kChunkAlign;
+    return slot < class_lookup_.size() ? class_lookup_[slot]
+                                       : class_capacity_.size();
+  }
   // Carves one more page for `cls`; false when the arena cap forbids it.
   // Requires mu_ held.
   bool GrowClassLocked(std::size_t cls);
 
   SlabPolicy policy_;
   std::vector<std::size_t> class_capacity_;  // ascending, immutable
+  std::vector<std::uint16_t> class_lookup_;  // aligned size -> class index
 
   mutable std::mutex mu_;
   std::vector<char*> free_lists_;  // per class, intrusive via payload bytes
@@ -161,6 +209,9 @@ class SlabAllocator {
   std::uint64_t fallback_allocs_ = 0;
   std::uint64_t class_exhausted_ = 0;
 };
+
+static_assert(sizeof(SlabAllocator::Header) == SlabAllocator::kHeaderBytes);
+static_assert(alignof(SlabAllocator::Header) <= SlabAllocator::kChunkAlign);
 
 // Pure form of SlabAllocator::FootprintFor for callers (tests, capacity
 // planning) that have a policy but no allocator instance.
@@ -180,6 +231,19 @@ class SlabBuffer {
   // Copies `contents` into a chunk from `slab` (nullptr = untracked heap).
   SlabBuffer(SlabAllocator* slab, std::string_view contents) {
     Assign(slab, contents);
+  }
+  // Adopts a chunk the caller already obtained from TryAllocate/Allocate,
+  // copying `contents` into it. The TryAllocate-first store path uses this
+  // to pay one allocator lock instead of a HasAvailable + Allocate pair.
+  // The chunk's capacity must cover contents.size(); ownership transfers.
+  static SlabBuffer FromChunk(char* chunk, std::string_view contents) {
+    SlabBuffer buffer;
+    buffer.payload_ = chunk;
+    buffer.size_ = static_cast<std::uint32_t>(contents.size());
+    if (!contents.empty()) {
+      std::memcpy(chunk, contents.data(), contents.size());
+    }
+    return buffer;
   }
   ~SlabBuffer() { SlabAllocator::Free(payload_); }
 

@@ -68,11 +68,14 @@ std::string_view NextValue(const WorkloadConfig& config, Xoshiro256& rng,
   return {buffer.data(), config.value_size + rng.NextBounded(span)};
 }
 
-// Formats one random operation in wire form into *wire (replacing its
+// Formats one random round trip in wire form into *wire (replacing its
 // contents). Returns whether it is a GET. Shared by the in-process and
 // socket client loops so both benchmark modes drive the same workload.
 // GETs carry config.keys_per_get keys ("get k1 k2 ...", each drawn
-// independently) to exercise the batched multi-get path.
+// independently) to exercise the batched multi-get path; SET round trips
+// carry config.sets_per_request stores — all but the last noreply, so
+// exactly one STORED comes back per round trip — to exercise the batched
+// store path.
 bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
                      ZipfGenerator& zipf, const std::string& value_buffer,
                      std::string* wire) {
@@ -87,14 +90,20 @@ bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
     }
     *wire += "\r\n";
   } else {
-    const std::string_view value = NextValue(config, rng, value_buffer);
-    *wire += "set ";
-    *wire += WorkloadKey(zipf.Next(rng));
-    *wire += " 0 0 ";
-    *wire += std::to_string(value.size());
-    *wire += "\r\n";
-    *wire += value;
-    *wire += "\r\n";
+    const std::size_t sets = std::max<std::size_t>(config.sets_per_request, 1);
+    for (std::size_t s = 0; s < sets; ++s) {
+      const std::string_view value = NextValue(config, rng, value_buffer);
+      *wire += "set ";
+      *wire += WorkloadKey(zipf.Next(rng));
+      *wire += " 0 0 ";
+      *wire += std::to_string(value.size());
+      if (s + 1 < sets) {
+        *wire += " noreply";
+      }
+      *wire += "\r\n";
+      *wire += value;
+      *wire += "\r\n";
+    }
   }
   return is_get;
 }
@@ -121,17 +130,33 @@ void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
   RequestParser parser;
   std::string wire;
   std::string response;
+  std::vector<Request> requests;
 
   while (!stop.load(std::memory_order_relaxed)) {
     const bool is_get = NextRequestWire(config, rng, zipf, value, &wire);
     parser.Feed(wire);
-    Request request;
-    if (parser.Next(&request) != ParseStatus::kOk) {
+    // A round trip may carry several pipelined requests (a noreply SET
+    // burst); drain them all before answering, like the server does.
+    requests.clear();
+    for (;;) {
+      Request request;
+      if (parser.Next(&request) != ParseStatus::kOk) {
+        break;
+      }
+      requests.push_back(std::move(request));
+    }
+    if (requests.empty()) {
       continue;  // unreachable for well-formed generated traffic
     }
     bool quit = false;
     response.clear();
-    ExecuteRequest(engine, request, &response, &quit);
+    if (requests.size() >= 2) {
+      // Only SET bursts are multi-request here, so this is exactly the
+      // server connection's batched store path.
+      ExecuteStoreBatch(engine, requests.data(), requests.size(), &response);
+    } else {
+      ExecuteRequest(engine, requests.front(), &response, &quit);
+    }
     ++totals.requests;
     if (is_get) {
       const std::uint64_t keys =
@@ -141,7 +166,7 @@ void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
       totals.hits += hits;
       totals.misses += keys - hits;
     } else {
-      ++totals.sets;
+      totals.sets += requests.size();
     }
   }
 }
@@ -158,6 +183,11 @@ void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
   std::vector<std::string> batch_keys(keys_per_get);
   std::vector<std::string_view> batch_views(keys_per_get);
   std::vector<MultiGetResult> batch_results(keys_per_get);
+  const std::size_t sets_per_request =
+      std::max<std::size_t>(config.sets_per_request, 1);
+  std::vector<std::string> store_keys(sets_per_request);
+  std::vector<StoreOp> store_ops(sets_per_request);
+  std::vector<StoreResult> store_results(sets_per_request);
   StoredValue out;
 
   while (!stop.load(std::memory_order_relaxed)) {
@@ -184,6 +214,17 @@ void RunDirectClient(CacheEngine& engine, const WorkloadConfig& config,
       } else {
         ++totals.misses;
       }
+    } else if (sets_per_request > 1) {
+      for (std::size_t s = 0; s < sets_per_request; ++s) {
+        store_keys[s] = WorkloadKey(zipf.Next(rng));
+        StoreOp& op = store_ops[s];
+        op.kind = StoreKind::kSet;
+        op.key = store_keys[s];
+        op.data = NextValue(config, rng, value_buffer);
+      }
+      engine.StoreMany(store_ops.data(), sets_per_request,
+                       store_results.data());
+      totals.sets += sets_per_request;
     } else {
       engine.Set(WorkloadKey(zipf.Next(rng)),
                  NextValue(config, rng, value_buffer), 0, 0);
@@ -287,7 +328,8 @@ void RunSocketClient(std::uint16_t port, const WorkloadConfig& config,
       totals.hits += hits;
       totals.misses += keys - hits;
     } else {
-      ++totals.sets;
+      // One STORED answers the whole burst (earlier stores are noreply).
+      totals.sets += std::max<std::size_t>(config.sets_per_request, 1);
     }
   }
 }

@@ -37,6 +37,13 @@ struct WorkloadConfig {
   // Each key is drawn independently from the zipf distribution. GET stats
   // (gets/hits/misses) count keys; total_requests counts round trips.
   std::size_t keys_per_get = 1;
+  // SETs per round trip — the SET analogue of keys_per_get. Wire form is
+  // a pipelined run of k-1 "set ... noreply" commands plus one replied
+  // set per round trip, which the server connection collects into a
+  // single batched StoreMany (one store-mutex acquisition per shard
+  // group). Keys and value sizes are drawn independently per store. SET
+  // stats count stores; total_requests counts round trips.
+  std::size_t sets_per_request = 1;
   // Zipf skew over keys (0 = uniform).
   double zipf_theta = 0.0;
   double duration_seconds = 1.0;

@@ -7,6 +7,12 @@ namespace rp::rcu {
 
 RcuCallbackQueue::RcuCallbackQueue(std::function<void()> synchronize)
     : synchronize_(std::move(synchronize)) {
+  // Enqueue() runs on the writers' hot path; a zero-allocation store path
+  // needs the push_back to never grow the buffer in steady state. The two
+  // buffers (this and ReclaimerLoop's batch) swap roles every batch, so
+  // both start pre-sized; growth past this only happens when the reclaimer
+  // falls further behind than it ever has (a new in-flight high-water).
+  pending_.reserve(kInitialCapacity);
   reclaimer_ = std::thread([this] { ReclaimerLoop(); });
 }
 
@@ -68,6 +74,7 @@ void RcuCallbackQueue::ReclaimerLoop() {
   // retire-per-microsecond workload into ~50 callbacks per grace period.
   constexpr auto kBatchWindow = std::chrono::microseconds(50);
   std::vector<Entry> batch;
+  batch.reserve(kInitialCapacity);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);

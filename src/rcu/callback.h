@@ -53,6 +53,11 @@ class RcuCallbackQueue {
     void* arg;
   };
 
+  // Pre-sized capacity of both pending buffers (16 B/entry): writers'
+  // Enqueue stays allocation-free until more than this many retirements
+  // are in flight at once.
+  static constexpr std::size_t kInitialCapacity = 1024;
+
   void ReclaimerLoop();
 
   const std::function<void()> synchronize_;

@@ -89,6 +89,12 @@ class Epoch {
   // Waits until all callbacks retired before this call have executed.
   static void Barrier();
 
+  // Barrier() calls ("reclaimer pumps") this thread has issued so far —
+  // the update-side analogue of ThreadReadSections(): batched store paths
+  // promise at most one pump per shard group, and tests assert exactly
+  // that by delta.
+  static std::uint64_t ThreadBarrierCalls() { return tls_barrier_calls_; }
+
   // -- Grace-period polling (kernel get_state/poll_state equivalent) -------
   //
   // StartPoll() snapshots the grace-period clock; Poll(cookie) returns true
@@ -149,6 +155,7 @@ class Epoch {
   static inline std::atomic<std::uint64_t> gp_completed_{2};
   static inline thread_local ThreadRecord* tls_record_ = nullptr;
   static inline thread_local TlsGuard tls_guard_;
+  static inline thread_local std::uint64_t tls_barrier_calls_ = 0;
 };
 
 }  // namespace rp::rcu

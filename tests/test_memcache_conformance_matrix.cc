@@ -223,4 +223,98 @@ TEST(ConformanceMatrix, EveryOpAgreesOnEveryItemState) {
   }
 }
 
+// The same op × item-state matrix, with every storage op executed through
+// the BATCHED path (one ExecuteStoreBatch burst, as the connection issues
+// for a pipelined store run) and compared against the per-op path on the
+// same engine, and across engines. Wire responses — CAS results included —
+// must be byte-identical to per-op execution in every item state, and so
+// must the state each op leaves behind.
+TEST(ConformanceMatrix, BatchedStoresAgreeOnEveryItemState) {
+  // The six storage commands (the batchable subset of kOps).
+  const OpSpec kStoreOps[] = {
+      {"set", Op::kSet},         {"add", Op::kAdd},
+      {"replace", Op::kReplace}, {"append", Op::kAppend},
+      {"prepend", Op::kPrepend}, {"cas", Op::kCas},
+  };
+
+  EngineConfig rp_config;
+  rp_config.shards = 4;
+  LockedEngine locked_batched{EngineConfig{}};
+  LockedEngine locked_per_op{EngineConfig{}};
+  RpEngine rp_batched(rp_config);
+  RpEngine rp_per_op(rp_config);
+  CacheEngine* engines[] = {&locked_batched, &locked_per_op, &rp_batched,
+                            &rp_per_op};
+
+  std::int64_t deadline = 0;
+  for (CacheEngine* engine : engines) {
+    std::int64_t engine_deadline = 0;
+    Prepare(*engine, &engine_deadline);
+    deadline = std::max(deadline, engine_deadline);
+  }
+  while (NowSeconds() < deadline + 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  for (CacheEngine* engine : engines) {
+    FinishPrepare(*engine);
+  }
+
+  // One burst covering every (storage op, state) cell. Each engine gets
+  // its own request list because cas tokens are engine-local.
+  auto build_burst = [&](CacheEngine& engine) {
+    std::vector<Request> burst;
+    for (const char* state : kStates) {
+      for (const OpSpec& spec : kStoreOps) {
+        const std::string key = CellKey(state, spec.name);
+        burst.push_back(BuildRequest(spec, key, FetchCas(engine, key)));
+        EXPECT_TRUE(IsBatchableStore(burst.back()));
+      }
+    }
+    return burst;
+  };
+
+  const std::vector<Request> locked_burst = build_burst(locked_batched);
+  const std::vector<Request> rp_burst = build_burst(rp_batched);
+  std::string locked_batched_out;
+  std::string rp_batched_out;
+  ExecuteStoreBatch(locked_batched, locked_burst.data(), locked_burst.size(),
+                    &locked_batched_out);
+  ExecuteStoreBatch(rp_batched, rp_burst.data(), rp_burst.size(),
+                    &rp_batched_out);
+
+  auto run_per_op = [&](CacheEngine& engine) {
+    std::string out;
+    for (const Request& request : build_burst(engine)) {
+      std::string response;
+      bool quit = false;
+      ExecuteRequest(engine, request, &response, &quit);
+      out += response;
+    }
+    return out;
+  };
+  const std::string locked_per_op_out = run_per_op(locked_per_op);
+  const std::string rp_per_op_out = run_per_op(rp_per_op);
+
+  // Storage responses carry no cas token, so all four transcripts compare
+  // byte-for-byte: batched vs per-op within each engine, and across them.
+  EXPECT_EQ(locked_batched_out, locked_per_op_out);
+  EXPECT_EQ(rp_batched_out, rp_per_op_out);
+  EXPECT_EQ(locked_batched_out, rp_batched_out);
+
+  // The state left behind must agree across all four instances too.
+  for (const char* state : kStates) {
+    for (const OpSpec& spec : kStoreOps) {
+      Request follow_up;
+      follow_up.op = Op::kGet;
+      follow_up.keys = {CellKey(state, spec.name)};
+      const std::string expected = Execute(locked_per_op, follow_up);
+      CacheEngine* others[] = {&locked_batched, &rp_batched, &rp_per_op};
+      for (CacheEngine* engine : others) {
+        EXPECT_EQ(Execute(*engine, follow_up), expected)
+            << "post-" << spec.name << " state on " << state << " item";
+      }
+    }
+  }
+}
+
 }  // namespace
