@@ -1,0 +1,353 @@
+// abl14: the maintenance plane — what the per-shard tick buys.
+//
+// PR 7 piggybacks a maintenance tick on each shard's resize-worker poll:
+// hot-key detection feeding a seqlock-published front cache (plus SET op
+// combining inside store batches), slab automove between size classes,
+// and inline pumping of the deferred-reclamation queue so the dedicated
+// reclaimer idles under light load. Four questions, each with a
+// with/without pair:
+//
+//  1. Front cache: a GET of a promoted hot key reads a sealed snapshot
+//     (no table walk, no epoch section) — against the identical GET with
+//     the front cache disabled (`hot_key_cache=false`).
+//  2. Op combining: a 16-op StoreMany burst drawn from the adversarial
+//     hot-key workload profile (WorkloadConfig::hot_key_count/share),
+//     where repeated SETs of the same key coalesce into the last one —
+//     against the same burst with combining off. `combines/op` shows how
+//     much of the burst evaporates.
+//  3. Automove: a store loop against a one-page arena calcified under a
+//     dead size class. With the page pinned by live items every store is
+//     a heap fallback; once the old items die the tick's automover
+//     reassigns the page and `fallbacks/op` returns to ~0.
+//  4. Reclaimer scheduling: retirement churn with an armed inline pumper
+//     (maintenance ticks drain small batches, the reclaimer thread stays
+//     parked) against the unarmed queue — `wakeups/op` is the futex/
+//     thread-switch traffic the maintenance plane removes.
+//
+// Plus one macro case: the full workload driver under the flash-crowd
+// profile (90% of ops on 4 keys), front cache on vs off.
+//
+// Single-core caveat (see docs/BENCHMARKS.md): on a 1-core box the
+// throughput deltas compress; the counters (front share, combines/op,
+// fallbacks/op, wakeups/op) are the load-bearing evidence.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/memcache/engine.h"
+#include "src/memcache/rp_engine.h"
+#include "src/memcache/workload.h"
+#include "src/rcu/callback.h"
+#include "src/rcu/epoch.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using rp::memcache::EngineConfig;
+using rp::memcache::EngineStats;
+using rp::memcache::RpEngine;
+using rp::memcache::StoreKind;
+using rp::memcache::StoreOp;
+using rp::memcache::StoreResult;
+using rp::memcache::StoredValue;
+using rp::memcache::WorkloadConfig;
+using rp::memcache::WorkloadResult;
+
+constexpr std::size_t kValueSize = 64;  // embeddable → front-cacheable
+constexpr std::size_t kBatch = 16;
+
+EngineConfig FrontConfig(bool hot_key_cache) {
+  EngineConfig config;
+  config.shards = 1;  // isolate the hit path, not shard routing
+  config.initial_buckets = 4096;
+  config.hot_key_cache = hot_key_cache;
+  return config;
+}
+
+// Hammer the key past the detector's sampling threshold, then run the
+// shard's tick synchronously so promotion is deterministic.
+void Promote(RpEngine& engine, const std::string& key) {
+  StoredValue out;
+  for (int i = 0; i < 512; ++i) {
+    engine.Get(key, &out);
+  }
+  engine.RunMaintenanceTick(engine.ShardIndex(key));
+}
+
+// -- 1. Front-cache GET vs table-walk GET ---------------------------------
+
+void BM_HotGetFrontCache(benchmark::State& state) {
+  static RpEngine engine(FrontConfig(true));
+  static const std::string key = "celebrity";
+  static const std::string payload(kValueSize, 'v');
+  engine.Set(key, payload, 0, 0);
+  Promote(engine, key);
+
+  const EngineStats before = engine.Stats();
+  StoredValue out;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Get(key, &out));
+    ++ops;
+  }
+  const EngineStats after = engine.Stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  // Share of GETs served by the snapshot; ~1.0 when promotion held.
+  state.counters["front_share"] = benchmark::Counter(
+      static_cast<double>(after.front_cache_hits - before.front_cache_hits) /
+      static_cast<double>(ops));
+}
+
+void BM_HotGetTableWalk(benchmark::State& state) {
+  static RpEngine engine(FrontConfig(false));
+  static const std::string key = "celebrity";
+  static const std::string payload(kValueSize, 'v');
+  engine.Set(key, payload, 0, 0);
+
+  StoredValue out;
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Get(key, &out));
+    ++ops;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+
+// -- 2. Skewed-SET op combining -------------------------------------------
+
+// The adversarial flash-crowd shape from the workload driver: most of the
+// burst lands on a handful of keys, so a pipelined SET run carries many
+// rewrites of the same key and all but the last are wasted work.
+const WorkloadConfig& HotProfile() {
+  static const WorkloadConfig config = [] {
+    WorkloadConfig c;
+    c.num_keys = 1024;
+    c.hot_key_count = 4;
+    c.hot_key_share = 0.875;
+    return c;
+  }();
+  return config;
+}
+
+std::size_t DrawHotKey(const WorkloadConfig& profile, rp::Xoshiro256& rng) {
+  if (rng.NextDouble() < profile.hot_key_share) {
+    return rng.NextBounded(profile.hot_key_count);
+  }
+  return rng.NextBounded(profile.num_keys);
+}
+
+void SkewedSetLoop(benchmark::State& state, bool combining) {
+  static RpEngine* engines[2] = {nullptr, nullptr};
+  RpEngine*& slot = engines[combining ? 1 : 0];
+  if (slot == nullptr) {
+    EngineConfig config = FrontConfig(combining);
+    slot = new RpEngine(config);  // leaked: gbench re-enters for timing
+  }
+  RpEngine& engine = *slot;
+  static const std::string payload(kValueSize, 'v');
+  std::vector<std::string> keys;
+  keys.reserve(HotProfile().num_keys);
+  for (std::size_t i = 0; i < HotProfile().num_keys; ++i) {
+    keys.push_back(rp::memcache::WorkloadKey(i));
+  }
+
+  rp::Xoshiro256 rng(29);
+  StoreOp ops[kBatch];
+  StoreResult results[kBatch];
+  const EngineStats before = engine.Stats();
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      ops[i] = StoreOp{};
+      ops[i].kind = StoreKind::kSet;
+      ops[i].key = keys[DrawHotKey(HotProfile(), rng)];
+      ops[i].data = payload;
+    }
+    engine.StoreMany(ops, kBatch, results);
+    total += kBatch;
+  }
+  const EngineStats after = engine.Stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+  state.counters["combines/op"] = benchmark::Counter(
+      static_cast<double>(after.set_combines - before.set_combines) /
+      static_cast<double>(total));
+}
+
+void BM_SkewedSetCombining(benchmark::State& state) {
+  SkewedSetLoop(state, true);
+}
+
+void BM_SkewedSetNoCombining(benchmark::State& state) {
+  SkewedSetLoop(state, false);
+}
+
+// -- 3. Calcified arena: automove recovery --------------------------------
+
+// One-page value arena (arena_bytes = max_bytes = 4 KiB clamps page_bytes
+// to the whole arena), carved for a mid class the measured stores never
+// use. `pinned` keeps the mid items alive so the automover cannot touch
+// the page; otherwise they are deleted (and drained) so the first tick
+// reassigns it to the measured class.
+RpEngine* MakeCalcified(bool pinned) {
+  EngineConfig config;
+  config.shards = 1;
+  config.max_bytes = 4096;
+  config.initial_buckets = 64;
+  auto* engine = new RpEngine(config);
+  // Two pinned mids (~1.6 KiB charged) leave headroom under the 4 KiB
+  // byte cap for the measured store churn — the pinned case must exercise
+  // the heap fallback, not the byte-cap evictor.
+  const std::string mid(600, 'm');
+  for (int i = 0; i < 2; ++i) {
+    engine->Set("mid-" + std::to_string(i), mid, 0, 0);
+  }
+  if (!pinned) {
+    for (int i = 0; i < 2; ++i) {
+      engine->Delete("mid-" + std::to_string(i));
+    }
+    rp::rcu::Epoch::Barrier();
+  }
+  return engine;
+}
+
+void CalcifiedStoreLoop(benchmark::State& state, bool pinned) {
+  static RpEngine* engines[2] = {nullptr, nullptr};
+  RpEngine*& slot = engines[pinned ? 1 : 0];
+  if (slot == nullptr) {
+    slot = MakeCalcified(pinned);
+  }
+  RpEngine& engine = *slot;
+  // Distinct class from the mids, and big enough that the arena's rump
+  // page (left after the mid class's carve) cannot hold even one chunk —
+  // otherwise the engine recovers destructively through evict-for-class
+  // instead of the heap fallback.
+  static const std::string big(1024, 'b');
+
+  const EngineStats before = engine.Stats();
+  std::uint64_t ops = 0;
+  int since_tick = 0;
+  for (auto _ : state) {
+    engine.Set("big", big, 0, 0);
+    ++ops;
+    // The maintenance cadence, made deterministic: the tick automoves
+    // (when a free page exists) and pumps retired chunks back onto the
+    // class free lists.
+    if (++since_tick == 2) {
+      engine.RunMaintenanceTick(0);
+      since_tick = 0;
+    }
+  }
+  const EngineStats after = engine.Stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["fallbacks/op"] = benchmark::Counter(
+      static_cast<double>(after.slab_fallbacks - before.slab_fallbacks) /
+      static_cast<double>(ops));
+  state.counters["pages_moved"] =
+      benchmark::Counter(static_cast<double>(after.slab_pages_moved));
+}
+
+void BM_CalcifiedStorePinned(benchmark::State& state) {
+  CalcifiedStoreLoop(state, /*pinned=*/true);
+}
+
+void BM_CalcifiedStoreRecovered(benchmark::State& state) {
+  CalcifiedStoreLoop(state, /*pinned=*/false);
+}
+
+// -- 4. Reclaimer wakeups: armed inline pump vs dedicated thread ----------
+
+void ReclaimerLoop(benchmark::State& state, bool armed) {
+  // A private queue with a no-op grace period isolates the scheduling
+  // mechanics (futex wakes, batch swaps) from epoch costs.
+  rp::rcu::RcuCallbackQueue queue([] {});
+  if (armed) {
+    queue.ArmInlinePump();
+  }
+  std::uint64_t ops = 0;
+  int since_pump = 0;
+  static std::uint64_t sink = 0;
+  for (auto _ : state) {
+    queue.Enqueue([](void* arg) { ++*static_cast<std::uint64_t*>(arg); },
+                  &sink);
+    ++ops;
+    if (armed && ++since_pump == 64) {
+      queue.TryPump(128);  // the maintenance tick's share of the work
+      since_pump = 0;
+    }
+  }
+  queue.Barrier();
+  state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+  state.counters["wakeups/op"] = benchmark::Counter(
+      static_cast<double>(queue.wakeups()) / static_cast<double>(ops));
+  state.counters["inline_pumps"] =
+      benchmark::Counter(static_cast<double>(queue.inline_pumps()));
+  if (armed) {
+    queue.DisarmInlinePump();
+  }
+}
+
+void BM_ReclaimerArmedPump(benchmark::State& state) {
+  ReclaimerLoop(state, true);
+}
+
+void BM_ReclaimerUnarmed(benchmark::State& state) {
+  ReclaimerLoop(state, false);
+}
+
+// -- 5. Macro: the flash-crowd workload end to end ------------------------
+
+void HotWorkloadLoop(benchmark::State& state, bool hot_key_cache) {
+  static RpEngine* engines[2] = {nullptr, nullptr};
+  RpEngine*& slot = engines[hot_key_cache ? 1 : 0];
+  if (slot == nullptr) {
+    slot = new RpEngine(FrontConfig(hot_key_cache));
+  }
+  WorkloadConfig config = HotProfile();
+  config.num_clients = 1;
+  config.value_size = kValueSize;
+  config.get_ratio = 0.9;
+  config.sets_per_request = 4;
+  config.duration_seconds = 0.05;
+  double rps = 0.0;
+  std::uint64_t requests = 0;
+  int runs = 0;
+  for (auto _ : state) {
+    const WorkloadResult result = rp::memcache::RunWorkload(*slot, config);
+    rps += result.requests_per_second;
+    requests += result.total_requests;
+    ++runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  state.counters["workload_rps"] =
+      benchmark::Counter(runs != 0 ? rps / runs : 0.0);
+  const EngineStats stats = slot->Stats();
+  state.counters["front_hits"] =
+      benchmark::Counter(static_cast<double>(stats.front_cache_hits));
+  state.counters["set_combines"] =
+      benchmark::Counter(static_cast<double>(stats.set_combines));
+}
+
+void BM_HotWorkloadFrontCache(benchmark::State& state) {
+  HotWorkloadLoop(state, true);
+}
+
+void BM_HotWorkloadBaseline(benchmark::State& state) {
+  HotWorkloadLoop(state, false);
+}
+
+BENCHMARK(BM_HotGetFrontCache)->Threads(1)->UseRealTime();
+BENCHMARK(BM_HotGetTableWalk)->Threads(1)->UseRealTime();
+BENCHMARK(BM_SkewedSetCombining)->Threads(1)->UseRealTime();
+BENCHMARK(BM_SkewedSetNoCombining)->Threads(1)->UseRealTime();
+BENCHMARK(BM_CalcifiedStorePinned)->Threads(1)->UseRealTime();
+BENCHMARK(BM_CalcifiedStoreRecovered)->Threads(1)->UseRealTime();
+BENCHMARK(BM_ReclaimerArmedPump)->Threads(1)->UseRealTime();
+BENCHMARK(BM_ReclaimerUnarmed)->Threads(1)->UseRealTime();
+BENCHMARK(BM_HotWorkloadFrontCache)->Threads(1)->UseRealTime();
+BENCHMARK(BM_HotWorkloadBaseline)->Threads(1)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -85,6 +85,7 @@ record_gbench abl6_lookup_micro
 record_gbench abl11_hotpath_overhead
 record_gbench abl12_slab_alloc
 record_gbench abl13_store_path
+record_gbench abl14_maintenance
 record_harness fig5_memcached
 
 if [[ ${failures} -ne 0 ]]; then

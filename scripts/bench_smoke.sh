@@ -45,6 +45,7 @@ GBENCH_BENCHES=(
   abl11_hotpath_overhead
   abl12_slab_alloc
   abl13_store_path
+  abl14_maintenance
 )
 gbench_filter() {
   case "$1" in
@@ -55,6 +56,9 @@ gbench_filter() {
     # abl13's threads:2 store-path cases contend two writers on one core;
     # the allocation-count invariant is single-threaded.
     abl13_store_path) echo 'threads:1$' ;;
+    # abl14 is single-threaded by design — on a 1-core box the maintenance
+    # plane's evidence is the counters, not thread scaling.
+    abl14_maintenance) echo 'threads:1$' ;;
     # abl2 runs unfiltered since two fixes landed: the QSBR domain's
     # bounded-backoff reader hint (spinning readers yield to a waiting
     # Synchronize, so grace periods stop being scheduler-luck-bound on 1

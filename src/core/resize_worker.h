@@ -26,6 +26,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <mutex>
 #include <thread>
 
@@ -52,6 +53,13 @@ struct ResizeWorkerOptions {
   // deferred retirements have been reclaimed. Bounds unreclaimed memory
   // under churn at zero writer cost; ignored for maps without FlushDeferred.
   bool flush_deferred_after_resize = true;
+  // Invoked once per worker wakeup (nudge or poll tick), outside the
+  // worker's own lock and after the resize check. The owner piggybacks its
+  // maintenance plane on this thread — hot-key promotion, slab automove,
+  // expired-item crawling, inline reclaimer pumping — instead of paying a
+  // second periodic thread per shard. Must be cheap and must not block on
+  // writer-held locks for long; it runs at poll_interval cadence.
+  std::function<void()> maintenance_tick;
 };
 
 // Map must expose Size(), BucketCount() and Resize(std::size_t) — RpHashMap
@@ -114,6 +122,9 @@ class ResizeWorker {
       // period; a nudge arriving mid-resize re-wakes us immediately.
       lock.unlock();
       MaybeResize();
+      if (options_.maintenance_tick) {
+        options_.maintenance_tick();
+      }
       lock.lock();
     }
   }

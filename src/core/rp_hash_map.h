@@ -239,6 +239,32 @@ class RpHashMap {
     }
   }
 
+  // Visits the elements of a bounded bucket window under one read-side
+  // critical section: fn(const Key&, const T&) for every element whose
+  // bucket index falls in [start % buckets, start % buckets + max_buckets).
+  // Returns the table's bucket count at visit time so incremental callers
+  // (the maintenance crawler) can advance and wrap a cursor. The same
+  // imprecision as ForEach applies under concurrent resize; a crawler
+  // tolerates both duplicates and misses by construction (it revisits
+  // every bucket on later passes).
+  template <typename Fn>
+  std::size_t ForEachInBuckets(std::size_t start, std::size_t max_buckets,
+                               Fn&& fn) const {
+    rcu::ReadGuard<Domain> guard;
+    const BucketArray* t = rcu::RcuDereference(table_);
+    const std::size_t begin = start % t->size;
+    const std::size_t end =
+        begin + max_buckets < t->size ? begin + max_buckets : t->size;
+    for (std::size_t i = begin; i < end; ++i) {
+      for (const Node* node = rcu::RcuDereference(t->bucket(i));
+           node != nullptr; node = rcu::RcuDereference(node->next)) {
+        fn(static_cast<const Key&>(node->key),
+           static_cast<const T&>(node->value));
+      }
+    }
+    return t->size;
+  }
+
   [[nodiscard]] std::size_t Size() const {
     return count_.load(std::memory_order_relaxed);
   }

@@ -104,6 +104,17 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
       // and the ops they carried (see docs/PROTOCOL.md).
       AppendStat(out, "store_batches", stats.store_batches);
       AppendStat(out, "store_batched_ops", stats.store_batched_ops);
+      // Maintenance-plane observability (see docs/PROTOCOL.md): hot-key
+      // front cache, write combining, slab automove, expired-item crawl,
+      // and the health of the process-wide deferred reclaimer.
+      AppendStat(out, "hot_key_promotions", stats.hot_key_promotions);
+      AppendStat(out, "front_cache_hits", stats.front_cache_hits);
+      AppendStat(out, "set_combines", stats.set_combines);
+      AppendStat(out, "slab_pages_moved", stats.slab_pages_moved);
+      AppendStat(out, "crawler_reclaims", stats.crawler_reclaims);
+      AppendStat(out, "reclaimer_pending", stats.reclaimer_pending);
+      AppendStat(out, "reclaimer_wakeups", stats.reclaimer_wakeups);
+      AppendStat(out, "reclaimer_inline_pumps", stats.reclaimer_inline_pumps);
       AppendStat(out, "limit_maxbytes", stats.limit_maxbytes);
       if (conn_stats != nullptr) {
         AppendStat(out, "curr_connections", conn_stats->curr_connections);

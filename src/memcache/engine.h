@@ -98,6 +98,12 @@ struct EngineConfig {
   // exact-size tracked heap allocations — the per-item-malloc baseline.
   double slab_growth = 1.25;
   std::size_t slab_chunk_max = 8 * 1024;
+  // Hot-key front cache (RP engine only): the maintenance tick promotes
+  // the most-hammered keys into a per-shard seqlock-published snapshot so
+  // their GETs skip the table walk, and repeated SETs to a promoted key
+  // coalesce inside a store batch. Off = every GET walks the table (the
+  // abl14 ablation baseline).
+  bool hot_key_cache = true;
 };
 
 // The slab geometry an engine derives from its config for each of
@@ -173,6 +179,27 @@ struct EngineStats {
   // store_batched_ops / cmd_set.
   std::uint64_t store_batches = 0;
   std::uint64_t store_batched_ops = 0;
+  // -- Maintenance plane (PR 7). All zero on engines without one. ---------
+  // Keys promoted into the hot-key front cache by the maintenance tick.
+  std::uint64_t hot_key_promotions = 0;
+  // GETs served from the front cache (no table walk; also counted in
+  // get_hits — this is a breakdown, not an addition).
+  std::uint64_t front_cache_hits = 0;
+  // SETs coalesced away by store-batch op combining (still counted in
+  // `sets`; the combined op's effect survives via the batch's last SET).
+  std::uint64_t set_combines = 0;
+  // Slab pages reassigned across size classes by automove.
+  std::uint64_t slab_pages_moved = 0;
+  // Dead (expired/flushed) items reclaimed by the maintenance crawler
+  // rather than by a GET tripping over them (also in expired_reclaims).
+  std::uint64_t crawler_reclaims = 0;
+  // Deferred-reclamation queue health (process-global RCU domain, so both
+  // engines report the same numbers): callbacks currently pending, batch
+  // wakeups of the dedicated reclaimer thread, and batches drained inline
+  // by maintenance ticks instead of the reclaimer.
+  std::uint64_t reclaimer_pending = 0;
+  std::uint64_t reclaimer_wakeups = 0;
+  std::uint64_t reclaimer_inline_pumps = 0;
 };
 
 // One slot of a multi-get answer: out[i] describes keys[i] (miss = !hit).

@@ -3,6 +3,9 @@
 #include <charconv>
 #include <iterator>
 
+#include "src/rcu/callback.h"
+#include "src/rcu/epoch.h"
+
 namespace rp::memcache {
 
 namespace {
@@ -446,6 +449,15 @@ EngineStats LockedEngine::Stats() const {
   const SlabStats slab = slab_.Stats();
   stats.slab_reserved = slab.bytes_reserved;
   stats.slab_fallbacks = slab.fallback_allocs;
+  stats.slab_pages_moved = slab.pages_moved;
+  // Reclaimer health is process-global (one RCU domain, one callback
+  // queue); the locked engine reports the same numbers the RP engine does.
+  // Its own maintenance counters (promotions, front hits, combines,
+  // crawls) stay zero — the maintenance plane is an RP-engine subsystem.
+  rcu::RcuCallbackQueue& reclaimer = rcu::Epoch::Callbacks();
+  stats.reclaimer_pending = reclaimer.pending();
+  stats.reclaimer_wakeups = reclaimer.wakeups();
+  stats.reclaimer_inline_pumps = reclaimer.inline_pumps();
   return stats;
 }
 

@@ -116,6 +116,12 @@ class RpEngine final : public CacheEngine {
   // max_bytes == 0) must keep this at zero forever.
   std::size_t EvictionQueueDepth() const;
 
+  // Runs one maintenance tick for `shard_index` synchronously on the
+  // calling thread — exactly what the shard's resize worker runs every
+  // poll. Test/bench hook: hammer a key, call this, and the promotion (or
+  // automove, or crawl step) has deterministically happened.
+  void RunMaintenanceTick(std::size_t shard_index);
+
  private:
   struct Shard;
 
@@ -152,9 +158,34 @@ class RpEngine final : public CacheEngine {
   // grace period, so sweeping "until a chunk is free" would empty the
   // shard. Caller must hold shard.store_mutex.
   void EvictForClassLocked(Shard& shard, std::size_t needed_footprint);
-  void ReclaimDead(Shard& shard, core::Prehashed hash, std::string_view key);
+  // Erases `key` if (still) dead, refunding the gauge. Returns whether the
+  // entry was actually reclaimed (the crawler counts its wins).
+  bool ReclaimDead(Shard& shard, core::Prehashed hash, std::string_view key);
   ArithResult Arith(const std::string& key, std::uint64_t delta,
                     bool increment);
+
+  // -- Maintenance plane (runs on each shard's resize-worker thread) ------
+
+  // The per-shard tick: hot-key promotion/refresh, slab automove, a
+  // bounded expired-item crawl, and an inline reclaimer pump.
+  void MaintenanceTick(Shard& shard);
+  // Detector scan: fold the candidate table into the promoted way set.
+  void PromoteHotKeys(Shard& shard);
+  // (Re)publishes way `way`'s key from the table into its front-cache
+  // snapshot; false demotes the way (key gone, dead, or value too large).
+  bool PublishFrontWay(Shard& shard, std::size_t way);
+  void AutomoveTick(Shard& shard);
+  void CrawlerTick(Shard& shard);
+  // Called AFTER a mutation of `hash`'s key has committed to the table:
+  // bumps the way's invalidation generation (so an in-flight promotion
+  // that read the pre-mutation value can never publish it) and clears the
+  // way if this key is the one promoted. Cheap when the front cache is
+  // cold: one fence + two relaxed loads.
+  void InvalidateFront(Shard& shard, std::size_t hash);
+  void InvalidateAllFront(Shard& shard);
+  // Detector bump on the GET/SET hot paths: lossy per-stripe op counters;
+  // every 64th op per stripe feeds the candidate table (try-lock only).
+  void NoteOp(Shard& shard, std::size_t hash, std::string_view key);
   // Executes one store op with shard.store_mutex HELD, in-lock value build
   // included. Returns the wire result; *inserted reports whether a new key
   // was linked (caller nudges the resize worker once per lock section).

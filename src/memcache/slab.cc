@@ -60,6 +60,7 @@ SlabAllocator::SlabAllocator(SlabPolicy policy) : policy_(policy) {
   }
   free_lists_.assign(class_capacity_.size(), nullptr);
   class_chunks_.assign(class_capacity_.size(), 0);
+  class_exhausted_by_.assign(class_capacity_.size(), 0);
   // Flat size -> class table behind the inline ClassIndexFor: slot s
   // covers payload sizes ((s-1)*align, s*align].
   if (!class_capacity_.empty()) {
@@ -80,8 +81,8 @@ SlabAllocator::~SlabAllocator() {
   // deferred reclamation first) before their shard's allocator, so no
   // live chunk can outlast us. Outstanding fallbacks would be individual
   // leaks the engines' ownership discipline also rules out.
-  for (void* page : pages_) {
-    ::operator delete(page);
+  for (const PageInfo& page : pages_) {
+    ::operator delete(page.mem);
   }
 }
 
@@ -97,7 +98,7 @@ bool SlabAllocator::GrowClassLocked(std::size_t cls) {
   const std::size_t chunks = page / stride;
   page = chunks * stride;  // trim the tail the carve could not use
   char* mem = static_cast<char*>(::operator new(page));
-  pages_.push_back(mem);
+  pages_.push_back(PageInfo{mem, page, cls, chunks});
   bytes_reserved_ += page;
   class_chunks_[cls] += chunks;
   for (std::size_t i = 0; i < chunks; ++i) {
@@ -122,6 +123,7 @@ char* SlabAllocator::TryAllocate(std::size_t size) {
   std::lock_guard<std::mutex> lock(mu_);
   if (free_lists_[cls] == nullptr && !GrowClassLocked(cls)) {
     ++class_exhausted_;
+    ++class_exhausted_by_[cls];
     return nullptr;
   }
   char* payload = free_lists_[cls];
@@ -241,7 +243,71 @@ SlabStats SlabAllocator::Stats() const {
   stats.fallback_bytes = fallback_bytes_;
   stats.fallback_allocs = fallback_allocs_;
   stats.class_exhausted = class_exhausted_;
+  stats.pages_moved = pages_moved_;
   return stats;
+}
+
+std::uint64_t SlabAllocator::ExhaustedByClass(std::size_t cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cls < class_exhausted_by_.size() ? class_exhausted_by_[cls] : 0;
+}
+
+bool SlabAllocator::TryReassignPage(std::size_t to_cls) {
+  if (to_cls >= class_capacity_.size()) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_lists_[to_cls] != nullptr) {
+    return false;  // destination already has free chunks; nothing to fix
+  }
+  const std::size_t to_stride = kHeaderBytes + class_capacity_[to_cls];
+  for (PageInfo& page : pages_) {
+    if (page.cls == to_cls || page.chunks == 0 || page.bytes < to_stride) {
+      continue;  // wrong class, or could not yield even one dest chunk
+    }
+    // The page is movable only when every chunk it was carved into sits on
+    // its class's free list — a live chunk pins the whole page (readers
+    // may still dereference it; see the reclamation discipline above).
+    const char* page_end = page.mem + page.bytes;
+    std::size_t free_here = 0;
+    for (char* p = free_lists_[page.cls]; p != nullptr;
+         p = *reinterpret_cast<char**>(p)) {
+      if (p >= page.mem && p < page_end) {
+        ++free_here;
+      }
+    }
+    if (free_here != page.chunks) {
+      continue;
+    }
+    // Unlink the donor page's chunks, then recarve at the destination
+    // stride. bytes_reserved_ is untouched: the page's heap footprint
+    // does not change hands, only its class label does.
+    char** link = &free_lists_[page.cls];
+    while (*link != nullptr) {
+      char* p = *link;
+      if (p >= page.mem && p < page_end) {
+        *link = *reinterpret_cast<char**>(p);
+      } else {
+        link = reinterpret_cast<char**>(p);
+      }
+    }
+    class_chunks_[page.cls] -= page.chunks;
+    const std::size_t new_chunks = page.bytes / to_stride;
+    for (std::size_t i = 0; i < new_chunks; ++i) {
+      char* payload = page.mem + i * to_stride + kHeaderBytes;
+      *HeaderOf(payload) =
+          Header{this, static_cast<std::uint32_t>(class_capacity_[to_cls]),
+                 static_cast<std::uint32_t>(to_cls)};
+      *reinterpret_cast<char**>(payload) = free_lists_[to_cls];
+      free_lists_[to_cls] = payload;
+    }
+    page.cls = to_cls;
+    page.chunks = new_chunks;
+    class_chunks_[to_cls] += new_chunks;
+    ++pages_moved_;
+    return true;
+  }
+  return false;
 }
 
 std::size_t SlabFootprintFor(const SlabPolicy& policy, std::size_t size) {

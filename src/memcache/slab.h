@@ -64,6 +64,7 @@ struct SlabStats {
   std::uint64_t fallback_bytes = 0;   // live tracked heap-fallback bytes
   std::uint64_t fallback_allocs = 0;  // cumulative fallback allocations
   std::uint64_t class_exhausted = 0;  // cumulative dry-pool TryAllocate calls
+  std::uint64_t pages_moved = 0;      // pages reassigned across classes
 };
 
 // Every allocation (slab chunk or heap fallback) is preceded by a 16-byte
@@ -179,6 +180,33 @@ class SlabAllocator {
 
   SlabStats Stats() const;
 
+  // -- Slab automove (maintenance plane) -----------------------------------
+  //
+  // Pages are carved wholly into one class and normally stay there for the
+  // allocator's lifetime — which calcifies the arena: a workload shift
+  // leaves the old hot class hoarding pages while the new one burns heap
+  // fallbacks (the PR 5 wire-churn experiment measured exactly this). The
+  // maintenance tick undoes it: when a class keeps reporting exhaustion
+  // while another class owns a page with every chunk free, the tick moves
+  // that page across.
+
+  // Cumulative TryAllocate exhaustions charged to class `cls` — the rate
+  // signal the automove policy steers on. Out-of-range indices report 0
+  // (fallback-only sizes; no page can help them).
+  std::uint64_t ExhaustedByClass(std::size_t cls) const;
+
+  // Index of the pooled class serving `size`, or ClassCount() when none
+  // does. Exposed for the automove policy and tests.
+  std::size_t ClassFor(std::size_t size) const { return ClassIndexFor(size); }
+
+  // Reassigns one fully-free page from some donor class to `to_cls`:
+  // unlinks the donor page's chunks from its free list, recarves the page
+  // at the destination stride, and pushes the new chunks onto to_cls's
+  // free list. Returns false when to_cls is invalid, already has free
+  // chunks (no need), or no class owns an entirely-free page. Maintenance-
+  // plane cost: walks free lists and the page table under mu_.
+  bool TryReassignPage(std::size_t to_cls);
+
  private:
   // Index of the smallest class with capacity >= size; class count when
   // the size is unpooled. O(1) via a flat lookup table indexed by the
@@ -198,16 +226,29 @@ class SlabAllocator {
   std::vector<std::size_t> class_capacity_;  // ascending, immutable
   std::vector<std::uint16_t> class_lookup_;  // aligned size -> class index
 
+  // One carved page. Tracking the owning class and chunk count (instead of
+  // the old bare void*) is what makes automove possible: a page is movable
+  // exactly when all `chunks` of its class's free list fall inside
+  // [mem, mem + bytes).
+  struct PageInfo {
+    char* mem;
+    std::size_t bytes;
+    std::size_t cls;
+    std::size_t chunks;
+  };
+
   mutable std::mutex mu_;
   std::vector<char*> free_lists_;  // per class, intrusive via payload bytes
-  std::vector<std::size_t> class_chunks_;  // chunks ever carved, per class
-  std::vector<void*> pages_;
+  std::vector<std::size_t> class_chunks_;  // chunks currently carved, per class
+  std::vector<PageInfo> pages_;
   std::size_t bytes_reserved_ = 0;
 
   std::uint64_t chunks_in_use_ = 0;
   std::uint64_t fallback_bytes_ = 0;
   std::uint64_t fallback_allocs_ = 0;
   std::uint64_t class_exhausted_ = 0;
+  std::vector<std::uint64_t> class_exhausted_by_;  // per class, same signal
+  std::uint64_t pages_moved_ = 0;
 };
 
 static_assert(sizeof(SlabAllocator::Header) == SlabAllocator::kHeaderBytes);

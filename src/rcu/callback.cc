@@ -1,5 +1,6 @@
 #include "src/rcu/callback.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -26,19 +27,23 @@ RcuCallbackQueue::~RcuCallbackQueue() {
 }
 
 void RcuCallbackQueue::Enqueue(Callback fn, void* arg) {
-  bool was_empty;
+  bool should_wake;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    was_empty = pending_.empty();
+    const bool was_empty = pending_.empty();
     pending_.push_back(Entry{fn, arg});
     ++enqueued_;
+    // Unarmed, the reclaimer can only be parked in wait() after having
+    // observed an empty queue, so only the empty→non-empty transition
+    // needs a wakeup; every other enqueue is picked up when the current
+    // batch finishes and the loop re-checks the predicate. Armed, small
+    // queues are drained by the maintenance ticks' TryPump() and the
+    // reclaimer stays parked until the backlog crosses kArmedWakeDepth.
+    // Either way the futex syscall stays off the common update path.
+    should_wake = (armed_pumpers_ == 0) ? was_empty
+                                        : pending_.size() == kArmedWakeDepth;
   }
-  // The reclaimer can only be parked in wait() after having observed an
-  // empty queue, so only the empty→non-empty transition needs a wakeup;
-  // every other enqueue is picked up when the current batch finishes and
-  // the loop re-checks the predicate. This keeps the futex syscall off the
-  // common update path (one wake per batch, not per retirement).
-  if (was_empty) {
+  if (should_wake) {
     wake_.notify_one();
   }
 }
@@ -46,7 +51,61 @@ void RcuCallbackQueue::Enqueue(Callback fn, void* arg) {
 void RcuCallbackQueue::Barrier() {
   std::unique_lock<std::mutex> lock(mutex_);
   const std::uint64_t target = enqueued_;
+  if (executed_ >= target) {
+    return;
+  }
+  // The reclaimer may be parked (armed mode) or sitting out its batch
+  // window; barrier_waiters_ makes both its wait predicates true so the
+  // pending queue is processed immediately rather than after the window.
+  ++barrier_waiters_;
+  wake_.notify_one();
   done_.wait(lock, [&] { return executed_ >= target; });
+  --barrier_waiters_;
+}
+
+void RcuCallbackQueue::ArmInlinePump() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++armed_pumpers_;
+}
+
+void RcuCallbackQueue::DisarmInlinePump() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --armed_pumpers_;
+  }
+  // Whatever the departing pumper would have drained is now the dedicated
+  // reclaimer's responsibility again.
+  wake_.notify_one();
+}
+
+std::size_t RcuCallbackQueue::TryPump(std::size_t max_callbacks) {
+  std::vector<Entry> batch;
+  {
+    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) {
+      return 0;  // a writer or the reclaimer holds the lock; don't contend
+    }
+    if (pending_.empty() || pending_.size() > max_callbacks || stopping_) {
+      return 0;
+    }
+    batch.reserve(kInitialCapacity);  // keep pending_ pre-sized after swap
+    batch.swap(pending_);
+    ++inline_pumps_;
+  }
+
+  // One grace period covers the batch, same argument as ReclaimerLoop.
+  synchronize_();
+  for (const Entry& entry : batch) {
+    entry.fn(entry.arg);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    executed_ += batch.size();
+    ++batches_;
+  }
+  done_.notify_all();
+  return batch.size();
 }
 
 std::uint64_t RcuCallbackQueue::callbacks_executed() const {
@@ -64,29 +123,77 @@ std::size_t RcuCallbackQueue::pending() const {
   return pending_.size();
 }
 
+std::uint64_t RcuCallbackQueue::wakeups() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wakeups_;
+}
+
+std::uint64_t RcuCallbackQueue::inline_pumps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inline_pumps_;
+}
+
+std::uint64_t RcuCallbackQueue::batch_window_us() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return window_us_;
+}
+
+void RcuCallbackQueue::AdaptWindowLocked(std::size_t batch_size) {
+  // Batch size per window is proportional to the enqueue rate, so steering
+  // on it tracks load without any clock reads. Small batches mean the
+  // window expires mostly empty: stretch it so light load amortises more
+  // retirements per grace period (and per futex wake). Large batches mean
+  // writers are outrunning us: shrink it to bound pending-queue memory.
+  if (batch_size < kSmallBatch) {
+    window_us_ = std::min(window_us_ * 2, kMaxWindowUs);
+  } else if (batch_size > kLargeBatch) {
+    window_us_ = std::max(window_us_ / 2, kMinWindowUs);
+  }
+}
+
 void RcuCallbackQueue::ReclaimerLoop() {
   // In the kernel, call_rcu batches implicitly because grace periods take
   // milliseconds. Here a grace period with few/no readers costs less than a
   // mutex bounce, so an eager reclaimer would wake per retirement and spend
   // its life ping-ponging the queue lock against writers. The accumulation
-  // window restores the batching: nothing latency-sensitive waits on
-  // reclamation (Barrier tolerates the window), and a 50us window turns a
-  // retire-per-microsecond workload into ~50 callbacks per grace period.
-  constexpr auto kBatchWindow = std::chrono::microseconds(50);
+  // window restores the batching; see AdaptWindowLocked for how it tracks
+  // the enqueue rate.
   std::vector<Entry> batch;
   batch.reserve(kInitialCapacity);
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+      wake_.wait(lock, [&] {
+        if (stopping_) {
+          return true;
+        }
+        if (pending_.empty()) {
+          return false;
+        }
+        // Armed: leave small queues to the inline pumpers; only a deep
+        // backlog or a Barrier() waiter justifies waking this thread.
+        return armed_pumpers_ == 0 || barrier_waiters_ != 0 ||
+               pending_.size() >= kArmedWakeDepth;
+      });
       if (pending_.empty() && stopping_) {
         return;
       }
+      ++wakeups_;
       if (!stopping_) {
-        lock.unlock();
-        std::this_thread::sleep_for(kBatchWindow);
-        lock.lock();
+        // Accumulation window. A condition wait (not a bare sleep) so a
+        // Barrier() caller can cut it short — the old unlock+sleep_for
+        // added a full window to every store-path Drain.
+        wake_.wait_for(lock, std::chrono::microseconds(window_us_),
+                       [&] { return stopping_ || barrier_waiters_ != 0; });
       }
+      // An inline pump may have raced in during the window; re-check.
+      if (pending_.empty()) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      AdaptWindowLocked(pending_.size());
       batch.swap(pending_);
     }
 

@@ -5,6 +5,22 @@
 // runs one Synchronize() per batch (amortising grace periods across many
 // retirements — the same batching argument kernel call_rcu makes), then
 // invokes the callbacks.
+//
+// Two mechanisms keep the reclaimer off the writers' critical path:
+//
+//  * Adaptive batch window. The accumulation window between wakeup and
+//    batch-swap stretches when batches come up small (light load: fewer
+//    grace periods and futex wakes per callback) and shrinks when batches
+//    are large (heavy load: bound pending-queue memory). The window is a
+//    pure function of observed batch size, so it tracks enqueue rate
+//    without reading a clock on the hot path.
+//
+//  * Inline pumping. A maintenance thread that already wakes periodically
+//    (e.g. a cache shard's resize worker) can register via ArmInlinePump()
+//    and drain small batches itself with TryPump(). While any pumper is
+//    armed, Enqueue() stops waking the reclaimer until the queue is deep
+//    enough to be worth a dedicated thread — under light load the
+//    reclaimer goes fully idle and its cycle steal disappears.
 #ifndef RP_RCU_CALLBACK_H_
 #define RP_RCU_CALLBACK_H_
 
@@ -20,6 +36,12 @@ namespace rp::rcu {
 class RcuCallbackQueue {
  public:
   using Callback = void (*)(void*);
+
+  // Pending depth at which Enqueue() wakes the dedicated reclaimer even
+  // though inline pumpers are armed: past this the queue is worth a
+  // thread, and waiting for the next maintenance tick would let pending
+  // memory grow unboundedly if the pumpers stall.
+  static constexpr std::size_t kArmedWakeDepth = 256;
 
   // `synchronize` must implement the domain's wait-for-readers operation.
   explicit RcuCallbackQueue(std::function<void()> synchronize);
@@ -42,10 +64,29 @@ class RcuCallbackQueue {
   // Blocks until every callback enqueued before this call has executed.
   void Barrier();
 
-  // Stats for tests and the ablation benches.
+  // -- Inline pumping ------------------------------------------------------
+
+  // Declares that a periodic maintenance thread will call TryPump().
+  // While at least one pumper is armed, Enqueue() defers reclaimer wakeups
+  // until kArmedWakeDepth callbacks are pending. Pair with
+  // DisarmInlinePump() before the pumper stops ticking.
+  void ArmInlinePump();
+  void DisarmInlinePump();
+
+  // Opportunistically drains the pending queue if it currently holds at
+  // most `max_callbacks` entries (larger backlogs are left for the
+  // dedicated reclaimer — a maintenance tick should stay bounded). Runs
+  // one grace period plus the callbacks on the calling thread. Never
+  // blocks on the queue lock. Returns the number of callbacks executed.
+  std::size_t TryPump(std::size_t max_callbacks);
+
+  // Stats for tests, the stats wire, and the ablation benches.
   std::uint64_t callbacks_executed() const;
   std::uint64_t batches_processed() const;
   std::size_t pending() const;
+  std::uint64_t wakeups() const;       // dedicated-reclaimer batch wakeups
+  std::uint64_t inline_pumps() const;  // batches drained via TryPump()
+  std::uint64_t batch_window_us() const;
 
  private:
   struct Entry {
@@ -58,7 +99,18 @@ class RcuCallbackQueue {
   // are in flight at once.
   static constexpr std::size_t kInitialCapacity = 1024;
 
+  // Adaptive-window bounds and thresholds. A batch below kSmallBatch means
+  // the window expires mostly empty — double it (fewer grace periods per
+  // callback). A batch above kLargeBatch means writers are outrunning the
+  // reclaimer — halve it (bound pending memory).
+  static constexpr std::uint64_t kMinWindowUs = 10;
+  static constexpr std::uint64_t kMaxWindowUs = 1000;
+  static constexpr std::uint64_t kInitialWindowUs = 50;
+  static constexpr std::size_t kSmallBatch = 16;
+  static constexpr std::size_t kLargeBatch = 512;
+
   void ReclaimerLoop();
+  void AdaptWindowLocked(std::size_t batch_size);
 
   const std::function<void()> synchronize_;
 
@@ -70,6 +122,11 @@ class RcuCallbackQueue {
   std::uint64_t enqueued_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t wakeups_ = 0;
+  std::uint64_t inline_pumps_ = 0;
+  std::uint64_t window_us_ = kInitialWindowUs;
+  std::size_t armed_pumpers_ = 0;
+  std::size_t barrier_waiters_ = 0;
 
   std::thread reclaimer_;
 };

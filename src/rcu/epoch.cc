@@ -135,6 +135,8 @@ void Epoch::RetireErased(void* ptr, void (*deleter)(void*)) {
   queue().Enqueue(deleter, ptr);
 }
 
+RcuCallbackQueue& Epoch::Callbacks() { return queue(); }
+
 void Epoch::Barrier() {
   ++tls_barrier_calls_;
   queue().Barrier();

@@ -95,6 +95,12 @@ class Epoch {
   // that by delta.
   static std::uint64_t ThreadBarrierCalls() { return tls_barrier_calls_; }
 
+  // The domain's deferred-reclamation queue. Exposed so maintenance
+  // threads can arm inline pumping / drain small batches (TryPump) and so
+  // the stats wire can report reclaimer health (pending depth, wakeups,
+  // inline pumps). Constructs the queue on first use.
+  static RcuCallbackQueue& Callbacks();
+
   // -- Grace-period polling (kernel get_state/poll_state equivalent) -------
   //
   // StartPoll() snapshots the grace-period clock; Poll(cookie) returns true

@@ -113,6 +113,107 @@ TEST(CallbackQueue, PendingCountDrops) {
   EXPECT_EQ(queue.pending(), 0u);
 }
 
+// -- Inline pumping / adaptive scheduling ---------------------------------
+
+TEST(CallbackQueue, TryPumpDrainsSmallBacklogInline) {
+  RcuCallbackQueue queue([] {});
+  queue.ArmInlinePump();
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 32; ++i) {
+    queue.Enqueue([](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); },
+                  &executed);
+  }
+  const std::size_t pumped = queue.TryPump(128);
+  EXPECT_EQ(pumped, 32u);
+  EXPECT_EQ(executed.load(), 32);
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_GE(queue.inline_pumps(), 1u);
+  queue.DisarmInlinePump();
+}
+
+TEST(CallbackQueue, TryPumpLeavesDeepBacklogsToTheReclaimer) {
+  // A maintenance tick must stay bounded: TryPump refuses backlogs larger
+  // than its budget instead of draining them partially.
+  RcuCallbackQueue queue([] {});
+  queue.ArmInlinePump();
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 64; ++i) {
+    queue.Enqueue([](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); },
+                  &executed);
+  }
+  EXPECT_EQ(queue.TryPump(16), 0u);
+  queue.DisarmInlinePump();
+  queue.Barrier();  // the reclaimer still owns the backlog
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(CallbackQueue, ArmedQueueDefersReclaimerWakeups) {
+  // While a pumper is armed, small enqueues must NOT wake the dedicated
+  // reclaimer — the whole point is that it idles under light load.
+  RcuCallbackQueue queue([] {});
+  queue.ArmInlinePump();
+  const std::uint64_t wakeups_before = queue.wakeups();
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 8; ++i) {
+    queue.Enqueue([](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); },
+                  &executed);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(queue.wakeups(), wakeups_before);
+  EXPECT_EQ(queue.pending(), 8u);  // parked, waiting for the next tick
+  EXPECT_EQ(queue.TryPump(128), 8u);
+  queue.DisarmInlinePump();
+}
+
+TEST(CallbackQueue, DeepBacklogWakesReclaimerEvenWhenArmed) {
+  // Past kArmedWakeDepth the queue is worth a thread regardless of armed
+  // pumpers — pending memory must stay bounded if the pumpers stall.
+  RcuCallbackQueue queue([] {});
+  queue.ArmInlinePump();
+  std::atomic<int> executed{0};
+  for (std::size_t i = 0; i < RcuCallbackQueue::kArmedWakeDepth + 64; ++i) {
+    queue.Enqueue([](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); },
+                  &executed);
+  }
+  queue.Barrier();
+  EXPECT_EQ(executed.load(),
+            static_cast<int>(RcuCallbackQueue::kArmedWakeDepth) + 64);
+  EXPECT_GE(queue.wakeups(), 1u);
+  queue.DisarmInlinePump();
+}
+
+TEST(CallbackQueue, BatchWindowStaysWithinBounds) {
+  RcuCallbackQueue queue([] {});
+  std::atomic<int> executed{0};
+  // Heavy bursts shrink the window, then idleness lets small batches grow
+  // it back; it must stay inside [10, 1000] µs throughout.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 800; ++i) {
+      queue.Enqueue([](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); },
+                    &executed);
+    }
+    queue.Barrier();
+    EXPECT_GE(queue.batch_window_us(), 10u);
+    EXPECT_LE(queue.batch_window_us(), 1000u);
+  }
+  EXPECT_EQ(executed.load(), 3200);
+}
+
+TEST(CallbackQueue, BarrierCompletesWhileArmed) {
+  // An armed queue defers wakeups, but a Barrier() caller must never be
+  // left waiting on a maintenance tick that may not come.
+  RcuCallbackQueue queue([] {});
+  queue.ArmInlinePump();
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 10; ++i) {
+    queue.Enqueue([](void* arg) { static_cast<std::atomic<int>*>(arg)->fetch_add(1); },
+                  &executed);
+  }
+  queue.Barrier();
+  EXPECT_EQ(executed.load(), 10);
+  queue.DisarmInlinePump();
+}
+
 TEST(EpochRetire, ObjectSurvivesUntilGracePeriod) {
   struct Counted {
     explicit Counted(std::atomic<int>* c) : counter(c) {}
