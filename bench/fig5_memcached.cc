@@ -46,7 +46,8 @@ bool UseInProcess() {
 rp::memcache::WorkloadConfig PointConfig(int clients, double get_ratio,
                                          double seconds,
                                          std::size_t keys_per_get = 1,
-                                         std::size_t sets_per_request = 1) {
+                                         std::size_t sets_per_request = 1,
+                                         bool use_meta = false) {
   rp::memcache::WorkloadConfig config;
   config.num_clients = static_cast<std::size_t>(clients);
   config.num_keys = 10000;
@@ -54,6 +55,7 @@ rp::memcache::WorkloadConfig PointConfig(int clients, double get_ratio,
   config.get_ratio = get_ratio;
   config.keys_per_get = keys_per_get;
   config.sets_per_request = sets_per_request;
+  config.use_meta = use_meta;
   config.duration_seconds = seconds;
   config.use_protocol = true;
   config.prepopulate = true;
@@ -78,6 +80,7 @@ int main() {
     double get_ratio;
     std::size_t keys_per_get;
     std::size_t sets_per_request;
+    bool meta = false;
   };
   // The MGET8 series are the multi-get-heavy variant: every GET carries 8
   // keys, so the RP engine answers each request with (at most) one read
@@ -87,6 +90,13 @@ int main() {
   // trip pipelines 8 sets (7 noreply + 1 replied), which the server
   // connection executes as a single batched StoreMany — one store-mutex
   // acquisition per shard group. Table values are stores per second.
+  //
+  // The MMG8/MMS8 series are the meta-protocol counterparts: each round
+  // trip is a quiet run of 8 "mg <key> v q" (resp. "ms <key> <size> q")
+  // bounded by an mn barrier. The server collects the run into one
+  // GetManyScratch / StoreMany call, so these measure whether quiet-flag
+  // pipelining turns the engines' one-epoch batching into real client
+  // throughput — the PR 9 acceptance bar is RP MMG8 ≥ 0.9× RP MGET8.
   const Series series[] = {
       {"RP GET", true, 1.0, 1, 1},
       {"default GET", false, 1.0, 1, 1},
@@ -96,6 +106,10 @@ int main() {
       {"default MGET8", false, 1.0, 8, 1},
       {"RP PSET8", true, 0.0, 1, 8},
       {"default PSET8", false, 0.0, 1, 8},
+      {"RP MMG8", true, 1.0, 8, 1, true},
+      {"default MMG8", false, 1.0, 8, 1, true},
+      {"RP MMS8", true, 0.0, 1, 8, true},
+      {"default MMS8", false, 0.0, 1, 8, true},
   };
 
   for (const Series& s : series) {
@@ -106,8 +120,9 @@ int main() {
       config.initial_buckets = 16384;
       std::unique_ptr<rp::memcache::CacheEngine> engine =
           rp::memcache::MakeEngine(s.rp ? "rp" : "locked", config);
-      const rp::memcache::WorkloadConfig point = PointConfig(
-          c, s.get_ratio, seconds, s.keys_per_get, s.sets_per_request);
+      const rp::memcache::WorkloadConfig point =
+          PointConfig(c, s.get_ratio, seconds, s.keys_per_get,
+                      s.sets_per_request, s.meta);
       rp::memcache::WorkloadResult result;
       if (in_process) {
         result = RunWorkload(*engine, point);

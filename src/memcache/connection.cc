@@ -28,6 +28,46 @@ StoreKind StoreKindOf(Op op) {
   }
 }
 
+// ms/md → StoreKind: md is a delete; ms maps its M<mode> onto the classic
+// store kinds (E=add, A=append, P=prepend, R=replace, S/absent=set), and a
+// C<cas> compare turns it into a cas store (the parser rejects C combined
+// with any non-set mode).
+StoreKind MetaStoreKind(const Request& request) {
+  if (request.op == Op::kMetaDelete) {
+    return StoreKind::kDelete;
+  }
+  if (request.meta.has_cas_compare) {
+    return StoreKind::kCas;
+  }
+  switch (request.meta.mode) {
+    case 'E':
+      return StoreKind::kAdd;
+    case 'A':
+      return StoreKind::kAppend;
+    case 'P':
+      return StoreKind::kPrepend;
+    case 'R':
+      return StoreKind::kReplace;
+    default:
+      return StoreKind::kSet;  // 'S' or no mode flag
+  }
+}
+
+// After a vivify/fallback Get, mirror the StoredValue into a scratch slot
+// so the response codec sees one shape on every mg path.
+void FillScratchSlot(ScratchGetResult* slot, const StoredValue& value,
+                     std::string* scratch) {
+  slot->hit = true;
+  slot->data_offset = scratch->size();
+  slot->data_size = value.data.size();
+  scratch->append(value.data);
+  slot->flags = value.flags;
+  slot->cas = value.cas;
+  slot->expire_at = value.expire_at;
+  slot->last_used = value.last_used;
+  slot->fetched = value.fetched;
+}
+
 }  // namespace
 
 std::int64_t MonotonicMs() {
@@ -115,6 +155,12 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
       AppendStat(out, "reclaimer_pending", stats.reclaimer_pending);
       AppendStat(out, "reclaimer_wakeups", stats.reclaimer_wakeups);
       AppendStat(out, "reclaimer_inline_pumps", stats.reclaimer_inline_pumps);
+      // Meta-protocol command counters (see docs/PROTOCOL.md): one bump
+      // per meta request executed, counted at the dispatch layer.
+      AppendStat(out, "cmd_mg", stats.cmd_mg);
+      AppendStat(out, "cmd_ms", stats.cmd_ms);
+      AppendStat(out, "cmd_md", stats.cmd_md);
+      AppendStat(out, "cmd_ma", stats.cmd_ma);
       AppendStat(out, "limit_maxbytes", stats.limit_maxbytes);
       if (conn_stats != nullptr) {
         AppendStat(out, "curr_connections", conn_stats->curr_connections);
@@ -126,6 +172,50 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
     case Op::kQuit:
       *quit = true;
       return;
+    case Op::kMetaNoop:
+      // Pipeline barrier: always answers, so a blocking client can bound a
+      // quiet run (`mg..q ×k, mn`) and know every response has arrived.
+      out->append(kResponseMetaNoop);
+      return;
+    case Op::kMetaGet:
+      // A lone mg is just a batch of one — same scratch path, same
+      // response assembly, so singleton and pipelined mg agree byte for
+      // byte.
+      ExecuteMetaGetBatch(engine, &request, 1, out);
+      return;
+    case Op::kMetaSet:
+    case Op::kMetaDelete:
+      // Same unification for ms/md: the batch-of-one goes through the
+      // shared StoreOp mapping and meta response codec.
+      ExecuteStoreBatch(engine, &request, 1, out);
+      return;
+    case Op::kMetaArith: {
+      engine.CountMetaCommand(CacheEngine::MetaCmd::kArith);
+      const bool incr = request.meta.mode == 0 || request.meta.mode == 'I' ||
+                        request.meta.mode == '+';
+      ArithResult result = incr ? engine.Incr(request.keys[0], request.delta)
+                                : engine.Decr(request.keys[0], request.delta);
+      if (result.status == ArithStatus::kNotFound && request.meta.has_vivify) {
+        // Autovivify (N with optional J seed): the seeded value IS the
+        // answer — no delta applied on the vivifying op (memcached rule).
+        // Losing the add race means someone else vivified; retry the op
+        // against their value.
+        const std::string init = std::to_string(request.meta.init_value);
+        if (engine.Add(request.keys[0], init, 0, request.meta.vivify_ttl) ==
+            StoreResult::kStored) {
+          result.status = ArithStatus::kOk;
+          result.value = request.meta.init_value;
+        } else {
+          result = incr ? engine.Incr(request.keys[0], request.delta)
+                        : engine.Decr(request.keys[0], request.delta);
+        }
+      }
+      if (result.ok() && request.meta.has_exptime) {
+        engine.Touch(request.keys[0], request.exptime);  // ma T<ttl>
+      }
+      AppendMetaArithResponse(out, request.keys[0], request, result);
+      return;
+    }
     default:
       break;
   }
@@ -224,6 +314,8 @@ bool IsBatchableStore(const Request& request) {
     case Op::kAppend:
     case Op::kPrepend:
     case Op::kCas:
+    case Op::kMetaSet:
+    case Op::kMetaDelete:
       return request.keys.size() == 1;
     default:
       return false;
@@ -246,10 +338,21 @@ void ExecuteStoreBatch(CacheEngine& engine, const Request* requests,
     ops = heap_ops.data();
     results = heap_results.data();
   }
+  std::uint64_t meta_sets = 0;
+  std::uint64_t meta_deletes = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const Request& request = requests[i];
     StoreOp& op = ops[i];
-    op.kind = StoreKindOf(request.op);
+    if (IsMetaOp(request.op)) {
+      op.kind = MetaStoreKind(request);
+      if (request.op == Op::kMetaSet) {
+        ++meta_sets;
+      } else {
+        ++meta_deletes;
+      }
+    } else {
+      op.kind = StoreKindOf(request.op);
+    }
     op.key = request.keys[0];
     op.data = request.data;
     op.flags = request.flags;
@@ -257,10 +360,23 @@ void ExecuteStoreBatch(CacheEngine& engine, const Request* requests,
     op.cas = request.cas;
   }
   engine.StoreMany(ops, count, results);
+  if (meta_sets != 0) {
+    engine.CountMetaCommand(CacheEngine::MetaCmd::kSet, meta_sets);
+  }
+  if (meta_deletes != 0) {
+    engine.CountMetaCommand(CacheEngine::MetaCmd::kDelete, meta_deletes);
+  }
   // Wire responses, identical to the per-op ExecuteRequest paths: set
   // always reports STORED, cas distinguishes EXISTS from NOT_FOUND, the
-  // rest map kStored/!kStored to STORED/NOT_STORED.
+  // rest map kStored/!kStored to STORED/NOT_STORED. Meta requests answer
+  // in meta grammar over the same StoreResult (q suppresses bare HD;
+  // failures always answer).
   for (std::size_t i = 0; i < count; ++i) {
+    if (IsMetaOp(requests[i].op)) {
+      AppendMetaStoreResponse(out, requests[i].keys[0], requests[i],
+                              results[i]);
+      continue;
+    }
     if (requests[i].noreply) {
       continue;
     }
@@ -286,6 +402,61 @@ void ExecuteStoreBatch(CacheEngine& engine, const Request* requests,
                                                        : kResponseNotStored);
         break;
     }
+  }
+}
+
+void ExecuteMetaGetBatch(CacheEngine& engine, const Request* requests,
+                         std::size_t count, std::string* out) {
+  if (count == 0) {
+    return;
+  }
+  // Thread-local scratch reused across batches: the key views, the result
+  // slots and the value bytes themselves — steady-state quiet runs
+  // allocate nothing here. Results reference scratch by offset, so the
+  // region may grow (vivified values append after the batch) without
+  // invalidating earlier hits. Safe because this function never re-enters.
+  static thread_local std::vector<std::string_view> key_views;
+  static thread_local std::vector<ScratchGetResult> results;
+  static thread_local std::string scratch;
+  key_views.clear();
+  scratch.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    key_views.push_back(requests[i].keys[0]);
+  }
+  if (results.size() < count) {
+    results.resize(count);
+  }
+  // ONE engine call for the whole quiet run: on the RP engine this opens a
+  // single epoch read section per shard group and copies each hit straight
+  // into scratch inside it — the wire path's only copy of the value bytes
+  // after this is the append into the output buffer.
+  engine.GetManyScratch(key_views.data(), count, results.data(), &scratch);
+  engine.CountMetaCommand(CacheEngine::MetaCmd::kGet, count);
+  const std::int64_t now = NowSeconds();
+  for (std::size_t i = 0; i < count; ++i) {
+    const Request& request = requests[i];
+    ScratchGetResult& r = results[i];
+    if (!r.hit && request.meta.has_vivify) {
+      // mg N<ttl>: a miss autovivifies an empty value and answers as a
+      // hit. Add-then-Get: losing the add race just means another client
+      // vivified first — their value is the answer either way.
+      engine.Add(request.keys[0], "", 0, request.meta.vivify_ttl);
+      StoredValue value;
+      if (engine.Get(request.keys[0], &value)) {
+        FillScratchSlot(&r, value, &scratch);
+      }
+    }
+    if (r.hit && request.meta.has_exptime) {
+      // mg T<ttl>: touch rides the get; the t response flag reports the
+      // NEW deadline.
+      if (engine.Touch(request.keys[0], request.exptime)) {
+        r.expire_at = ResolveExptime(request.exptime, now);
+      }
+    }
+    AppendMetaGetResponse(out, request.keys[0], request, r,
+                          std::string_view(scratch.data() + r.data_offset,
+                                           r.data_size),
+                          now);
   }
 }
 
@@ -371,6 +542,7 @@ bool Connection::ExecuteBuffered() {
       // chunk full of multi-gets could buffer responses without bound.
       // (A single response still buffers whole, however large.)
       FlushStoreBatch();  // the parser already consumed these; answer them
+      FlushMetaGetBatch();
       UpdateBackpressure();
       return true;
     }
@@ -381,19 +553,33 @@ bool Connection::ExecuteBuffered() {
     }
     if (status == ParseStatus::kError) {
       FlushStoreBatch();  // burst responses precede the error, in order
+      FlushMetaGetBatch();
       AppendClientError(&out_, parser_.error_message());
+      continue;
+    }
+    if (request.op == Op::kMetaGet) {
+      // Collect the pipelined mg run; it executes as one GetManyScratch
+      // (one epoch section per shard group) when it ends — this is what
+      // turns `mg <key> q`×k into classic-multiget engine cost.
+      FlushStoreBatch();  // an mg ends any store burst
+      meta_get_batch_.push_back(std::move(request));
+      if (meta_get_batch_.size() >= kMaxStoreBatch) {
+        FlushMetaGetBatch();
+      }
       continue;
     }
     if (IsBatchableStore(request)) {
       // Collect the pipelined store burst; it executes as one StoreMany
       // (one store-mutex acquisition per shard group) when it ends.
+      FlushMetaGetBatch();  // a store ends any mg burst
       store_batch_.push_back(std::move(request));
       if (store_batch_.size() >= kMaxStoreBatch) {
         FlushStoreBatch();
       }
       continue;
     }
-    FlushStoreBatch();  // a non-store request ends the burst
+    FlushStoreBatch();  // any other request ends both bursts
+    FlushMetaGetBatch();
     const ServerConnectionStats* conn_stats = nullptr;
     if (request.op == Op::kStats && counters_ != nullptr) {
       snapshot.curr_connections =
@@ -411,6 +597,7 @@ bool Connection::ExecuteBuffered() {
     }
   }
   FlushStoreBatch();  // input exhausted (or quit): answer what we have
+  FlushMetaGetBatch();
   UpdateBackpressure();
   return false;
 }
@@ -428,6 +615,15 @@ void Connection::FlushStoreBatch() {
                       &out_);
   }
   store_batch_.clear();
+}
+
+void Connection::FlushMetaGetBatch() {
+  if (meta_get_batch_.empty()) {
+    return;
+  }
+  ExecuteMetaGetBatch(engine_, meta_get_batch_.data(), meta_get_batch_.size(),
+                      &out_);
+  meta_get_batch_.clear();
 }
 
 bool Connection::FlushOutput() {

@@ -42,19 +42,34 @@ void ExecuteRequest(CacheEngine& engine, const Request& request,
                     std::string* out, bool* quit,
                     const ServerConnectionStats* conn_stats = nullptr);
 
-// True for a storage request StoreMany can carry: one of the six storage
-// commands with its single key (the parser guarantees one key, but the
-// check keeps this safe on hand-built requests too).
+// True for a storage request StoreMany can carry: one of the six classic
+// storage commands, or a meta store/delete (ms/md — their StoreOps ride
+// the same shard-grouped batch), with its single key (the parser
+// guarantees one key, but the check keeps this safe on hand-built
+// requests too).
 bool IsBatchableStore(const Request& request);
 
 // Executes a burst of storage requests as one engine.StoreMany call and
-// appends each request's wire response (noreply suppressed per op) to
-// *out, byte-identical to running ExecuteRequest per request. The
-// connection uses this for pipelined store runs so the engine pays its
-// per-batch costs (one store-mutex acquisition per shard group) once.
-// Every request must satisfy IsBatchableStore.
+// appends each request's wire response (noreply suppressed per op; meta
+// requests answer in meta grammar, with q suppressing bare HD) to *out,
+// byte-identical to running ExecuteRequest per request. The connection
+// uses this for pipelined store runs so the engine pays its per-batch
+// costs (one store-mutex acquisition per shard group) once. Every request
+// must satisfy IsBatchableStore.
 void ExecuteStoreBatch(CacheEngine& engine, const Request* requests,
                        std::size_t count, std::string* out);
+
+// Executes a run of mg requests as ONE engine.GetManyScratch call — one
+// epoch read section per shard group on the RP engine, hit payloads
+// appended to a thread-local scratch region and referenced by offset (no
+// per-hit std::string anywhere) — then assembles each response straight
+// from the scratch views. This is the quiet-flag pipelining path: a
+// client blasting `mg <key> q`×k sees exactly the batched engine cost of
+// a classic `get k1..kk`, with misses silently suppressed per the q
+// contract. mg T (touch) and mg N (autovivify) side effects run per-key
+// after the batch. Every request must have op == kMetaGet and one key.
+void ExecuteMetaGetBatch(CacheEngine& engine, const Request* requests,
+                         std::size_t count, std::string* out);
 
 class Connection {
  public:
@@ -108,6 +123,10 @@ class Connection {
   // a backpressure pause, the batch cap, or the end of buffered input —
   // so responses always leave in request order.
   void FlushStoreBatch();
+  // Same contract for the pending mg burst (one ExecuteMetaGetBatch). At
+  // most one of the two batches is ever non-empty — each flushes the
+  // other before collecting — so responses stay in request order.
+  void FlushMetaGetBatch();
   // Alternates flushing and executing backpressure-deferred requests
   // until the socket stops taking bytes or no deferred work remains.
   // False = fatal socket error.
@@ -137,7 +156,8 @@ class Connection {
   static constexpr std::size_t kMaxStoreBatch = 64;
 
   RequestParser parser_;
-  std::vector<Request> store_batch_;  // pending pipelined store burst
+  std::vector<Request> store_batch_;     // pending pipelined store burst
+  std::vector<Request> meta_get_batch_;  // pending pipelined mg burst
   std::string out_;        // response bytes not yet handed to the kernel
   std::size_t out_sent_ = 0;  // prefix of out_ already written
   bool close_after_flush_ = false;  // quit seen: flush, then close

@@ -5,6 +5,7 @@
 #ifndef RP_MEMCACHE_ENGINE_H_
 #define RP_MEMCACHE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -57,6 +58,9 @@ class StoreMutex {
 // commands batch — not just SET — so a pipelined burst of mixed stores
 // still executes as one shard group per shard. Views point into the parsed
 // requests; they must stay valid for the duration of the StoreMany call.
+// kDelete lets a pipelined run of meta deletes (`md ... q`) ride the same
+// shard-grouped batch; it carries no data and maps kStored → deleted,
+// kNotFound → missing.
 enum class StoreKind : std::uint8_t {
   kSet,
   kAdd,
@@ -64,6 +68,7 @@ enum class StoreKind : std::uint8_t {
   kAppend,
   kPrepend,
   kCas,
+  kDelete,
 };
 
 struct StoreOp {
@@ -200,6 +205,13 @@ struct EngineStats {
   std::uint64_t reclaimer_pending = 0;
   std::uint64_t reclaimer_wakeups = 0;
   std::uint64_t reclaimer_inline_pumps = 0;
+  // -- Meta protocol (PR 9). Commands executed per meta opcode; counted at
+  // the dispatch layer (ExecuteRequest / the batched meta paths), stored
+  // on the engine so `stats` reports them per engine like everything else.
+  std::uint64_t cmd_mg = 0;
+  std::uint64_t cmd_ms = 0;
+  std::uint64_t cmd_md = 0;
+  std::uint64_t cmd_ma = 0;
 };
 
 // One slot of a multi-get answer: out[i] describes keys[i] (miss = !hit).
@@ -228,6 +240,34 @@ class CacheEngine {
                        MultiGetResult* out) {
     for (std::size_t i = 0; i < count; ++i) {
       out[i].hit = Get(std::string(keys[i]), &out[i].value);
+    }
+  }
+
+  // Scratch-region multi-get for the meta protocol's quiet-pipelined `mg`
+  // runs: hit values are appended to *scratch (inside the engine's read
+  // section, where it overrides) and referenced by offset in out[i], so
+  // no per-hit std::string is ever allocated. Semantics otherwise match
+  // GetMany exactly — per-key hit/miss stats, lazy reclamation of dead
+  // items — plus the meta-flag metadata (expire_at, prior last_used,
+  // prior fetched bit) each hit carries. The default loops Get(); the
+  // relativistic engine overrides with one read section per shard group.
+  virtual void GetManyScratch(const std::string_view* keys, std::size_t count,
+                              ScratchGetResult* out, std::string* scratch) {
+    StoredValue value;
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = ScratchGetResult{};
+      if (!Get(std::string(keys[i]), &value)) {
+        continue;
+      }
+      out[i].hit = true;
+      out[i].data_offset = scratch->size();
+      out[i].data_size = value.data.size();
+      scratch->append(value.data);
+      out[i].flags = value.flags;
+      out[i].cas = value.cas;
+      out[i].expire_at = value.expire_at;
+      out[i].last_used = value.last_used;
+      out[i].fetched = value.fetched;
     }
   }
 
@@ -279,6 +319,10 @@ class CacheEngine {
         case StoreKind::kCas:
           results[i] = CheckAndSet(key, op.data, op.flags, op.exptime, op.cas);
           break;
+        case StoreKind::kDelete:
+          results[i] =
+              Delete(key) ? StoreResult::kStored : StoreResult::kNotFound;
+          break;
       }
     }
   }
@@ -304,6 +348,29 @@ class CacheEngine {
   virtual std::size_t ItemCount() const = 0;
   virtual EngineStats Stats() const = 0;
   virtual const char* Name() const = 0;
+
+  // -- Meta-command accounting (`stats` fields cmd_mg/ms/md/ma) -----------
+  // Bumped by the dispatch layer (which knows the wire opcode; the engine
+  // store paths only see StoreOps) and folded into EngineStats by the
+  // engines' Stats() via FillMetaCommandStats. Lives on the base so both
+  // engines share one implementation and the counters survive engine-
+  // agnostic call sites like the workload driver.
+  enum class MetaCmd { kGet, kSet, kDelete, kArith };
+  void CountMetaCommand(MetaCmd cmd, std::uint64_t n = 1) {
+    meta_cmds_[static_cast<std::size_t>(cmd)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+ protected:
+  void FillMetaCommandStats(EngineStats* stats) const {
+    stats->cmd_mg = meta_cmds_[0].load(std::memory_order_relaxed);
+    stats->cmd_ms = meta_cmds_[1].load(std::memory_order_relaxed);
+    stats->cmd_md = meta_cmds_[2].load(std::memory_order_relaxed);
+    stats->cmd_ma = meta_cmds_[3].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> meta_cmds_[4] = {};
 };
 
 }  // namespace rp::memcache

@@ -105,6 +105,12 @@ struct CacheValue {
   // touch) preserve it so they can never revive a flushed item.
   std::int64_t stored_at = 0;
   mutable std::atomic<std::int64_t> last_used{0};
+  // Whether any GET has ever fetched this value (memcached's ITEM_FETCHED,
+  // surfaced by the meta protocol's `h` flag). Mutable + atomic for the
+  // same reason as last_used: the lock-free GET path stamps it. Full
+  // stores build a fresh CacheValue, which resets it; partial mutations
+  // clone it through the copy constructors below.
+  mutable std::atomic<bool> fetched{false};
 
   CacheValue() = default;
   CacheValue(SlabBuffer d, std::uint32_t f, std::int64_t e, std::uint64_t c)
@@ -116,7 +122,8 @@ struct CacheValue {
         expire_at(other.expire_at),
         cas(other.cas),
         stored_at(other.stored_at),
-        last_used(other.last_used.load(std::memory_order_relaxed)) {}
+        last_used(other.last_used.load(std::memory_order_relaxed)),
+        fetched(other.fetched.load(std::memory_order_relaxed)) {}
 
   CacheValue& operator=(const CacheValue& other) {
     if (this != &other) {
@@ -127,6 +134,8 @@ struct CacheValue {
       stored_at = other.stored_at;
       last_used.store(other.last_used.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
+      fetched.store(other.fetched.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
     }
     return *this;
   }
@@ -137,7 +146,8 @@ struct CacheValue {
         expire_at(other.expire_at),
         cas(other.cas),
         stored_at(other.stored_at),
-        last_used(other.last_used.load(std::memory_order_relaxed)) {}
+        last_used(other.last_used.load(std::memory_order_relaxed)),
+        fetched(other.fetched.load(std::memory_order_relaxed)) {}
 
   CacheValue& operator=(CacheValue&& other) noexcept {
     data = std::move(other.data);
@@ -147,6 +157,8 @@ struct CacheValue {
     stored_at = other.stored_at;
     last_used.store(other.last_used.load(std::memory_order_relaxed),
                     std::memory_order_relaxed);
+    fetched.store(other.fetched.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
     return *this;
   }
 
@@ -162,6 +174,8 @@ struct CacheValue {
     copy.stored_at = other.stored_at;
     copy.last_used.store(other.last_used.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    copy.fetched.store(other.fetched.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
     return copy;
   }
 };
@@ -175,10 +189,33 @@ inline bool IsLive(const CacheValue& value, std::int64_t flush_at,
 }
 
 // What a GET hands back to the protocol layer (copied out of the engine).
+// The metadata tail (expire_at / last_used / fetched) feeds the meta
+// protocol's t / l / h response flags; both engines fill it on every hit.
 struct StoredValue {
   std::string data;
   std::uint32_t flags = 0;
   std::uint64_t cas = 0;
+  std::int64_t expire_at = kNeverExpires;
+  std::int64_t last_used = 0;   // previous access time (before this GET)
+  bool fetched = false;         // had been fetched before this GET
+};
+
+// One slot of a scratch-region multi-get (CacheEngine::GetManyScratch):
+// instead of an owning std::string per hit, the value bytes are appended
+// to a caller-provided scratch buffer inside the engine's read-side
+// critical section and referenced here by offset (not pointer — the
+// buffer may reallocate while later hits append). This is the meta
+// protocol's zero-intermediate-copy GET path: the response codec reads
+// the bytes straight out of the scratch region.
+struct ScratchGetResult {
+  std::size_t data_offset = 0;
+  std::size_t data_size = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t cas = 0;
+  std::int64_t expire_at = kNeverExpires;
+  std::int64_t last_used = 0;   // previous access time (before this GET)
+  bool fetched = false;         // had been fetched before this GET
+  bool hit = false;
 };
 
 }  // namespace rp::memcache

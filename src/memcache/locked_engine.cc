@@ -181,11 +181,18 @@ bool LockedEngine::GetLocked(const K& key, std::int64_t now,
   // Exact LRU: the GET path mutates shared state, which is why default
   // memcached cannot drop the lock here.
   TouchLruLocked(it);
-  it->second.value.last_used.store(now, std::memory_order_relaxed);
-  const std::string_view data = it->second.value.data.view();
+  CacheValue& value = it->second.value;
+  // Meta-flag metadata reports the PRE-get state (prior access time,
+  // prior fetched bit), captured before this GET stamps both.
+  out->expire_at = value.expire_at;
+  out->last_used = value.last_used.load(std::memory_order_relaxed);
+  out->fetched = value.fetched.load(std::memory_order_relaxed);
+  value.last_used.store(now, std::memory_order_relaxed);
+  value.fetched.store(true, std::memory_order_relaxed);
+  const std::string_view data = value.data.view();
   out->data.assign(data.data(), data.size());
-  out->flags = it->second.value.flags;
-  out->cas = it->second.value.cas;
+  out->flags = value.flags;
+  out->cas = value.cas;
   ++stats_.get_hits;
   return true;
 }
@@ -202,6 +209,37 @@ void LockedEngine::GetMany(const std::string_view* keys, std::size_t count,
   std::lock_guard<StoreMutex> lock(mutex_);
   for (std::size_t i = 0; i < count; ++i) {
     out[i].hit = GetLocked(keys[i], now, &out[i].value);
+  }
+}
+
+void LockedEngine::GetManyScratch(const std::string_view* keys,
+                                  std::size_t count, ScratchGetResult* out,
+                                  std::string* scratch) {
+  const std::int64_t now = NowSeconds();
+  std::lock_guard<StoreMutex> lock(mutex_);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = ScratchGetResult{};
+    auto it = FindLiveLocked(keys[i], now);
+    if (it == map_.end()) {
+      ++stats_.get_misses;
+      continue;
+    }
+    TouchLruLocked(it);
+    CacheValue& value = it->second.value;
+    ScratchGetResult& slot = out[i];
+    slot.hit = true;
+    const std::string_view data = value.data.view();
+    slot.data_offset = scratch->size();
+    slot.data_size = data.size();
+    scratch->append(data.data(), data.size());
+    slot.flags = value.flags;
+    slot.cas = value.cas;
+    slot.expire_at = value.expire_at;
+    slot.last_used = value.last_used.load(std::memory_order_relaxed);
+    slot.fetched = value.fetched.load(std::memory_order_relaxed);
+    value.last_used.store(now, std::memory_order_relaxed);
+    value.fetched.store(true, std::memory_order_relaxed);
+    ++stats_.get_hits;
   }
 }
 
@@ -349,6 +387,19 @@ void LockedEngine::StoreMany(const StoreOp* ops, std::size_t count,
         results[i] =
             CasOpLocked(op.key, op.data, op.flags, op.exptime, op.cas, now);
         break;
+      case StoreKind::kDelete: {
+        // md rides the store batch: same lock acquisition, but the result
+        // is delete semantics (kStored = deleted, kNotFound = miss) and it
+        // must not count toward `sets`.
+        auto it = FindLiveLocked(op.key, now);
+        if (it == map_.end()) {
+          results[i] = StoreResult::kNotFound;
+        } else {
+          EraseLocked(it);
+          results[i] = StoreResult::kStored;
+        }
+        break;
+      }
     }
   }
   if (count >= 2) {
@@ -458,6 +509,7 @@ EngineStats LockedEngine::Stats() const {
   stats.reclaimer_pending = reclaimer.pending();
   stats.reclaimer_wakeups = reclaimer.wakeups();
   stats.reclaimer_inline_pumps = reclaimer.inline_pumps();
+  FillMetaCommandStats(&stats);
   return stats;
 }
 

@@ -41,6 +41,11 @@ class LockedEngine final : public CacheEngine {
   // copies here either.
   void GetMany(const std::string_view* keys, std::size_t count,
                MultiGetResult* out) override;
+  // Scratch-region variant for the meta protocol's quiet mg runs: same
+  // one-lock-per-batch shape, but hit values append to *scratch instead
+  // of allocating per-hit strings.
+  void GetManyScratch(const std::string_view* keys, std::size_t count,
+                      ScratchGetResult* out, std::string* scratch) override;
   StoreResult Set(const std::string& key, std::string_view data,
                   std::uint32_t flags, std::int64_t exptime) override;
   StoreResult Add(const std::string& key, std::string_view data,

@@ -34,7 +34,13 @@ bool ParseInt(std::string_view token, Int* out) {
   return ec == std::errc() && ptr == last;
 }
 
-bool ValidKey(std::string_view key) {
+}  // namespace
+
+// One key validator for every parse path — the classic commands, the meta
+// commands, and any hand-built request a test feeds through the codec —
+// so an oversized or malformed key is always a CLIENT_ERROR at the parse
+// layer, never an implicit engine-side behavior.
+bool IsValidKey(std::string_view key) {
   if (key.empty() || key.size() > RequestParser::kMaxKeyLength) {
     return false;
   }
@@ -45,8 +51,6 @@ bool ValidKey(std::string_view key) {
   }
   return true;
 }
-
-}  // namespace
 
 void RequestParser::Feed(std::string_view bytes) {
   buffer_.append(bytes.data(), bytes.size());
@@ -121,7 +125,7 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     if (tokens.size() < expected || tokens.size() > expected + 1) {
       return Fail("bad storage command", /*resync=*/false);
     }
-    if (!ValidKey(tokens[1])) {
+    if (!IsValidKey(tokens[1])) {
       return Fail("bad key", /*resync=*/false);
     }
     req.op = op;
@@ -159,7 +163,7 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     }
     req.op = cmd == "get" ? Op::kGet : Op::kGets;
     for (std::size_t i = 1; i < tokens.size(); ++i) {
-      if (!ValidKey(tokens[i])) {
+      if (!IsValidKey(tokens[i])) {
         return Fail("bad key", /*resync=*/false);
       }
       req.keys.emplace_back(tokens[i]);
@@ -187,7 +191,7 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
   }
   if (cmd == "delete") {
     // delete <key> [noreply]
-    if (tokens.size() < 2 || tokens.size() > 3 || !ValidKey(tokens[1])) {
+    if (tokens.size() < 2 || tokens.size() > 3 || !IsValidKey(tokens[1])) {
       return Fail("bad delete command", /*resync=*/false);
     }
     req.op = Op::kDelete;
@@ -203,7 +207,7 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
   }
   if (cmd == "incr" || cmd == "decr") {
     // incr <key> <delta> [noreply]
-    if (tokens.size() < 3 || tokens.size() > 4 || !ValidKey(tokens[1])) {
+    if (tokens.size() < 3 || tokens.size() > 4 || !IsValidKey(tokens[1])) {
       return Fail("bad arithmetic command", /*resync=*/false);
     }
     req.op = cmd == "incr" ? Op::kIncr : Op::kDecr;
@@ -222,7 +226,7 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
   }
   if (cmd == "touch") {
     // touch <key> <exptime> [noreply]
-    if (tokens.size() < 3 || tokens.size() > 4 || !ValidKey(tokens[1])) {
+    if (tokens.size() < 3 || tokens.size() > 4 || !IsValidKey(tokens[1])) {
       return Fail("bad touch command", /*resync=*/false);
     }
     req.op = Op::kTouch;
@@ -274,7 +278,125 @@ ParseStatus RequestParser::ParseCommandLine(std::string_view line, Request* out)
     *out = std::move(req);
     return ParseStatus::kOk;
   }
+  if (cmd == "mg" || cmd == "ms" || cmd == "md" || cmd == "ma") {
+    return ParseMetaCommand(cmd, tokens, out);
+  }
+  if (cmd == "mn") {
+    // Pipeline barrier: no key, no flags, always answers MN. Quiet runs
+    // end with one so the client knows the whole run has been executed.
+    if (tokens.size() != 1) {
+      return Fail("bad mn command", /*resync=*/false);
+    }
+    req.op = Op::kMetaNoop;
+    *out = std::move(req);
+    return ParseStatus::kOk;
+  }
   return Fail("unknown command", /*resync=*/false);
+}
+
+ParseStatus RequestParser::ParseMetaCommand(
+    std::string_view cmd, const std::vector<std::string_view>& tokens,
+    Request* out) {
+  Request req;
+  if (tokens.size() < 2) {
+    return Fail("bad meta command", /*resync=*/false);
+  }
+  if (!IsValidKey(tokens[1])) {
+    return Fail("bad key", /*resync=*/false);
+  }
+  req.keys.emplace_back(tokens[1]);
+
+  // The flag alphabet each command accepts. Everything outside its set —
+  // including memcached flags this server does not implement (base64
+  // keys, invalidation, stampede control) — answers CLIENT_ERROR rather
+  // than being silently ignored; docs/PROTOCOL.md lists the divergences.
+  std::string_view allowed;
+  std::size_t flag_start = 2;
+  std::size_t bytes = 0;
+  if (cmd == "mg") {
+    req.op = Op::kMetaGet;
+    allowed = "vftlhckqONT";
+  } else if (cmd == "ms") {
+    // ms <key> <datalen> <flags>*
+    req.op = Op::kMetaSet;
+    allowed = "qOkTCFM";
+    if (tokens.size() < 3 || !ParseInt(tokens[2], &bytes)) {
+      return Fail("bad ms datalen", /*resync=*/false);
+    }
+    if (bytes > kMaxValueLength) {
+      return Fail("object too large for cache", /*resync=*/false);
+    }
+    flag_start = 3;
+  } else if (cmd == "md") {
+    req.op = Op::kMetaDelete;
+    allowed = "qOk";
+  } else {
+    req.op = Op::kMetaArith;
+    allowed = "qOkvNJDMT";
+    req.delta = 1;  // ma default step; D<delta> overrides
+  }
+
+  MetaFlags& mf = req.meta;
+  for (std::size_t i = flag_start; i < tokens.size(); ++i) {
+    const std::string_view token = tokens[i];
+    const char flag = token[0];
+    const std::string_view arg = token.substr(1);
+    if (allowed.find(flag) == std::string_view::npos) {
+      return Fail("unsupported meta flag", /*resync=*/false);
+    }
+    bool ok = true;
+    switch (flag) {
+      // Argument-less return/behavior flags.
+      case 'v': ok = arg.empty(); mf.want_value = true; break;
+      case 'f': ok = arg.empty(); mf.want_flags = true; break;
+      case 't': ok = arg.empty(); mf.want_ttl = true; break;
+      case 'l': ok = arg.empty(); mf.want_last_access = true; break;
+      case 'h': ok = arg.empty(); mf.want_hit = true; break;
+      case 'c': ok = arg.empty(); mf.want_cas = true; break;
+      case 'k': ok = arg.empty(); mf.want_key = true; break;
+      case 'q': ok = arg.empty(); mf.quiet = true; break;
+      // Token-carrying flags; numeric arguments land in the classic
+      // Request fields their execution paths already read.
+      case 'O':
+        ok = !arg.empty() && arg.size() <= kMaxOpaqueLength;
+        mf.has_opaque = true;
+        mf.opaque.assign(arg);
+        break;
+      case 'N': ok = ParseInt(arg, &mf.vivify_ttl); mf.has_vivify = true; break;
+      case 'T': ok = ParseInt(arg, &req.exptime); mf.has_exptime = true; break;
+      case 'C': ok = ParseInt(arg, &req.cas); mf.has_cas_compare = true; break;
+      case 'F': ok = ParseInt(arg, &req.flags); break;
+      case 'D': ok = ParseInt(arg, &req.delta); break;
+      case 'J': ok = ParseInt(arg, &mf.init_value); mf.has_init = true; break;
+      case 'M': ok = arg.size() == 1; mf.mode = ok ? arg[0] : 0; break;
+      default: ok = false; break;
+    }
+    if (!ok) {
+      return Fail("bad meta flag", /*resync=*/false);
+    }
+  }
+
+  if (req.op == Op::kMetaSet) {
+    // Mode selects the store kind; a cas compare implies cas semantics
+    // and composes only with the default set mode.
+    if (mf.mode != 0 && std::string_view("SEAPR").find(mf.mode) ==
+                            std::string_view::npos) {
+      return Fail("bad ms mode", /*resync=*/false);
+    }
+    if (mf.has_cas_compare && mf.mode != 0 && mf.mode != 'S') {
+      return Fail("cas compare requires set mode", /*resync=*/false);
+    }
+    pending_ = std::move(req);
+    data_needed_ = bytes;
+    state_ = State::kDataBlock;
+    return Next(out);  // the data block may already be buffered
+  }
+  if (req.op == Op::kMetaArith && mf.mode != 0 &&
+      std::string_view("I+D-").find(mf.mode) == std::string_view::npos) {
+    return Fail("bad ma mode", /*resync=*/false);
+  }
+  *out = std::move(req);
+  return ParseStatus::kOk;
 }
 
 namespace {
@@ -344,6 +466,155 @@ void AppendStat(std::string* out, std::string_view name, std::uint64_t value) {
   out->append(name);
   out->push_back(' ');
   AppendUint(out, value);
+  out->append("\r\n");
+}
+
+namespace {
+
+void AppendFlagUint(std::string* out, char flag, std::uint64_t value) {
+  out->push_back(' ');
+  out->push_back(flag);
+  AppendUint(out, value);
+}
+
+void AppendFlagInt(std::string* out, char flag, std::int64_t value) {
+  out->push_back(' ');
+  out->push_back(flag);
+  char digits[21];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), value);
+  (void)ec;  // cannot fail: the buffer fits any int64
+  out->append(digits, static_cast<std::size_t>(ptr - digits));
+}
+
+// The k/O echoes every meta result line carries when requested.
+void AppendKeyOpaqueFlags(std::string* out, std::string_view key,
+                          const MetaFlags& mf) {
+  if (mf.want_key) {
+    out->append(" k");
+    out->append(key);
+  }
+  if (mf.has_opaque) {
+    out->append(" O");
+    out->append(mf.opaque);
+  }
+}
+
+}  // namespace
+
+void AppendMetaGetResponse(std::string* out, std::string_view key,
+                           const Request& request,
+                           const ScratchGetResult& result,
+                           std::string_view value, std::int64_t now) {
+  const MetaFlags& mf = request.meta;
+  if (!result.hit) {
+    if (mf.quiet) {
+      return;  // the q contract: misses are silent
+    }
+    out->append("EN");
+    AppendKeyOpaqueFlags(out, key, mf);
+    out->append("\r\n");
+    return;
+  }
+  if (mf.want_value) {
+    out->reserve(out->size() + value.size() + key.size() + 48);
+    out->append("VA ");
+    AppendUint(out, value.size());
+  } else {
+    out->append("HD");
+  }
+  if (mf.want_flags) {
+    AppendFlagUint(out, 'f', result.flags);
+  }
+  if (mf.want_ttl) {
+    // -1 = never expires, else seconds remaining (clamped at 0: an item
+    // observed alive can race its own deadline between lookup and here).
+    const std::int64_t remaining =
+        result.expire_at == kNeverExpires
+            ? -1
+            : (result.expire_at > now ? result.expire_at - now : 0);
+    AppendFlagInt(out, 't', remaining);
+  }
+  if (mf.want_last_access) {
+    const std::int64_t since =
+        result.last_used < now ? now - result.last_used : 0;
+    AppendFlagInt(out, 'l', since);
+  }
+  if (mf.want_hit) {
+    AppendFlagUint(out, 'h', result.fetched ? 1 : 0);
+  }
+  if (mf.want_cas) {
+    AppendFlagUint(out, 'c', result.cas);
+  }
+  AppendKeyOpaqueFlags(out, key, mf);
+  out->append("\r\n");
+  if (mf.want_value) {
+    out->append(value);
+    out->append("\r\n");
+  }
+}
+
+void AppendMetaStoreResponse(std::string* out, std::string_view key,
+                             const Request& request, StoreResult result) {
+  const MetaFlags& mf = request.meta;
+  std::string_view code;
+  switch (result) {
+    case StoreResult::kStored:
+      if (mf.quiet) {
+        return;  // q suppresses success; failures always answer
+      }
+      code = "HD";
+      break;
+    case StoreResult::kNotStored:
+      code = "NS";
+      break;
+    case StoreResult::kExists:
+      code = "EX";
+      break;
+    case StoreResult::kNotFound:
+      code = "NF";
+      break;
+  }
+  out->append(code);
+  AppendKeyOpaqueFlags(out, key, mf);
+  out->append("\r\n");
+}
+
+void AppendMetaArithResponse(std::string* out, std::string_view key,
+                             const Request& request,
+                             const ArithResult& result) {
+  const MetaFlags& mf = request.meta;
+  switch (result.status) {
+    case ArithStatus::kNotFound:
+      out->append("NF");
+      AppendKeyOpaqueFlags(out, key, mf);
+      out->append("\r\n");
+      return;
+    case ArithStatus::kNonNumeric:
+      AppendClientError(out, kNonNumericMessage);
+      return;
+    case ArithStatus::kOk:
+      break;
+  }
+  if (mf.want_value) {
+    // An explicit v always answers, quiet or not — same rule as mg.
+    char digits[20];
+    auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits),
+                                   result.value);
+    (void)ec;  // cannot fail: the buffer fits any uint64
+    const std::size_t len = static_cast<std::size_t>(ptr - digits);
+    out->append("VA ");
+    AppendUint(out, len);
+    AppendKeyOpaqueFlags(out, key, mf);
+    out->append("\r\n");
+    out->append(digits, len);
+    out->append("\r\n");
+    return;
+  }
+  if (mf.quiet) {
+    return;
+  }
+  out->append("HD");
+  AppendKeyOpaqueFlags(out, key, mf);
   out->append("\r\n");
 }
 

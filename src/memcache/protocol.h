@@ -13,6 +13,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/memcache/engine.h"  // StoreResult/ArithResult wire mapping
 #include "src/memcache/item.h"
 
 namespace rp::memcache {
@@ -34,6 +35,42 @@ enum class Op {
   kVersion,
   kStats,
   kQuit,
+  kMetaGet,     // mg <key> <flags>*
+  kMetaSet,     // ms <key> <datalen> <flags>*\r\n<data>\r\n
+  kMetaDelete,  // md <key> <flags>*
+  kMetaArith,   // ma <key> <flags>*
+  kMetaNoop,    // mn — pipeline barrier, always answers MN
+};
+
+// True for the four meta commands that carry flags (mn excluded).
+constexpr bool IsMetaOp(Op op) {
+  return op == Op::kMetaGet || op == Op::kMetaSet || op == Op::kMetaDelete ||
+         op == Op::kMetaArith;
+}
+
+// Parsed meta-command flags. Numeric flag arguments that map onto classic
+// request fields land there (T<ttl> → Request::exptime, C<cas> →
+// Request::cas, F<flags> → Request::flags, D<delta> → Request::delta) so
+// the store/arith execution paths are shared with the classic commands;
+// this struct holds what is meta-only.
+struct MetaFlags {
+  bool want_value = false;        // v: return the value (VA instead of HD)
+  bool want_flags = false;        // f: return client flags
+  bool want_ttl = false;          // t: return remaining TTL (-1 = forever)
+  bool want_last_access = false;  // l: return seconds since last access
+  bool want_hit = false;          // h: return 0/1 fetched-since-stored
+  bool want_cas = false;          // c: return item cas
+  bool want_key = false;          // k: echo the key
+  bool quiet = false;             // q: suppress EN (mg) / bare HD (ms/md/ma)
+  bool has_opaque = false;        // O<token>: echoed verbatim
+  std::string opaque;
+  bool has_vivify = false;        // N<ttl>: autovivify on miss (mg/ma)
+  std::int64_t vivify_ttl = 0;
+  bool has_exptime = false;       // T<ttl> was present (value in exptime)
+  bool has_cas_compare = false;   // C<cas> was present (value in cas)
+  bool has_init = false;          // J<init>: ma autovivify seed value
+  std::uint64_t init_value = 0;
+  char mode = 0;                  // M<mode>: ms S/E/A/P/R, ma I/+/D/-
 };
 
 struct Request {
@@ -45,7 +82,14 @@ struct Request {
   std::uint64_t delta = 0;        // incr/decr
   std::uint64_t cas = 0;          // cas command
   bool noreply = false;
+  MetaFlags meta;                 // meta commands only
 };
+
+// Protocol key validity, shared by the classic and meta parsers: non-empty,
+// at most kMaxKeyLength (250) bytes, no whitespace or control characters.
+// Invalid keys answer CLIENT_ERROR at the parse layer so no engine ever
+// sees one.
+bool IsValidKey(std::string_view key);
 
 enum class ParseStatus {
   kOk,        // a complete request was produced
@@ -69,11 +113,16 @@ class RequestParser {
   // Protocol limits (from the memcached protocol spec).
   static constexpr std::size_t kMaxKeyLength = 250;
   static constexpr std::size_t kMaxValueLength = 1024 * 1024;
+  static constexpr std::size_t kMaxOpaqueLength = 32;  // meta O<token>
 
  private:
   enum class State { kCommandLine, kDataBlock };
 
   ParseStatus ParseCommandLine(std::string_view line, Request* out);
+  // mg/ms/md/ma: key, then (for ms) the datalen, then the flag tokens.
+  ParseStatus ParseMetaCommand(std::string_view cmd,
+                               const std::vector<std::string_view>& tokens,
+                               Request* out);
   // Records the error. With resync=true, additionally skips the buffer
   // forward to the next line boundary — needed when the failure happened
   // mid-stream (bad data chunk, overlong line); command-line failures have
@@ -106,6 +155,7 @@ inline constexpr std::string_view kResponseDeleted = "DELETED\r\n";
 inline constexpr std::string_view kResponseTouched = "TOUCHED\r\n";
 inline constexpr std::string_view kResponseOk = "OK\r\n";
 inline constexpr std::string_view kResponseError = "ERROR\r\n";
+inline constexpr std::string_view kResponseMetaNoop = "MN\r\n";
 
 // Protocol-mandated wording for incr/decr on a non-numeric value.
 inline constexpr std::string_view kNonNumericMessage =
@@ -121,6 +171,36 @@ void AppendVersionResponse(std::string* out, std::string_view version);
 // STAT <name> <value>\r\n
 void AppendStat(std::string* out, std::string_view name, std::string_view value);
 void AppendStat(std::string* out, std::string_view name, std::uint64_t value);
+
+// -- Meta response assembly ---------------------------------------------------
+//
+// Result lines carry the response flags the request asked for, always in
+// the fixed order f t l h c k O (memcached echoes them in request order;
+// see the audited-divergences list in docs/PROTOCOL.md). The value for a
+// hit arrives as a string_view — on the batched mg path that view points
+// into the connection's scratch region, so the only copy is the append
+// into the output buffer itself.
+
+// mg response: hit → "VA <size> <flags>*\r\n<data>\r\n" (with v) or
+// "HD <flags>*\r\n"; miss → "EN <flags>*\r\n" (k/O only), suppressed
+// entirely under q. `now` anchors the t (remaining TTL) and l (seconds
+// since last access) response flags.
+void AppendMetaGetResponse(std::string* out, std::string_view key,
+                           const Request& request,
+                           const ScratchGetResult& result,
+                           std::string_view value, std::int64_t now);
+
+// ms/md response over the engine's StoreResult: kStored → HD (suppressed
+// under q), kNotStored → NS, kExists → EX, kNotFound → NF; failures are
+// never suppressed. Echoes k/O flags.
+void AppendMetaStoreResponse(std::string* out, std::string_view key,
+                             const Request& request, StoreResult result);
+
+// ma response: success → "HD\r\n" (suppressed under q) or, with v,
+// "VA <size> <flags>*\r\n<value>\r\n" carrying the post-op number; miss →
+// NF; non-numeric value → CLIENT_ERROR (protocol wording).
+void AppendMetaArithResponse(std::string* out, std::string_view key,
+                             const Request& request, const ArithResult& result);
 
 // Standalone-string conveniences (wrappers over the Append* forms).
 std::string FormatValue(std::string_view key, const StoredValue& value,

@@ -524,6 +524,14 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
           out->data.assign(snap.value_bytes(), snap.value_len);
           out->flags = snap.flags;
           out->cas = snap.cas;
+          out->expire_at = snap.expire_at;
+          // The bypass path never touches the table node, so it cannot
+          // stamp (or read) its recency/fetched metadata; report the item
+          // as recently-fetched, which is what a front hit means. The meta
+          // protocol's mg path uses GetManyScratch (table-only), so the
+          // l/h flags it reports stay exact.
+          out->last_used = now;
+          out->fetched = true;
           // One RMW, not two: front hits are folded into get_hits at
           // Stats() time, keeping the bypass path's counter cost at a
           // single uncontended fetch_add.
@@ -551,9 +559,14 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
     out->data.assign(data.data(), data.size());
     out->flags = value.flags;
     out->cas = value.cas;
-    // Relaxed recency stamp feeding the second-chance eviction scan. This
-    // is the only write a GET performs, and it is per-item, not global.
+    out->expire_at = value.expire_at;
+    out->last_used = value.last_used.load(std::memory_order_relaxed);
+    out->fetched = value.fetched.load(std::memory_order_relaxed);
+    // Relaxed recency/fetched stamps feeding the second-chance eviction
+    // scan and the meta h flag. These are the only writes a GET performs,
+    // and they are per-item, not global.
     value.last_used.store(now, std::memory_order_relaxed);
+    value.fetched.store(true, std::memory_order_relaxed);
   });
   if (found && !dead) {
     shard.get_hits.fetch_add(1, std::memory_order_relaxed);
@@ -566,12 +579,9 @@ bool RpEngine::Get(const std::string& key, StoredValue* out) {
   return false;
 }
 
-void RpEngine::GetMany(const std::string_view* keys, std::size_t count,
-                       MultiGetResult* out) {
-  if (count == 0) {
-    return;
-  }
-
+template <typename Sink>
+void RpEngine::MultiGetImpl(const std::string_view* keys, std::size_t count,
+                            Sink&& sink) {
   // Hash every key exactly once up front (the transparent hasher reads
   // the string_views in place — no per-key std::string materializes
   // anywhere on this path). The shard index derives from the hash, so per
@@ -595,7 +605,6 @@ void RpEngine::GetMany(const std::string_view* keys, std::size_t count,
   for (std::size_t i = 0; i < count; ++i) {
     hashes[i] = Hasher{}(keys[i]);
     marks[i] = 0;
-    out[i].hit = false;
   }
 
   const std::int64_t now = NowSeconds();
@@ -621,23 +630,29 @@ void RpEngine::GetMany(const std::string_view* keys, std::size_t count,
           continue;
         }
         marks[j] |= kProcessed;
-        MultiGetResult& slot = out[j];
+        bool hit = false;
         bool dead = false;
-        shard.table.With(core::Prehashed{hashes[j]}, keys[j],
-                         [&](const CacheValue& value) {
-                           if (!IsLive(value, flush_at, now)) {
-                             dead = true;
-                             return;
-                           }
-                           const std::string_view data = value.data.view();
-                           slot.value.data.assign(data.data(), data.size());
-                           slot.value.flags = value.flags;
-                           slot.value.cas = value.cas;
-                           value.last_used.store(now,
-                                                 std::memory_order_relaxed);
-                           slot.hit = true;
-                         });
-        if (slot.hit) {
+        shard.table.With(
+            core::Prehashed{hashes[j]}, keys[j],
+            [&](const CacheValue& value) {
+              if (!IsLive(value, flush_at, now)) {
+                dead = true;
+                return;
+              }
+              // Capture the pre-GET recency/fetched metadata (the meta
+              // protocol's l and h flags report the state BEFORE this
+              // access), then stamp. Plain load+store, not RMW — these are
+              // per-item relaxed hints, and GET must not pay an atomic RMW.
+              const std::int64_t prior_used =
+                  value.last_used.load(std::memory_order_relaxed);
+              const bool fetched_before =
+                  value.fetched.load(std::memory_order_relaxed);
+              value.last_used.store(now, std::memory_order_relaxed);
+              value.fetched.store(true, std::memory_order_relaxed);
+              sink.OnHit(j, value, prior_used, fetched_before);
+              hit = true;
+            });
+        if (hit) {
           ++hits;
         } else {
           ++misses;
@@ -670,6 +685,65 @@ void RpEngine::GetMany(const std::string_view* keys, std::size_t count,
       }
     }
   }
+}
+
+void RpEngine::GetMany(const std::string_view* keys, std::size_t count,
+                       MultiGetResult* out) {
+  if (count == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i].hit = false;
+  }
+  struct ValueSink {
+    MultiGetResult* out;
+    void OnHit(std::size_t j, const CacheValue& value, std::int64_t prior_used,
+               bool fetched_before) {
+      MultiGetResult& slot = out[j];
+      const std::string_view data = value.data.view();
+      slot.value.data.assign(data.data(), data.size());
+      slot.value.flags = value.flags;
+      slot.value.cas = value.cas;
+      slot.value.expire_at = value.expire_at;
+      slot.value.last_used = prior_used;
+      slot.value.fetched = fetched_before;
+      slot.hit = true;
+    }
+  };
+  MultiGetImpl(keys, count, ValueSink{out});
+}
+
+void RpEngine::GetManyScratch(const std::string_view* keys, std::size_t count,
+                              ScratchGetResult* out, std::string* scratch) {
+  if (count == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = ScratchGetResult{};
+  }
+  // Hit payloads append to the caller's scratch string; results carry
+  // offsets (not pointers) so scratch may reallocate as the batch grows.
+  // The append happens inside the group's read section — the chunk the
+  // view points at may be reclaimed the instant the section closes.
+  struct ScratchSink {
+    ScratchGetResult* out;
+    std::string* scratch;
+    void OnHit(std::size_t j, const CacheValue& value, std::int64_t prior_used,
+               bool fetched_before) {
+      ScratchGetResult& slot = out[j];
+      const std::string_view data = value.data.view();
+      slot.data_offset = scratch->size();
+      slot.data_size = data.size();
+      scratch->append(data.data(), data.size());
+      slot.flags = value.flags;
+      slot.cas = value.cas;
+      slot.expire_at = value.expire_at;
+      slot.last_used = prior_used;
+      slot.fetched = fetched_before;
+      slot.hit = true;
+    }
+  };
+  MultiGetImpl(keys, count, ScratchSink{out, scratch});
 }
 
 bool RpEngine::ReclaimDead(Shard& shard, core::Prehashed hash,
@@ -1263,6 +1337,33 @@ StoreResult RpEngine::StoreOneLocked(Shard& shard, core::Prehashed hash,
       }
       return result;
     }
+    case StoreKind::kDelete: {
+      // md riding the store batch: Delete()'s conditional erase verbatim
+      // (byte refund under the stripe, dead entries reclaimed but answered
+      // as a miss), with the resize nudge deferred to the caller's
+      // per-group nudge via *inserted (table membership changed). Deletes
+      // answer kStored for "deleted" but must NOT count in `sets` — the
+      // StoreMany counting loop special-cases them.
+      const std::int64_t flush_at =
+          shard.flush_at.load(std::memory_order_relaxed);
+      bool was_live = false;
+      const bool erased =
+          shard.table.EraseIf(hash, op.key, [&](const CacheValue& value) {
+            was_live = IsLive(value, flush_at, now);
+            shard.RefundValue(op.key.size(), value);
+            return true;
+          });
+      if (!erased) {
+        return StoreResult::kNotFound;
+      }
+      InvalidateFront(shard, hash.value);
+      *inserted = true;
+      if (!was_live) {
+        shard.expired_reclaims.fetch_add(1, std::memory_order_relaxed);
+        return StoreResult::kNotFound;
+      }
+      return StoreResult::kStored;
+    }
   }
   return StoreResult::kNotStored;  // unreachable: all kinds handled above
 }
@@ -1438,7 +1539,11 @@ void RpEngine::StoreMany(const StoreOp* ops, std::size_t count,
         bool inserted = false;
         results[j] = StoreOneLocked(shard, core::Prehashed{hashes[j]}, ops[j],
                                     now, &inserted);
-        if (results[j] == StoreResult::kStored) {
+        // kStored from a kDelete means "deleted": no new bytes to evict
+        // for, and deletes never count in `sets` (matches the per-op
+        // Delete path and the locked engine).
+        if (results[j] == StoreResult::kStored &&
+            ops[j].kind != StoreKind::kDelete) {
           ++stored;
           EvictLocked(shard);
         }
@@ -1971,6 +2076,7 @@ EngineStats RpEngine::Stats() const {
   stats.reclaimer_pending = reclaimer.pending();
   stats.reclaimer_wakeups = reclaimer.wakeups();
   stats.reclaimer_inline_pumps = reclaimer.inline_pumps();
+  FillMetaCommandStats(&stats);
   return stats;
 }
 

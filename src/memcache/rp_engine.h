@@ -72,6 +72,17 @@ class RpEngine final : public CacheEngine {
   // readers).
   void GetMany(const std::string_view* keys, std::size_t count,
                MultiGetResult* out) override;
+  // Scratch-region multi-get for the meta protocol's quiet mg runs: same
+  // one-section-per-shard-group core as GetMany, but hit values append to
+  // *scratch (results carry offsets — realloc-safe) instead of allocating
+  // a std::string per hit, and per-item metadata (remaining TTL, prior
+  // last-access, fetched-before) is captured for the t/l/h response flags.
+  // Deliberately bypasses the hot-key front cache: every key answers from
+  // the table inside the group's read section, which keeps the
+  // one-epoch-per-batch invariant exact (tests pin it) and the h flag
+  // accurate.
+  void GetManyScratch(const std::string_view* keys, std::size_t count,
+                      ScratchGetResult* out, std::string* scratch) override;
   StoreResult Set(const std::string& key, std::string_view data,
                   std::uint32_t flags, std::int64_t exptime) override;
   StoreResult Add(const std::string& key, std::string_view data,
@@ -163,6 +174,17 @@ class RpEngine final : public CacheEngine {
   bool ReclaimDead(Shard& shard, core::Prehashed hash, std::string_view key);
   ArithResult Arith(const std::string& key, std::uint64_t delta,
                     bool increment);
+  // Shared core of GetMany/GetManyScratch: hash every key once, group by
+  // shard, ONE epoch section per shard group, batched hit/miss counters,
+  // dead-item reclamation strictly after all sections close. For each live
+  // hit the sink runs INSIDE the section as
+  //   sink.OnHit(j, value, prior_used, fetched_before)
+  // after the recency/fetched stamps (prior_* are the pre-GET values the
+  // meta l/h flags report). Defined in rp_engine.cc; both instantiations
+  // live in that TU.
+  template <typename Sink>
+  void MultiGetImpl(const std::string_view* keys, std::size_t count,
+                    Sink&& sink);
 
   // -- Maintenance plane (runs on each shard's resize-worker thread) ------
 

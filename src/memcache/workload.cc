@@ -94,6 +94,34 @@ bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
                      std::string* wire) {
   const bool is_get = rng.NextDouble() < config.get_ratio;
   wire->clear();
+  if (config.use_meta) {
+    // Meta quiet runs: k quiet requests bounded by an mn barrier. The
+    // server batches the whole run into one engine call; only hits (mg v)
+    // and the MN answer come back.
+    if (is_get) {
+      const std::size_t keys = std::max<std::size_t>(config.keys_per_get, 1);
+      for (std::size_t k = 0; k < keys; ++k) {
+        *wire += "mg ";
+        *wire += WorkloadKey(NextKeyIndex(config, rng, zipf));
+        *wire += " v q\r\n";
+      }
+    } else {
+      const std::size_t sets =
+          std::max<std::size_t>(config.sets_per_request, 1);
+      for (std::size_t s = 0; s < sets; ++s) {
+        const std::string_view value = NextValue(config, rng, value_buffer);
+        *wire += "ms ";
+        *wire += WorkloadKey(NextKeyIndex(config, rng, zipf));
+        *wire += ' ';
+        *wire += std::to_string(value.size());
+        *wire += " q\r\n";
+        *wire += value;
+        *wire += "\r\n";
+      }
+    }
+    *wire += "mn\r\n";
+    return is_get;
+  }
   if (is_get) {
     *wire += "get";
     const std::size_t keys = std::max<std::size_t>(config.keys_per_get, 1);
@@ -121,16 +149,22 @@ bool NextRequestWire(const WorkloadConfig& config, Xoshiro256& rng,
   return is_get;
 }
 
-// Hits in a (multi-)get response = its VALUE lines. Workload values are
+// Hits in a (multi-)get response = its value-bearing result lines:
+// "VALUE " classically, "VA " for meta (mg v answers). Workload values are
 // runs of 'v' with no spaces or CRLFs, so a data block can never contain
-// the "VALUE " token.
-std::uint64_t CountValueLines(const std::string& response) {
+// either token.
+std::uint64_t CountToken(const std::string& response, std::string_view token) {
   std::uint64_t count = 0;
-  for (std::size_t pos = response.find("VALUE "); pos != std::string::npos;
-       pos = response.find("VALUE ", pos + 6)) {
+  for (std::size_t pos = response.find(token); pos != std::string::npos;
+       pos = response.find(token, pos + token.size())) {
     ++count;
   }
   return count;
+}
+
+std::uint64_t CountHitLines(const WorkloadConfig& config,
+                            const std::string& response) {
+  return CountToken(response, config.use_meta ? "VA " : "VALUE ");
 }
 
 // One client's inner loop, protocol round trip included.
@@ -163,23 +197,45 @@ void RunProtocolClient(CacheEngine& engine, const WorkloadConfig& config,
     }
     bool quit = false;
     response.clear();
-    if (requests.size() >= 2) {
-      // Only SET bursts are multi-request here, so this is exactly the
-      // server connection's batched store path.
-      ExecuteStoreBatch(engine, requests.data(), requests.size(), &response);
-    } else {
-      ExecuteRequest(engine, requests.front(), &response, &quit);
+    // Grouped dispatch, exactly the server connection's batching: runs of
+    // mg become one ExecuteMetaGetBatch, runs of batchable stores (set
+    // bursts, quiet ms/md runs) one ExecuteStoreBatch, everything else
+    // (the mn barrier included) the per-request path.
+    std::uint64_t stores_executed = 0;
+    std::size_t i = 0;
+    while (i < requests.size()) {
+      std::size_t j = i;
+      if (requests[i].op == Op::kMetaGet) {
+        while (j < requests.size() && requests[j].op == Op::kMetaGet) {
+          ++j;
+        }
+        ExecuteMetaGetBatch(engine, requests.data() + i, j - i, &response);
+      } else if (IsBatchableStore(requests[i])) {
+        while (j < requests.size() && IsBatchableStore(requests[j])) {
+          ++j;
+        }
+        stores_executed += j - i;
+        if (j - i == 1) {
+          ExecuteRequest(engine, requests[i], &response, &quit);
+        } else {
+          ExecuteStoreBatch(engine, requests.data() + i, j - i, &response);
+        }
+      } else {
+        ExecuteRequest(engine, requests[i], &response, &quit);
+        ++j;
+      }
+      i = j;
     }
     ++totals.requests;
     if (is_get) {
       const std::uint64_t keys =
           std::max<std::size_t>(config.keys_per_get, 1);
-      const std::uint64_t hits = CountValueLines(response);
+      const std::uint64_t hits = CountHitLines(config, response);
       totals.gets += keys;
       totals.hits += hits;
       totals.misses += keys - hits;
     } else {
-      totals.sets += requests.size();
+      totals.sets += stores_executed;
     }
   }
 }
@@ -326,17 +382,20 @@ void RunSocketClient(std::uint16_t port, const WorkloadConfig& config,
   while (!stop.load(std::memory_order_relaxed)) {
     const bool is_get = NextRequestWire(config, rng, zipf, value, &wire);
     response.clear();
-    // GET responses end with END\r\n; every other response here is a
-    // single line (the workload values never contain protocol framing).
-    if (!client.SendAll(wire) ||
-        !client.ReadUntil(is_get ? "END\r\n" : "\r\n", &response)) {
+    // Classic GET responses end with END\r\n and every other classic
+    // response is a single line; meta round trips always end with the mn
+    // barrier's MN\r\n (quiet runs suppress everything else on success).
+    // The workload values never contain protocol framing.
+    const std::string_view terminator =
+        config.use_meta ? "MN\r\n" : (is_get ? "END\r\n" : "\r\n");
+    if (!client.SendAll(wire) || !client.ReadUntil(terminator, &response)) {
       return;  // server went away mid-run; partial totals still count
     }
     ++totals.requests;
     if (is_get) {
       const std::uint64_t keys =
           std::max<std::size_t>(config.keys_per_get, 1);
-      const std::uint64_t hits = CountValueLines(response);
+      const std::uint64_t hits = CountHitLines(config, response);
       totals.gets += keys;
       totals.hits += hits;
       totals.misses += keys - hits;

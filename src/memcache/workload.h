@@ -44,6 +44,15 @@ struct WorkloadConfig {
   // group). Keys and value sizes are drawn independently per store. SET
   // stats count stores; total_requests counts round trips.
   std::size_t sets_per_request = 1;
+  // Drive the meta protocol instead of the classic text commands: a GET
+  // round trip becomes a quiet-flag mg run ("mg <key> v q" × keys_per_get)
+  // and a SET round trip a quiet ms run ("ms <key> <size> q" ×
+  // sets_per_request), each bounded by an mn barrier so the blocking
+  // client knows when the (mostly suppressed) responses are done. The
+  // server collects each quiet run into ONE batched engine call — one
+  // epoch section / store-mutex acquisition per shard group — so this
+  // measures quiet-flag pipelining as real client throughput.
+  bool use_meta = false;
   // Zipf skew over keys (0 = uniform).
   double zipf_theta = 0.0;
   // Adversarial hot-key concentration on TOP of the zipf draw: with

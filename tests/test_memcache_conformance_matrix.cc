@@ -317,4 +317,175 @@ TEST(ConformanceMatrix, BatchedStoresAgreeOnEveryItemState) {
   }
 }
 
+// ---- Meta-command matrix ----------------------------------------------------
+//
+// The meta family (mg/ms/md/ma) runs the same item-state sweep: every op is
+// parsed from its real wire form and dispatched through ExecuteRequest (the
+// singleton path routes into the same batched ExecuteMetaGetBatch /
+// ExecuteStoreBatch code the pipelined connection uses), and the locked and
+// RP transcripts must match byte-for-byte — q suppression and opaque echo
+// included. Deliberately absent from the byte-compared requests: `c` (cas
+// values are engine-local) and `l` (seconds-since-access can race a
+// wall-clock second boundary). `t` is safe because live cells are stored
+// with exptime 0, which reads back as the constant t-1.
+struct MetaOpSpec {
+  const char* name;
+  // %KEY% / %CAS% are substituted per cell; ms data blocks ride along.
+  const char* wire;
+};
+
+const MetaOpSpec kMetaOps[] = {
+    {"mg", "mg %KEY% v f t k O7\r\n"},
+    {"mg_q", "mg %KEY% v q\r\n"},
+    {"mg_h", "mg %KEY% h k\r\n"},
+    {"ms", "ms %KEY% 3 T0 F9\r\n201\r\n"},
+    {"ms_q", "ms %KEY% 3 q Oab\r\n202\r\n"},
+    {"ms_add", "ms %KEY% 3 ME\r\n203\r\n"},
+    {"ms_cas", "ms %KEY% 3 C%CAS%\r\n204\r\n"},
+    {"md", "md %KEY%\r\n"},
+    {"md_q", "md %KEY% q Oz\r\n"},
+    {"ma", "ma %KEY% v\r\n"},
+    {"ma_q", "ma %KEY% q Ok\r\n"},
+};
+
+std::string Substitute(std::string wire, const std::string& token,
+                       const std::string& value) {
+  for (std::size_t at = wire.find(token); at != std::string::npos;
+       at = wire.find(token)) {
+    wire.replace(at, token.size(), value);
+  }
+  return wire;
+}
+
+Request ParseWire(const std::string& wire) {
+  RequestParser parser;
+  parser.Feed(wire);
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kOk)
+      << wire << ": " << parser.error_message();
+  return request;
+}
+
+Request BuildMetaRequest(const MetaOpSpec& spec, const std::string& key,
+                         std::uint64_t cas) {
+  return ParseWire(Substitute(Substitute(spec.wire, "%KEY%", key), "%CAS%",
+                              std::to_string(cas)));
+}
+
+void PrepareMeta(CacheEngine& engine, std::int64_t* flush_deadline) {
+  for (const MetaOpSpec& spec : kMetaOps) {
+    ASSERT_EQ(engine.Set(CellKey("flushed", spec.name), "100", 5, 0),
+              StoreResult::kStored);
+  }
+  const std::int64_t armed_at = NowSeconds();
+  engine.FlushAll(1);
+  *flush_deadline = armed_at + 1;
+}
+
+void FinishPrepareMeta(CacheEngine& engine) {
+  for (const MetaOpSpec& spec : kMetaOps) {
+    ASSERT_EQ(engine.Set(CellKey("live", spec.name), "100", 5, 0),
+              StoreResult::kStored);
+    ASSERT_EQ(engine.Set(CellKey("expired", spec.name), "100", 5, -1),
+              StoreResult::kStored);
+  }
+}
+
+TEST(ConformanceMatrix, MetaOpsAgreeOnEveryItemState) {
+  EngineConfig config;
+  config.shards = 4;
+  LockedEngine locked{EngineConfig{}};
+  RpEngine rp_engine(config);
+
+  std::int64_t deadline_a = 0;
+  std::int64_t deadline_b = 0;
+  PrepareMeta(locked, &deadline_a);
+  PrepareMeta(rp_engine, &deadline_b);
+  const std::int64_t resume_at = std::max(deadline_a, deadline_b) + 1;
+  while (NowSeconds() < resume_at) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  FinishPrepareMeta(locked);
+  FinishPrepareMeta(rp_engine);
+
+  for (const MetaOpSpec& spec : kMetaOps) {
+    for (const char* state : kStates) {
+      const std::string key = CellKey(state, spec.name);
+      const Request locked_request =
+          BuildMetaRequest(spec, key, FetchCas(locked, key));
+      const Request rp_request =
+          BuildMetaRequest(spec, key, FetchCas(rp_engine, key));
+
+      EXPECT_EQ(Execute(locked, locked_request), Execute(rp_engine, rp_request))
+          << spec.name << " on " << state << " item";
+
+      // The state each meta op left behind must agree too.
+      Request follow_up;
+      follow_up.op = Op::kGet;
+      follow_up.keys = {key};
+      EXPECT_EQ(Execute(locked, follow_up), Execute(rp_engine, follow_up))
+          << "post-" << spec.name << " state on " << state << " item";
+    }
+  }
+}
+
+// Meta stores and their classic spellings must leave byte-identical cache
+// state: a client mixing `ms`/`md`/`ma` with `set`/`delete`/`incr` (or two
+// clients speaking different dialects at the same server) may never observe
+// a difference. Each pair runs on its own fresh engine instance, then every
+// key's classic `get` answer — flags and data included, so the F<flags>
+// mapping is covered — is compared across all four instances.
+TEST(ConformanceMatrix, MetaAndClassicStoresLeaveIdenticalState) {
+  EngineConfig rp_config;
+  rp_config.shards = 4;
+  LockedEngine locked_meta{EngineConfig{}};
+  LockedEngine locked_classic{EngineConfig{}};
+  RpEngine rp_meta(rp_config);
+  RpEngine rp_classic(rp_config);
+
+  struct Pair {
+    const char* key;
+    const char* prior;  // nullptr = key starts absent
+    const char* meta_wire;
+    const char* classic_wire;
+  };
+  const Pair kPairs[] = {
+      {"k-set", nullptr, "ms k-set 3 F7 T0\r\nabc\r\n", "set k-set 7 0 3\r\nabc\r\n"},
+      {"k-over", "old", "ms k-over 3 q\r\nnew\r\n", "set k-over 0 0 3 noreply\r\nnew\r\n"},
+      {"k-add", nullptr, "ms k-add 2 ME\r\nhi\r\n", "add k-add 0 0 2\r\nhi\r\n"},
+      {"k-app", "base", "ms k-app 1 MA\r\nZ\r\n", "append k-app 0 0 1\r\nZ\r\n"},
+      {"k-prep", "base", "ms k-prep 1 MP\r\nA\r\n", "prepend k-prep 0 0 1\r\nA\r\n"},
+      {"k-repl", "old", "ms k-repl 3 MR\r\nnew\r\n", "replace k-repl 0 0 3\r\nnew\r\n"},
+      {"k-del", "gone", "md k-del\r\n", "delete k-del\r\n"},
+      {"k-incr", "10", "ma k-incr D5\r\n", "incr k-incr 5\r\n"},
+      {"k-decr", "10", "ma k-decr MD D3\r\n", "decr k-decr 3\r\n"},
+  };
+
+  CacheEngine* metas[] = {&locked_meta, &rp_meta};
+  CacheEngine* classics[] = {&locked_classic, &rp_classic};
+  CacheEngine* all[] = {&locked_meta, &locked_classic, &rp_meta, &rp_classic};
+  for (const Pair& pair : kPairs) {
+    if (pair.prior != nullptr) {
+      for (CacheEngine* engine : all) {
+        ASSERT_EQ(engine->Set(pair.key, pair.prior, 0, 0),
+                  StoreResult::kStored);
+      }
+    }
+    for (CacheEngine* engine : metas) {
+      Execute(*engine, ParseWire(pair.meta_wire));
+    }
+    for (CacheEngine* engine : classics) {
+      Execute(*engine, ParseWire(pair.classic_wire));
+    }
+    Request follow_up;
+    follow_up.op = Op::kGet;
+    follow_up.keys = {pair.key};
+    const std::string expected = Execute(locked_meta, follow_up);
+    for (CacheEngine* engine : all) {
+      EXPECT_EQ(Execute(*engine, follow_up), expected)
+          << pair.key << " diverged";
+    }
+  }
+}
+
 }  // namespace

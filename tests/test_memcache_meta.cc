@@ -1,0 +1,360 @@
+// Meta-protocol wire path tests:
+//   * the PR acceptance pin: a quiet mg run of k same-shard keys executes
+//     as ONE epoch read section (and one per shard group in general), and
+//     a quiet ms run as one store-mutex acquisition per shard group;
+//   * GetManyScratch answers exactly like a per-key Get loop on both
+//     engines (scratch offsets, metadata, stats parity);
+//   * batched quiet runs produce byte-identical transcripts to singleton
+//     dispatch — q suppression and opaque echo order included;
+//   * mg N / ma N+J autovivification agrees across engines;
+//   * cmd_mg/cmd_ms/cmd_md/cmd_ma reach the stats wire on both engines.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/memcache/connection.h"
+#include "src/memcache/engine.h"
+#include "src/memcache/locked_engine.h"
+#include "src/memcache/protocol.h"
+#include "src/memcache/rp_engine.h"
+#include "src/rcu/epoch.h"
+
+namespace {
+
+using namespace rp::memcache;
+
+std::string Key(std::size_t i) { return "meta-" + std::to_string(i); }
+std::string Payload(std::size_t i) { return "value-" + std::to_string(i); }
+
+void Prepopulate(CacheEngine& engine, std::size_t keys) {
+  for (std::size_t i = 0; i < keys; ++i) {
+    ASSERT_EQ(engine.Set(Key(i), Payload(i), static_cast<std::uint32_t>(i), 0),
+              StoreResult::kStored);
+  }
+}
+
+Request ParseWire(const std::string& wire) {
+  RequestParser parser;
+  parser.Feed(wire);
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kOk)
+      << wire << ": " << parser.error_message();
+  return request;
+}
+
+// A quiet mg run over `count` keys, as a pipelining client sends it.
+std::vector<Request> QuietMgRun(const std::vector<std::string>& keys) {
+  std::vector<Request> requests;
+  for (const std::string& key : keys) {
+    requests.push_back(ParseWire("mg " + key + " v q\r\n"));
+  }
+  return requests;
+}
+
+std::string ExecuteOne(CacheEngine& engine, const Request& request) {
+  std::string response;
+  bool quit = false;
+  ExecuteRequest(engine, request, &response, &quit);
+  return response;
+}
+
+// ---- The acceptance pin: one epoch section per quiet mg run ---------------
+
+TEST(MetaWirePath, QuietMgRunOpensOneEpochSection) {
+  constexpr std::size_t kRun = 8;
+
+  // Single shard: the whole quiet run is one shard group — exactly one
+  // read-side critical section for all 8 keys.
+  {
+    EngineConfig config;
+    config.shards = 1;
+    RpEngine engine(config);
+    Prepopulate(engine, 16);
+    std::vector<std::string> keys;
+    for (std::size_t i = 0; i < kRun; ++i) {
+      keys.push_back(Key(i));
+    }
+    const std::vector<Request> run = QuietMgRun(keys);
+    std::string out;
+    const std::uint64_t before = rp::rcu::Epoch::ThreadReadSections();
+    ExecuteMetaGetBatch(engine, run.data(), run.size(), &out);
+    EXPECT_EQ(rp::rcu::Epoch::ThreadReadSections() - before, 1u)
+        << "a quiet mg run over one shard must open exactly one epoch "
+           "section";
+    // All hits: 8 VA lines, in request order.
+    for (std::size_t i = 0; i < kRun; ++i) {
+      const std::string expected =
+          "VA " + std::to_string(Payload(i).size()) + "\r\n" + Payload(i) +
+          "\r\n";
+      ASSERT_GE(out.size(), expected.size());
+      EXPECT_EQ(out.substr(0, expected.size()), expected) << "key " << i;
+      out.erase(0, expected.size());
+    }
+    EXPECT_TRUE(out.empty());
+  }
+
+  // Multiple shards: one section per distinct shard touched, never per key.
+  {
+    EngineConfig config;
+    config.shards = 8;
+    RpEngine engine(config);
+    Prepopulate(engine, 16);
+    std::vector<std::string> keys;
+    std::set<std::size_t> shards_touched;
+    for (std::size_t i = 0; i < kRun; ++i) {
+      keys.push_back(Key(i));
+      shards_touched.insert(engine.ShardIndex(keys.back()));
+    }
+    const std::vector<Request> run = QuietMgRun(keys);
+    std::string out;
+    const std::uint64_t before = rp::rcu::Epoch::ThreadReadSections();
+    ExecuteMetaGetBatch(engine, run.data(), run.size(), &out);
+    EXPECT_EQ(rp::rcu::Epoch::ThreadReadSections() - before,
+              shards_touched.size())
+        << "a quiet mg run must open one epoch section per shard group";
+  }
+}
+
+TEST(MetaWirePath, QuietMsRunTakesOneStoreMutexAcquisition) {
+  // Capped far above the working set: eviction bookkeeping (and with it
+  // the store mutex) is live, but no eviction ever triggers.
+  EngineConfig config;
+  config.shards = 1;
+  config.initial_buckets = 4096;
+  config.max_bytes = std::size_t{1} << 30;
+  RpEngine engine(config);
+
+  constexpr std::size_t kRun = 8;
+  std::vector<Request> run;
+  for (std::size_t i = 0; i < kRun; ++i) {
+    run.push_back(ParseWire("ms " + Key(i) + " 5 q\r\nhello\r\n"));
+    ASSERT_TRUE(IsBatchableStore(run.back()));
+  }
+  // Warm once so the measured batch is pure overwrites.
+  std::string out;
+  ExecuteStoreBatch(engine, run.data(), run.size(), &out);
+  out.clear();
+
+  const std::uint64_t before = StoreMutex::ThreadAcquisitions();
+  ExecuteStoreBatch(engine, run.data(), run.size(), &out);
+  EXPECT_EQ(StoreMutex::ThreadAcquisitions() - before, 1u)
+      << "a quiet ms run over one shard must pay exactly one store-mutex "
+         "acquisition";
+  EXPECT_EQ(out, "");  // q suppresses every HD
+}
+
+// ---- GetManyScratch conformance -------------------------------------------
+
+template <typename EngineT>
+void ExpectScratchMatchesGetLoop(const EngineConfig& config) {
+  // Separate instances, because a fetch has side effects (recency and
+  // fetched stamps, lazy reclamation).
+  EngineT batched(config);
+  EngineT looped(config);
+  Prepopulate(batched, 32);
+  Prepopulate(looped, 32);
+  for (CacheEngine* engine :
+       {static_cast<CacheEngine*>(&batched), static_cast<CacheEngine*>(&looped)}) {
+    ASSERT_EQ(engine->Set("dead", "x", 0, -1), StoreResult::kStored);
+  }
+
+  const std::vector<std::string> keys = {Key(3), "absent", Key(7), "dead",
+                                         Key(3), Key(20)};
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  std::vector<ScratchGetResult> results(keys.size());
+  std::string scratch;
+  batched.GetManyScratch(views.data(), views.size(), results.data(), &scratch);
+
+  StoredValue single;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const bool hit = looped.Get(keys[i], &single);
+    ASSERT_EQ(results[i].hit, hit) << "key " << keys[i];
+    if (hit) {
+      const std::string_view data(scratch.data() + results[i].data_offset,
+                                  results[i].data_size);
+      EXPECT_EQ(data, single.data) << "key " << keys[i];
+      EXPECT_EQ(results[i].flags, single.flags) << "key " << keys[i];
+      EXPECT_EQ(results[i].cas, single.cas) << "key " << keys[i];
+      EXPECT_EQ(results[i].expire_at, single.expire_at) << "key " << keys[i];
+      EXPECT_EQ(results[i].fetched, single.fetched) << "key " << keys[i];
+    }
+  }
+
+  // Both fetch styles reclaim the dead key they touched and count the
+  // same hits/misses.
+  EXPECT_EQ(batched.ItemCount(), looped.ItemCount());
+  const EngineStats a = batched.Stats();
+  const EngineStats b = looped.Stats();
+  EXPECT_EQ(a.get_hits, b.get_hits);
+  EXPECT_EQ(a.get_misses, b.get_misses);
+}
+
+TEST(MetaWirePath, ScratchMatchesPerKeyGetOnRpEngine) {
+  EngineConfig config;
+  config.shards = 4;
+  ExpectScratchMatchesGetLoop<RpEngine>(config);
+}
+
+TEST(MetaWirePath, ScratchMatchesPerKeyGetOnLockedEngine) {
+  ExpectScratchMatchesGetLoop<LockedEngine>(EngineConfig{});
+}
+
+// The second fetch of the same key reports it as previously fetched (the
+// h flag's substrate), on the batched path of both engines.
+template <typename EngineT>
+void ExpectFetchedBitFlips(const EngineConfig& config) {
+  EngineT engine(config);
+  Prepopulate(engine, 4);
+  const std::string key = Key(1);
+  const std::string_view view = key;
+  ScratchGetResult result;
+  std::string scratch;
+  engine.GetManyScratch(&view, 1, &result, &scratch);
+  ASSERT_TRUE(result.hit);
+  EXPECT_FALSE(result.fetched) << "first fetch must report h0";
+  engine.GetManyScratch(&view, 1, &result, &scratch);
+  EXPECT_TRUE(result.fetched) << "second fetch must report h1";
+}
+
+TEST(MetaWirePath, FetchedBitFlipsOnRpEngine) {
+  EngineConfig config;
+  config.shards = 2;
+  ExpectFetchedBitFlips<RpEngine>(config);
+}
+
+TEST(MetaWirePath, FetchedBitFlipsOnLockedEngine) {
+  ExpectFetchedBitFlips<LockedEngine>(EngineConfig{});
+}
+
+// ---- Batched transcript == singleton transcript ---------------------------
+
+template <typename EngineT>
+void ExpectBatchedTranscriptMatchesSingleton(const EngineConfig& config) {
+  EngineT batched(config);
+  EngineT singleton(config);
+  Prepopulate(batched, 8);
+  Prepopulate(singleton, 8);
+
+  // Hits and misses interleaved, opaque tokens numbering the requests so
+  // response order (and per-request suppression) is visible in the bytes.
+  std::vector<Request> run;
+  std::size_t opaque = 0;
+  for (const char* wire :
+       {"mg %K v q O%N\r\n", "mg absent-a v q O%N\r\n", "mg %K v k O%N\r\n",
+        "mg absent-b v q O%N\r\n", "mg %K f c q O%N\r\n"}) {
+    std::string w(wire);
+    const std::size_t key_at = w.find("%K");
+    if (key_at != std::string::npos) {
+      w.replace(key_at, 2, Key(opaque));
+    }
+    const std::size_t n_at = w.find("%N");
+    w.replace(n_at, 2, std::to_string(opaque));
+    run.push_back(ParseWire(w));
+    ++opaque;
+  }
+
+  std::string batched_out;
+  ExecuteMetaGetBatch(batched, run.data(), run.size(), &batched_out);
+  std::string singleton_out;
+  for (const Request& request : run) {
+    singleton_out += ExecuteOne(singleton, request);
+  }
+  EXPECT_EQ(batched_out, singleton_out);
+  // The quiet misses left no trace; every answered line carries its O.
+  EXPECT_EQ(batched_out.find("absent"), std::string::npos);
+  EXPECT_NE(batched_out.find(" O0\r\n"), std::string::npos);
+  EXPECT_NE(batched_out.find(" O2"), std::string::npos);
+  EXPECT_NE(batched_out.find(" O4"), std::string::npos);
+}
+
+TEST(MetaWirePath, BatchedTranscriptMatchesSingletonOnRpEngine) {
+  EngineConfig config;
+  config.shards = 4;
+  ExpectBatchedTranscriptMatchesSingleton<RpEngine>(config);
+}
+
+TEST(MetaWirePath, BatchedTranscriptMatchesSingletonOnLockedEngine) {
+  ExpectBatchedTranscriptMatchesSingleton<LockedEngine>(EngineConfig{});
+}
+
+// ---- Autovivification -----------------------------------------------------
+
+template <typename EngineT>
+void ExpectVivifyAgrees(const EngineConfig& config) {
+  EngineT engine(config);
+
+  // mg N on a miss seeds an empty item and answers it.
+  EXPECT_EQ(ExecuteOne(engine, ParseWire("mg viv v N300\r\n")), "VA 0\r\n\r\n");
+  StoredValue value;
+  ASSERT_TRUE(engine.Get("viv", &value));
+  EXPECT_EQ(value.data, "");
+  EXPECT_NE(value.expire_at, kNeverExpires);
+
+  // ma N+J on a miss seeds the initial value — the seed IS the answer, no
+  // delta applied — and the next ma operates on it.
+  EXPECT_EQ(ExecuteOne(engine, ParseWire("ma ctr v N300 J100 D5\r\n")),
+            "VA 3\r\n100\r\n");
+  EXPECT_EQ(ExecuteOne(engine, ParseWire("ma ctr v N300 J100 D5\r\n")),
+            "VA 3\r\n105\r\n");
+}
+
+TEST(MetaWirePath, VivifyAgreesOnRpEngine) {
+  EngineConfig config;
+  config.shards = 2;
+  ExpectVivifyAgrees<RpEngine>(config);
+}
+
+TEST(MetaWirePath, VivifyAgreesOnLockedEngine) {
+  ExpectVivifyAgrees<LockedEngine>(EngineConfig{});
+}
+
+// ---- stats wire -----------------------------------------------------------
+
+std::string StatLine(const std::string& stats, const std::string& name) {
+  const std::string prefix = "STAT " + name + " ";
+  const std::size_t at = stats.find(prefix);
+  if (at == std::string::npos) {
+    return "<missing>";
+  }
+  const std::size_t eol = stats.find("\r\n", at);
+  return stats.substr(at + prefix.size(), eol - at - prefix.size());
+}
+
+template <typename EngineT>
+void ExpectMetaCountersOnStatsWire(const EngineConfig& config) {
+  EngineT engine(config);
+  Prepopulate(engine, 4);
+
+  // 3 mg (one batched run of 2 + one singleton), 2 ms, 1 md, 1 ma.
+  const std::vector<Request> mg_run =
+      QuietMgRun(std::vector<std::string>{Key(0), Key(1)});
+  std::string out;
+  ExecuteMetaGetBatch(engine, mg_run.data(), mg_run.size(), &out);
+  ExecuteOne(engine, ParseWire("mg " + Key(2) + " v\r\n"));
+  ExecuteOne(engine, ParseWire("ms a 2\r\nhi\r\n"));
+  ExecuteOne(engine, ParseWire("ms b 2\r\nhi\r\n"));
+  ExecuteOne(engine, ParseWire("md a\r\n"));
+  ExecuteOne(engine, ParseWire("ma missing\r\n"));
+
+  const std::string stats = ExecuteOne(engine, ParseWire("stats\r\n"));
+  EXPECT_EQ(StatLine(stats, "cmd_mg"), "3");
+  EXPECT_EQ(StatLine(stats, "cmd_ms"), "2");
+  EXPECT_EQ(StatLine(stats, "cmd_md"), "1");
+  EXPECT_EQ(StatLine(stats, "cmd_ma"), "1");
+}
+
+TEST(MetaWirePath, MetaCountersReachStatsWireOnRpEngine) {
+  EngineConfig config;
+  config.shards = 2;
+  ExpectMetaCountersOnStatsWire<RpEngine>(config);
+}
+
+TEST(MetaWirePath, MetaCountersReachStatsWireOnLockedEngine) {
+  ExpectMetaCountersOnStatsWire<LockedEngine>(EngineConfig{});
+}
+
+}  // namespace

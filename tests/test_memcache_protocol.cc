@@ -276,5 +276,210 @@ TEST(Protocol, BufferedBytesShrinkAfterConsumption) {
   EXPECT_EQ(parser.buffered_bytes(), 0u);
 }
 
+// ---- Meta protocol (mg/ms/md/ma/mn) ---------------------------------------
+
+Request MustParseError(std::string_view wire, std::string_view message) {
+  RequestParser parser;
+  parser.Feed(wire);
+  Request request;
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kError) << wire;
+  EXPECT_EQ(parser.error_message(), message) << wire;
+  return request;
+}
+
+TEST(Protocol, ParsesMetaGetFlags) {
+  const Request r = MustParse("mg foo v f t l h c k q Oabc N30 T60\r\n");
+  EXPECT_EQ(r.op, Op::kMetaGet);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_EQ(r.keys[0], "foo");
+  EXPECT_TRUE(r.meta.want_value);
+  EXPECT_TRUE(r.meta.want_flags);
+  EXPECT_TRUE(r.meta.want_ttl);
+  EXPECT_TRUE(r.meta.want_last_access);
+  EXPECT_TRUE(r.meta.want_hit);
+  EXPECT_TRUE(r.meta.want_cas);
+  EXPECT_TRUE(r.meta.want_key);
+  EXPECT_TRUE(r.meta.quiet);
+  EXPECT_TRUE(r.meta.has_opaque);
+  EXPECT_EQ(r.meta.opaque, "abc");
+  EXPECT_TRUE(r.meta.has_vivify);
+  EXPECT_EQ(r.meta.vivify_ttl, 30);
+  EXPECT_TRUE(r.meta.has_exptime);
+  EXPECT_EQ(r.exptime, 60);
+}
+
+TEST(Protocol, ParsesBareMetaGet) {
+  const Request r = MustParse("mg foo\r\n");
+  EXPECT_EQ(r.op, Op::kMetaGet);
+  EXPECT_FALSE(r.meta.want_value);
+  EXPECT_FALSE(r.meta.quiet);
+}
+
+TEST(Protocol, ParsesMetaSetWithData) {
+  const Request r = MustParse("ms foo 5 q F7 T300 C42 MS Oxy\r\nhello\r\n");
+  EXPECT_EQ(r.op, Op::kMetaSet);
+  EXPECT_EQ(r.keys[0], "foo");
+  EXPECT_EQ(r.data, "hello");
+  EXPECT_TRUE(r.meta.quiet);
+  EXPECT_EQ(r.flags, 7u);
+  EXPECT_TRUE(r.meta.has_exptime);
+  EXPECT_EQ(r.exptime, 300);
+  EXPECT_TRUE(r.meta.has_cas_compare);
+  EXPECT_EQ(r.cas, 42u);
+  EXPECT_EQ(r.meta.mode, 'S');
+  EXPECT_EQ(r.meta.opaque, "xy");
+}
+
+TEST(Protocol, MetaSetDataBlockIncremental) {
+  RequestParser parser;
+  Request request;
+  parser.Feed("ms k 4 q\r\nab");
+  EXPECT_EQ(parser.Next(&request), ParseStatus::kNeedMore);
+  parser.Feed("cd\r\n");
+  ASSERT_EQ(parser.Next(&request), ParseStatus::kOk);
+  EXPECT_EQ(request.op, Op::kMetaSet);
+  EXPECT_EQ(request.data, "abcd");
+}
+
+TEST(Protocol, ParsesMetaDelete) {
+  const Request r = MustParse("md foo q k Oz\r\n");
+  EXPECT_EQ(r.op, Op::kMetaDelete);
+  EXPECT_TRUE(r.meta.quiet);
+  EXPECT_TRUE(r.meta.want_key);
+  EXPECT_EQ(r.meta.opaque, "z");
+}
+
+TEST(Protocol, ParsesMetaArith) {
+  // Bare ma defaults to increment-by-1.
+  Request r = MustParse("ma ctr\r\n");
+  EXPECT_EQ(r.op, Op::kMetaArith);
+  EXPECT_EQ(r.delta, 1u);
+  EXPECT_EQ(r.meta.mode, '\0');
+  // Decrement mode, explicit delta, vivify seed.
+  r = MustParse("ma ctr v MD D5 N0 J100\r\n");
+  EXPECT_EQ(r.meta.mode, 'D');
+  EXPECT_EQ(r.delta, 5u);
+  EXPECT_TRUE(r.meta.has_vivify);
+  EXPECT_EQ(r.meta.vivify_ttl, 0);
+  EXPECT_TRUE(r.meta.has_init);
+  EXPECT_EQ(r.meta.init_value, 100u);
+  EXPECT_TRUE(r.meta.want_value);
+}
+
+TEST(Protocol, ParsesMetaNoop) {
+  EXPECT_EQ(MustParse("mn\r\n").op, Op::kMetaNoop);
+  MustParseError("mn x\r\n", "bad mn command");
+}
+
+TEST(Protocol, RejectsUnsupportedMetaFlags) {
+  // Flags real memcached accepts but this server does not implement
+  // (base64 keys, invalidation, stampede control) answer CLIENT_ERROR
+  // instead of being silently ignored.
+  MustParseError("mg foo b\r\n", "unsupported meta flag");
+  MustParseError("mg foo E1\r\n", "unsupported meta flag");
+  MustParseError("ms foo 2 I\r\nhi\r\n", "unsupported meta flag");
+  MustParseError("md foo T30\r\n", "unsupported meta flag");
+  // Flags valid elsewhere in the meta family are still per-command.
+  MustParseError("mg foo M1\r\n", "unsupported meta flag");
+  MustParseError("ma foo C5\r\n", "unsupported meta flag");
+}
+
+TEST(Protocol, RejectsMalformedMetaFlags) {
+  MustParseError("mg foo v1\r\n", "bad meta flag");   // single-char flag + arg
+  MustParseError("mg foo q9\r\n", "bad meta flag");
+  MustParseError("mg foo O\r\n", "bad meta flag");    // opaque needs a token
+  MustParseError("mg foo Nx\r\n", "bad meta flag");   // non-numeric ttl
+  MustParseError("ms foo 2 Cx\r\nhi\r\n", "bad meta flag");
+  const std::string long_opaque(RequestParser::kMaxOpaqueLength + 1, 'o');
+  MustParseError("mg foo O" + long_opaque + "\r\n", "bad meta flag");
+}
+
+TEST(Protocol, RejectsBadMetaModes) {
+  MustParseError("ms foo 2 MX\r\nhi\r\n", "bad ms mode");
+  MustParseError("ms foo 2 C5 MA\r\nhi\r\n", "cas compare requires set mode");
+  MustParseError("ma foo MX\r\n", "bad ma mode");
+  MustParseError("ms foo zz\r\n", "bad ms datalen");
+  MustParseError("ms foo 9999999\r\n", "object too large for cache");
+}
+
+TEST(Protocol, FormatsMetaGetResponse) {
+  Request req = MustParse("mg foo v f t c k Oab\r\n");
+  ScratchGetResult result;
+  result.hit = true;
+  result.flags = 9;
+  result.cas = 77;
+  result.expire_at = 1060;
+  std::string out;
+  AppendMetaGetResponse(&out, "foo", req, result, "world", /*now=*/1000);
+  // Response flags come back in the fixed order f,t,c then k,O regardless
+  // of request order (a documented divergence from memcached's echo).
+  EXPECT_EQ(out, "VA 5 f9 t60 c77 kfoo Oab\r\nworld\r\n");
+
+  // Without v a hit answers HD; unlimited TTL reads t-1.
+  req = MustParse("mg foo t\r\n");
+  result.expire_at = kNeverExpires;
+  out.clear();
+  AppendMetaGetResponse(&out, "foo", req, result, "world", /*now=*/1000);
+  EXPECT_EQ(out, "HD t-1\r\n");
+}
+
+TEST(Protocol, MetaGetMissAndQuietSuppression) {
+  ScratchGetResult miss;  // hit defaults to false
+  std::string out;
+  AppendMetaGetResponse(&out, "foo", MustParse("mg foo k Oz\r\n"), miss, "",
+                        /*now=*/0);
+  EXPECT_EQ(out, "EN kfoo Oz\r\n");
+  out.clear();
+  AppendMetaGetResponse(&out, "foo", MustParse("mg foo v q\r\n"), miss, "",
+                        /*now=*/0);
+  EXPECT_EQ(out, "");  // q: misses are silent
+}
+
+TEST(Protocol, MetaGetLastAccessAndHitFlags) {
+  const Request req = MustParse("mg foo l h\r\n");
+  ScratchGetResult result;
+  result.hit = true;
+  result.last_used = 940;
+  result.fetched = true;
+  std::string out;
+  AppendMetaGetResponse(&out, "foo", req, result, "", /*now=*/1000);
+  EXPECT_EQ(out, "HD l60 h1\r\n");
+}
+
+TEST(Protocol, FormatsMetaStoreResponse) {
+  const Request plain = MustParse("ms foo 2\r\nhi\r\n");
+  const Request quiet = MustParse("ms foo 2 q Oab\r\nhi\r\n");
+  std::string out;
+  AppendMetaStoreResponse(&out, "foo", plain, StoreResult::kStored);
+  EXPECT_EQ(out, "HD\r\n");
+  out.clear();
+  AppendMetaStoreResponse(&out, "foo", quiet, StoreResult::kStored);
+  EXPECT_EQ(out, "");  // q suppresses success...
+  AppendMetaStoreResponse(&out, "foo", quiet, StoreResult::kNotStored);
+  AppendMetaStoreResponse(&out, "foo", quiet, StoreResult::kExists);
+  AppendMetaStoreResponse(&out, "foo", quiet, StoreResult::kNotFound);
+  EXPECT_EQ(out, "NS Oab\r\nEX Oab\r\nNF Oab\r\n");  // ...but never failure
+}
+
+TEST(Protocol, FormatsMetaArithResponse) {
+  const Request want_value = MustParse("ma ctr v q\r\n");
+  ArithResult result;
+  result.status = ArithStatus::kOk;
+  result.value = 43;
+  std::string out;
+  // An explicit v always answers, quiet or not — same rule as mg.
+  AppendMetaArithResponse(&out, "ctr", want_value, result);
+  EXPECT_EQ(out, "VA 2\r\n43\r\n");
+  out.clear();
+  AppendMetaArithResponse(&out, "ctr", MustParse("ma ctr q\r\n"), result);
+  EXPECT_EQ(out, "");  // quiet success without v is silent
+  AppendMetaArithResponse(&out, "ctr", MustParse("ma ctr\r\n"), result);
+  EXPECT_EQ(out, "HD\r\n");
+  out.clear();
+  result.status = ArithStatus::kNotFound;
+  AppendMetaArithResponse(&out, "ctr", MustParse("ma ctr q Ok\r\n"), result);
+  EXPECT_EQ(out, "NF Ok\r\n");  // failures always answer
+}
+
 }  // namespace
 }  // namespace rp::memcache
