@@ -1,0 +1,131 @@
+// F6 — cluster tier: proxy hop cost and scatter-gather throughput.
+//
+// Requests/second vs number of clients for matched direct/proxy series:
+// the same socket workload (mc-benchmark style blocking round trips) runs
+// once against a single engine's server and once against a LocalCluster's
+// proxy port (3 backends behind a consistent-hash proxy). The gap between
+// a "direct" series and its "cluster" twin is the price of the extra
+// loopback hop plus routing; MGET8 additionally exercises scatter-gather
+// (8-key multi-gets split per ring owner, one batched sub-request per
+// backend) and PSET8 the pipelined store fan-out.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/memcache/cluster/local_cluster.h"
+#include "src/memcache/server.h"
+#include "src/memcache/workload.h"
+
+namespace {
+
+std::vector<int> ClientCounts() {
+  if (const char* env = std::getenv("RP_BENCH_THREADS")) {
+    (void)env;
+    return rp::bench::ThreadCounts();
+  }
+  return {1, 2, 4};
+}
+
+rp::memcache::WorkloadConfig PointConfig(int clients, double get_ratio,
+                                         double seconds,
+                                         std::size_t keys_per_get,
+                                         std::size_t sets_per_request) {
+  rp::memcache::WorkloadConfig config;
+  config.num_clients = static_cast<std::size_t>(clients);
+  config.num_keys = 10000;
+  config.value_size = 32;
+  config.get_ratio = get_ratio;
+  config.keys_per_get = keys_per_get;
+  config.sets_per_request = sets_per_request;
+  config.duration_seconds = seconds;
+  config.use_protocol = true;
+  config.prepopulate = true;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> clients = ClientCounts();
+  const double seconds = rp::bench::SecondsPerPoint();
+  rp::bench::SeriesTable table(
+      "F6: cluster proxy vs direct engine, requests/s vs clients (TCP)",
+      clients);
+
+  struct Series {
+    const char* name;
+    bool cluster;
+    double get_ratio;
+    std::size_t keys_per_get;
+    std::size_t sets_per_request;
+  };
+  // Values are ops/second (keys fetched resp. stores for the batched
+  // series), like fig5, so every pair of twins compares directly.
+  const Series series[] = {
+      {"direct GET", false, 1.0, 1, 1},
+      {"cluster GET", true, 1.0, 1, 1},
+      {"direct MGET8", false, 1.0, 8, 1},
+      {"cluster MGET8", true, 1.0, 8, 1},
+      {"direct PSET8", false, 0.0, 1, 8},
+      {"cluster PSET8", true, 0.0, 1, 8},
+  };
+
+  for (const Series& s : series) {
+    for (int c : clients) {
+      const rp::memcache::WorkloadConfig point = PointConfig(
+          c, s.get_ratio, seconds, s.keys_per_get, s.sets_per_request);
+      rp::memcache::WorkloadResult result;
+      if (s.cluster) {
+        rp::memcache::cluster::LocalClusterOptions options;
+        options.backends = 3;
+        options.engine_config.initial_buckets = 16384;
+        options.backend_server.num_workers = 1;
+        options.proxy_server.num_workers = 2;
+        options.proxy_server.max_connections = point.num_clients + 8;
+        rp::memcache::cluster::LocalCluster cluster(options);
+        if (!cluster.Start()) {
+          std::fprintf(stderr, "cluster start failed: %s\n",
+                       cluster.error().c_str());
+          return 1;
+        }
+        result = RunSocketWorkload(cluster.proxy_port(), point);
+      } else {
+        rp::memcache::EngineConfig config;
+        config.initial_buckets = 16384;
+        std::unique_ptr<rp::memcache::CacheEngine> engine =
+            rp::memcache::MakeEngine("rp", config);
+        rp::memcache::ServerOptions options;
+        options.num_workers = 2;
+        options.max_connections = point.num_clients + 8;
+        rp::memcache::Server server(*engine, 0, options);
+        if (!server.Start()) {
+          std::fprintf(stderr, "server start failed: %s\n",
+                       server.error().c_str());
+          return 1;
+        }
+        result = RunSocketWorkload(server.port(), point);
+        server.Stop();
+      }
+      const double batch_factor = static_cast<double>(
+          s.keys_per_get > 1 ? s.keys_per_get : s.sets_per_request);
+      table.Record(s.name, c, result.requests_per_second * batch_factor);
+      std::printf("  %-14s %2d clients: %9.0f Kreq/s (hits=%llu misses=%llu)\n",
+                  s.name, c, result.requests_per_second / 1e3,
+                  static_cast<unsigned long long>(result.hits),
+                  static_cast<unsigned long long>(result.misses));
+      std::fflush(stdout);
+    }
+  }
+
+  table.Print();
+
+  if (const char* json_path = std::getenv("RP_BENCH_JSON")) {
+    if (json_path[0] != '\0' &&
+        !rp::bench::WriteJsonTables(json_path, {&table})) {
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -32,6 +32,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "src/memcache/cluster/local_cluster.h"
 #include "src/memcache/rp_engine.h"
 #include "src/memcache/server.h"
 #include "src/memcache/workload.h"
@@ -119,6 +120,7 @@ int RunDemo(std::uint16_t port) {
 int main(int argc, char** argv) {
   std::uint16_t port = 11211;
   bool demo = false;
+  std::size_t cluster_backends = 0;  // 0 = single-engine mode
   std::string engine_name = "rp";
   rp::memcache::ServerOptions options;
   options.num_workers = 2;
@@ -168,6 +170,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --slab-chunk-max value: %s\n", argv[i] + 17);
         return 2;
       }
+    } else if (std::strncmp(argv[i], "--cluster=", 10) == 0) {
+      // N engines, each behind its own loopback server, fronted by a
+      // consistent-hash proxy on --port. Same wire protocol, same flags.
+      char* end = nullptr;
+      const long n = std::strtol(argv[i] + 10, &end, 10);
+      if (end == argv[i] + 10 || *end != '\0' || n < 1 || n > 64) {
+        std::fprintf(stderr, "bad --cluster value (want 1..64): %s\n",
+                     argv[i] + 10);
+        return 2;
+      }
+      cluster_backends = static_cast<std::size_t>(n);
     } else if (std::strcmp(argv[i], "--demo") == 0) {
       demo = true;
       port = 0;  // ephemeral
@@ -176,10 +189,44 @@ int main(int argc, char** argv) {
                    "usage: %s [--port=N] [--engine=rp|locked] [--workers=N] "
                    "[--max-conns=N] [--idle-ms=N] [--shards=N] "
                    "[--max-bytes=N[k|m|g]] [--slab-growth=F] "
-                   "[--slab-chunk-max=N[k|m]] [--demo]\n",
+                   "[--slab-chunk-max=N[k|m]] [--cluster=N] [--demo]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (cluster_backends > 0) {
+    rp::memcache::cluster::LocalClusterOptions cluster_options;
+    cluster_options.backends = cluster_backends;
+    cluster_options.engine = engine_name;
+    cluster_options.engine_config = config;
+    cluster_options.proxy_server = options;
+    cluster_options.proxy_port = port;
+    rp::memcache::cluster::LocalCluster cluster(cluster_options);
+    if (!cluster.Start()) {
+      std::fprintf(stderr, "failed to start cluster: %s\n",
+                   cluster.error().c_str());
+      return 1;
+    }
+    std::printf(
+        "mini-memcached cluster (%zu %s backends) proxy listening on "
+        "127.0.0.1:%u\n",
+        cluster.backend_count(), engine_name.c_str(), cluster.proxy_port());
+    for (std::size_t i = 0; i < cluster.backend_count(); ++i) {
+      std::printf("  %s on 127.0.0.1:%u\n",
+                  rp::memcache::cluster::LocalCluster::BackendName(i).c_str(),
+                  cluster.backend_port(i));
+    }
+    if (demo) {
+      return RunDemo(cluster.proxy_port());
+    }
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    while (!g_stop) {
+      ::usleep(100 * 1000);
+    }
+    std::printf("shutting down cluster\n");
+    return 0;
   }
 
   std::unique_ptr<rp::memcache::CacheEngine> engine =

@@ -87,6 +87,7 @@ record_gbench abl12_slab_alloc
 record_gbench abl13_store_path
 record_gbench abl14_maintenance
 record_harness fig5_memcached
+record_harness fig6_cluster
 
 if [[ ${failures} -ne 0 ]]; then
   echo "bench record: ${failures} benchmark(s) failed" >&2

@@ -24,6 +24,7 @@ HARNESS_BENCHES=(
   fig3_rp_resize_vs_fixed
   fig4_ddds_resize_vs_fixed
   fig5_memcached
+  fig6_cluster
   abl4_update_mix
   abl5_expand_strategy
   abl7_xu_comparison

@@ -1,0 +1,274 @@
+#include "src/memcache/cluster/backend.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "src/memcache/cluster/wire.h"
+#include "src/memcache/connection.h"  // MonotonicMs
+
+namespace rp::memcache::cluster {
+
+namespace {
+
+// Remaining budget until `deadline_ms`, clamped for poll(). Zero (not -1)
+// once the deadline passed: the I/O loops then fail instead of blocking.
+int PollBudget(std::int64_t deadline_ms) {
+  const std::int64_t left = deadline_ms - MonotonicMs();
+  if (left <= 0) {
+    return 0;
+  }
+  return static_cast<int>(left);
+}
+
+// Waits for `events` on fd until the deadline. False = timeout or error.
+bool PollFor(int fd, short events, std::int64_t deadline_ms) {
+  for (;;) {
+    const int budget = PollBudget(deadline_ms);
+    if (budget == 0) {
+      return false;
+    }
+    pollfd pfd{fd, events, 0};
+    const int n = ::poll(&pfd, 1, budget);
+    if (n > 0) {
+      return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+    }
+    if (n == 0) {
+      return false;  // timeout
+    }
+    if (errno != EINTR) {
+      return false;
+    }
+  }
+}
+
+}  // namespace
+
+Backend::Backend(std::string name, std::uint16_t port, BackendOptions options)
+    : name_(std::move(name)), port_(port), options_(options) {}
+
+Backend::~Backend() {
+  for (int fd : pooled_fds_) {
+    ::close(fd);
+  }
+}
+
+int Backend::ConnectWithTimeout() const {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return -1;
+    }
+    if (!PollFor(fd, POLLOUT, MonotonicMs() + options_.connect_timeout_ms)) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int Backend::AcquireFd() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (!pooled_fds_.empty()) {
+      const int fd = pooled_fds_.back();
+      pooled_fds_.pop_back();
+      return fd;
+    }
+  }
+  return ConnectWithTimeout();
+}
+
+void Backend::ReleaseFd(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (pooled_fds_.size() < options_.max_pooled_connections) {
+      pooled_fds_.push_back(fd);
+      return;
+    }
+  }
+  ::close(fd);
+}
+
+bool Backend::SendWire(int fd, std::string_view wire) const {
+  const std::int64_t deadline = MonotonicMs() + options_.io_timeout_ms;
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!PollFor(fd, POLLOUT, deadline)) {
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool Backend::ReadResponses(int fd, const Request* const* requests, std::size_t count,
+                            std::string* raw,
+                            std::vector<ResponseFrame>* frames) const {
+  const std::int64_t deadline = MonotonicMs() + options_.io_timeout_ms;
+  const std::size_t base = raw->size();
+  std::size_t scan_pos = base;
+  std::size_t framed = 0;
+  while (framed < count) {
+    const std::string_view pending(raw->data() + scan_pos,
+                                   raw->size() - scan_pos);
+    std::size_t frame_len = 0;
+    switch (FrameResponse(*requests[framed], pending, &frame_len)) {
+      case FrameStatus::kComplete:
+        frames->push_back(ResponseFrame{scan_pos, frame_len});
+        scan_pos += frame_len;
+        ++framed;
+        continue;
+      case FrameStatus::kMalformed:
+        return false;
+      case FrameStatus::kNeedMore:
+        break;
+    }
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw->append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return false;  // EOF mid-response: the backend died under us
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (!PollFor(fd, POLLIN, deadline)) {
+        return false;  // slow backend: bounded, not waited out
+      }
+      continue;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    return false;
+  }
+  // Bytes past the final frame mean the connection carries responses this
+  // exchange never asked for — a polluted socket is unusable for pooling.
+  return scan_pos == raw->size();
+}
+
+int Backend::BeginExchange(std::string_view wire) {
+  if (IsDead(MonotonicMs())) {
+    // Fast-fail while dead (no connect storm); the first request after
+    // dead_retry_ms falls through and becomes the half-open probe.
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  int fd = AcquireFd();
+  if (fd >= 0 && SendWire(fd, wire)) {
+    return fd;
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  // Retry once on a guaranteed-fresh connection: the pooled socket may
+  // simply have been closed by a backend restart.
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  fd = ConnectWithTimeout();
+  if (fd >= 0 && SendWire(fd, wire)) {
+    return fd;
+  }
+  if (fd >= 0) {
+    ::close(fd);
+  }
+  MarkDead();
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return -1;
+}
+
+bool Backend::RetryExchange(std::string_view wire, const Request* const* requests,
+                            std::size_t count, std::string* raw,
+                            std::vector<ResponseFrame>* frames) {
+  const int fd = ConnectWithTimeout();
+  if (fd < 0) {
+    return false;
+  }
+  if (!SendWire(fd, wire) ||
+      !ReadResponses(fd, requests, count, raw, frames)) {
+    ::close(fd);
+    return false;
+  }
+  ReleaseFd(fd);
+  return true;
+}
+
+bool Backend::FinishExchange(int fd, std::string_view wire,
+                             const Request* const* requests, std::size_t count,
+                             std::string* raw,
+                             std::vector<ResponseFrame>* frames) {
+  // A failed attempt may have framed a prefix; roll back so the retry
+  // (or the caller's SERVER_ERROR substitution) starts clean.
+  const std::size_t raw_mark = raw->size();
+  const std::size_t frames_mark = frames->size();
+  if (ReadResponses(fd, requests, count, raw, frames)) {
+    ReleaseFd(fd);
+    MarkAlive();
+    return true;
+  }
+  ::close(fd);
+  raw->resize(raw_mark);
+  frames->resize(frames_mark);
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (RetryExchange(wire, requests, count, raw, frames)) {
+    MarkAlive();
+    return true;
+  }
+  raw->resize(raw_mark);
+  frames->resize(frames_mark);
+  MarkDead();
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool Backend::Exchange(std::string_view wire, const Request* const* requests,
+                       std::size_t count, std::string* raw,
+                       std::vector<ResponseFrame>* frames) {
+  const int fd = BeginExchange(wire);
+  if (fd < 0) {
+    return false;
+  }
+  return FinishExchange(fd, wire, requests, count, raw, frames);
+}
+
+void Backend::MarkDead() {
+  dead_until_ms_.store(MonotonicMs() + options_.dead_retry_ms,
+                       std::memory_order_relaxed);
+}
+
+}  // namespace rp::memcache::cluster

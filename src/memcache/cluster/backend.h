@@ -1,0 +1,121 @@
+// One cluster member as the proxy sees it: a loopback address, a small
+// pool of reusable connections, health state, and a bounded-time
+// request/response exchange.
+//
+// Sockets are non-blocking and every wait goes through poll() with a
+// deadline, so a dead, slow, or half-open backend can delay a request by
+// at most connect_timeout + io_timeout — the proxy never hangs. Failures
+// retry once on a guaranteed-fresh connection (a pooled socket may be a
+// stale victim of a backend restart); a second failure marks the backend
+// dead until `dead_retry_ms` passes, after which the next request probes
+// it again (half-open) — a restarted backend rejoins the ring by simply
+// answering that probe.
+//
+// The exchange is split in two so the proxy can scatter-gather: Begin
+// sends the request bytes and returns the in-flight socket, Finish reads
+// and frames the responses. Beginning on every involved backend before
+// finishing any overlaps their round trips; Exchange() composes the two
+// for single-backend traffic.
+#ifndef RP_MEMCACHE_CLUSTER_BACKEND_H_
+#define RP_MEMCACHE_CLUSTER_BACKEND_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/memcache/protocol.h"
+
+namespace rp::memcache::cluster {
+
+struct BackendOptions {
+  int connect_timeout_ms = 250;
+  // Ceiling on one exchange's socket waits (send, and all its responses).
+  int io_timeout_ms = 2000;
+  // How long a marked-dead backend stays unprobed.
+  int dead_retry_ms = 1000;
+  // Idle connections kept for reuse; extras close on return.
+  std::size_t max_pooled_connections = 4;
+};
+
+// Byte range of one response within an exchange's receive buffer.
+struct ResponseFrame {
+  std::size_t offset = 0;
+  std::size_t size = 0;
+};
+
+class Backend {
+ public:
+  Backend(std::string name, std::uint16_t port, BackendOptions options);
+  ~Backend();  // closes pooled fds
+
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint16_t port() const { return port_; }
+
+  // Scatter half: sends `wire` (the re-serialized requests, q/noreply
+  // stripped) on a pooled or fresh connection, retrying once on a fresh
+  // one. Returns the in-flight fd, or -1 (backend dead / unreachable —
+  // then already counted and marked).
+  int BeginExchange(std::string_view wire);
+
+  // Gather half: frames exactly one response per request into *raw /
+  // *frames (appended; frames index into *raw). On failure the whole
+  // exchange retries once on a fresh connection (re-sending `wire`);
+  // false = the backend is now marked dead and the caller answers
+  // SERVER_ERROR for every request in the exchange. Always consumes fd.
+  bool FinishExchange(int fd, std::string_view wire, const Request* const* requests,
+                      std::size_t count, std::string* raw,
+                      std::vector<ResponseFrame>* frames);
+
+  // Begin + Finish, for single-backend traffic.
+  bool Exchange(std::string_view wire, const Request* const* requests,
+                std::size_t count, std::string* raw,
+                std::vector<ResponseFrame>* frames);
+
+  // Health, for routing, stats and tests.
+  bool IsDead(std::int64_t now_ms) const {
+    return now_ms < dead_until_ms_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int AcquireFd();                 // pooled fd, or a fresh connect; -1 = fail
+  void ReleaseFd(int fd);          // return a healthy fd to the pool
+  int ConnectWithTimeout() const;  // non-blocking connect + poll; -1 = fail
+  bool SendWire(int fd, std::string_view wire) const;
+  bool ReadResponses(int fd, const Request* const* requests, std::size_t count,
+                     std::string* raw, std::vector<ResponseFrame>* frames) const;
+  // One from-scratch send+read attempt on a fresh connection (the retry
+  // path; also counts as the half-open probe of a dead backend).
+  bool RetryExchange(std::string_view wire, const Request* const* requests,
+                     std::size_t count, std::string* raw,
+                     std::vector<ResponseFrame>* frames);
+  void MarkDead();
+  void MarkAlive() { dead_until_ms_.store(0, std::memory_order_relaxed); }
+
+  const std::string name_;
+  const std::uint16_t port_;
+  const BackendOptions options_;
+
+  std::mutex pool_mutex_;
+  std::vector<int> pooled_fds_;
+
+  std::atomic<std::int64_t> dead_until_ms_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> retries_{0};
+};
+
+}  // namespace rp::memcache::cluster
+
+#endif  // RP_MEMCACHE_CLUSTER_BACKEND_H_

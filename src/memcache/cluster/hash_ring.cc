@@ -1,0 +1,99 @@
+#include "src/memcache/cluster/hash_ring.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "src/core/hash.h"
+
+namespace rp::memcache::cluster {
+
+namespace {
+
+// Ring position of one virtual node: hash of "<name>#<replica>". The
+// replica suffix is hashed as a continuation of the name's FNV state, so
+// no temporary string is built per point.
+std::uint64_t VnodePoint(std::string_view name, std::size_t replica) {
+  std::uint64_t h = core::Fnv1a64(name.data(), name.size());
+  char digits[24];
+  digits[0] = '#';
+  auto [ptr, ec] = std::to_chars(digits + 1, digits + sizeof(digits), replica);
+  (void)ec;  // cannot fail: the buffer fits any size_t
+  for (const char* p = digits; p != ptr; ++p) {
+    h ^= static_cast<unsigned char>(*p);
+    h *= 0x100000001B3ULL;
+  }
+  return core::Mix64(h);
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t vnodes_per_node)
+    : vnodes_(vnodes_per_node == 0 ? 1 : vnodes_per_node) {}
+
+std::uint64_t HashRing::KeyPoint(std::string_view key) {
+  return core::Mix64(core::Fnv1a64(key.data(), key.size()));
+}
+
+bool HashRing::AddNode(std::string name) {
+  if (NodeIndex(name) != kNoNode) {
+    return false;
+  }
+  nodes_.push_back(std::move(name));
+  InsertPoints(nodes_.size() - 1);
+  return true;
+}
+
+bool HashRing::RemoveNode(std::string_view name) {
+  const std::size_t index = NodeIndex(name);
+  if (index == kNoNode) {
+    return false;
+  }
+  nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(index));
+  // Drop the member's points and compact the indexes above it. Surviving
+  // points keep their hashes, which is exactly why removal never reroutes
+  // a key between two surviving members.
+  std::erase_if(points_, [index](const Point& p) { return p.node == index; });
+  for (Point& p : points_) {
+    if (p.node > index) {
+      --p.node;
+    }
+  }
+  return true;
+}
+
+void HashRing::InsertPoints(std::size_t node_index) {
+  points_.reserve(points_.size() + vnodes_);
+  for (std::size_t r = 0; r < vnodes_; ++r) {
+    points_.push_back(Point{VnodePoint(nodes_[node_index], r),
+                            static_cast<std::uint32_t>(node_index)});
+  }
+  // Ties (two members hashing a point identically) are broken by node
+  // index so routing stays deterministic regardless of insertion order.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+  });
+}
+
+std::size_t HashRing::NodeForPoint(std::uint64_t point) const {
+  if (points_.empty()) {
+    return kNoNode;
+  }
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), point,
+      [](const Point& p, std::uint64_t value) { return p.hash < value; });
+  if (it == points_.end()) {
+    it = points_.begin();  // wrap past the highest point
+  }
+  return it->node;
+}
+
+std::size_t HashRing::NodeIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == name) {
+      return i;
+    }
+  }
+  return kNoNode;
+}
+
+}  // namespace rp::memcache::cluster

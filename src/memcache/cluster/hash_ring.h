@@ -1,0 +1,80 @@
+// Consistent-hash ring with virtual nodes — the cluster tier's key router.
+//
+// Each member contributes `vnodes_per_node` points on a 64-bit ring; a key
+// routes to the member owning the first point at or after the key's hash
+// (wrapping). Adding or removing a member only moves the keys adjacent to
+// that member's own points: removal never reroutes a key between two
+// surviving members (their points are untouched), and an add steals keys
+// only for the new member — the bounded-key-movement property
+// tests/test_cluster_ring.cc pins.
+//
+// The ring is a plain value type with no internal locking: the proxy
+// publishes immutable snapshots (shared_ptr swap) and mutates a copy.
+//
+// Hashing deliberately bypasses core::StringHash: that wrapper counts
+// invocations per thread to pin the engines' one-hash-per-op invariant,
+// and routing a key here is not an engine hash. Raw Fnv1a64+Mix64 keeps
+// those tests blind to the cluster tier.
+#ifndef RP_MEMCACHE_CLUSTER_HASH_RING_H_
+#define RP_MEMCACHE_CLUSTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rp::memcache::cluster {
+
+class HashRing {
+ public:
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+  // Default points per member. A node's share of the ring is a sum of
+  // vnode arc lengths with relative spread ~1/sqrt(vnodes), so 512 keeps
+  // the worst node within ~±11% of uniform (the property test's bound is
+  // ±15%); 128 would allow ~±20% excursions. Lookup cost barely notices:
+  // it's one binary search over nodes×vnodes points.
+  static constexpr std::size_t kDefaultVnodesPerNode = 512;
+
+  explicit HashRing(std::size_t vnodes_per_node = kDefaultVnodesPerNode);
+
+  // Adds a member (names must be unique; false = duplicate). Node indexes
+  // are dense and may shift on RemoveNode — hold names, not indexes,
+  // across topology changes.
+  bool AddNode(std::string name);
+  // Removes a member by name (false = unknown).
+  bool RemoveNode(std::string_view name);
+
+  // Index of the member owning `key`, or kNoNode on an empty ring.
+  std::size_t NodeForKey(std::string_view key) const {
+    return NodeForPoint(KeyPoint(key));
+  }
+  std::size_t NodeForPoint(std::uint64_t point) const;
+
+  std::size_t NodeIndex(std::string_view name) const;  // kNoNode if absent
+  const std::string& NodeName(std::size_t index) const {
+    return nodes_[index];
+  }
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t vnodes_per_node() const { return vnodes_; }
+
+  // Ring position of a key (raw Fnv1a64+Mix64 — see header comment).
+  static std::uint64_t KeyPoint(std::string_view key);
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t node;
+  };
+
+  void InsertPoints(std::size_t node_index);
+
+  std::size_t vnodes_;
+  std::vector<std::string> nodes_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace rp::memcache::cluster
+
+#endif  // RP_MEMCACHE_CLUSTER_HASH_RING_H_

@@ -1,0 +1,100 @@
+#include "src/memcache/cluster/local_cluster.h"
+
+#include "src/memcache/workload.h"  // MakeEngine
+
+namespace rp::memcache::cluster {
+
+LocalCluster::LocalCluster(LocalClusterOptions options)
+    : options_(std::move(options)) {}
+
+LocalCluster::~LocalCluster() { Stop(); }
+
+std::string LocalCluster::BackendName(std::size_t i) {
+  return "node" + std::to_string(i);
+}
+
+std::uint16_t LocalCluster::proxy_port() const {
+  return proxy_server_ ? proxy_server_->port() : 0;
+}
+
+std::uint16_t LocalCluster::backend_port(std::size_t i) const {
+  return members_[i].port;
+}
+
+CacheEngine& LocalCluster::backend_engine(std::size_t i) {
+  return *members_[i].engine;
+}
+
+bool LocalCluster::Start() {
+  if (started_) {
+    return true;
+  }
+  members_.resize(options_.backends);
+  std::vector<BackendAddress> addresses;
+  addresses.reserve(members_.size());
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& member = members_[i];
+    member.engine = MakeEngine(options_.engine, options_.engine_config);
+    if (member.engine == nullptr) {
+      error_ = "unknown engine: " + options_.engine;
+      Stop();
+      return false;
+    }
+    member.server = std::make_unique<Server>(*member.engine, /*port=*/0,
+                                             options_.backend_server);
+    if (!member.server->Start()) {
+      error_ = "backend " + BackendName(i) + ": " + member.server->error();
+      Stop();
+      return false;
+    }
+    member.port = member.server->port();
+    addresses.push_back(BackendAddress{BackendName(i), member.port});
+  }
+  proxy_ = std::make_unique<ClusterProxy>(addresses, options_.cluster);
+  proxy_server_ = std::make_unique<Server>(*proxy_, options_.proxy_port,
+                                           options_.proxy_server);
+  if (!proxy_server_->Start()) {
+    error_ = "proxy: " + proxy_server_->error();
+    Stop();
+    return false;
+  }
+  started_ = true;
+  return true;
+}
+
+void LocalCluster::Stop() {
+  // Proxy first: nothing routes to a backend that is going away.
+  proxy_server_.reset();
+  proxy_.reset();
+  for (Member& member : members_) {
+    member.server.reset();
+    member.engine.reset();
+  }
+  members_.clear();
+  started_ = false;
+}
+
+bool LocalCluster::StopBackend(std::size_t i) {
+  if (i >= members_.size() || members_[i].server == nullptr) {
+    return false;
+  }
+  members_[i].server.reset();
+  return true;
+}
+
+bool LocalCluster::RestartBackend(std::size_t i) {
+  if (i >= members_.size() || members_[i].server != nullptr) {
+    return false;
+  }
+  Member& member = members_[i];
+  auto server = std::make_unique<Server>(*member.engine, member.port,
+                                         options_.backend_server);
+  if (!server->Start()) {
+    error_ = "restart " + BackendName(i) + ": " + server->error();
+    return false;
+  }
+  member.server = std::move(server);
+  return true;
+}
+
+}  // namespace rp::memcache::cluster

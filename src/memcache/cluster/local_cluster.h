@@ -1,0 +1,84 @@
+// Single-binary cluster: N engines, each behind its own loopback Server,
+// fronted by one ClusterProxy behind a proxy Server — the whole topology
+// in one process. This is how `--cluster=N` runs the example server, how
+// the conformance/fault tests stand up real TCP clusters, and how
+// bench/fig6_cluster measures the proxy hop.
+//
+// Backends are addressable for fault injection: StopBackend(i) tears down
+// member i's Server (its engine and its port survive), RestartBackend(i)
+// rebinds the same port over the retained engine — modelling a process
+// crash + restart that keeps its address, the scenario the proxy's
+// mark-dead/half-open probing exists for.
+#ifndef RP_MEMCACHE_CLUSTER_LOCAL_CLUSTER_H_
+#define RP_MEMCACHE_CLUSTER_LOCAL_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/memcache/cluster/proxy.h"
+#include "src/memcache/engine.h"
+#include "src/memcache/server.h"
+
+namespace rp::memcache::cluster {
+
+struct LocalClusterOptions {
+  std::size_t backends = 2;
+  // MakeEngine name for every member ("rp" or "locked").
+  std::string engine = "rp";
+  EngineConfig engine_config;
+  ServerOptions backend_server;
+  ServerOptions proxy_server;
+  ClusterOptions cluster;
+  std::uint16_t proxy_port = 0;  // 0 = ephemeral
+};
+
+class LocalCluster {
+ public:
+  explicit LocalCluster(LocalClusterOptions options = {});
+  ~LocalCluster();
+
+  LocalCluster(const LocalCluster&) = delete;
+  LocalCluster& operator=(const LocalCluster&) = delete;
+
+  // Starts every backend server (ephemeral ports), then the proxy over
+  // them. False = bind/engine failure, reason in error().
+  bool Start();
+  void Stop();
+
+  const std::string& error() const { return error_; }
+  std::uint16_t proxy_port() const;
+  std::size_t backend_count() const { return members_.size(); }
+
+  // Member i's ring name: "node<i>".
+  static std::string BackendName(std::size_t i);
+  std::uint16_t backend_port(std::size_t i) const;
+  // Direct handle to member i's engine (bypassing the wire), for
+  // differential assertions.
+  CacheEngine& backend_engine(std::size_t i);
+  ClusterProxy& proxy() { return *proxy_; }
+
+  // Fault injection. Stop kills member i's server (in-flight connections
+  // included); Restart rebinds the SAME port over the surviving engine.
+  bool StopBackend(std::size_t i);
+  bool RestartBackend(std::size_t i);
+
+ private:
+  struct Member {
+    std::unique_ptr<CacheEngine> engine;
+    std::unique_ptr<Server> server;
+    std::uint16_t port = 0;
+  };
+
+  LocalClusterOptions options_;
+  std::vector<Member> members_;
+  std::unique_ptr<ClusterProxy> proxy_;
+  std::unique_ptr<Server> proxy_server_;
+  std::string error_;
+  bool started_ = false;
+};
+
+}  // namespace rp::memcache::cluster
+
+#endif  // RP_MEMCACHE_CLUSTER_LOCAL_CLUSTER_H_

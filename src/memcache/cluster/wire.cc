@@ -1,0 +1,123 @@
+#include "src/memcache/cluster/wire.h"
+
+#include <charconv>
+
+namespace rp::memcache::cluster {
+
+namespace {
+
+// Locates the CRLF terminating the line that starts at `pos`. False =
+// incomplete line.
+bool FindLineEnd(std::string_view buf, std::size_t pos, std::size_t* eol) {
+  const std::size_t lf = buf.find('\n', pos);
+  if (lf == std::string_view::npos || lf == pos) {
+    return false;
+  }
+  if (buf[lf - 1] != '\r') {
+    return false;  // treated as incomplete; the caller re-frames on more data
+  }
+  *eol = lf + 1;  // one past the LF
+  return true;
+}
+
+// Parses the decimal token at index `token_index` (0-based, space-split) of
+// the line [pos, eol-2). False = missing or non-numeric.
+bool ParseSizeToken(std::string_view buf, std::size_t pos, std::size_t eol,
+                    std::size_t token_index, std::size_t* value) {
+  std::string_view line = buf.substr(pos, eol - 2 - pos);
+  for (std::size_t i = 0; i < token_index; ++i) {
+    const std::size_t space = line.find(' ');
+    if (space == std::string_view::npos) {
+      return false;
+    }
+    line.remove_prefix(space + 1);
+  }
+  const std::size_t end = std::min(line.find(' '), line.size());
+  const auto [ptr, ec] =
+      std::from_chars(line.data(), line.data() + end, *value);
+  return ec == std::errc() && ptr == line.data() + end && end > 0;
+}
+
+// A data block of `size` bytes plus its trailing CRLF, starting at `pos`.
+FrameStatus SkipDataBlock(std::string_view buf, std::size_t pos,
+                          std::size_t size, std::size_t* after) {
+  if (buf.size() < pos + size + 2) {
+    return FrameStatus::kNeedMore;
+  }
+  if (buf[pos + size] != '\r' || buf[pos + size + 1] != '\n') {
+    return FrameStatus::kMalformed;
+  }
+  *after = pos + size + 2;
+  return FrameStatus::kComplete;
+}
+
+}  // namespace
+
+FrameStatus FrameResponse(const Request& request, std::string_view buf,
+                          std::size_t* frame_len) {
+  switch (request.op) {
+    case Op::kGet:
+    case Op::kGets:
+    case Op::kStats: {
+      // A run of VALUE blocks (resp. STAT lines) up to and including the
+      // first line that is neither — END on the happy path, an error line
+      // otherwise. Error lines terminating the run is what lets the proxy
+      // pass a backend's SERVER_ERROR through without special cases.
+      std::size_t pos = 0;
+      for (;;) {
+        std::size_t eol = 0;
+        if (!FindLineEnd(buf, pos, &eol)) {
+          return FrameStatus::kNeedMore;
+        }
+        const std::string_view line = buf.substr(pos, eol - pos);
+        if (request.op != Op::kStats && line.starts_with("VALUE ")) {
+          // VALUE <key> <flags> <bytes> [<cas>]
+          std::size_t size = 0;
+          if (!ParseSizeToken(buf, pos, eol, 3, &size)) {
+            return FrameStatus::kMalformed;
+          }
+          const FrameStatus status = SkipDataBlock(buf, eol, size, &pos);
+          if (status != FrameStatus::kComplete) {
+            return status;
+          }
+          continue;
+        }
+        if (request.op == Op::kStats && line.starts_with("STAT ")) {
+          pos = eol;
+          continue;
+        }
+        *frame_len = eol;
+        return FrameStatus::kComplete;
+      }
+    }
+    case Op::kMetaGet:
+    case Op::kMetaArith: {
+      // VA <size> <flags>*\r\n<data>\r\n, or a single line (HD/EN/NF/...).
+      std::size_t eol = 0;
+      if (!FindLineEnd(buf, 0, &eol)) {
+        return FrameStatus::kNeedMore;
+      }
+      if (!buf.starts_with("VA ")) {
+        *frame_len = eol;
+        return FrameStatus::kComplete;
+      }
+      std::size_t size = 0;
+      if (!ParseSizeToken(buf, 0, eol, 1, &size)) {
+        return FrameStatus::kMalformed;
+      }
+      return SkipDataBlock(buf, eol, size, frame_len);
+    }
+    default: {
+      // Everything else answers exactly one line (the proxy forwards with
+      // noreply/q stripped, so a response always comes).
+      std::size_t eol = 0;
+      if (!FindLineEnd(buf, 0, &eol)) {
+        return FrameStatus::kNeedMore;
+      }
+      *frame_len = eol;
+      return FrameStatus::kComplete;
+    }
+  }
+}
+
+}  // namespace rp::memcache::cluster

@@ -1,0 +1,32 @@
+// Response framing for the cluster proxy's backend connections.
+//
+// The proxy forwards requests verbatim (minus q/noreply) and passes the
+// backend's response bytes through untouched, so it never re-parses
+// responses into structures — it only needs to know where each response
+// ENDS. That boundary depends on the request's grammar: get/gets/stats
+// responses run until a terminator line, VA responses carry a sized data
+// block, everything else is a single line. FrameResponse computes that
+// length without copying.
+#ifndef RP_MEMCACHE_CLUSTER_WIRE_H_
+#define RP_MEMCACHE_CLUSTER_WIRE_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "src/memcache/protocol.h"
+
+namespace rp::memcache::cluster {
+
+enum class FrameStatus {
+  kComplete,  // *frame_len bytes at the front of buf are one response
+  kNeedMore,  // buf holds only a partial response
+  kMalformed, // the backend sent bytes that fit no response grammar
+};
+
+// Measures the first complete response to `request` at the front of `buf`.
+FrameStatus FrameResponse(const Request& request, std::string_view buf,
+                          std::size_t* frame_len);
+
+}  // namespace rp::memcache::cluster
+
+#endif  // RP_MEMCACHE_CLUSTER_WIRE_H_

@@ -460,11 +460,35 @@ void ExecuteMetaGetBatch(CacheEngine& engine, const Request* requests,
   }
 }
 
-Connection::Connection(int fd, CacheEngine& engine,
+RequestHandler::~RequestHandler() = default;
+
+void EngineHandler::Execute(const Request& request, std::string* out,
+                            bool* quit,
+                            const ServerConnectionStats* conn_stats) {
+  ExecuteRequest(engine_, request, out, quit, conn_stats);
+}
+
+void EngineHandler::ExecuteStores(const Request* requests, std::size_t count,
+                                  std::string* out) {
+  if (count == 1) {
+    // A lone store skips the batch machinery entirely.
+    bool quit = false;
+    ExecuteRequest(engine_, requests[0], out, &quit);
+    return;
+  }
+  ExecuteStoreBatch(engine_, requests, count, out);
+}
+
+void EngineHandler::ExecuteMetaGets(const Request* requests, std::size_t count,
+                                    std::string* out) {
+  ExecuteMetaGetBatch(engine_, requests, count, out);
+}
+
+Connection::Connection(int fd, RequestHandler& handler,
                        std::size_t write_high_water,
                        ConnectionCounters* counters)
     : fd_(fd),
-      engine_(engine),
+      handler_(handler),
       write_high_water_(write_high_water),
       counters_(counters),
       last_active_ms_(MonotonicMs()) {}
@@ -589,7 +613,7 @@ bool Connection::ExecuteBuffered() {
       conn_stats = &snapshot;
     }
     bool quit = false;
-    ExecuteRequest(engine_, request, &out_, &quit, conn_stats);
+    handler_.Execute(request, &out_, &quit, conn_stats);
     if (quit) {
       // Later pipelined requests are dropped, but responses already in
       // out_ still flush before the close.
@@ -606,14 +630,7 @@ void Connection::FlushStoreBatch() {
   if (store_batch_.empty()) {
     return;
   }
-  if (store_batch_.size() == 1) {
-    // A lone store skips the batch machinery entirely.
-    bool quit = false;
-    ExecuteRequest(engine_, store_batch_.front(), &out_, &quit);
-  } else {
-    ExecuteStoreBatch(engine_, store_batch_.data(), store_batch_.size(),
-                      &out_);
-  }
+  handler_.ExecuteStores(store_batch_.data(), store_batch_.size(), &out_);
   store_batch_.clear();
 }
 
@@ -621,8 +638,8 @@ void Connection::FlushMetaGetBatch() {
   if (meta_get_batch_.empty()) {
     return;
   }
-  ExecuteMetaGetBatch(engine_, meta_get_batch_.data(), meta_get_batch_.size(),
-                      &out_);
+  handler_.ExecuteMetaGets(meta_get_batch_.data(), meta_get_batch_.size(),
+                           &out_);
   meta_get_batch_.clear();
 }
 

@@ -71,13 +71,55 @@ void ExecuteStoreBatch(CacheEngine& engine, const Request* requests,
 void ExecuteMetaGetBatch(CacheEngine& engine, const Request* requests,
                          std::size_t count, std::string* out);
 
+// Dispatch seam between the event-driven front end and whatever answers
+// requests behind it — a local engine (EngineHandler) or the cluster
+// routing proxy (cluster::ClusterProxy). A Connection calls Execute for
+// singleton requests and hands pipelined bursts to the batched entry
+// points, so every implementation sees the exact batch boundaries the wire
+// produced. Implementations must be thread-safe: one handler instance is
+// shared by every worker's connections.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler();
+
+  // One request → its wire response appended to *out (nothing when the
+  // protocol suppresses it). Sets *quit on a quit command. conn_stats,
+  // when non-null, carries the server's connection gauges for `stats`.
+  virtual void Execute(const Request& request, std::string* out, bool* quit,
+                       const ServerConnectionStats* conn_stats) = 0;
+  // A pipelined burst of IsBatchableStore requests; responses append to
+  // *out in request order.
+  virtual void ExecuteStores(const Request* requests, std::size_t count,
+                             std::string* out) = 0;
+  // A pipelined run of mg requests; responses append in request order.
+  virtual void ExecuteMetaGets(const Request* requests, std::size_t count,
+                               std::string* out) = 0;
+};
+
+// The single-process handler: requests run directly against a CacheEngine
+// through ExecuteRequest / ExecuteStoreBatch / ExecuteMetaGetBatch.
+class EngineHandler : public RequestHandler {
+ public:
+  explicit EngineHandler(CacheEngine& engine) : engine_(engine) {}
+
+  void Execute(const Request& request, std::string* out, bool* quit,
+               const ServerConnectionStats* conn_stats) override;
+  void ExecuteStores(const Request* requests, std::size_t count,
+                     std::string* out) override;
+  void ExecuteMetaGets(const Request* requests, std::size_t count,
+                       std::string* out) override;
+
+ private:
+  CacheEngine& engine_;
+};
+
 class Connection {
  public:
   // Takes ownership of the (non-blocking) fd. counters may be null (then
   // `stats` omits the connection gauges); when set, `current` and `total`
   // were already incremented by the acceptor and the destructor decrements
   // `current`.
-  Connection(int fd, CacheEngine& engine, std::size_t write_high_water,
+  Connection(int fd, RequestHandler& handler, std::size_t write_high_water,
              ConnectionCounters* counters);
   ~Connection();  // closes the fd
 
@@ -146,7 +188,7 @@ class Connection {
   }
 
   const int fd_;
-  CacheEngine& engine_;
+  RequestHandler& handler_;
   const std::size_t write_high_water_;
   ConnectionCounters* const counters_;
 

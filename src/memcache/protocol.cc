@@ -660,4 +660,204 @@ std::string FormatVersion(std::string_view version) {
   return out;
 }
 
+namespace {
+
+void AppendInt(std::string* out, std::int64_t n) {
+  char digits[21];
+  auto [ptr, ec] = std::to_chars(digits, digits + sizeof(digits), n);
+  (void)ec;  // cannot fail: the buffer fits any int64
+  out->append(digits, static_cast<std::size_t>(ptr - digits));
+}
+
+// The meta request flags, in one canonical order. The parser accepts them
+// in any order, so re-serializing canonically preserves semantics; F and D
+// are spelled out even when the original relied on the parser defaults
+// (F0 / D1) because the Request no longer records which it was.
+void AppendMetaRequestFlags(std::string* out, const Request& request,
+                            bool strip_quiet) {
+  const MetaFlags& mf = request.meta;
+  if (mf.want_value) {
+    out->append(" v");
+  }
+  if (mf.want_flags) {
+    out->append(" f");
+  }
+  if (mf.want_ttl) {
+    out->append(" t");
+  }
+  if (mf.want_last_access) {
+    out->append(" l");
+  }
+  if (mf.want_hit) {
+    out->append(" h");
+  }
+  if (mf.want_cas) {
+    out->append(" c");
+  }
+  if (mf.want_key) {
+    out->append(" k");
+  }
+  if (mf.quiet && !strip_quiet) {
+    out->append(" q");
+  }
+  if (mf.has_opaque) {
+    out->append(" O");
+    out->append(mf.opaque);
+  }
+  if (mf.has_vivify) {
+    AppendFlagInt(out, 'N', mf.vivify_ttl);
+  }
+  if (request.op == Op::kMetaSet) {
+    AppendFlagUint(out, 'F', request.flags);
+  }
+  if (mf.has_exptime) {
+    AppendFlagInt(out, 'T', request.exptime);
+  }
+  if (mf.has_cas_compare) {
+    AppendFlagUint(out, 'C', request.cas);
+  }
+  if (request.op == Op::kMetaArith) {
+    AppendFlagUint(out, 'D', request.delta);
+  }
+  if (mf.has_init) {
+    AppendFlagUint(out, 'J', mf.init_value);
+  }
+  if (mf.mode != 0) {
+    out->append(" M");
+    out->push_back(mf.mode);
+  }
+}
+
+}  // namespace
+
+void AppendRequestWire(std::string* out, const Request& request,
+                       bool strip_quiet) {
+  const bool noreply = request.noreply && !strip_quiet;
+  switch (request.op) {
+    case Op::kGet:
+    case Op::kGets:
+      out->append(request.op == Op::kGet ? "get" : "gets");
+      for (const std::string& key : request.keys) {
+        out->push_back(' ');
+        out->append(key);
+      }
+      out->append("\r\n");
+      return;
+    case Op::kSet:
+    case Op::kAdd:
+    case Op::kReplace:
+    case Op::kAppend:
+    case Op::kPrepend:
+    case Op::kCas: {
+      switch (request.op) {
+        case Op::kSet:
+          out->append("set ");
+          break;
+        case Op::kAdd:
+          out->append("add ");
+          break;
+        case Op::kReplace:
+          out->append("replace ");
+          break;
+        case Op::kAppend:
+          out->append("append ");
+          break;
+        case Op::kPrepend:
+          out->append("prepend ");
+          break;
+        default:
+          out->append("cas ");
+          break;
+      }
+      out->append(request.keys[0]);
+      out->push_back(' ');
+      AppendUint(out, request.flags);
+      out->push_back(' ');
+      AppendInt(out, request.exptime);
+      out->push_back(' ');
+      AppendUint(out, request.data.size());
+      if (request.op == Op::kCas) {
+        out->push_back(' ');
+        AppendUint(out, request.cas);
+      }
+      if (noreply) {
+        out->append(" noreply");
+      }
+      out->append("\r\n");
+      out->append(request.data);
+      out->append("\r\n");
+      return;
+    }
+    case Op::kDelete:
+      out->append("delete ");
+      out->append(request.keys[0]);
+      if (noreply) {
+        out->append(" noreply");
+      }
+      out->append("\r\n");
+      return;
+    case Op::kIncr:
+    case Op::kDecr:
+      out->append(request.op == Op::kIncr ? "incr " : "decr ");
+      out->append(request.keys[0]);
+      out->push_back(' ');
+      AppendUint(out, request.delta);
+      if (noreply) {
+        out->append(" noreply");
+      }
+      out->append("\r\n");
+      return;
+    case Op::kTouch:
+      out->append("touch ");
+      out->append(request.keys[0]);
+      out->push_back(' ');
+      AppendInt(out, request.exptime);
+      if (noreply) {
+        out->append(" noreply");
+      }
+      out->append("\r\n");
+      return;
+    case Op::kFlushAll:
+      out->append("flush_all ");
+      AppendInt(out, request.exptime);  // exptime carries the [delay] arg
+      if (noreply) {
+        out->append(" noreply");
+      }
+      out->append("\r\n");
+      return;
+    case Op::kVersion:
+      out->append("version\r\n");
+      return;
+    case Op::kStats:
+      out->append("stats\r\n");
+      return;
+    case Op::kQuit:
+      out->append("quit\r\n");
+      return;
+    case Op::kMetaNoop:
+      out->append("mn\r\n");
+      return;
+    case Op::kMetaGet:
+    case Op::kMetaDelete:
+    case Op::kMetaArith:
+      out->append(request.op == Op::kMetaGet
+                      ? "mg "
+                      : (request.op == Op::kMetaDelete ? "md " : "ma "));
+      out->append(request.keys[0]);
+      AppendMetaRequestFlags(out, request, strip_quiet);
+      out->append("\r\n");
+      return;
+    case Op::kMetaSet:
+      out->append("ms ");
+      out->append(request.keys[0]);
+      out->push_back(' ');
+      AppendUint(out, request.data.size());
+      AppendMetaRequestFlags(out, request, strip_quiet);
+      out->append("\r\n");
+      out->append(request.data);
+      out->append("\r\n");
+      return;
+  }
+}
+
 }  // namespace rp::memcache

@@ -138,6 +138,18 @@ class RequestParser {
   std::string error_;
 };
 
+// -- Request re-serialization -------------------------------------------------
+//
+// Re-encodes a parsed request into wire form — the cluster proxy's
+// forwarding serializer. With strip_quiet, classic noreply and the meta q
+// flag are dropped so every forwarded request draws a framable response
+// (the proxy re-applies the suppression client-side). The bytes are
+// semantically identical to the original request but not necessarily
+// byte-identical: flag tokens come out in canonical order and parser
+// defaults (ms F0, ma D1) are spelled out.
+void AppendRequestWire(std::string* out, const Request& request,
+                       bool strip_quiet);
+
 // -- Response assembly --------------------------------------------------------
 //
 // The hot path appends straight into the connection's output buffer: fixed

@@ -23,7 +23,14 @@ constexpr std::string_view kTooManyConnections =
 }  // namespace
 
 Server::Server(CacheEngine& engine, std::uint16_t port, ServerOptions options)
-    : engine_(engine), port_(port), options_(options) {}
+    : owned_handler_(std::make_unique<EngineHandler>(engine)),
+      handler_(owned_handler_.get()),
+      port_(port),
+      options_(options) {}
+
+Server::Server(RequestHandler& handler, std::uint16_t port,
+               ServerOptions options)
+    : handler_(&handler), port_(port), options_(options) {}
 
 Server::~Server() { Stop(); }
 
@@ -242,7 +249,7 @@ void Server::AcceptReady(Worker& worker) {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     auto conn = std::make_unique<Connection>(
-        fd, engine_, options_.write_high_water, &counters_);
+        fd, *handler_, options_.write_high_water, &counters_);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;

@@ -45,8 +45,13 @@ struct ServerOptions {
 
 class Server {
  public:
-  // Binds to 127.0.0.1:port (port 0 = ephemeral; see port()).
+  // Binds to 127.0.0.1:port (port 0 = ephemeral; see port()). The engine
+  // form serves a local cache; the handler form serves any RequestHandler
+  // (the cluster proxy rides the same epoll front end this way). The
+  // engine/handler must outlive the server.
   Server(CacheEngine& engine, std::uint16_t port, ServerOptions options = {});
+  Server(RequestHandler& handler, std::uint16_t port,
+         ServerOptions options = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -91,7 +96,8 @@ class Server {
   void SweepIdle(Worker& worker);
   bool FailStart(const std::string& what);
 
-  CacheEngine& engine_;
+  std::unique_ptr<EngineHandler> owned_handler_;  // engine-ctor form only
+  RequestHandler* handler_;
   std::uint16_t port_;
   const ServerOptions options_;
   int listen_fd_ = -1;

@@ -1,0 +1,314 @@
+// Fault injection against the cluster tier: a backend killed mid-workload
+// must cost its own keys exactly one SERVER_ERROR each — never a hang,
+// never a wrong answer for a surviving backend's keys — and a restarted
+// backend must rejoin on its own (half-open probe after dead_retry_ms).
+// A slow backend (accepts, never answers) is bounded by io_timeout. Ring
+// rebalance (AddNode/RemoveNode) runs under concurrent proxy traffic, with
+// the measured key movement bounded the way consistent hashing promises.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/memcache/cluster/local_cluster.h"
+#include "src/memcache/connection.h"  // MonotonicMs
+#include "src/memcache/server.h"
+#include "src/memcache/workload.h"
+
+namespace rp::memcache::cluster {
+namespace {
+
+// Fast-failure knobs: dead backends are probed again after 200ms, and a
+// wedged socket read gives up after 500ms.
+LocalClusterOptions FastFaultOptions(std::size_t backends) {
+  LocalClusterOptions options;
+  options.backends = backends;
+  options.cluster.backend.connect_timeout_ms = 250;
+  options.cluster.backend.io_timeout_ms = 500;
+  options.cluster.backend.dead_retry_ms = 200;
+  return options;
+}
+
+// In-process probe through the proxy's handler interface (the same entry
+// the TCP front end uses), so fault tests don't depend on client sockets.
+std::string Execute(ClusterProxy& proxy, const Request& request) {
+  std::string out;
+  bool quit = false;
+  proxy.Execute(request, &out, &quit, nullptr);
+  return out;
+}
+
+std::string Set(ClusterProxy& proxy, const std::string& key,
+                const std::string& value) {
+  Request request;
+  request.op = Op::kSet;
+  request.keys = {key};
+  request.data = value;
+  return Execute(proxy, request);
+}
+
+std::string Get(ClusterProxy& proxy, const std::vector<std::string>& keys) {
+  Request request;
+  request.op = Op::kGet;
+  request.keys = keys;
+  return Execute(proxy, request);
+}
+
+// Index of the backend that owns the most keys of `keys` (to make the
+// kill hurt a multi-get).
+std::size_t BusiestBackend(LocalCluster& cluster,
+                           const std::vector<std::string>& keys) {
+  std::vector<std::size_t> counts(cluster.backend_count(), 0);
+  for (const std::string& key : keys) {
+    const std::string owner = cluster.proxy().NodeNameForKey(key);
+    for (std::size_t i = 0; i < cluster.backend_count(); ++i) {
+      if (owner == LocalCluster::BackendName(i)) {
+        ++counts[i];
+      }
+    }
+  }
+  std::size_t busiest = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    if (counts[i] > counts[busiest]) {
+      busiest = i;
+    }
+  }
+  return busiest;
+}
+
+TEST(ClusterFaults, BackendDeathMidMultiGetAnswersPartially) {
+  LocalCluster cluster(FastFaultOptions(3));
+  ASSERT_TRUE(cluster.Start()) << cluster.error();
+  ClusterProxy& proxy = cluster.proxy();
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 16; ++i) {
+    keys.push_back("fk-" + std::to_string(i));
+    ASSERT_EQ(Set(proxy, keys.back(), "val"), "STORED\r\n");
+  }
+  const std::size_t victim = BusiestBackend(cluster, keys);
+  const std::string victim_name = LocalCluster::BackendName(victim);
+  ASSERT_TRUE(cluster.StopBackend(victim));
+
+  const std::int64_t start_ms = rp::memcache::MonotonicMs();
+  const std::string response = Get(proxy, keys);
+  const std::int64_t elapsed_ms = rp::memcache::MonotonicMs() - start_ms;
+
+  // Bounded: a dead backend costs at most its connect/io budget (twice,
+  // for the retry) — nowhere near a hang.
+  EXPECT_LT(elapsed_ms, 4000);
+  // Affected keys are absent and the terminator reports the dead backend;
+  // unaffected keys still answer, in client order.
+  EXPECT_NE(response.find("SERVER_ERROR cluster backend " + victim_name +
+                          " unavailable\r\n"),
+            std::string::npos)
+      << response;
+  std::size_t surviving = 0;
+  std::size_t last_pos = 0;
+  for (const std::string& key : keys) {
+    const std::string owner = cluster.proxy().NodeNameForKey(key);
+    const std::size_t at = response.find("VALUE " + key + " ");
+    if (owner == victim_name) {
+      EXPECT_EQ(at, std::string::npos) << key;
+    } else {
+      ASSERT_NE(at, std::string::npos) << key;
+      EXPECT_GE(at, last_pos) << key << " out of order";
+      last_pos = at;
+      ++surviving;
+    }
+  }
+  EXPECT_GT(surviving, 0u);
+  EXPECT_LT(surviving, keys.size());
+
+  // Single-key traffic: dead owner fails fast, survivors keep answering.
+  for (const std::string& key : keys) {
+    const std::string single = Get(proxy, {key});
+    if (cluster.proxy().NodeNameForKey(key) == victim_name) {
+      EXPECT_EQ(single, "SERVER_ERROR cluster backend " + victim_name +
+                            " unavailable\r\n");
+    } else {
+      EXPECT_EQ(single, "VALUE " + key + " 0 3\r\nval\r\nEND\r\n");
+    }
+  }
+  EXPECT_GT(proxy.Stats().backend_errors, 0u);
+  EXPECT_EQ(proxy.Stats().nodes_dead, 1u);
+}
+
+TEST(ClusterFaults, RestartedBackendRejoinsWithItsData) {
+  LocalCluster cluster(FastFaultOptions(3));
+  ASSERT_TRUE(cluster.Start()) << cluster.error();
+  ClusterProxy& proxy = cluster.proxy();
+
+  // Find a key owned by node1, store it, then kill node1.
+  std::string key;
+  for (int i = 0;; ++i) {
+    key = "rk-" + std::to_string(i);
+    if (proxy.NodeNameForKey(key) == LocalCluster::BackendName(1)) {
+      break;
+    }
+  }
+  ASSERT_EQ(Set(proxy, key, "val"), "STORED\r\n");
+  ASSERT_TRUE(cluster.StopBackend(1));
+  EXPECT_EQ(Get(proxy, {key}),
+            "SERVER_ERROR cluster backend node1 unavailable\r\n");
+
+  // Restart on the same port: the engine (and the stored value) survived.
+  ASSERT_TRUE(cluster.RestartBackend(1));
+  // The mark-dead window has to lapse before the proxy probes again.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(Get(proxy, {key}), "VALUE " + key + " 0 3\r\nval\r\nEND\r\n");
+  EXPECT_EQ(proxy.Stats().nodes_dead, 0u);
+}
+
+// A backend that accepts connections but never answers must cost at most
+// the io timeout (twice, with the retry), not a hang.
+TEST(ClusterFaults, SlowBackendIsBoundedByIoTimeout) {
+  // The slow "backend": a bare listener that accepts and goes silent.
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t slow_port = ntohs(addr.sin_port);
+
+  // A real backend next to it, so healthy traffic can be checked too.
+  auto engine = MakeEngine("rp", EngineConfig{});
+  Server real_server(*engine, 0, ServerOptions{});
+  ASSERT_TRUE(real_server.Start()) << real_server.error();
+
+  ClusterOptions options;
+  options.backend.io_timeout_ms = 300;
+  options.backend.dead_retry_ms = 60000;  // stay dead for the whole test
+  ClusterProxy proxy({{"real", real_server.port()}, {"slow", slow_port}},
+                     options);
+
+  std::string slow_key;
+  std::string real_key;
+  for (int i = 0; slow_key.empty() || real_key.empty(); ++i) {
+    const std::string key = "sk-" + std::to_string(i);
+    (proxy.NodeNameForKey(key) == "slow" ? slow_key : real_key) = key;
+  }
+  const std::int64_t start_ms = rp::memcache::MonotonicMs();
+  EXPECT_EQ(Get(proxy, {slow_key}),
+            "SERVER_ERROR cluster backend slow unavailable\r\n");
+  const std::int64_t elapsed_ms = rp::memcache::MonotonicMs() - start_ms;
+  EXPECT_GE(elapsed_ms, 250);   // it did wait for the backend...
+  EXPECT_LT(elapsed_ms, 2000);  // ...but io_timeout bounded it (plus retry)
+  // Marked dead now: the next miss fails instantly, no re-probe storm.
+  const std::int64_t fast_start_ms = rp::memcache::MonotonicMs();
+  EXPECT_EQ(Get(proxy, {slow_key}),
+            "SERVER_ERROR cluster backend slow unavailable\r\n");
+  EXPECT_LT(rp::memcache::MonotonicMs() - fast_start_ms, 100);
+  // The healthy backend is untouched throughout.
+  ASSERT_EQ(Set(proxy, real_key, "val"), "STORED\r\n");
+  EXPECT_EQ(Get(proxy, {real_key}),
+            "VALUE " + real_key + " 0 3\r\nval\r\nEND\r\n");
+  ::close(listen_fd);
+}
+
+// Ring rebalance under load: threads hammer the proxy while a fourth
+// backend joins and leaves. No wrong answers (every response is either the
+// stored value or a SERVER_ERROR for an in-transition key), no hangs, and
+// the measured key movement stays in consistent hashing's bounds.
+TEST(ClusterFaults, RebalanceUnderLoadIsBoundedAndSafe) {
+  LocalCluster cluster(FastFaultOptions(3));
+  ASSERT_TRUE(cluster.Start()) << cluster.error();
+  ClusterProxy& proxy = cluster.proxy();
+
+  constexpr std::size_t kKeys = 256;
+  std::vector<std::string> keys;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    keys.push_back("rb-" + std::to_string(i));
+    ASSERT_EQ(Set(proxy, keys.back(), "val"), "STORED\r\n");
+  }
+  std::vector<std::string> owners_before;
+  for (const std::string& key : keys) {
+    owners_before.push_back(proxy.NodeNameForKey(key));
+  }
+
+  // The joining backend is real: a fourth engine + server of our own.
+  auto extra_engine = MakeEngine("rp", EngineConfig{});
+  Server extra_server(*extra_engine, 0, ServerOptions{});
+  ASSERT_TRUE(extra_server.Start()) << extra_server.error();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> responses{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      std::size_t i = static_cast<std::size_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& key = keys[i % kKeys];
+        const std::string response =
+            (i % 4 == 0) ? Set(proxy, key, "val") : Get(proxy, {key});
+        // A key may live on a backend the proxy only just started routing
+        // to (a fresh member has no data => empty get is fine), but the
+        // response must always be well-formed and never someone else's.
+        const bool ok =
+            response == "STORED\r\n" || response == "END\r\n" ||
+            response == "VALUE " + key + " 0 3\r\nval\r\nEND\r\n" ||
+            response.find("SERVER_ERROR cluster backend") == 0;
+        if (!ok) {
+          ADD_FAILURE() << "malformed response for " << key << ": "
+                        << response;
+          stop.store(true, std::memory_order_relaxed);
+        }
+        responses.fetch_add(1, std::memory_order_relaxed);
+        i += 3;
+      }
+    });
+  }
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(proxy.AddNode({"extra", extra_server.port()}));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(proxy.RemoveNode("extra"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_GT(responses.load(), 0u);
+  // Topology is back to the original three nodes: every key owns its old
+  // home again (bounded movement means zero net movement here).
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(proxy.NodeNameForKey(keys[i]), owners_before[i]) << keys[i];
+  }
+  // The add/remove cycles remapped some live traffic, and the proxy saw it.
+  EXPECT_GT(proxy.Stats().remapped_keys, 0u);
+
+  // Measured movement bound, quiesced: adding one node to N=3 moves about
+  // 1/(N+1) of the keyspace, and only toward the new node.
+  ASSERT_TRUE(proxy.AddNode({"extra", extra_server.port()}));
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string owner = proxy.NodeNameForKey(keys[i]);
+    if (owner != owners_before[i]) {
+      EXPECT_EQ(owner, "extra") << keys[i] << " moved to an old node";
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kKeys / 2);  // ~kKeys/4 expected; generous slack
+}
+
+}  // namespace
+}  // namespace rp::memcache::cluster

@@ -1,0 +1,148 @@
+// Consistent-hash ring properties: near-uniform key distribution at the
+// default vnode count, and — the property the cluster tier exists for —
+// bounded key movement: removing 1 of N nodes remaps only that node's
+// share (~keys/N), never a surviving node's keys, and adding a node steals
+// keys only for itself.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/memcache/cluster/hash_ring.h"
+
+namespace rp::memcache::cluster {
+namespace {
+
+std::string Key(std::size_t i) { return "memtier-" + std::to_string(i); }
+
+std::string Node(std::size_t i) { return "node" + std::to_string(i); }
+
+HashRing BuildRing(std::size_t nodes,
+                   std::size_t vnodes = HashRing::kDefaultVnodesPerNode) {
+  HashRing ring(vnodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    EXPECT_TRUE(ring.AddNode(Node(i)));
+  }
+  return ring;
+}
+
+std::vector<std::string> Owners(const HashRing& ring, std::size_t keys) {
+  std::vector<std::string> owners;
+  owners.reserve(keys);
+  for (std::size_t i = 0; i < keys; ++i) {
+    const std::size_t node = ring.NodeForKey(Key(i));
+    EXPECT_NE(node, HashRing::kNoNode);
+    owners.push_back(ring.NodeName(node));
+  }
+  return owners;
+}
+
+TEST(ClusterRing, EmptyRingRoutesNowhere) {
+  HashRing ring;
+  EXPECT_EQ(ring.node_count(), 0u);
+  EXPECT_EQ(ring.NodeForKey("anything"), HashRing::kNoNode);
+}
+
+TEST(ClusterRing, DuplicateAddAndUnknownRemoveAreRejected) {
+  HashRing ring;
+  EXPECT_TRUE(ring.AddNode("a"));
+  EXPECT_FALSE(ring.AddNode("a"));
+  EXPECT_FALSE(ring.RemoveNode("b"));
+  EXPECT_TRUE(ring.RemoveNode("a"));
+  EXPECT_EQ(ring.node_count(), 0u);
+  EXPECT_EQ(ring.NodeForKey("anything"), HashRing::kNoNode);
+}
+
+// Across 8 nodes at the default vnode count (512 ≥ 128), every node's
+// share of a large keyspace stays within ±15% of uniform. The bound needs
+// the vnode count: a node's share spreads as ~1/sqrt(vnodes), so 128
+// vnodes would allow ~±20% excursions while 512 keeps the worst node
+// near ±11%.
+TEST(ClusterRing, DistributionStaysNearUniform) {
+  constexpr std::size_t kNodes = 8;
+  constexpr std::size_t kKeys = 100000;
+  static_assert(HashRing::kDefaultVnodesPerNode >= 128);
+  const HashRing ring = BuildRing(kNodes);
+  std::vector<std::size_t> counts(kNodes, 0);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::size_t node = ring.NodeForKey(Key(i));
+    ASSERT_NE(node, HashRing::kNoNode);
+    ++counts[node];
+  }
+  const double uniform = static_cast<double>(kKeys) / kNodes;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    EXPECT_GT(static_cast<double>(counts[i]), uniform * 0.85)
+        << Node(i) << " owns " << counts[i] << " of " << kKeys;
+    EXPECT_LT(static_cast<double>(counts[i]), uniform * 1.15)
+        << Node(i) << " owns " << counts[i] << " of " << kKeys;
+  }
+}
+
+// Ownership is a function of the node-name set, not of insertion order.
+TEST(ClusterRing, InsertionOrderDoesNotChangeOwners) {
+  constexpr std::size_t kNodes = 8;
+  const HashRing forward = BuildRing(kNodes);
+  HashRing reverse;
+  for (std::size_t i = kNodes; i-- > 0;) {
+    ASSERT_TRUE(reverse.AddNode(Node(i)));
+  }
+  for (std::size_t i = 0; i < 5000; ++i) {
+    const std::string key = Key(i);
+    EXPECT_EQ(forward.NodeName(forward.NodeForKey(key)),
+              reverse.NodeName(reverse.NodeForKey(key)))
+        << key;
+  }
+}
+
+// Removing one of N nodes remaps exactly the removed node's keys — no
+// surviving node's key moves, so the total movement is the removed share
+// (≤ keys/N plus the distribution slack).
+TEST(ClusterRing, RemovingOneNodeRemapsOnlyItsKeys) {
+  constexpr std::size_t kNodes = 8;
+  constexpr std::size_t kKeys = 50000;
+  HashRing ring = BuildRing(kNodes);
+  const std::vector<std::string> before = Owners(ring, kKeys);
+  ASSERT_TRUE(ring.RemoveNode("node3"));
+  const std::vector<std::string> after = Owners(ring, kKeys);
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    if (before[i] == "node3") {
+      ++moved;
+      EXPECT_NE(after[i], "node3");
+    } else {
+      EXPECT_EQ(after[i], before[i]) << Key(i) << " moved off a survivor";
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  const double share = static_cast<double>(kKeys) / kNodes;
+  EXPECT_LT(static_cast<double>(moved), share * 1.15)
+      << moved << " keys moved, expected about " << share;
+}
+
+// Adding a node steals keys only for itself: every key either keeps its
+// owner or now belongs to the new node, and the stolen share is about
+// keys/(N+1).
+TEST(ClusterRing, AddingANodeStealsOnlyForItself) {
+  constexpr std::size_t kNodes = 8;
+  constexpr std::size_t kKeys = 50000;
+  HashRing ring = BuildRing(kNodes);
+  const std::vector<std::string> before = Owners(ring, kKeys);
+  ASSERT_TRUE(ring.AddNode(Node(kNodes)));
+  const std::vector<std::string> after = Owners(ring, kKeys);
+
+  std::size_t stolen = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    if (after[i] != before[i]) {
+      ++stolen;
+      EXPECT_EQ(after[i], Node(kNodes)) << Key(i) << " moved to an old node";
+    }
+  }
+  EXPECT_GT(stolen, 0u);
+  const double share = static_cast<double>(kKeys) / (kNodes + 1);
+  EXPECT_LT(static_cast<double>(stolen), share * 1.15)
+      << stolen << " keys stolen, expected about " << share;
+}
+
+}  // namespace
+}  // namespace rp::memcache::cluster
